@@ -1,0 +1,1 @@
+bin/crashcheck_cli.ml: Arg Cmd Cmdliner Crashcheck Format List Printf String Term Unix

@@ -1,0 +1,1 @@
+bin/modelcheck.ml: Arg Cmd Cmdliner Format List Model Printf String Term

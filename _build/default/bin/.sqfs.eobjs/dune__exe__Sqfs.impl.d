@@ -1,0 +1,1 @@
+bin/sqfs.ml: Arg Bytes Cmd Cmdliner Layout List Pmem Printf Squirrelfs Term Vfs

@@ -1,0 +1,50 @@
+(* modelcheck: run the bounded SSU model checker (the Alloy substitute).
+
+     modelcheck            -- all correct scenarios (expect 0 violations)
+     modelcheck --buggy    -- the reinjected bugs (expect counterexamples)
+     modelcheck NAME ...   -- specific scenarios by name                *)
+
+open Cmdliner
+
+let run buggy names =
+  let pool = if buggy then Model.Scenarios.buggy else Model.Scenarios.correct in
+  let pool =
+    if names = [] then pool
+    else
+      List.filter
+        (fun sc -> List.mem sc.Model.Explore.sc_name names)
+        (Model.Scenarios.correct @ Model.Scenarios.buggy)
+  in
+  if pool = [] then begin
+    Printf.eprintf "no matching scenarios; known: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun sc -> sc.Model.Explore.sc_name)
+            (Model.Scenarios.correct @ Model.Scenarios.buggy)));
+    exit 1
+  end;
+  let bad = ref 0 in
+  List.iter
+    (fun sc ->
+      let o = Model.Explore.run sc in
+      Format.printf "%-20s %a@." sc.Model.Explore.sc_name
+        Model.Explore.pp_outcome o;
+      if o.Model.Explore.violations <> [] then incr bad)
+    pool;
+  if (not buggy) && !bad > 0 then exit 2;
+  if buggy && !bad < List.length pool then begin
+    Printf.eprintf "some buggy scenarios were NOT caught\n";
+    exit 2
+  end
+
+let () =
+  let buggy =
+    Arg.(value & flag & info [ "buggy" ] ~doc:"Check the reinjected-bug variants")
+  in
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"SCENARIO") in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "modelcheck"
+             ~doc:"Bounded model checking of Synchronous Soft Updates")
+          Term.(const run $ buggy $ names)))

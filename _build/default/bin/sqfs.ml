@@ -1,0 +1,211 @@
+(* sqfs: operate SquirrelFS volumes stored in host image files.
+
+   The simulated PM device is loaded from the image file, operated on
+   (every operation is synchronous, so the device is quiescent when a
+   command finishes), and written back.
+
+     sqfs mkfs img [--size-mb N]
+     sqfs info img
+     sqfs fsck img
+     sqfs tree img
+     sqfs ls img /path          sqfs stat img /path
+     sqfs mkdir img /path       sqfs create img /path
+     sqfs write img /path data  sqfs cat img /path
+     sqfs rm img /path          sqfs rmdir img /path
+     sqfs mv img /src /dst      sqfs ln img /target /link   *)
+
+open Cmdliner
+module Device = Pmem.Device
+
+let load_image img =
+  let ic = open_in_bin img in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  Device.of_image b
+
+let save_image img dev =
+  let oc = open_out_bin img in
+  output_bytes oc (Device.image_durable dev);
+  close_out oc
+
+let with_fs img f =
+  let dev = load_image img in
+  match Squirrelfs.mount dev with
+  | Error e ->
+      Printf.eprintf "mount %s: %s\n" img (Vfs.Errno.to_string e);
+      exit 1
+  | Ok fs ->
+      let r = f dev fs in
+      Squirrelfs.unmount fs;
+      save_image img dev;
+      r
+
+let or_die what = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "%s: %s\n" what (Vfs.Errno.to_string e);
+      exit 1
+
+(* arguments *)
+let img = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE")
+let path n = Arg.(required & pos n (some string) None & info [] ~docv:"PATH")
+
+let cmd_mkfs =
+  let size_mb =
+    Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"Device size in MiB")
+  in
+  let run img size_mb =
+    let dev = Device.create ~size:(size_mb * 1024 * 1024) () in
+    Squirrelfs.mkfs dev;
+    save_image img dev;
+    Printf.printf "created %d MiB SquirrelFS volume in %s\n" size_mb img
+  in
+  Cmd.v (Cmd.info "mkfs" ~doc:"Create a fresh volume")
+    Term.(const run $ img $ size_mb)
+
+let cmd_info =
+  let run img =
+    with_fs img (fun dev fs ->
+        let geo = fs.Squirrelfs.Fsctx.geo in
+        let st = Squirrelfs.Mount.last_stats () in
+        Printf.printf "device        %d bytes\n" (Device.size dev);
+        Printf.printf "inodes        %d (%d free)\n" geo.Layout.Geometry.inode_count
+          (Squirrelfs.Alloc.free_inode_count fs.Squirrelfs.Fsctx.alloc);
+        Printf.printf "pages         %d (%d free)\n" geo.Layout.Geometry.page_count
+          (Squirrelfs.Alloc.free_page_count fs.Squirrelfs.Fsctx.alloc);
+        Printf.printf "index memory  %d bytes\n"
+          (Squirrelfs.Index.footprint_bytes fs.Squirrelfs.Fsctx.index);
+        if st.Squirrelfs.Mount.recovered then
+          Printf.printf
+            "recovery      ran (orphan inodes %d, pages %d, dentries %d; \
+             renames completed %d, rolled back %d; link counts fixed %d)\n"
+            st.Squirrelfs.Mount.orphan_inodes st.Squirrelfs.Mount.orphan_pages
+            st.Squirrelfs.Mount.orphan_dentries
+            st.Squirrelfs.Mount.completed_renames
+            st.Squirrelfs.Mount.rolled_back_renames
+            st.Squirrelfs.Mount.fixed_link_counts
+        else Printf.printf "recovery      not needed (clean unmount)\n")
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Volume geometry and utilization")
+    Term.(const run $ img)
+
+let cmd_fsck =
+  let run img =
+    with_fs img (fun _dev fs ->
+        match Squirrelfs.Fsck.check fs with
+        | [] -> Printf.printf "consistent\n"
+        | errs ->
+            List.iter (fun e -> Printf.printf "violation: %s\n" e) errs;
+            exit 2)
+  in
+  Cmd.v (Cmd.info "fsck" ~doc:"Check all consistency invariants")
+    Term.(const run $ img)
+
+let cmd_tree =
+  let run img =
+    with_fs img (fun _dev fs ->
+        let rec walk indent path =
+          match Squirrelfs.readdir fs path with
+          | Error _ -> ()
+          | Ok names ->
+              List.iter
+                (fun n ->
+                  let child = if path = "/" then "/" ^ n else path ^ "/" ^ n in
+                  let st = or_die child (Squirrelfs.stat fs child) in
+                  Printf.printf "%s%s%s\n" indent n
+                    (match st.Vfs.Fs.kind with
+                    | Vfs.Fs.Dir -> "/"
+                    | Vfs.Fs.Symlink -> "@"
+                    | Vfs.Fs.File -> Printf.sprintf " (%d)" st.Vfs.Fs.size);
+                  if st.Vfs.Fs.kind = Vfs.Fs.Dir then
+                    walk (indent ^ "  ") child)
+                (List.sort compare names)
+        in
+        Printf.printf "/\n";
+        walk "  " "/")
+  in
+  Cmd.v (Cmd.info "tree" ~doc:"Print the whole tree") Term.(const run $ img)
+
+let simple name doc f =
+  let run img p = with_fs img (fun _dev fs -> f fs p) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ img $ path 1)
+
+let cmd_ls =
+  simple "ls" "List a directory" (fun fs p ->
+      List.iter print_endline
+        (List.sort compare (or_die p (Squirrelfs.readdir fs p))))
+
+let cmd_mkdir =
+  simple "mkdir" "Create a directory" (fun fs p ->
+      or_die p (Squirrelfs.mkdir fs p))
+
+let cmd_create =
+  simple "create" "Create an empty file" (fun fs p ->
+      or_die p (Squirrelfs.create fs p))
+
+let cmd_rm =
+  simple "rm" "Unlink a file" (fun fs p -> or_die p (Squirrelfs.unlink fs p))
+
+let cmd_rmdir =
+  simple "rmdir" "Remove an empty directory" (fun fs p ->
+      or_die p (Squirrelfs.rmdir fs p))
+
+let cmd_cat =
+  simple "cat" "Print a file's contents" (fun fs p ->
+      let st = or_die p (Squirrelfs.stat fs p) in
+      print_string (or_die p (Squirrelfs.read fs p ~off:0 ~len:st.Vfs.Fs.size)))
+
+let cmd_stat =
+  simple "stat" "Show inode metadata" (fun fs p ->
+      let st = or_die p (Squirrelfs.stat fs p) in
+      Printf.printf "ino %d  kind %s  links %d  size %d  mode %o\n"
+        st.Vfs.Fs.ino
+        (Vfs.Fs.kind_to_string st.Vfs.Fs.kind)
+        st.Vfs.Fs.links st.Vfs.Fs.size st.Vfs.Fs.mode)
+
+let cmd_write =
+  let data = Arg.(required & pos 2 (some string) None & info [] ~docv:"DATA") in
+  let append =
+    Arg.(value & flag & info [ "a"; "append" ] ~doc:"Append instead of overwrite")
+  in
+  let run img p data append =
+    with_fs img (fun _dev fs ->
+        (match Squirrelfs.stat fs p with
+        | Error Vfs.Errno.ENOENT -> or_die p (Squirrelfs.create fs p)
+        | Error e -> or_die p (Error e)
+        | Ok _ -> ());
+        let off =
+          if append then (or_die p (Squirrelfs.stat fs p)).Vfs.Fs.size else 0
+        in
+        let n = or_die p (Squirrelfs.write fs p ~off data) in
+        Printf.printf "wrote %d bytes at offset %d\n" n off)
+  in
+  Cmd.v (Cmd.info "write" ~doc:"Write data to a file (creates it)")
+    Term.(const run $ img $ path 1 $ data $ append)
+
+let cmd_mv =
+  let run img src dst =
+    with_fs img (fun _dev fs -> or_die src (Squirrelfs.rename fs src dst))
+  in
+  Cmd.v (Cmd.info "mv" ~doc:"Atomic rename")
+    Term.(const run $ img $ path 1 $ path 2)
+
+let cmd_ln =
+  let run img target link =
+    with_fs img (fun _dev fs -> or_die link (Squirrelfs.link fs target link))
+  in
+  Cmd.v (Cmd.info "ln" ~doc:"Hard link")
+    Term.(const run $ img $ path 1 $ path 2)
+
+let () =
+  let doc = "SquirrelFS volumes in host image files" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sqfs" ~doc)
+          [
+            cmd_mkfs; cmd_info; cmd_fsck; cmd_tree; cmd_ls; cmd_mkdir;
+            cmd_create; cmd_rm; cmd_rmdir; cmd_cat; cmd_stat; cmd_write;
+            cmd_mv; cmd_ln;
+          ]))

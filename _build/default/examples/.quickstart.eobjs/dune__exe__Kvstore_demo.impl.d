@@ -1,0 +1,1 @@
+examples/kvstore_demo.ml: Char Format List Pmem Printf Squirrelfs String Vfs Workloads

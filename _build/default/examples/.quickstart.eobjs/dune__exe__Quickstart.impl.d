@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pmem Printf Squirrelfs String Vfs

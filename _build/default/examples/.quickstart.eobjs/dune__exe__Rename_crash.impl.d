@@ -1,0 +1,1 @@
+examples/rename_crash.ml: Hashtbl List Option Pmem Printf Result Squirrelfs Vfs

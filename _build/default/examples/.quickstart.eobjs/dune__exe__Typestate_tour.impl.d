@@ -1,0 +1,1 @@
+examples/typestate_tour.ml: Pmem Printf Squirrelfs Typestate Vfs

@@ -1,0 +1,1 @@
+examples/typestate_tour.mli:

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Bitmap Blayout Engine Ext4_dax_sim Nova_sim Profile Txn Winefs_sim

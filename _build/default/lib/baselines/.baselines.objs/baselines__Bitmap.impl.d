@@ -1,0 +1,1 @@
+lib/baselines/bitmap.ml: Bytes Char Pmem String

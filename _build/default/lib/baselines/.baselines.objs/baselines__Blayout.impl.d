@@ -1,0 +1,1 @@
+lib/baselines/blayout.ml: Printf

@@ -1,0 +1,1 @@
+lib/baselines/engine.ml: Bitmap Blayout Buffer Bytes Hashtbl List Pmem Profile Result String Txn Vfs

@@ -1,0 +1,1 @@
+lib/baselines/ext4_dax_sim.ml: Engine Profile

@@ -1,0 +1,1 @@
+lib/baselines/nova_sim.ml: Engine Profile

@@ -1,0 +1,1 @@
+lib/baselines/profile.ml:

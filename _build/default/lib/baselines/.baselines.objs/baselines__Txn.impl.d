@@ -1,0 +1,1 @@
+lib/baselines/txn.ml: Blayout Buffer Bytes Hashtbl Int64 List Pmem Profile String

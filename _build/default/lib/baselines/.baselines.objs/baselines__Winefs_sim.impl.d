@@ -1,0 +1,1 @@
+lib/baselines/winefs_sim.ml: Engine Profile

@@ -1,0 +1,10 @@
+(** Baseline PM file systems the paper compares against (§5.1). *)
+
+module Profile = Profile
+module Blayout = Blayout
+module Bitmap = Bitmap
+module Txn = Txn
+module Engine = Engine
+module Ext4_dax_sim = Ext4_dax_sim
+module Nova_sim = Nova_sim
+module Winefs_sim = Winefs_sim

@@ -1,0 +1,60 @@
+(** Persistent allocation bitmaps with a volatile mirror.
+
+    Unlike SquirrelFS (volatile allocators rebuilt by scan), the baseline
+    file systems persist their bitmaps; updates go through the journal of
+    the enclosing transaction. *)
+
+type t = {
+  base : int; (* device offset of the bitmap *)
+  count : int; (* number of tracked resources *)
+  bits : Bytes.t; (* volatile mirror *)
+  mutable free : int;
+  mutable cursor : int; (* next-fit scan position *)
+}
+
+let load dev ~base ~count =
+  let nbytes = (count + 7) / 8 in
+  let bits = Pmem.Device.read dev ~off:base ~len:nbytes in
+  let free = ref 0 in
+  for i = 0 to count - 1 do
+    if Char.code (Bytes.get bits (i / 8)) land (1 lsl (i mod 8)) = 0 then
+      incr free
+  done;
+  { base; count; bits; free = !free; cursor = 0 }
+
+let mem t i = Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+(* Returns the (device offset, new byte) of the flipped bit so the caller
+   can stage it into its transaction. *)
+let set t i v =
+  let byte = Char.code (Bytes.get t.bits (i / 8)) in
+  let byte' =
+    if v then byte lor (1 lsl (i mod 8)) else byte land lnot (1 lsl (i mod 8))
+  in
+  Bytes.set t.bits (i / 8) (Char.chr (byte' land 0xFF));
+  (if v then t.free <- t.free - 1 else t.free <- t.free + 1);
+  (t.base + (i / 8), String.make 1 (Char.chr (byte' land 0xFF)))
+
+let free_count t = t.free
+
+let alloc t =
+  if t.free = 0 then None
+  else begin
+    let rec scan n i =
+      if n > t.count then None
+      else if not (mem t i) then Some i
+      else scan (n + 1) ((i + 1) mod t.count)
+    in
+    match scan 0 t.cursor with
+    | None -> None
+    | Some i ->
+        t.cursor <- (i + 1) mod t.count;
+        Some i
+  end
+
+(* Contiguity-seeking allocation: prefer the block right after [hint]. *)
+let alloc_near t hint =
+  if t.free = 0 then None
+  else if hint >= 0 && hint + 1 < t.count && not (mem t (hint + 1)) then
+    Some (hint + 1)
+  else alloc t

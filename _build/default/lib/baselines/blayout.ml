@@ -1,0 +1,96 @@
+(** On-device layout shared by the baseline file systems:
+    superblock | journal | inode bitmap | block bitmap | inode table |
+    inode-log region (used by the NOVA profile) | data blocks. *)
+
+let sb_size = 4096
+let block_size = 4096
+let inode_size = 256
+let journal_blocks = 32
+let log_region_size = 64 * 1024
+let dentry_size = 128
+let name_max = 110
+let dentries_per_block = block_size / dentry_size
+let direct_count = 12
+let ptrs_per_block = block_size / 8
+let root_ino = 1
+
+type t = {
+  device_size : int;
+  inode_count : int;
+  block_count : int;
+  journal_off : int;
+  ibm_off : int;
+  bbm_off : int;
+  itable_off : int;
+  log_off : int;
+  data_off : int;
+}
+
+let align_up v a = (v + a - 1) / a * a
+
+let compute ~device_size =
+  let journal_off = sb_size in
+  let after_journal = journal_off + (journal_blocks * block_size) in
+  (* one inode per 16 KiB of data, as in the SquirrelFS layout *)
+  let rec fit inode_count =
+    if inode_count < 2 then
+      invalid_arg "Blayout.compute: device too small"
+    else begin
+      let block_count = inode_count * 4 in
+      let ibm_off = after_journal in
+      let bbm_off = align_up (ibm_off + ((inode_count + 7) / 8)) 64 in
+      let itable_off = align_up (bbm_off + ((block_count + 7) / 8)) 64 in
+      let log_off = align_up (itable_off + (inode_count * inode_size)) 64 in
+      let data_off = align_up (log_off + log_region_size) block_size in
+      if data_off + (block_count * block_size) <= device_size then
+        {
+          device_size;
+          inode_count;
+          block_count;
+          journal_off;
+          ibm_off;
+          bbm_off;
+          itable_off;
+          log_off;
+          data_off;
+        }
+      else fit (inode_count - 1)
+    end
+  in
+  fit ((device_size - after_journal - log_region_size) / (16384 + inode_size))
+
+let inode_off t ~ino =
+  if ino < 1 || ino > t.inode_count then
+    invalid_arg (Printf.sprintf "Blayout.inode_off: bad ino %d" ino);
+  t.itable_off + ((ino - 1) * inode_size)
+
+let block_off t ~block =
+  if block < 0 || block >= t.block_count then
+    invalid_arg (Printf.sprintf "Blayout.block_off: bad block %d" block);
+  t.data_off + (block * block_size)
+
+(* Inode field offsets *)
+let f_ino = 0
+let f_kind = 8
+let f_links = 16
+let f_size = 24
+let f_mtime = 32
+let f_ctime = 40
+let f_atime = 48
+let f_mode = 56
+let f_direct = 64 (* 12 x u64 *)
+let f_indirect = f_direct + (direct_count * 8)
+let f_dindirect = f_indirect + 8
+
+(* Dentry fields within a 128-byte slot *)
+let d_name = 0
+let d_ino = 112
+
+(* Superblock fields *)
+let sb_magic = 0x424C4B465321 (* "BLKFS!" *)
+let s_magic = 0
+let s_size = 8
+let s_inode_count = 16
+let s_block_count = 24
+let s_clean = 32
+let s_jseq = 40 (* last checkpointed journal sequence number *)

@@ -1,0 +1,5 @@
+(** Ext4-DAX baseline: JBD2-style full-block metadata journaling, kernel
+    block-layer overhead on allocating paths, extent-aware reads. *)
+include Engine.Make (struct
+  let profile = Profile.ext4_dax
+end)

@@ -1,0 +1,5 @@
+(** NOVA baseline: per-inode metadata log appends on every operation,
+    plus journaling for operations that update multiple inodes. *)
+include Engine.Make (struct
+  let profile = Profile.nova
+end)

@@ -1,0 +1,5 @@
+(** WineFS baseline: fine-grained metadata journal with aligned
+    allocations; the lowest-overhead journaling baseline. *)
+include Engine.Make (struct
+  let profile = Profile.winefs
+end)

@@ -1,0 +1,1 @@
+lib/core/squirrelfs.ml: Alloc Fs_impl Fsck Fsctx Index Mount Objects Ops

@@ -1,0 +1,1 @@
+lib/core/fs_impl.ml: Fsctx Index Layout List Mount Ops Pmem Result Vfs

@@ -1,0 +1,1 @@
+lib/core/fsck.ml: Fsctx Hashtbl Layout List Pmem Printf Queue Vfs

@@ -1,0 +1,1 @@
+lib/core/fsctx.ml: Alloc Index Layout Pmem Typestate

@@ -1,0 +1,1 @@
+lib/core/fsctx.mli: Alloc Index Layout Pmem Typestate

@@ -1,0 +1,1 @@
+lib/core/mount.ml: Alloc Array Fsctx Hashtbl Index Layout List Pmem Queue Vfs

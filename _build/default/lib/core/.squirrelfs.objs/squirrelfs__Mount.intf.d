@@ -1,0 +1,1 @@
+lib/core/mount.mli: Fsctx Pmem Vfs

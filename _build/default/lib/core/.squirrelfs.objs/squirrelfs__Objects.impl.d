@@ -1,0 +1,1 @@
+lib/core/objects.ml: Alloc Fsctx Hashtbl Index Layout List Pmem Printf String Typestate Vfs

@@ -1,0 +1,1 @@
+lib/core/ops.ml: Alloc Buffer Bytes Fsctx Index Layout List Objects Option Pmem Result String Vfs

@@ -1,0 +1,93 @@
+type t = {
+  cpus : int;
+  mutable free_inodes : int list;
+  mutable free_inode_count : int;
+  page_pools : int list array; (* per-CPU free lists *)
+  pool_sizes : int array;
+  mutable next_cpu : int; (* round-robin for frees without a cpu hint *)
+}
+
+let create ~cpus (_g : Layout.Geometry.t) =
+  {
+    cpus;
+    free_inodes = [];
+    free_inode_count = 0;
+    page_pools = Array.make cpus [];
+    pool_sizes = Array.make cpus 0;
+    next_cpu = 0;
+  }
+
+let cpus t = t.cpus
+
+let add_free_inode t ino =
+  t.free_inodes <- ino :: t.free_inodes;
+  t.free_inode_count <- t.free_inode_count + 1
+
+let add_free_page t page =
+  let cpu = t.next_cpu in
+  t.next_cpu <- (t.next_cpu + 1) mod t.cpus;
+  t.page_pools.(cpu) <- page :: t.page_pools.(cpu);
+  t.pool_sizes.(cpu) <- t.pool_sizes.(cpu) + 1
+
+let populated ~cpus (g : Layout.Geometry.t) =
+  let t = create ~cpus g in
+  for ino = g.inode_count downto 2 do
+    add_free_inode t ino
+  done;
+  for page = g.page_count - 1 downto 0 do
+    add_free_page t page
+  done;
+  t
+
+let alloc_inode t =
+  match t.free_inodes with
+  | [] -> None
+  | ino :: rest ->
+      t.free_inodes <- rest;
+      t.free_inode_count <- t.free_inode_count - 1;
+      Some ino
+
+let free_inode t ino =
+  t.free_inodes <- ino :: t.free_inodes;
+  t.free_inode_count <- t.free_inode_count + 1
+
+let pop_pool t cpu =
+  match t.page_pools.(cpu) with
+  | [] -> None
+  | p :: rest ->
+      t.page_pools.(cpu) <- rest;
+      t.pool_sizes.(cpu) <- t.pool_sizes.(cpu) - 1;
+      Some p
+
+let alloc_page ?(cpu = 0) t =
+  let cpu = cpu mod t.cpus in
+  match pop_pool t cpu with
+  | Some p -> Some p
+  | None ->
+      (* steal from the first non-empty pool *)
+      let rec steal i =
+        if i = t.cpus then None
+        else if t.pool_sizes.(i) > 0 then pop_pool t i
+        else steal (i + 1)
+      in
+      steal 0
+
+let free_page ?(cpu = 0) t page =
+  let cpu = cpu mod t.cpus in
+  t.page_pools.(cpu) <- page :: t.page_pools.(cpu);
+  t.pool_sizes.(cpu) <- t.pool_sizes.(cpu) + 1
+
+let free_page_count t = Array.fold_left ( + ) 0 t.pool_sizes
+let free_inode_count t = t.free_inode_count
+
+let alloc_pages ?(cpu = 0) t n =
+  if free_page_count t < n then None
+  else
+    let rec go acc k = if k = 0 then Some acc else
+      match alloc_page ~cpu t with
+      | Some p -> go (p :: acc) (k - 1)
+      | None -> (* cannot happen: we checked the total *) None
+    in
+    match go [] n with
+    | Some pages -> Some (List.rev pages)
+    | None -> None

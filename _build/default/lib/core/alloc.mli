@@ -1,0 +1,33 @@
+(** Volatile allocators (paper §3.4).
+
+    Allocation state is not persisted: it is rebuilt from the on-PM tables
+    at mount. SquirrelFS uses a per-CPU page allocator and a single shared
+    inode allocator. *)
+
+type t
+
+val create : cpus:int -> Layout.Geometry.t -> t
+(** Empty allocator covering no resources; populate with [add_free_*]. *)
+
+val populated : cpus:int -> Layout.Geometry.t -> t
+(** Allocator with every inode (except the root) and every page free —
+    the mkfs state. *)
+
+val cpus : t -> int
+
+val add_free_inode : t -> int -> unit
+val add_free_page : t -> int -> unit
+
+val alloc_inode : t -> int option
+val free_inode : t -> int -> unit
+
+val alloc_page : ?cpu:int -> t -> int option
+(** Takes from the given CPU's pool, stealing from others when empty. *)
+
+val alloc_pages : ?cpu:int -> t -> int -> int list option
+(** [n] pages or nothing (no partial allocation). *)
+
+val free_page : ?cpu:int -> t -> int -> unit
+
+val free_inode_count : t -> int
+val free_page_count : t -> int

@@ -1,0 +1,235 @@
+(** SquirrelFS's implementation of the common VFS interface: path
+    resolution over the volatile indexes, POSIX error discipline, and
+    dispatch into {!Ops}. Plays the role of the Rust-for-Linux VFS glue in
+    the paper's implementation (§3.4). *)
+
+module Device = Pmem.Device
+module Geometry = Layout.Geometry
+module R = Layout.Records
+module Errno = Vfs.Errno
+module Fs = Vfs.Fs
+
+type t = Fsctx.t
+
+let flavor = "squirrelfs"
+
+(* Software overhead of the VFS entry path and of each component lookup in
+   the DRAM index, charged to the simulated clock. *)
+let vfs_base_ns = 350
+let component_ns = 80
+
+let ( let* ) = Result.bind
+
+let mkfs dev = Mount.mkfs dev
+
+let mount dev =
+  match Mount.mount dev with Ok ctx -> Ok ctx | Error e -> Error e
+
+let unmount ctx = Mount.unmount ctx
+let device (ctx : Fsctx.t) = ctx.Fsctx.dev
+
+let charge_op (ctx : Fsctx.t) parts =
+  Device.charge ctx.dev (vfs_base_ns + (component_ns * List.length parts))
+
+(* Walk directory components. Symlinks are not followed (SquirrelFS's VFS
+   layer would resolve them above the file system). *)
+let rec walk_dir (ctx : Fsctx.t) dir = function
+  | [] -> Ok dir
+  | c :: rest -> (
+      match Index.lookup ctx.index ~dir c with
+      | None -> Error Errno.ENOENT
+      | Some (ino, _) ->
+          if Index.is_dir ctx.index ino then walk_dir ctx ino rest
+          else Error Errno.ENOTDIR)
+
+let resolve_any (ctx : Fsctx.t) path =
+  let* parts = Vfs.Path.split path in
+  charge_op ctx parts;
+  match List.rev parts with
+  | [] -> Ok Geometry.root_ino
+  | last :: rev_parents -> (
+      let* dir = walk_dir ctx Geometry.root_ino (List.rev rev_parents) in
+      match Index.lookup ctx.index ~dir last with
+      | None -> Error Errno.ENOENT
+      | Some (ino, _) -> Ok ino)
+
+(* Parent directory + final name, with the parent fully resolved. *)
+let resolve_parent (ctx : Fsctx.t) path =
+  let* parents, name = Vfs.Path.parent_base path in
+  charge_op ctx (parents @ [ name ]);
+  let* dir = walk_dir ctx Geometry.root_ino parents in
+  Ok (dir, name)
+
+(* Inode numbers on the path from the root to the parent of [path]
+   (inclusive): used for the rename-into-own-subtree check. *)
+let parent_chain (ctx : Fsctx.t) path =
+  let* parents, _ = Vfs.Path.parent_base path in
+  let rec go dir acc = function
+    | [] -> Ok (List.rev (dir :: acc))
+    | c :: rest -> (
+        match Index.lookup ctx.index ~dir c with
+        | None -> Error Errno.ENOENT
+        | Some (ino, _) ->
+            if Index.is_dir ctx.index ino then go ino (dir :: acc) rest
+            else Error Errno.ENOTDIR)
+  in
+  go Geometry.root_ino [] parents
+
+let create (ctx : t) path =
+  let* dir, name = resolve_parent ctx path in
+  match Index.lookup ctx.index ~dir name with
+  | Some _ -> Error Errno.EEXIST
+  | None ->
+      let* _ino = Ops.create_file ctx ~dir ~name in
+      Ok ()
+
+let mkdir (ctx : t) path =
+  let* dir, name = resolve_parent ctx path in
+  match Index.lookup ctx.index ~dir name with
+  | Some _ -> Error Errno.EEXIST
+  | None ->
+      let* _ino = Ops.mkdir ctx ~dir ~name in
+      Ok ()
+
+let symlink (ctx : t) target path =
+  let* dir, name = resolve_parent ctx path in
+  match Index.lookup ctx.index ~dir name with
+  | Some _ -> Error Errno.EEXIST
+  | None ->
+      let* _ino = Ops.symlink ctx ~dir ~name ~target in
+      Ok ()
+
+let link (ctx : t) existing path =
+  let* target_ino = resolve_any ctx existing in
+  if Index.is_dir ctx.index target_ino then Error Errno.EPERM
+  else
+    let* dir, name = resolve_parent ctx path in
+    match Index.lookup ctx.index ~dir name with
+    | Some _ -> Error Errno.EEXIST
+    | None -> Ops.link ctx ~dir ~name ~target_ino
+
+let unlink (ctx : t) path =
+  let* dir, name = resolve_parent ctx path in
+  match Index.lookup ctx.index ~dir name with
+  | None -> Error Errno.ENOENT
+  | Some (ino, _) ->
+      if Index.is_dir ctx.index ino then Error Errno.EISDIR
+      else Ops.unlink ctx ~dir ~name
+
+let rmdir (ctx : t) path =
+  let* parts = Vfs.Path.split path in
+  if parts = [] then Error Errno.EINVAL
+  else
+    let* parent, name = resolve_parent ctx path in
+    match Index.lookup ctx.index ~dir:parent name with
+    | None -> Error Errno.ENOENT
+    | Some (ino, _) ->
+        if not (Index.is_dir ctx.index ino) then Error Errno.ENOTDIR
+        else Ops.rmdir ctx ~parent ~name
+
+let rename (ctx : t) src dst =
+  let* src_dir, src_name = resolve_parent ctx src in
+  match Index.lookup ctx.index ~dir:src_dir src_name with
+  | None -> Error Errno.ENOENT
+  | Some (sino, _) -> (
+      let* dst_dir, dst_name = resolve_parent ctx dst in
+      let src_is_dir = Index.is_dir ctx.index sino in
+      let* () =
+        if not src_is_dir then Ok ()
+        else
+          (* a directory cannot be moved into its own subtree *)
+          let* chain = parent_chain ctx dst in
+          if List.mem sino chain then Error Errno.EINVAL else Ok ()
+      in
+      match Index.lookup ctx.index ~dir:dst_dir dst_name with
+      | Some (dino, _) when dino = sino -> Ok () (* same file: no-op *)
+      | Some (dino, _) ->
+          let dst_is_dir = Index.is_dir ctx.index dino in
+          if src_is_dir && not dst_is_dir then Error Errno.ENOTDIR
+          else if (not src_is_dir) && dst_is_dir then Error Errno.EISDIR
+          else if dst_is_dir && Index.dentry_count ctx.index ~dir:dino > 0
+          then Error Errno.ENOTEMPTY
+          else if src_dir = dst_dir && src_name = dst_name then Ok ()
+          else Ops.rename ctx ~src_dir ~src_name ~dst_dir ~dst_name
+      | None ->
+          if src_dir = dst_dir && src_name = dst_name then Ok ()
+          else Ops.rename ctx ~src_dir ~src_name ~dst_dir ~dst_name)
+
+let kind_of (ctx : t) ino =
+  if Index.is_dir ctx.index ino then R.Kind.Dir
+  else
+    let base = Geometry.inode_off ctx.geo ~ino in
+    match
+      R.Kind.of_int (Device.read_u64 ctx.dev (base + R.Inode.f_kind))
+    with
+    | Some k -> k
+    | None -> R.Kind.File
+
+(* Data-plane calls address regular files only: a symlink cannot be
+   opened for I/O (the VFS would have followed it). *)
+let write (ctx : t) path ~off data =
+  let* ino = resolve_any ctx path in
+  match kind_of ctx ino with
+  | R.Kind.Dir -> Error Errno.EISDIR
+  | R.Kind.Symlink -> Error Errno.EINVAL
+  | R.Kind.File -> Ops.write ctx ~ino ~off data
+
+let read (ctx : t) path ~off ~len =
+  let* ino = resolve_any ctx path in
+  match kind_of ctx ino with
+  | R.Kind.Dir -> Error Errno.EISDIR
+  | R.Kind.Symlink -> Error Errno.EINVAL
+  | R.Kind.File -> Ops.read ctx ~ino ~off ~len
+
+let truncate (ctx : t) path len =
+  let* ino = resolve_any ctx path in
+  match kind_of ctx ino with
+  | R.Kind.Dir -> Error Errno.EISDIR
+  | R.Kind.Symlink -> Error Errno.EINVAL
+  | R.Kind.File -> Ops.truncate ctx ~ino len
+
+let readlink (ctx : t) path =
+  let* ino = resolve_any ctx path in
+  match kind_of ctx ino with
+  | R.Kind.Symlink -> Ops.readlink ctx ~ino
+  | R.Kind.File | R.Kind.Dir -> Error Errno.EINVAL
+
+let stat (ctx : t) path =
+  let* ino = resolve_any ctx path in
+  let base = Geometry.inode_off ctx.geo ~ino in
+  match R.Inode.decode ctx.dev ~base with
+  | None -> Error Errno.ENOENT
+  | Some r ->
+      Ok
+        {
+          Fs.ino = r.ino;
+          kind =
+            (match r.kind with
+            | R.Kind.File -> Fs.File
+            | R.Kind.Dir -> Fs.Dir
+            | R.Kind.Symlink -> Fs.Symlink);
+          links = r.links;
+          size = r.size;
+          atime = r.atime;
+          mtime = r.mtime;
+          ctime = r.ctime;
+          mode = r.mode;
+          uid = r.uid;
+          gid = r.gid;
+        }
+
+let block_offset (ctx : t) path i =
+  let* ino = resolve_any ctx path in
+  match Index.file_page ctx.index ~ino ~offset:i with
+  | Some page -> Ok (Geometry.page_off ctx.geo ~page)
+  | None -> Error Errno.EINVAL
+
+let readdir (ctx : t) path =
+  let* ino = resolve_any ctx path in
+  if not (Index.is_dir ctx.index ino) then Error Errno.ENOTDIR
+  else Ok (List.map fst (Index.dentries ctx.index ~dir:ino))
+
+(* All operations are synchronous: everything is already durable. *)
+let fsync (ctx : t) path =
+  let* _ino = resolve_any ctx path in
+  Ok ()

@@ -1,0 +1,21 @@
+(** Independent consistency checker.
+
+    Re-derives the file-system state from the raw device (not from the
+    mounted context's indexes) and reports every violated invariant. Used
+    by the crash-consistency harness after each simulated-crash recovery;
+    the invariants are those of §5.7's model checking: legal link counts,
+    no pointers to uninitialized objects, freed objects contain no
+    pointers, and no dangling rename pointers. *)
+
+val check : Fsctx.t -> string list
+(** Empty list = consistent. Each string describes one violation. *)
+
+val check_raw : Pmem.Device.t -> Layout.Geometry.t -> string list
+(** Soft-updates invariants on a {e pre-recovery} durable image: unlike
+    [check], mid-operation states are legal here (orphans, uncommitted
+    dentries, rename pointers in flight), but the SSU ordering guarantees
+    must still hold on {e every} crash state: a committed dentry points at
+    an initialized inode; a link count is never below the number of live
+    references; a file size is never beyond its owned pages; rename
+    pointers are acyclic with at most one per target. This is what the
+    mis-ordered (buggy) operation variants violate. *)

@@ -1,0 +1,37 @@
+type t = {
+  dev : Pmem.Device.t;
+  geo : Layout.Geometry.t;
+  reg : Typestate.Token.registry;
+  alloc : Alloc.t;
+  index : Index.t;
+  mutable next_range_id : int;
+  mutable share_fences : bool;
+}
+
+let make ~dev ~geo ~cpus =
+  {
+    dev;
+    geo;
+    reg = Typestate.Token.create_registry ();
+    alloc = Alloc.create ~cpus geo;
+    index = Index.create ();
+    next_range_id = 0;
+    share_fences = true;
+  }
+
+let fence t =
+  Pmem.Device.fence t.dev;
+  Typestate.Token.bump_epoch t.reg
+
+let now t = Pmem.Device.now_ns t.dev + 1_000_000_000
+
+(* Object-id namespaces for the token registry: tag in the low bits. *)
+let inode_oid ino = (ino * 4) + 0
+
+let dentry_oid (geo : Layout.Geometry.t) ~page ~slot =
+  ((((page * Layout.Geometry.dentries_per_page) + slot) * 4) + 1)
+  + (geo.inode_count * 4)
+
+let range_oid t =
+  t.next_range_id <- t.next_range_id + 1;
+  (t.next_range_id * 4) + 2

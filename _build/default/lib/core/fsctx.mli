@@ -1,0 +1,34 @@
+(** Mounted-filesystem context shared by all SquirrelFS modules: the PM
+    device, geometry, the token registry backing typestate handles, the
+    volatile allocators and indexes. *)
+
+type t = {
+  dev : Pmem.Device.t;
+  geo : Layout.Geometry.t;
+  reg : Typestate.Token.registry;
+  alloc : Alloc.t;
+  index : Index.t;
+  mutable next_range_id : int;
+      (** ids for page-range handles in the token registry *)
+  mutable share_fences : bool;
+      (** when false, [after_fence] transitions issue their own [sfence]
+          instead of reusing a shared one — the ablation of the paper's
+          fence-sharing optimization (§3.2, §4.1) *)
+}
+
+val make : dev:Pmem.Device.t -> geo:Layout.Geometry.t -> cpus:int -> t
+
+val fence : t -> unit
+(** Issue an [sfence] and advance the fence epoch used by shared-fence
+    witnesses. Every object-level [fence]/[after_fence] transition checks
+    against this epoch. *)
+
+val now : t -> int
+(** Timestamp source (the device's simulated clock, so runs are
+    deterministic). *)
+
+(* Token-id namespaces: inodes, page descriptors and dentries are distinct
+   objects in the same registry. *)
+val inode_oid : int -> int
+val dentry_oid : Layout.Geometry.t -> page:int -> slot:int -> int
+val range_oid : t -> int

@@ -1,0 +1,124 @@
+type dentry_loc = { page : int; slot : int }
+
+type dir_index = {
+  names : (string, int * dentry_loc) Hashtbl.t;
+  mutable pages : int list;
+}
+
+type t = {
+  dirs : (int, dir_index) Hashtbl.t;
+  files : (int, (int, int) Hashtbl.t) Hashtbl.t; (* ino -> offset -> page *)
+  used_slots : (int * int, unit) Hashtbl.t; (* (page, slot) *)
+}
+
+let create () =
+  {
+    dirs = Hashtbl.create 64;
+    files = Hashtbl.create 64;
+    used_slots = Hashtbl.create 256;
+  }
+
+let dir_exn t ino =
+  match Hashtbl.find_opt t.dirs ino with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Index: %d is not an indexed dir" ino)
+
+let add_dir t ino =
+  if not (Hashtbl.mem t.dirs ino) then
+    Hashtbl.replace t.dirs ino { names = Hashtbl.create 8; pages = [] }
+
+let add_dir_page t ~dir page =
+  let d = dir_exn t dir in
+  if not (List.mem page d.pages) then d.pages <- page :: d.pages
+
+let remove_dir_page t ~dir page =
+  let d = dir_exn t dir in
+  d.pages <- List.filter (fun p -> p <> page) d.pages
+
+let dir_pages t ~dir = (dir_exn t dir).pages
+
+let insert_dentry t ~dir name ~ino loc =
+  Hashtbl.replace (dir_exn t dir).names name (ino, loc);
+  Hashtbl.replace t.used_slots (loc.page, loc.slot) ()
+
+let remove_dentry t ~dir name =
+  let d = dir_exn t dir in
+  (match Hashtbl.find_opt d.names name with
+  | Some (_, loc) -> Hashtbl.remove t.used_slots (loc.page, loc.slot)
+  | None -> ());
+  Hashtbl.remove d.names name
+
+let lookup t ~dir name =
+  match Hashtbl.find_opt t.dirs dir with
+  | None -> None
+  | Some d -> Hashtbl.find_opt d.names name
+
+let dentries t ~dir =
+  Hashtbl.fold (fun name (ino, _) acc -> (name, ino) :: acc)
+    (dir_exn t dir).names []
+
+let dentry_count t ~dir = Hashtbl.length (dir_exn t dir).names
+let is_dir t ino = Hashtbl.mem t.dirs ino
+
+let mark_slot_used t loc = Hashtbl.replace t.used_slots (loc.page, loc.slot) ()
+let mark_slot_free t loc = Hashtbl.remove t.used_slots (loc.page, loc.slot)
+let slot_used t loc = Hashtbl.mem t.used_slots (loc.page, loc.slot)
+
+let free_slot t ~dir =
+  let d = dir_exn t dir in
+  let per_page = Layout.Geometry.dentries_per_page in
+  let rec scan_pages = function
+    | [] -> None
+    | page :: rest ->
+        let rec scan_slots slot =
+          if slot = per_page then None
+          else if not (Hashtbl.mem t.used_slots (page, slot)) then
+            Some { page; slot }
+          else scan_slots (slot + 1)
+        in
+        (match scan_slots 0 with Some loc -> Some loc | None -> scan_pages rest)
+  in
+  scan_pages d.pages
+
+let remove_dir t ino = Hashtbl.remove t.dirs ino
+
+let file_exn t ino =
+  match Hashtbl.find_opt t.files ino with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Index: %d is not an indexed file" ino)
+
+let add_file t ino =
+  if not (Hashtbl.mem t.files ino) then
+    Hashtbl.replace t.files ino (Hashtbl.create 8)
+
+let add_file_page t ~ino ~offset page =
+  Hashtbl.replace (file_exn t ino) offset page
+
+let remove_file_page t ~ino ~offset = Hashtbl.remove (file_exn t ino) offset
+
+let file_page t ~ino ~offset =
+  match Hashtbl.find_opt t.files ino with
+  | None -> None
+  | Some f -> Hashtbl.find_opt f offset
+
+let file_pages t ~ino =
+  match Hashtbl.find_opt t.files ino with
+  | None -> []
+  | Some f -> Hashtbl.fold (fun off page acc -> (off, page) :: acc) f []
+
+let remove_file t ino = Hashtbl.remove t.files ino
+let is_file t ino = Hashtbl.mem t.files ino
+
+let footprint_bytes t =
+  let file_bytes =
+    Hashtbl.fold (fun _ f acc -> acc + 8 + (24 * Hashtbl.length f)) t.files 0
+  in
+  let dir_bytes =
+    Hashtbl.fold
+      (fun _ d acc ->
+        acc + 8
+        + (24 * List.length d.pages)
+        + (250 * Hashtbl.length d.names))
+      t.dirs 0
+  in
+  file_bytes + dir_bytes

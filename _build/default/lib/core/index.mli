@@ -1,0 +1,59 @@
+(** Volatile indexes (paper §3.4).
+
+    SquirrelFS's persistent layout (backpointers, flat tables) is not
+    amenable to fast lookup, so DRAM indexes are built at mount: per
+    directory, a name -> dentry map; per file, an offset -> page map; per
+    directory, the list of directory pages it owns and which dentry slots
+    are in use. *)
+
+type dentry_loc = { page : int; slot : int }
+
+type t
+
+val create : unit -> t
+
+(** {1 Directories} *)
+
+val add_dir : t -> int -> unit
+(** Register a directory inode with an empty index. *)
+
+val add_dir_page : t -> dir:int -> int -> unit
+val remove_dir_page : t -> dir:int -> int -> unit
+val dir_pages : t -> dir:int -> int list
+
+val insert_dentry : t -> dir:int -> string -> ino:int -> dentry_loc -> unit
+val remove_dentry : t -> dir:int -> string -> unit
+val lookup : t -> dir:int -> string -> (int * dentry_loc) option
+val dentries : t -> dir:int -> (string * int) list
+val dentry_count : t -> dir:int -> int
+val is_dir : t -> int -> bool
+
+val free_slot : t -> dir:int -> dentry_loc option
+(** A dir page slot not currently holding an allocated dentry, if any of
+    the directory's pages has one. *)
+
+val mark_slot_used : t -> dentry_loc -> unit
+val mark_slot_free : t -> dentry_loc -> unit
+val slot_used : t -> dentry_loc -> bool
+
+val remove_dir : t -> int -> unit
+
+(** {1 Files} *)
+
+val add_file : t -> int -> unit
+val add_file_page : t -> ino:int -> offset:int -> int -> unit
+(** [offset] in page units within the file. *)
+
+val remove_file_page : t -> ino:int -> offset:int -> unit
+val file_page : t -> ino:int -> offset:int -> int option
+val file_pages : t -> ino:int -> (int * int) list
+(** (offset, page) pairs, unordered. *)
+
+val remove_file : t -> int -> unit
+val is_file : t -> int -> bool
+
+(** {1 Memory accounting (paper §5.6)} *)
+
+val footprint_bytes : t -> int
+(** Approximate DRAM footprint using the paper's accounting: 24 bytes per
+    file page entry, ~250 bytes per directory entry. *)

@@ -1,0 +1,39 @@
+(** mkfs, mount-time rebuild of volatile state, crash recovery, unmount
+    (paper §3.4 "Volatile structures" and §5.5).
+
+    SquirrelFS persists no allocation or index structures: a mount scans
+    the inode table, the page descriptor table and all directory pages to
+    rebuild the DRAM indexes and free lists. If the superblock says the
+    volume was not cleanly unmounted, the mount additionally runs
+    recovery: it completes or rolls back interrupted renames via rename
+    pointers, frees orphaned inodes, dentries and pages, and corrects
+    link counts. *)
+
+type recovery_stats = {
+  recovered : bool;
+  completed_renames : int;
+  rolled_back_renames : int;
+  orphan_inodes : int;  (** unreachable or garbage inodes zeroed *)
+  orphan_pages : int;  (** descriptors zeroed (unowned / beyond size) *)
+  orphan_dentries : int;  (** allocated-but-uncommitted dentries zeroed *)
+  fixed_link_counts : int;
+}
+
+val mkfs : Pmem.Device.t -> unit
+(** Zero the metadata tables, create the root directory, write the
+    superblock (marked clean). Durable on return. *)
+
+val mount : ?cpus:int -> Pmem.Device.t -> (Fsctx.t, Vfs.Errno.t) result
+(** Rebuild volatile state; run recovery if the clean flag is unset; mark
+    the volume mounted (dirty). [EINVAL] if the superblock is invalid. *)
+
+val mount_recover : ?cpus:int -> Pmem.Device.t -> (Fsctx.t, Vfs.Errno.t) result
+(** Like [mount] but always runs the recovery passes (used to measure
+    recovery-mount cost on a cleanly-unmounted volume, as in Table 2). *)
+
+val unmount : Fsctx.t -> unit
+(** Mark the volume cleanly unmounted. All operations are synchronous, so
+    there is nothing to write back. *)
+
+val last_stats : unit -> recovery_stats
+(** Statistics of the most recent mount performed by this module. *)

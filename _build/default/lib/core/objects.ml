@@ -1,0 +1,672 @@
+module Device = Pmem.Device
+module Token = Typestate.Token
+module Geometry = Layout.Geometry
+module R = Layout.Records
+
+(* Evidence values are unforgeable outside this compilation unit (their
+   constructors are not exported) and single-use (the [used] flag). *)
+type dentry_cleared_ev = {
+  target_ino : int; (* the inode the dentry pointed at *)
+  parent_dir : int; (* the directory the dentry lived in *)
+  mutable dc_used : bool;
+}
+
+type range_owned_ev = {
+  ro_ino : int;
+  ro_pages : (int * int) list;
+  mutable ro_used : bool;
+}
+
+type range_freed_ev = { rf_ino : int; mutable rf_used : bool }
+
+let consume_dc ev =
+  if ev.dc_used then failwith "Objects: dentry_cleared evidence reused";
+  ev.dc_used <- true
+
+let consume_ro ev =
+  if ev.ro_used then failwith "Objects: range_owned evidence reused";
+  ev.ro_used <- true
+
+let consume_rf ev =
+  if ev.rf_used then failwith "Objects: range_freed evidence reused";
+  ev.rf_used <- true
+
+(* NOTE on typing: transition functions rebuild the handle record from
+   scratch ([remake]) rather than using [{ h with ... }], because a record
+   update would unify the result's phantom parameters with the input's.
+   The module signature (objects.mli) then pins each transition to its
+   legal source and target states. *)
+
+module Prange = struct
+  type free = |
+  type dataful = |
+  type owned = |
+  type cleared = |
+  type freed = |
+
+  type ('p, 's) t = {
+    rid : int;
+    r_ino : int;
+    kind : R.Desc.page_kind;
+    r_pages : (int * int) list; (* (page, file-page-offset) *)
+    tok : Token.t;
+  }
+
+  let pages h = h.r_pages
+  let ino h = h.r_ino
+
+  let remake h tok =
+    { rid = h.rid; r_ino = h.r_ino; kind = h.kind; r_pages = h.r_pages; tok }
+
+  (* CPU cost of the volatile allocators (free-list pop + bookkeeping) *)
+  let alloc_ns = 150
+
+  let alloc ?(cpu = 0) (ctx : Fsctx.t) ~ino ~kind ~offsets =
+    let n = List.length offsets in
+    Device.charge ctx.dev alloc_ns;
+    match Alloc.alloc_pages ~cpu ctx.alloc n with
+    | None -> Error Vfs.Errno.ENOSPC
+    | Some ps ->
+        let rid = Fsctx.range_oid ctx in
+        Ok
+          {
+            rid;
+            r_ino = ino;
+            kind;
+            r_pages = List.combine ps offsets;
+            tok = Token.mint ctx.reg ~id:rid;
+          }
+
+  let fill (ctx : Fsctx.t) h ~contents =
+    let tok = Token.use ctx.reg h.tok in
+    List.iteri
+      (fun i (page, file_off) ->
+        let body = contents i in
+        let len = String.length body in
+        if len > Geometry.page_size then
+          invalid_arg "Prange.fill: page content too large";
+        let off = Geometry.page_off ctx.geo ~page in
+        if len > 0 then Device.store_coarse ctx.dev ~off body;
+        if len < Geometry.page_size then
+          Device.zero ctx.dev ~off:(off + len) ~len:(Geometry.page_size - len);
+        let d = Geometry.desc_off ctx.geo ~page in
+        Device.store_u64 ctx.dev (d + R.Desc.f_kind) (R.Desc.kind_to_int h.kind);
+        Device.store_u64 ctx.dev (d + R.Desc.f_offset) file_off)
+      h.r_pages;
+    remake h tok
+
+  let set_backptrs (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    List.iter
+      (fun (page, _) ->
+        let d = Geometry.desc_off ctx.geo ~page in
+        Device.store_u64 ctx.dev (d + R.Desc.f_ino) h.r_ino)
+      h.r_pages;
+    remake h tok
+
+  let get_owned ?(kind = R.Desc.Data) (ctx : Fsctx.t) ~ino ~pages =
+    List.iter
+      (fun (page, _) ->
+        let d = Geometry.desc_off ctx.geo ~page in
+        let owner = Device.read_u64 ctx.dev (d + R.Desc.f_ino) in
+        if owner <> ino then
+          failwith
+            (Printf.sprintf "Prange.get_owned: page %d owned by %d, not %d"
+               page owner ino))
+      pages;
+    let rid = Fsctx.range_oid ctx in
+    {
+      rid;
+      r_ino = ino;
+      kind;
+      r_pages = pages;
+      tok = Token.mint ctx.reg ~id:rid;
+    }
+
+  let clear_backptrs (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    List.iter
+      (fun (page, _) ->
+        let d = Geometry.desc_off ctx.geo ~page in
+        Device.store_u64 ctx.dev (d + R.Desc.f_ino) 0)
+      h.r_pages;
+    remake h tok
+
+  let dealloc (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    List.iter
+      (fun (page, _) ->
+        let d = Geometry.desc_off ctx.geo ~page in
+        Device.zero ctx.dev ~off:d ~len:Geometry.desc_size)
+      h.r_pages;
+    remake h tok
+
+  let flush (ctx : Fsctx.t) h =
+    List.iter
+      (fun (page, _) ->
+        Device.flush ctx.dev
+          ~off:(Geometry.desc_off ctx.geo ~page)
+          ~len:Geometry.desc_size)
+      h.r_pages;
+    remake h (Token.flushed_at ctx.reg h.tok)
+
+  let fence (ctx : Fsctx.t) h =
+    Fsctx.fence ctx;
+    remake h (Token.assert_fenced ctx.reg h.tok)
+
+  let after_fence (ctx : Fsctx.t) h =
+    if not ctx.share_fences then Fsctx.fence ctx;
+    remake h (Token.assert_fenced ctx.reg h.tok)
+
+  let owned_evidence (ctx : Fsctx.t) h =
+    let h' = remake h (Token.use ctx.reg h.tok) in
+    (h', { ro_ino = h.r_ino; ro_pages = h.r_pages; ro_used = false })
+
+  let freed_evidence (ctx : Fsctx.t) h =
+    Token.release ctx.reg h.tok;
+    { rf_ino = h.r_ino; rf_used = false }
+
+  let no_pages_evidence (ctx : Fsctx.t) ~ino =
+    (match Index.file_pages ctx.index ~ino with
+    | [] -> ()
+    | _ :: _ -> failwith "Prange.no_pages_evidence: inode still owns pages");
+    { rf_ino = ino; rf_used = false }
+end
+
+module Inode = struct
+  type free = |
+  type init = |
+  type complete = |
+  type inc_link = |
+  type dec_link = |
+
+  type ('p, 's) t = { i_ino : int; tok : Token.t }
+
+  let ino h = h.i_ino
+  let remake h tok = { i_ino = h.i_ino; tok }
+
+  let base ctx h = Geometry.inode_off ctx.Fsctx.geo ~ino:h.i_ino
+  let field ctx h f = base ctx h + f
+
+  let alloc (ctx : Fsctx.t) =
+    Device.charge ctx.dev 150;
+    match Alloc.alloc_inode ctx.alloc with
+    | None -> Error Vfs.Errno.ENOSPC
+    | Some ino ->
+        Ok { i_ino = ino; tok = Token.mint ctx.reg ~id:(Fsctx.inode_oid ino) }
+
+  let get (ctx : Fsctx.t) ino =
+    let b = Geometry.inode_off ctx.geo ~ino in
+    if Device.read_u64 ctx.dev (b + R.Inode.f_ino) = 0 then
+      failwith (Printf.sprintf "Inode.get: inode %d is free" ino);
+    { i_ino = ino; tok = Token.mint ctx.reg ~id:(Fsctx.inode_oid ino) }
+
+  let init_common (ctx : Fsctx.t) h ~kind ~links ~mode ~uid ~gid =
+    let tok = Token.use ctx.reg h.tok in
+    let t = Fsctx.now ctx in
+    let put f v = Device.store_u64 ctx.dev (field ctx h f) v in
+    put R.Inode.f_kind (R.Kind.to_int kind);
+    put R.Inode.f_links links;
+    put R.Inode.f_size 0;
+    put R.Inode.f_atime t;
+    put R.Inode.f_mtime t;
+    put R.Inode.f_ctime t;
+    put R.Inode.f_mode mode;
+    put R.Inode.f_uid uid;
+    put R.Inode.f_gid gid;
+    put R.Inode.f_ino h.i_ino;
+    remake h tok
+
+  let init_file ctx h ~mode ~uid ~gid =
+    init_common ctx h ~kind:R.Kind.File ~links:1 ~mode ~uid ~gid
+
+  let init_dir ctx h ~mode ~uid ~gid =
+    init_common ctx h ~kind:R.Kind.Dir ~links:2 ~mode ~uid ~gid
+
+  let init_symlink ctx h ~mode ~uid ~gid ~target_len =
+    let h = init_common ctx h ~kind:R.Kind.Symlink ~links:1 ~mode ~uid ~gid in
+    Device.store_u64 ctx.Fsctx.dev (field ctx h R.Inode.f_size) target_len;
+    h
+
+  let links (ctx : Fsctx.t) h =
+    Token.check ctx.reg h.tok;
+    Device.read_u64 ctx.dev (field ctx h R.Inode.f_links)
+
+  let size (ctx : Fsctx.t) h =
+    Token.check ctx.reg h.tok;
+    Device.read_u64 ctx.dev (field ctx h R.Inode.f_size)
+
+  let inc_link (ctx : Fsctx.t) h =
+    let cur = Device.read_u64 ctx.dev (field ctx h R.Inode.f_links) in
+    let tok = Token.use ctx.reg h.tok in
+    Device.store_u64 ctx.dev (field ctx h R.Inode.f_links) (cur + 1);
+    remake h tok
+
+  let dec_link (ctx : Fsctx.t) h ~cleared =
+    if cleared.target_ino <> h.i_ino then
+      failwith
+        (Printf.sprintf
+           "Inode.dec_link: evidence targets inode %d, handle is %d"
+           cleared.target_ino h.i_ino);
+    consume_dc cleared;
+    let cur = Device.read_u64 ctx.dev (field ctx h R.Inode.f_links) in
+    if cur = 0 then failwith "Inode.dec_link: link count already zero";
+    let tok = Token.use ctx.reg h.tok in
+    Device.store_u64 ctx.dev (field ctx h R.Inode.f_links) (cur - 1);
+    remake h tok
+
+  let dec_link_parent (ctx : Fsctx.t) h ~cleared =
+    if cleared.parent_dir <> h.i_ino then
+      failwith
+        (Printf.sprintf
+           "Inode.dec_link_parent: evidence is for parent %d, handle is %d"
+           cleared.parent_dir h.i_ino);
+    consume_dc cleared;
+    let cur = Device.read_u64 ctx.dev (field ctx h R.Inode.f_links) in
+    if cur = 0 then failwith "Inode.dec_link_parent: link count already zero";
+    let tok = Token.use ctx.reg h.tok in
+    Device.store_u64 ctx.dev (field ctx h R.Inode.f_links) (cur - 1);
+    remake h tok
+
+  let settle_inc (ctx : Fsctx.t) h = remake h (Token.use ctx.reg h.tok)
+  let settle_dec (ctx : Fsctx.t) h = remake h (Token.use ctx.reg h.tok)
+
+  let page_units size = (size + Geometry.page_size - 1) / Geometry.page_size
+
+  let set_size (ctx : Fsctx.t) h ~size ?mtime ~owned () =
+    (* Every page the new size covers must be durably owned: either already
+       indexed or covered by evidence minted after a fence (paper §4.2's
+       write-path bug is exactly a violation of this). *)
+    let covered = Hashtbl.create 16 in
+    List.iter
+      (fun (off, _page) -> Hashtbl.replace covered off ())
+      (Index.file_pages ctx.index ~ino:h.i_ino);
+    (match owned with
+    | None -> ()
+    | Some ev ->
+        if ev.ro_ino <> h.i_ino then
+          failwith "Inode.set_size: owned evidence for the wrong inode";
+        consume_ro ev;
+        List.iter
+          (fun (_page, off) -> Hashtbl.replace covered off ())
+          ev.ro_pages);
+    for off = 0 to page_units size - 1 do
+      if not (Hashtbl.mem covered off) then
+        failwith
+          (Printf.sprintf
+             "Inode.set_size: size %d covers unowned page offset %d" size off)
+    done;
+    let tok = Token.use ctx.reg h.tok in
+    Device.store_u64 ctx.dev (field ctx h R.Inode.f_size) size;
+    (match mtime with
+    | None -> ()
+    | Some m -> Device.store_u64 ctx.dev (field ctx h R.Inode.f_mtime) m);
+    remake h tok
+
+  let set_times (ctx : Fsctx.t) h ?atime ?mtime ?ctime () =
+    let tok = Token.use ctx.reg h.tok in
+    let put f = function
+      | None -> ()
+      | Some v -> Device.store_u64 ctx.dev (field ctx h f) v
+    in
+    put R.Inode.f_atime atime;
+    put R.Inode.f_mtime mtime;
+    put R.Inode.f_ctime ctime;
+    remake h tok
+
+  let zero_record ctx h =
+    Device.zero ctx.Fsctx.dev ~off:(base ctx h) ~len:Geometry.inode_size
+
+  let dealloc_file (ctx : Fsctx.t) h ~pages =
+    if pages.rf_ino <> h.i_ino then
+      failwith "Inode.dealloc_file: freed evidence for the wrong inode";
+    consume_rf pages;
+    let cur = Device.read_u64 ctx.dev (field ctx h R.Inode.f_links) in
+    if cur <> 0 then
+      failwith
+        (Printf.sprintf "Inode.dealloc_file: inode %d still has %d links"
+           h.i_ino cur);
+    let tok = Token.use ctx.reg h.tok in
+    zero_record ctx h;
+    remake h tok
+
+  let dealloc_dir (ctx : Fsctx.t) h ~cleared ~pages =
+    if cleared.target_ino <> h.i_ino then
+      failwith "Inode.dealloc_dir: cleared evidence for the wrong inode";
+    consume_dc cleared;
+    if pages.rf_ino <> h.i_ino then
+      failwith "Inode.dealloc_dir: freed evidence for the wrong inode";
+    consume_rf pages;
+    if
+      Index.is_dir ctx.index h.i_ino
+      && Index.dentry_count ctx.index ~dir:h.i_ino > 0
+    then failwith "Inode.dealloc_dir: directory not empty";
+    let tok = Token.use ctx.reg h.tok in
+    zero_record ctx h;
+    remake h tok
+
+  let flush (ctx : Fsctx.t) h =
+    Device.flush ctx.dev ~off:(base ctx h) ~len:Geometry.inode_size;
+    remake h (Token.flushed_at ctx.reg h.tok)
+
+  let fence (ctx : Fsctx.t) h =
+    Fsctx.fence ctx;
+    remake h (Token.assert_fenced ctx.reg h.tok)
+
+  let after_fence (ctx : Fsctx.t) h =
+    if not ctx.share_fences then Fsctx.fence ctx;
+    remake h (Token.assert_fenced ctx.reg h.tok)
+end
+
+module Dentry = struct
+  type free = |
+  type named = |
+  type committed = |
+  type rptr_set = |
+  type rptr_over = |
+  type renamed = |
+  type doomed = |
+  type cleared = |
+
+  type ('p, 's) t = {
+    d_dir : int;
+    d_loc : Index.dentry_loc;
+    tok : Token.t;
+    info : int; (* stashed inode number for rename/clear bookkeeping *)
+  }
+
+  let loc h = h.d_loc
+  let dir h = h.d_dir
+
+  let remake ?info h tok =
+    {
+      d_dir = h.d_dir;
+      d_loc = h.d_loc;
+      tok;
+      info = (match info with Some i -> i | None -> h.info);
+    }
+
+  let byte_off ctx (l : Index.dentry_loc) =
+    Geometry.dentry_off ctx.Fsctx.geo ~page:l.page ~slot:l.slot
+
+  let mk (ctx : Fsctx.t) ~dir ~(loc : Index.dentry_loc) ~info =
+    {
+      d_dir = dir;
+      d_loc = loc;
+      tok =
+        Token.mint ctx.reg
+          ~id:(Fsctx.dentry_oid ctx.geo ~page:loc.page ~slot:loc.slot);
+      info;
+    }
+
+  (* Allocate and commit a fresh directory page: a self-contained
+     sub-operation (the page is invisible until its backpointer commit, so
+     its fences do not interact with the caller's ordering). *)
+  let grow_dir (ctx : Fsctx.t) ~dir =
+    let seq = List.length (Index.dir_pages ctx.index ~dir) in
+    match Prange.alloc ctx ~ino:dir ~kind:R.Desc.Dirpage ~offsets:[ seq ] with
+    | Error e -> Error e
+    | Ok r ->
+        let r = Prange.fill ctx r ~contents:(fun _ -> "") in
+        let r = Prange.fence ctx (Prange.flush ctx r) in
+        let r = Prange.set_backptrs ctx r in
+        let r = Prange.fence ctx (Prange.flush ctx r) in
+        (match Prange.pages r with
+        | [ (page, _) ] ->
+            Index.add_dir_page ctx.index ~dir page;
+            Ok page
+        | _ -> assert false)
+
+  let alloc (ctx : Fsctx.t) ~dir =
+    Device.charge ctx.dev 100;
+    match Index.free_slot ctx.index ~dir with
+    | Some loc ->
+        Index.mark_slot_used ctx.index loc;
+        Ok (mk ctx ~dir ~loc ~info:0)
+    | None -> (
+        match grow_dir ctx ~dir with
+        | Error e -> Error e
+        | Ok page ->
+            let loc = { Index.page; slot = 0 } in
+            Index.mark_slot_used ctx.index loc;
+            Ok (mk ctx ~dir ~loc ~info:0))
+
+  let set_name (ctx : Fsctx.t) h name =
+    if String.length name > Geometry.name_max || name = "" then
+      invalid_arg "Dentry.set_name: invalid name";
+    let tok = Token.use ctx.reg h.tok in
+    let padded =
+      name ^ String.make (Geometry.name_max - String.length name) '\000'
+    in
+    Device.store ctx.dev ~off:(byte_off ctx h.d_loc + R.Dentry.f_name) padded;
+    remake h tok
+
+  let get (ctx : Fsctx.t) ~dir ~name =
+    match Index.lookup ctx.index ~dir name with
+    | None -> Error Vfs.Errno.ENOENT
+    | Some (ino, loc) -> Ok (mk ctx ~dir ~loc ~info:ino)
+
+  let target_ino (ctx : Fsctx.t) h =
+    Token.check ctx.reg h.tok;
+    Device.read_u64 ctx.dev (byte_off ctx h.d_loc + R.Dentry.f_ino)
+
+  let store_ino ctx h v =
+    Device.store_u64 ctx.Fsctx.dev (byte_off ctx h.d_loc + R.Dentry.f_ino) v
+
+  let store_rptr ctx h v =
+    Device.store_u64 ctx.Fsctx.dev
+      (byte_off ctx h.d_loc + R.Dentry.f_rename_ptr)
+      v
+
+  let commit (ctx : Fsctx.t) h ~(inode : (_, _) Inode.t) =
+    let tok = Token.use ctx.reg h.tok in
+    let itok = Token.use ctx.reg inode.Inode.tok in
+    store_ino ctx h (Inode.ino inode);
+    (remake ~info:(Inode.ino inode) h tok, Inode.remake inode itok)
+
+  let commit_dir (ctx : Fsctx.t) h ~(inode : (_, _) Inode.t)
+      ~(parent : (_, _) Inode.t) =
+    let tok = Token.use ctx.reg h.tok in
+    let itok = Token.use ctx.reg inode.Inode.tok in
+    let ptok = Token.use ctx.reg parent.Inode.tok in
+    store_ino ctx h (Inode.ino inode);
+    ( remake ~info:(Inode.ino inode) h tok,
+      Inode.remake inode itok,
+      Inode.remake parent ptok )
+
+  let commit_link (ctx : Fsctx.t) h ~(inode : (_, _) Inode.t) =
+    let tok = Token.use ctx.reg h.tok in
+    let itok = Token.use ctx.reg inode.Inode.tok in
+    store_ino ctx h (Inode.ino inode);
+    (remake ~info:(Inode.ino inode) h tok, Inode.remake inode itok)
+
+  let clear_ino (ctx : Fsctx.t) h =
+    let target =
+      Device.read_u64 ctx.dev (byte_off ctx h.d_loc + R.Dentry.f_ino)
+    in
+    let tok = Token.use ctx.reg h.tok in
+    store_ino ctx h 0;
+    remake ~info:target h tok
+
+  let cleared_evidence (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    (remake h tok, { target_ino = h.info; parent_dir = h.d_dir; dc_used = false })
+
+  let dealloc (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    Device.zero ctx.dev ~off:(byte_off ctx h.d_loc) ~len:Geometry.dentry_size;
+    Index.mark_slot_free ctx.index h.d_loc;
+    remake h tok
+
+  let set_rptr (ctx : Fsctx.t) h ~src =
+    let tok = Token.use ctx.reg h.tok in
+    let stok = Token.use ctx.reg src.tok in
+    store_rptr ctx h (byte_off ctx src.d_loc);
+    (remake h tok, remake src stok)
+
+  let set_rptr_over (ctx : Fsctx.t) h ~src =
+    let tok = Token.use ctx.reg h.tok in
+    let stok = Token.use ctx.reg src.tok in
+    store_rptr ctx h (byte_off ctx src.d_loc);
+    (remake h tok, remake src stok)
+
+  let do_commit_rename (ctx : Fsctx.t) h ~src ~old_target =
+    let tok = Token.use ctx.reg h.tok in
+    let stok = Token.use ctx.reg src.tok in
+    let moved =
+      Device.read_u64 ctx.dev (byte_off ctx src.d_loc + R.Dentry.f_ino)
+    in
+    store_ino ctx h moved;
+    (remake ~info:old_target h tok, remake ~info:moved src stok)
+
+  let commit_rename (ctx : Fsctx.t) h ~src =
+    do_commit_rename ctx h ~src ~old_target:0
+
+  let commit_rename_dir (ctx : Fsctx.t) h ~src
+      ~(newparent : (_, _) Inode.t) =
+    let ptok = Token.use ctx.reg newparent.Inode.tok in
+    let d, s = do_commit_rename ctx h ~src ~old_target:0 in
+    (d, s, Inode.remake newparent ptok)
+
+  let commit_rename_over (ctx : Fsctx.t) h ~src =
+    let old_target =
+      Device.read_u64 ctx.dev (byte_off ctx h.d_loc + R.Dentry.f_ino)
+    in
+    do_commit_rename ctx h ~src ~old_target
+
+  let replaced_evidence (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    let ev =
+      if h.info = 0 then None
+      else Some { target_ino = h.info; parent_dir = h.d_dir; dc_used = false }
+    in
+    (remake h tok, ev)
+
+  let clear_ino_doomed (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    store_ino ctx h 0;
+    remake h tok
+
+  let clear_rptr (ctx : Fsctx.t) ~dst ~src =
+    let tok = Token.use ctx.reg dst.tok in
+    let stok = Token.use ctx.reg src.tok in
+    store_rptr ctx dst 0;
+    (remake dst tok, remake src stok)
+
+  let flush (ctx : Fsctx.t) h =
+    let off = byte_off ctx h.d_loc in
+    Device.flush ctx.dev ~off ~len:Geometry.dentry_size;
+    remake h (Token.flushed_at ctx.reg h.tok)
+
+  let fence (ctx : Fsctx.t) h =
+    Fsctx.fence ctx;
+    remake h (Token.assert_fenced ctx.reg h.tok)
+
+  let after_fence (ctx : Fsctx.t) h =
+    if not ctx.share_fences then Fsctx.fence ctx;
+    remake h (Token.assert_fenced ctx.reg h.tok)
+end
+
+module Preplace = struct
+  type staged = |
+  type committed = |
+  type old_cleared = |
+  type old_freed = |
+  type settled = |
+
+  type ('p, 's) t = {
+    rid : int;
+    p_ino : int;
+    offset : int;
+    newp : int;
+    oldp : int;
+    tok : Token.t;
+  }
+
+  let new_page h = h.newp
+  let old_page h = h.oldp
+
+  let remake h tok =
+    {
+      rid = h.rid;
+      p_ino = h.p_ino;
+      offset = h.offset;
+      newp = h.newp;
+      oldp = h.oldp;
+      tok;
+    }
+
+  let stage ?(cpu = 0) (ctx : Fsctx.t) ~ino ~offset ~old_page ~content =
+    if String.length content > Geometry.page_size then
+      invalid_arg "Preplace.stage: content larger than a page";
+    Device.charge ctx.dev 150;
+    match Alloc.alloc_page ~cpu ctx.alloc with
+    | None -> Error Vfs.Errno.ENOSPC
+    | Some newp ->
+        let rid = Fsctx.range_oid ctx in
+        let poff = Geometry.page_off ctx.geo ~page:newp in
+        if content <> "" then Device.store_coarse ctx.dev ~off:poff content;
+        if String.length content < Geometry.page_size then
+          Device.zero ctx.dev
+            ~off:(poff + String.length content)
+            ~len:(Geometry.page_size - String.length content);
+        let d = Geometry.desc_off ctx.geo ~page:newp in
+        Device.store_u64 ctx.dev (d + R.Desc.f_kind)
+          (R.Desc.kind_to_int R.Desc.Data);
+        Device.store_u64 ctx.dev (d + R.Desc.f_offset) offset;
+        Device.store_u64 ctx.dev (d + R.Desc.f_replaces) (old_page + 1);
+        Ok
+          {
+            rid;
+            p_ino = ino;
+            offset;
+            newp;
+            oldp = old_page;
+            tok = Token.mint ctx.reg ~id:rid;
+          }
+
+  let commit (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    Device.store_u64 ctx.dev
+      (Geometry.desc_off ctx.geo ~page:h.newp + R.Desc.f_ino)
+      h.p_ino;
+    remake h tok
+
+  let clear_old (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    Device.store_u64 ctx.dev
+      (Geometry.desc_off ctx.geo ~page:h.oldp + R.Desc.f_ino)
+      0;
+    remake h tok
+
+  let free_old (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    Device.zero ctx.dev
+      ~off:(Geometry.desc_off ctx.geo ~page:h.oldp)
+      ~len:Geometry.desc_size;
+    remake h tok
+
+  let settle (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    Device.store_u64 ctx.dev
+      (Geometry.desc_off ctx.geo ~page:h.newp + R.Desc.f_replaces)
+      0;
+    remake h tok
+
+  let flush (ctx : Fsctx.t) h =
+    Device.flush ctx.dev
+      ~off:(Geometry.desc_off ctx.geo ~page:h.newp)
+      ~len:Geometry.desc_size;
+    Device.flush ctx.dev
+      ~off:(Geometry.desc_off ctx.geo ~page:h.oldp)
+      ~len:Geometry.desc_size;
+    remake h (Token.flushed_at ctx.reg h.tok)
+
+  let fence (ctx : Fsctx.t) h =
+    Fsctx.fence ctx;
+    remake h (Token.assert_fenced ctx.reg h.tok)
+
+  let after_fence (ctx : Fsctx.t) h =
+    if not ctx.share_fences then Fsctx.fence ctx;
+    remake h (Token.assert_fenced ctx.reg h.tok)
+end

@@ -1,0 +1,666 @@
+module Device = Pmem.Device
+module Geometry = Layout.Geometry
+module R = Layout.Records
+module Inode = Objects.Inode
+module Dentry = Objects.Dentry
+module Prange = Objects.Prange
+
+type 'a r = ('a, Vfs.Errno.t) result
+
+let ( let* ) = Result.bind
+let ps = Geometry.page_size
+let default_mode_file = 0o644
+let default_mode_dir = 0o755
+
+let check_name name =
+  if String.length name > Geometry.name_max then Error Vfs.Errno.ENAMETOOLONG
+  else if not (Vfs.Path.valid_name name) then Error Vfs.Errno.EINVAL
+  else Ok ()
+
+(* {1 Creation} *)
+
+let create_file (ctx : Fsctx.t) ~dir ~name =
+  let* () = check_name name in
+  let* ih = Inode.alloc ctx in
+  let ino = Inode.ino ih in
+  match Dentry.alloc ctx ~dir with
+  | Error e ->
+      Alloc.free_inode ctx.alloc ino;
+      Error e
+  | Ok dh ->
+      (* Group 1: inode init, dentry name, parent times — one fence. *)
+      let ih = Inode.init_file ctx ih ~mode:default_mode_file ~uid:0 ~gid:0 in
+      let dh = Dentry.set_name ctx dh name in
+      let now = Fsctx.now ctx in
+      let ph = Inode.get ctx dir in
+      let ph = Inode.set_times ctx ph ~mtime:now ~ctime:now () in
+      let ih = Inode.flush ctx ih in
+      let ph = Inode.flush ctx ph in
+      let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+      let ih = Inode.after_fence ctx ih in
+      let _ph : (_, _) Inode.t = Inode.after_fence ctx ph in
+      (* Group 2: the commit. *)
+      let dh, _ih = Dentry.commit ctx dh ~inode:ih in
+      let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+      Index.insert_dentry ctx.index ~dir name ~ino (Dentry.loc dh);
+      Index.add_file ctx.index ino;
+      Ok ino
+
+let mkdir (ctx : Fsctx.t) ~dir ~name =
+  let* () = check_name name in
+  let* ih = Inode.alloc ctx in
+  let ino = Inode.ino ih in
+  match Dentry.alloc ctx ~dir with
+  | Error e ->
+      Alloc.free_inode ctx.alloc ino;
+      Error e
+  | Ok dh ->
+      (* Group 1 (fig. 3): inode init, dentry name, parent link inc. *)
+      let ih = Inode.init_dir ctx ih ~mode:default_mode_dir ~uid:0 ~gid:0 in
+      let dh = Dentry.set_name ctx dh name in
+      let ph = Inode.get ctx dir in
+      let ph = Inode.inc_link ctx ph in
+      let ih = Inode.flush ctx ih in
+      let ph = Inode.flush ctx ph in
+      let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+      let ih = Inode.after_fence ctx ih in
+      let ph = Inode.after_fence ctx ph in
+      (* Group 2: commit, which requires the parent inc to be durable. *)
+      let dh, _ih, _ph = Dentry.commit_dir ctx dh ~inode:ih ~parent:ph in
+      let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+      Index.insert_dentry ctx.index ~dir name ~ino (Dentry.loc dh);
+      Index.add_dir ctx.index ino;
+      Ok ino
+
+let symlink (ctx : Fsctx.t) ~dir ~name ~target =
+  let* () = check_name name in
+  if String.length target > ps then Error Vfs.Errno.ENAMETOOLONG
+  else
+    let* ih = Inode.alloc ctx in
+    let ino = Inode.ino ih in
+    let cleanup e =
+      Alloc.free_inode ctx.alloc ino;
+      Error e
+    in
+    match Prange.alloc ctx ~ino ~kind:R.Desc.Data ~offsets:[ 0 ] with
+    | Error e -> cleanup e
+    | Ok rng -> (
+        match Dentry.alloc ctx ~dir with
+        | Error e ->
+            List.iter
+              (fun (p, _) -> Alloc.free_page ctx.alloc p)
+              (Prange.pages rng);
+            cleanup e
+        | Ok dh ->
+            (* Group 1: inode init (with size), target page fill, name. *)
+            let ih =
+              Inode.init_symlink ctx ih ~mode:0o777 ~uid:0 ~gid:0
+                ~target_len:(String.length target)
+            in
+            let rng = Prange.fill ctx rng ~contents:(fun _ -> target) in
+            let dh = Dentry.set_name ctx dh name in
+            let ih = Inode.flush ctx ih in
+            let rng = Prange.flush ctx rng in
+            let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+            let ih = Inode.after_fence ctx ih in
+            let rng = Prange.after_fence ctx rng in
+            (* Group 2: page ownership. *)
+            let rng = Prange.set_backptrs ctx rng in
+            let rng = Prange.fence ctx (Prange.flush ctx rng) in
+            (* Group 3: commit. *)
+            let dh, _ih = Dentry.commit ctx dh ~inode:ih in
+            let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+            Index.insert_dentry ctx.index ~dir name ~ino (Dentry.loc dh);
+            Index.add_file ctx.index ino;
+            List.iter
+              (fun (p, off) -> Index.add_file_page ctx.index ~ino ~offset:off p)
+              (Prange.pages rng);
+            Ok ino)
+
+let link (ctx : Fsctx.t) ~dir ~name ~target_ino =
+  let* () = check_name name in
+  let* dh = Dentry.alloc ctx ~dir in
+  let dh = Dentry.set_name ctx dh name in
+  let ih = Inode.get ctx target_ino in
+  let ih = Inode.inc_link ctx ih in
+  let ih = Inode.flush ctx ih in
+  let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+  let ih = Inode.after_fence ctx ih in
+  let dh, _ih = Dentry.commit_link ctx dh ~inode:ih in
+  let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+  Index.insert_dentry ctx.index ~dir name ~ino:target_ino (Dentry.loc dh);
+  Ok ()
+
+(* {1 Deletion} *)
+
+(* Free every data page of [ino] and zero its inode. [ih] must carry zero
+   links. Deallocation order (soft-updates rule 2): backpointers cleared
+   and fenced, descriptors zeroed and fenced, then the inode zeroed. *)
+let dealloc_file_chain (ctx : Fsctx.t) ih =
+  let ino = Inode.ino ih in
+  let pages = Index.file_pages ctx.index ~ino in
+  let freed_ev, freed_pages =
+    match pages with
+    | [] -> (Prange.no_pages_evidence ctx ~ino, [])
+    | _ :: _ ->
+        let pl = List.map (fun (off, page) -> (page, off)) pages in
+        let rng = Prange.get_owned ctx ~ino ~pages:pl in
+        let rng = Prange.clear_backptrs ctx rng in
+        let rng = Prange.fence ctx (Prange.flush ctx rng) in
+        let rng = Prange.dealloc ctx rng in
+        let rng = Prange.fence ctx (Prange.flush ctx rng) in
+        List.iter
+          (fun (off, _) -> Index.remove_file_page ctx.index ~ino ~offset:off)
+          pages;
+        (Prange.freed_evidence ctx rng, List.map fst pl)
+  in
+  let ih = Inode.dealloc_file ctx ih ~pages:freed_ev in
+  let _ih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx ih) in
+  Index.remove_file ctx.index ino;
+  Alloc.free_inode ctx.alloc ino;
+  List.iter (fun p -> Alloc.free_page ctx.alloc p) freed_pages
+
+let unlink (ctx : Fsctx.t) ~dir ~name =
+  let* dh = Dentry.get ctx ~dir ~name in
+  let ino = Dentry.target_ino ctx dh in
+  (* Group 1: invalidate the dentry. *)
+  let dh = Dentry.clear_ino ctx dh in
+  let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+  let dh, ev = Dentry.cleared_evidence ctx dh in
+  (* Group 2: link decrement, parent times, dentry slot reclamation. *)
+  let ih = Inode.get ctx ino in
+  let ih = Inode.dec_link ctx ih ~cleared:ev in
+  let ih = Inode.flush ctx ih in
+  let now = Fsctx.now ctx in
+  let ph = Inode.get ctx dir in
+  let ph = Inode.set_times ctx ph ~mtime:now ~ctime:now () in
+  let ph = Inode.flush ctx ph in
+  let dh = Dentry.dealloc ctx dh in
+  let _dh : (_, _) Dentry.t = Dentry.fence ctx (Dentry.flush ctx dh) in
+  let ih = Inode.after_fence ctx ih in
+  let _ph : (_, _) Inode.t = Inode.after_fence ctx ph in
+  Index.remove_dentry ctx.index ~dir name;
+  if Inode.links ctx ih = 0 then dealloc_file_chain ctx ih
+  else ignore (Inode.settle_dec ctx ih : (_, _) Inode.t);
+  Ok ()
+
+(* Free a directory's dir pages and zero its inode. *)
+let dealloc_dir_chain (ctx : Fsctx.t) ~dino ~cleared_ev =
+  let dih = Inode.get ctx dino in
+  let pages = Index.dir_pages ctx.index ~dir:dino in
+  let freed_ev =
+    match pages with
+    | [] -> Prange.no_pages_evidence ctx ~ino:dino
+    | _ :: _ ->
+        let pl = List.mapi (fun i p -> (p, i)) pages in
+        let rng = Prange.get_owned ~kind:R.Desc.Dirpage ctx ~ino:dino ~pages:pl in
+        let rng = Prange.clear_backptrs ctx rng in
+        let rng = Prange.fence ctx (Prange.flush ctx rng) in
+        let rng = Prange.dealloc ctx rng in
+        let rng = Prange.fence ctx (Prange.flush ctx rng) in
+        Prange.freed_evidence ctx rng
+  in
+  let dih = Inode.dealloc_dir ctx dih ~cleared:cleared_ev ~pages:freed_ev in
+  let _dih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx dih) in
+  List.iter (fun p -> Index.remove_dir_page ctx.index ~dir:dino p) pages;
+  Index.remove_dir ctx.index dino;
+  Alloc.free_inode ctx.alloc dino;
+  List.iter (fun p -> Alloc.free_page ctx.alloc p) pages
+
+let rmdir (ctx : Fsctx.t) ~parent ~name =
+  let* dh = Dentry.get ctx ~dir:parent ~name in
+  let dino = Dentry.target_ino ctx dh in
+  if Index.dentry_count ctx.index ~dir:dino > 0 then Error Vfs.Errno.ENOTEMPTY
+  else begin
+    (* Group 1: invalidate the dentry. *)
+    let dh = Dentry.clear_ino ctx dh in
+    let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+    let dh, ev_parent = Dentry.cleared_evidence ctx dh in
+    let dh, ev_dir = Dentry.cleared_evidence ctx dh in
+    (* Group 2: parent loses a subdirectory; reclaim the slot. *)
+    let ph = Inode.get ctx parent in
+    let ph = Inode.dec_link_parent ctx ph ~cleared:ev_parent in
+    let ph = Inode.flush ctx ph in
+    let dh = Dentry.dealloc ctx dh in
+    let _dh : (_, _) Dentry.t = Dentry.fence ctx (Dentry.flush ctx dh) in
+    let ph = Inode.after_fence ctx ph in
+    ignore (Inode.settle_dec ctx ph : (_, _) Inode.t);
+    Index.remove_dentry ctx.index ~dir:parent name;
+    (* Groups 3..: free the directory's pages, then its inode. *)
+    dealloc_dir_chain ctx ~dino ~cleared_ev:ev_dir;
+    Ok ()
+  end
+
+(* {1 Rename (fig. 2)} *)
+
+let rename (ctx : Fsctx.t) ~src_dir ~src_name ~dst_dir ~dst_name =
+  let* () = check_name dst_name in
+  let* sdh = Dentry.get ctx ~dir:src_dir ~name:src_name in
+  let sino = Dentry.target_ino ctx sdh in
+  let moving_dir = Index.is_dir ctx.index sino in
+  let cross_parent = src_dir <> dst_dir in
+  let existing_dst = Index.lookup ctx.index ~dir:dst_dir dst_name in
+  let old_ino = match existing_dst with Some (i, _) -> i | None -> 0 in
+  let old_is_dir = old_ino <> 0 && Index.is_dir ctx.index old_ino in
+  (* Phase 1-3: prepare dst, set the rename pointer, commit (atomic pt). *)
+  let* ddh_renamed, sdh =
+    match existing_dst with
+    | None ->
+        let* ddh = Dentry.alloc ctx ~dir:dst_dir in
+        let ddh = Dentry.set_name ctx ddh dst_name in
+        if moving_dir && cross_parent then begin
+          (* new parent gains a subdirectory: inc before the commit *)
+          let nph = Inode.get ctx dst_dir in
+          let nph = Inode.inc_link ctx nph in
+          let nph = Inode.flush ctx nph in
+          let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+          let nph = Inode.after_fence ctx nph in
+          let ddh, sdh = Dentry.set_rptr ctx ddh ~src:sdh in
+          let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+          let ddh, sdh, _nph =
+            Dentry.commit_rename_dir ctx ddh ~src:sdh ~newparent:nph
+          in
+          let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+          Ok (ddh, sdh)
+        end
+        else begin
+          let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+          let ddh, sdh = Dentry.set_rptr ctx ddh ~src:sdh in
+          let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+          let ddh, sdh = Dentry.commit_rename ctx ddh ~src:sdh in
+          let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+          Ok (ddh, sdh)
+        end
+    | Some _ ->
+        let* ddh = Dentry.get ctx ~dir:dst_dir ~name:dst_name in
+        let ddh, sdh = Dentry.set_rptr_over ctx ddh ~src:sdh in
+        let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+        let ddh, sdh = Dentry.commit_rename_over ctx ddh ~src:sdh in
+        let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+        Ok (ddh, sdh)
+  in
+  let ddh, replaced_ev = Dentry.replaced_evidence ctx ddh_renamed in
+  (* Replacing a directory destination removes a subdirectory from the
+     destination parent. A cross-parent directory move onto an existing
+     directory is net zero for the new parent (one subdir replaced by
+     another), so only the same-parent case decrements here. *)
+  let ddh, parent_dec_ev =
+    if old_is_dir && not cross_parent then Dentry.replaced_evidence ctx ddh
+    else (ddh, None)
+  in
+  (* Phase 4: physically invalidate src. *)
+  let sdh = Dentry.clear_ino_doomed ctx sdh in
+  let sdh = Dentry.fence ctx (Dentry.flush ctx sdh) in
+  (* Phase 5 (one fence): clear the rename pointer; decrement the replaced
+     target's link; decrement the old parent's link for directory moves. *)
+  let pending_old_file =
+    match replaced_ev with
+    | Some ev when not old_is_dir ->
+        let oih = Inode.get ctx old_ino in
+        let oih = Inode.dec_link ctx oih ~cleared:ev in
+        Some (Inode.flush ctx oih)
+    | Some _ | None -> None
+  in
+  let dir_overwrite_ev =
+    match replaced_ev with Some ev when old_is_dir -> Some ev | _ -> None
+  in
+  let ddh, sdh = Dentry.clear_rptr ctx ~dst:ddh ~src:sdh in
+  let sdh, old_parent_pending =
+    if moving_dir && cross_parent then begin
+      let sdh, pev = Dentry.cleared_evidence ctx sdh in
+      let oph = Inode.get ctx src_dir in
+      let oph = Inode.dec_link_parent ctx oph ~cleared:pev in
+      (sdh, Some (Inode.flush ctx oph))
+    end
+    else
+      match parent_dec_ev with
+      | Some ev ->
+          let oph = Inode.get ctx dst_dir in
+          let oph = Inode.dec_link_parent ctx oph ~cleared:ev in
+          (sdh, Some (Inode.flush ctx oph))
+      | None -> (sdh, None)
+  in
+  let ddh = Dentry.fence ctx (Dentry.flush ctx ddh) in
+  let pending_old_file =
+    Option.map (fun oih -> Inode.after_fence ctx oih) pending_old_file
+  in
+  (match old_parent_pending with
+  | Some oph ->
+      let oph = Inode.after_fence ctx oph in
+      ignore (Inode.settle_dec ctx oph : (_, _) Inode.t)
+  | None -> ());
+  (* Phase 6: reclaim the src slot. *)
+  let sdh = Dentry.dealloc ctx sdh in
+  let _sdh : (_, _) Dentry.t = Dentry.fence ctx (Dentry.flush ctx sdh) in
+  (* Volatile indexes. *)
+  Index.remove_dentry ctx.index ~dir:src_dir src_name;
+  (match existing_dst with
+  | Some _ -> Index.remove_dentry ctx.index ~dir:dst_dir dst_name
+  | None -> ());
+  Index.insert_dentry ctx.index ~dir:dst_dir dst_name ~ino:sino
+    (Dentry.loc ddh);
+  (* Replaced target teardown. *)
+  (match pending_old_file with
+  | Some oih ->
+      if Inode.links ctx oih = 0 then dealloc_file_chain ctx oih
+      else ignore (Inode.settle_dec ctx oih : (_, _) Inode.t)
+  | None -> ());
+  (match dir_overwrite_ev with
+  | Some ev -> dealloc_dir_chain ctx ~dino:old_ino ~cleared_ev:ev
+  | None -> ());
+  Ok ()
+
+(* {1 Data plane} *)
+
+let page_units size = (size + ps - 1) / ps
+
+let read (ctx : Fsctx.t) ~ino ~off ~len =
+  if off < 0 || len < 0 then Error Vfs.Errno.EINVAL
+  else begin
+    let ih = Inode.get ctx ino in
+    let size = Inode.size ctx ih in
+    if off >= size then Ok ""
+    else begin
+      let len = min len (size - off) in
+      let buf = Buffer.create len in
+      let pos = ref off in
+      while !pos < off + len do
+        let page_idx = !pos / ps in
+        let in_page = !pos mod ps in
+        let chunk = min (ps - in_page) (off + len - !pos) in
+        (match Index.file_page ctx.index ~ino ~offset:page_idx with
+        | Some page ->
+            let doff = Geometry.page_off ctx.geo ~page + in_page in
+            Buffer.add_bytes buf (Device.read ctx.dev ~off:doff ~len:chunk)
+        | None -> Buffer.add_string buf (String.make chunk '\000'));
+        pos := !pos + chunk
+      done;
+      Ok (Buffer.contents buf)
+    end
+  end
+
+let readlink (ctx : Fsctx.t) ~ino =
+  match read ctx ~ino ~off:0 ~len:ps with
+  | Ok s -> Ok s
+  | Error e -> Error e
+
+(* Content of a fresh page at file-page [o] for a write of [data] at
+   [off]: the written slice, preceded by explicit zeroes (the tail is
+   zeroed by [Prange.fill]). *)
+let fresh_page_content ~off ~data o =
+  let pstart = o * ps in
+  let dlen = String.length data in
+  let lo = max pstart off and hi = min (pstart + ps) (off + dlen) in
+  if hi <= lo then ""
+  else String.make (lo - pstart) '\000' ^ String.sub data (lo - off) (hi - lo)
+
+let write ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
+  if off < 0 then Error Vfs.Errno.EINVAL
+  else if String.length data = 0 then Ok 0
+  else begin
+    let len = String.length data in
+    let ih = Inode.get ctx ino in
+    let cur_size = Inode.size ctx ih in
+    let new_size = max cur_size (off + len) in
+    (* Page offsets the new size requires but the file does not yet own:
+       only the write range and the gap above the current size can be
+       missing (everything below the size is owned by invariant). *)
+    let first = off / ps and last = (off + len - 1) / ps in
+    let scan_from = min first (page_units cur_size) in
+    let missing = ref [] in
+    for o = last downto scan_from do
+      if Index.file_page ctx.index ~ino ~offset:o = None then
+        missing := o :: !missing
+    done;
+    let missing = !missing in
+    if List.length missing > Alloc.free_page_count ctx.alloc then
+      Error Vfs.Errno.ENOSPC
+    else begin
+      (* Zero the stale tail of the old boundary page when writing past
+         the current size (a shrink may have left stale bytes there). *)
+      (if off > cur_size then
+         match Index.file_page ctx.index ~ino ~offset:(cur_size / ps) with
+         | Some page when cur_size mod ps <> 0 ->
+             let in_page = cur_size mod ps in
+             let zlen = min (ps - in_page) (off - cur_size) in
+             Device.zero ctx.dev
+               ~off:(Geometry.page_off ctx.geo ~page + in_page)
+               ~len:zlen
+         | Some _ | None -> ());
+      (* In-place writes to already-owned pages. *)
+      for o = first to last do
+        match Index.file_page ctx.index ~ino ~offset:o with
+        | None -> ()
+        | Some page ->
+            let pstart = o * ps in
+            let lo = max pstart off and hi = min (pstart + ps) (off + len) in
+            let doff = Geometry.page_off ctx.geo ~page + (lo - pstart) in
+            Device.store_coarse ctx.dev ~off:doff
+              (String.sub data (lo - off) (hi - lo))
+      done;
+      (* Fresh pages: fill, fence, own, fence. *)
+      let owned_ev, new_pages =
+        match missing with
+        | [] ->
+            (* data-only durability point *)
+            Fsctx.fence ctx;
+            (None, [])
+        | _ :: _ -> (
+            match
+              Prange.alloc ~cpu ctx ~ino ~kind:R.Desc.Data ~offsets:missing
+            with
+            | Error _ -> failwith "Ops.write: allocator raced"
+            | Ok rng ->
+                let rng =
+                  Prange.fill ctx rng
+                    ~contents:(fun i ->
+                      fresh_page_content ~off ~data (List.nth missing i))
+                in
+                let rng = Prange.fence ctx (Prange.flush ctx rng) in
+                let rng = Prange.set_backptrs ctx rng in
+                let rng = Prange.fence ctx (Prange.flush ctx rng) in
+                let rng, ev = Prange.owned_evidence ctx rng in
+                (Some ev, Prange.pages rng))
+      in
+      (* Size/mtime update, fenced last. *)
+      let now = Fsctx.now ctx in
+      let ih =
+        if new_size > cur_size || owned_ev <> None then
+          Inode.set_size ctx ih ~size:new_size ~mtime:now ~owned:owned_ev ()
+        else Inode.set_times ctx ih ~mtime:now ()
+      in
+      let _ih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx ih) in
+      List.iter
+        (fun (page, o) -> Index.add_file_page ctx.index ~ino ~offset:o page)
+        new_pages;
+      Ok len
+    end
+  end
+
+let truncate ?(cpu = 0) (ctx : Fsctx.t) ~ino new_size =
+  ignore cpu;
+  if new_size < 0 then Error Vfs.Errno.EINVAL
+  else begin
+    let ih = Inode.get ctx ino in
+    let cur_size = Inode.size ctx ih in
+    let now = Fsctx.now ctx in
+    if new_size = cur_size then begin
+      let ih = Inode.set_times ctx ih ~mtime:now () in
+      let _ih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx ih) in
+      Ok ()
+    end
+    else if new_size < cur_size then begin
+      (* Shrink: size first (visible), then reclaim dropped pages. *)
+      let ih = Inode.set_size ctx ih ~size:new_size ~mtime:now ~owned:None () in
+      let _ih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx ih) in
+      let keep = page_units new_size in
+      let dropped =
+        List.filter (fun (o, _) -> o >= keep) (Index.file_pages ctx.index ~ino)
+      in
+      (match dropped with
+      | [] -> ()
+      | _ :: _ ->
+          let pl = List.map (fun (o, p) -> (p, o)) dropped in
+          let rng = Prange.get_owned ctx ~ino ~pages:pl in
+          let rng = Prange.clear_backptrs ctx rng in
+          let rng = Prange.fence ctx (Prange.flush ctx rng) in
+          let rng = Prange.dealloc ctx rng in
+          let rng = Prange.fence ctx (Prange.flush ctx rng) in
+          ignore (Prange.freed_evidence ctx rng : Objects.range_freed_ev);
+          List.iter
+            (fun (o, p) ->
+              Index.remove_file_page ctx.index ~ino ~offset:o;
+              Alloc.free_page ctx.alloc p)
+            dropped);
+      Ok ()
+    end
+    else begin
+      (* Grow: zero the stale tail of the current boundary page, allocate
+         zero pages for the new range, then publish the size. *)
+      let fenced = ref false in
+      (match Index.file_page ctx.index ~ino ~offset:(cur_size / ps) with
+      | Some page when cur_size mod ps <> 0 ->
+          let in_page = cur_size mod ps in
+          let zlen = min (ps - in_page) (new_size - cur_size) in
+          Device.zero ctx.dev
+            ~off:(Geometry.page_off ctx.geo ~page + in_page)
+            ~len:zlen
+      | Some _ | None -> ());
+      let missing = ref [] in
+      for o = page_units new_size - 1 downto page_units cur_size do
+        if Index.file_page ctx.index ~ino ~offset:o = None then
+          missing := o :: !missing
+      done;
+      let owned_ev, new_pages =
+        match !missing with
+        | [] -> (None, [])
+        | ms -> (
+            match Prange.alloc ctx ~ino ~kind:R.Desc.Data ~offsets:ms with
+            | Error e -> (ignore e : unit); (None, []) (* handled below *)
+            | Ok rng ->
+                let rng = Prange.fill ctx rng ~contents:(fun _ -> "") in
+                let rng = Prange.fence ctx (Prange.flush ctx rng) in
+                fenced := true;
+                let rng = Prange.set_backptrs ctx rng in
+                let rng = Prange.fence ctx (Prange.flush ctx rng) in
+                let rng, ev = Prange.owned_evidence ctx rng in
+                (Some ev, Prange.pages rng))
+      in
+      if !missing <> [] && owned_ev = None then Error Vfs.Errno.ENOSPC
+      else begin
+        if not !fenced then Fsctx.fence ctx;
+        let ih =
+          Inode.set_size ctx ih ~size:new_size ~mtime:now ~owned:owned_ev ()
+        in
+        let _ih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx ih) in
+        List.iter
+          (fun (page, o) -> Index.add_file_page ctx.index ~ino ~offset:o page)
+          new_pages;
+        Ok ()
+      end
+    end
+  end
+
+module Preplace = Objects.Preplace
+
+(* Copy-on-write page replacement path for crash-atomic data updates. *)
+let replace_page ?(cpu = 0) (ctx : Fsctx.t) ~ino ~offset ~old_page ~content =
+  match Preplace.stage ~cpu ctx ~ino ~offset ~old_page ~content with
+  | Error e -> Error e
+  | Ok h ->
+      let h = Preplace.fence ctx (Preplace.flush ctx h) in
+      let h = Preplace.commit ctx h in
+      let h = Preplace.fence ctx (Preplace.flush ctx h) in
+      (* the atomic point has passed: tear down the superseded page *)
+      let h = Preplace.clear_old ctx h in
+      let h = Preplace.fence ctx (Preplace.flush ctx h) in
+      let h = Preplace.free_old ctx h in
+      let h = Preplace.fence ctx (Preplace.flush ctx h) in
+      let h = Preplace.settle ctx h in
+      let h = Preplace.fence ctx (Preplace.flush ctx h) in
+      Index.remove_file_page ctx.index ~ino ~offset;
+      Index.add_file_page ctx.index ~ino ~offset (Preplace.new_page h);
+      Alloc.free_page ctx.alloc (Preplace.old_page h);
+      Ok ()
+
+let write_atomic ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
+  if off < 0 then Error Vfs.Errno.EINVAL
+  else if String.length data = 0 then Ok 0
+  else begin
+    let len = String.length data in
+    let ih = Inode.get ctx ino in
+    let cur_size = Inode.size ctx ih in
+    let new_size = max cur_size (off + len) in
+    let first = off / ps and last = (off + len - 1) / ps in
+    let scan_from = min first (page_units cur_size) in
+    let missing = ref [] in
+    for o = last downto scan_from do
+      if Index.file_page ctx.index ~ino ~offset:o = None then
+        missing := o :: !missing
+    done;
+    let missing = !missing in
+    (* each existing page needs one replacement page too *)
+    let existing = first - scan_from + (last - first + 1) - List.length missing in
+    if List.length missing + existing > Alloc.free_page_count ctx.alloc then
+      Error Vfs.Errno.ENOSPC
+    else begin
+      (* COW-replace every existing page the write touches *)
+      let err = ref None in
+      for o = first to last do
+        if !err = None then
+          match Index.file_page ctx.index ~ino ~offset:o with
+          | None -> ()
+          | Some old_page ->
+              let pstart = o * ps in
+              let lo = max pstart off and hi = min (pstart + ps) (off + len) in
+              let old =
+                Bytes.of_string
+                  (Bytes.to_string
+                     (Device.read ctx.dev
+                        ~off:(Geometry.page_off ctx.geo ~page:old_page)
+                        ~len:ps))
+              in
+              Bytes.blit_string data (lo - off) old (lo - pstart) (hi - lo);
+              (match
+                 replace_page ~cpu ctx ~ino ~offset:o ~old_page
+                   ~content:(Bytes.to_string old)
+               with
+              | Ok () -> ()
+              | Error e -> err := Some e)
+      done;
+      match !err with
+      | Some e -> Error e
+      | None ->
+          (* fresh pages (gap + extension): invisible until committed *)
+          let owned_ev, new_pages =
+            match missing with
+            | [] -> (None, [])
+            | _ :: _ -> (
+                match
+                  Prange.alloc ~cpu ctx ~ino ~kind:R.Desc.Data ~offsets:missing
+                with
+                | Error _ -> failwith "Ops.write_atomic: allocator raced"
+                | Ok rng ->
+                    let rng =
+                      Prange.fill ctx rng ~contents:(fun i ->
+                          fresh_page_content ~off ~data (List.nth missing i))
+                    in
+                    let rng = Prange.fence ctx (Prange.flush ctx rng) in
+                    let rng = Prange.set_backptrs ctx rng in
+                    let rng = Prange.fence ctx (Prange.flush ctx rng) in
+                    let rng, ev = Prange.owned_evidence ctx rng in
+                    (Some ev, Prange.pages rng))
+          in
+          let now = Fsctx.now ctx in
+          let ih =
+            if new_size > cur_size || owned_ev <> None then
+              Inode.set_size ctx ih ~size:new_size ~mtime:now ~owned:owned_ev ()
+            else Inode.set_times ctx ih ~mtime:now ()
+          in
+          let _ih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx ih) in
+          List.iter
+            (fun (page, o) -> Index.add_file_page ctx.index ~ino ~offset:o page)
+            new_pages;
+          Ok len
+    end
+  end

@@ -1,0 +1,46 @@
+(** SquirrelFS system-call bodies.
+
+    Each operation is a Synchronous Soft Updates sequence: one or more
+    groups of independent updates, each group flushed and closed by a
+    single shared store fence, with all cross-group ordering expressed
+    through the typestate transitions of {!Objects} (paper §3.3). Every
+    operation is durable when it returns, and all metadata operations are
+    crash-atomic.
+
+    Callers resolve paths to inode numbers first (see {!Squirrelfs});
+    these functions take directory inodes and names. *)
+
+type 'a r = ('a, Vfs.Errno.t) result
+
+val create_file : Fsctx.t -> dir:int -> name:string -> int r
+(** Returns the new file's inode number. Fence schedule: (inode init +
+    dentry name + parent mtime) fence; (dentry commit) fence. *)
+
+val mkdir : Fsctx.t -> dir:int -> name:string -> int r
+(** Fig. 3: (inode init + dentry name + parent link inc) fence; (commit)
+    fence. *)
+
+val symlink : Fsctx.t -> dir:int -> name:string -> target:string -> int r
+val link : Fsctx.t -> dir:int -> name:string -> target_ino:int -> unit r
+val unlink : Fsctx.t -> dir:int -> name:string -> unit r
+val rmdir : Fsctx.t -> parent:int -> name:string -> unit r
+
+val rename :
+  Fsctx.t -> src_dir:int -> src_name:string -> dst_dir:int -> dst_name:string ->
+  unit r
+(** Atomic rename via the rename pointer (fig. 2). Handles file and
+    directory sources, fresh and existing destinations, and cross-parent
+    directory moves with their link-count updates. *)
+
+val write : ?cpu:int -> Fsctx.t -> ino:int -> off:int -> string -> int r
+
+val write_atomic : ?cpu:int -> Fsctx.t -> ino:int -> off:int -> string -> int r
+(** Copy-on-write data write (the paper's §3.4 extension): overwrites of
+    existing pages go through {!Objects.Preplace}, so each page's update
+    is crash-atomic (old or new content, never torn); writes that only
+    touch fresh pages are atomic already via the backpointer-commit order.
+    Writes contained in one page are therefore fully atomic. *)
+
+val read : Fsctx.t -> ino:int -> off:int -> len:int -> string r
+val readlink : Fsctx.t -> ino:int -> string r
+val truncate : ?cpu:int -> Fsctx.t -> ino:int -> int -> unit r

@@ -1,0 +1,1 @@
+lib/crashcheck/crashcheck.ml: Buggy Harness Workload

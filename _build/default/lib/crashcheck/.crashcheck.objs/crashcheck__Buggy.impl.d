@@ -1,0 +1,1 @@
+lib/crashcheck/buggy.ml: Layout List Pmem Squirrelfs String

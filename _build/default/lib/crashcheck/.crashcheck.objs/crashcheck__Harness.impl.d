@@ -1,0 +1,1 @@
+lib/crashcheck/harness.ml: Array Buggy Format Layout List Pmem Printf Result Squirrelfs String Sys Vfs Workload

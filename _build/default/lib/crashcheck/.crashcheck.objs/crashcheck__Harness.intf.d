@@ -1,0 +1,1 @@
+lib/crashcheck/harness.mli: Format Workload

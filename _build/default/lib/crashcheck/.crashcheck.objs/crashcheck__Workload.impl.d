@@ -1,0 +1,1 @@
+lib/crashcheck/workload.ml: Format Layout List Random Result String Vfs

@@ -1,0 +1,1 @@
+lib/crashcheck/workload.mli: Format Vfs

@@ -1,0 +1,5 @@
+(** Crash-consistency testing harness (Chipmunk substitute). *)
+
+module Workload = Workload
+module Harness = Harness
+module Buggy = Buggy

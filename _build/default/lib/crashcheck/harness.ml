@@ -1,0 +1,193 @@
+module Device = Pmem.Device
+module Sq = Squirrelfs
+module Logical = Vfs.Logical
+
+type violation = {
+  v_op_index : int;
+  v_op : Workload.op option;
+  v_detail : string;
+}
+
+type report = {
+  workloads : int;
+  ops_run : int;
+  fences_probed : int;
+  crash_states : int;
+  violations : violation list;
+}
+
+let empty =
+  {
+    workloads = 0;
+    ops_run = 0;
+    fences_probed = 0;
+    crash_states = 0;
+    violations = [];
+  }
+
+let merge a b =
+  {
+    workloads = a.workloads + b.workloads;
+    ops_run = a.ops_run + b.ops_run;
+    fences_probed = a.fences_probed + b.fences_probed;
+    crash_states = a.crash_states + b.crash_states;
+    violations = a.violations @ b.violations;
+  }
+
+(* Real-run dispatch: buggy variants go through the raw mis-ordered
+   implementations; everything else through the normal FS. *)
+let apply_real (ctx : Sq.Fsctx.t) (op : Workload.op) =
+  let root_name p = String.sub p 1 (String.length p - 1) in
+  match op with
+  | Workload.Buggy_create p ->
+      Buggy.create ctx ~dir:Layout.Geometry.root_ino ~name:(root_name p)
+  | Workload.Buggy_unlink p ->
+      Buggy.unlink ctx ~dir:Layout.Geometry.root_ino ~name:(root_name p)
+  | Workload.Write_atomic (p, off, data) -> (
+      match Sq.stat ctx p with
+      | Ok st ->
+          ignore
+            (Result.is_ok
+               (Sq.Ops.write_atomic ctx ~ino:st.Vfs.Fs.ino ~off data)
+              : bool)
+      | Error _ -> ())
+  | Workload.Buggy_write (p, data) -> (
+      match Sq.stat ctx p with
+      | Ok st -> Buggy.write_append ctx ~ino:st.Vfs.Fs.ino data
+      | Error e ->
+          failwith
+            (Printf.sprintf "Buggy_write: stat %s: %s" p
+               (Vfs.Errno.to_string e)))
+  | op -> Workload.apply (module Squirrelfs) ctx op
+
+let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
+    ?(compare_data = false) ops =
+  let n = List.length ops in
+  (* Oracle: logical state after each prefix of the workload. *)
+  let odev = Device.create ~size:device_size () in
+  Sq.mkfs odev;
+  let ofs =
+    match Sq.mount odev with
+    | Ok fs -> fs
+    | Error e -> failwith ("oracle mount: " ^ Vfs.Errno.to_string e)
+  in
+  let oracle = Array.make (n + 1) (Logical.capture (module Squirrelfs) ofs) in
+  List.iteri
+    (fun i op ->
+      Workload.apply (module Squirrelfs) ofs op;
+      oracle.(i + 1) <- Logical.capture (module Squirrelfs) ofs)
+    ops;
+  (* Real run with crash probing at every fence. *)
+  let dev = Device.create ~size:device_size () in
+  Sq.mkfs dev;
+  let fs =
+    match Sq.mount dev with
+    | Ok fs -> fs
+    | Error e -> failwith ("mount: " ^ Vfs.Errno.to_string e)
+  in
+  let cur_op = ref 0 in
+  let cur_opv = ref None in
+  let fences = ref 0 in
+  let states = ref 0 in
+  let violations = ref [] in
+  let violate detail =
+    violations :=
+      { v_op_index = !cur_op; v_op = !cur_opv; v_detail = detail }
+      :: !violations
+  in
+  let check_image img ~legal =
+    incr states;
+    if Sys.getenv_opt "CRASHCHECK_DEBUG" <> None then Printf.eprintf "  image %d (op %d)\n%!" !states !cur_op;
+    let dbg m = if Sys.getenv_opt "CRASHCHECK_DEBUG" <> None then Printf.eprintf "    %s\n%!" m in
+    let d2 = Device.of_image img in
+    dbg "raw fsck";
+    (match Layout.Records.Superblock.read d2 with
+    | Some sb ->
+        (match Sq.Fsck.check_raw d2 sb.Layout.Records.Superblock.geometry with
+        | [] -> ()
+        | errs -> violate ("raw invariants: " ^ String.concat " | " errs))
+    | None -> violate "crash image has no superblock");
+    dbg "mounting";
+    match Sq.mount d2 with
+    | Error e -> violate ("crash image fails to mount: " ^ Vfs.Errno.to_string e)
+    | Ok fs2 -> (
+        dbg "fsck";
+        (match Sq.Fsck.check fs2 with
+        | [] -> ()
+        | errs ->
+            violate
+              ("fsck: " ^ String.concat " | " errs));
+        dbg "capture";
+        match Logical.capture (module Squirrelfs) fs2 with
+        | exception Failure msg -> violate ("capture: " ^ msg)
+        | got ->
+            if
+              not
+                (List.exists
+                   (fun st -> Logical.equal ~compare_data got st)
+                   legal)
+            then
+              violate
+                (Format.asprintf
+                   "recovered state matches neither pre- nor post-op state; \
+                    got %a"
+                   Logical.pp got))
+  in
+  let probe d ~legal =
+    incr fences;
+    List.iter (fun img -> check_image img ~legal)
+      (Device.crash_images ~max_images:max_images_per_fence d)
+  in
+  Device.set_fence_hook dev
+    (Some
+       (fun d ->
+         let legal = [ oracle.(!cur_op); oracle.(min n (!cur_op + 1)) ] in
+         probe d ~legal));
+  List.iteri
+    (fun i op ->
+      cur_op := i;
+      cur_opv := Some op;
+      if Sys.getenv_opt "CRASHCHECK_DEBUG" <> None then
+        Printf.eprintf "op %d: %s\n%!" i
+          (Format.asprintf "%a" Workload.pp_op op);
+      apply_real fs op)
+    ops;
+  Device.set_fence_hook dev None;
+  (* Final durable state must equal the oracle's final state exactly. *)
+  cur_op := n;
+  cur_opv := None;
+  probe dev ~legal:[ oracle.(n) ];
+  {
+    workloads = 1;
+    ops_run = n;
+    fences_probed = !fences;
+    crash_states = !states;
+    violations = List.rev !violations;
+  }
+
+let run_suite ?device_size ?max_images_per_fence ?compare_data ?progress
+    workloads =
+  let total = List.length workloads in
+  List.fold_left
+    (fun (i, acc) w ->
+      (match progress with Some f -> f i total | None -> ());
+      ( i + 1,
+        merge acc
+          (run_workload ?device_size ?max_images_per_fence ?compare_data w) ))
+    (0, empty) workloads
+  |> snd
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "workloads=%d ops=%d fences=%d crash-states=%d violations=%d" r.workloads
+    r.ops_run r.fences_probed r.crash_states
+    (List.length r.violations);
+  List.iteri
+    (fun i v ->
+      if i < 10 then
+        Format.fprintf ppf "@.  [op %d%s] %s" v.v_op_index
+          (match v.v_op with
+          | Some op -> Format.asprintf " %a" Workload.pp_op op
+          | None -> "")
+          v.v_detail)
+    r.violations

@@ -1,0 +1,57 @@
+(** Crash-consistency harness (the role of Chipmunk, §5.7).
+
+    For each workload the harness:
+
+    + runs the workload on a pristine {e oracle} volume, capturing the
+      logical state after every operation — since all SquirrelFS metadata
+      operations are synchronous and crash-atomic, a crash during
+      operation [k] must recover to exactly the state after [k-1] or
+      after [k] operations;
+    + replays the workload on a fresh volume with a fence hook installed:
+      at every store fence it enumerates the legal crash images under the
+      x86 persistence model, remounts each image (running recovery),
+      checks it with the independent {!Squirrelfs.Fsck} checker, and
+      compares its logical state against the oracle pair;
+    + probes the final durable state the same way.
+
+    Data contents are excluded from the comparison (data-plane writes are
+    not atomic in SquirrelFS or in any of the baselines, matching the
+    paper); sizes and all metadata are compared. *)
+
+type violation = {
+  v_op_index : int;
+  v_op : Workload.op option;
+  v_detail : string;
+}
+
+type report = {
+  workloads : int;
+  ops_run : int;
+  fences_probed : int;
+  crash_states : int;
+  violations : violation list;
+}
+
+val run_workload :
+  ?device_size:int ->
+  ?max_images_per_fence:int ->
+  ?compare_data:bool ->
+  Workload.op list ->
+  report
+(** Defaults: 512 KiB device, 12 images per fence. [compare_data]
+    (default false) additionally compares file contents against the
+    oracle — only meaningful for workloads whose data writes are all
+    [Write_atomic], since regular data writes are not crash-atomic (in
+    SquirrelFS or any of the baselines, matching the paper). *)
+
+val run_suite :
+  ?device_size:int ->
+  ?max_images_per_fence:int ->
+  ?compare_data:bool ->
+  ?progress:(int -> int -> unit) ->
+  Workload.op list list ->
+  report
+
+val empty : report
+val merge : report -> report -> report
+val pp_report : Format.formatter -> report -> unit

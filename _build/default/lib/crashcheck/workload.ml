@@ -1,0 +1,113 @@
+type op =
+  | Create of string
+  | Mkdir of string
+  | Unlink of string
+  | Rmdir of string
+  | Rename of string * string
+  | Link of string * string
+  | Symlink of string * string
+  | Write of string * int * string
+  | Write_atomic of string * int * string
+  | Truncate of string * int
+  | Buggy_create of string
+  | Buggy_unlink of string
+  | Buggy_write of string * string
+
+let pp_op ppf = function
+  | Create p -> Format.fprintf ppf "create(%s)" p
+  | Mkdir p -> Format.fprintf ppf "mkdir(%s)" p
+  | Unlink p -> Format.fprintf ppf "unlink(%s)" p
+  | Rmdir p -> Format.fprintf ppf "rmdir(%s)" p
+  | Rename (a, b) -> Format.fprintf ppf "rename(%s,%s)" a b
+  | Link (a, b) -> Format.fprintf ppf "link(%s,%s)" a b
+  | Symlink (a, b) -> Format.fprintf ppf "symlink(%s,%s)" a b
+  | Write (p, off, data) ->
+      Format.fprintf ppf "write(%s,%d,%dB)" p off (String.length data)
+  | Write_atomic (p, off, data) ->
+      Format.fprintf ppf "write-atomic(%s,%d,%dB)" p off (String.length data)
+  | Truncate (p, n) -> Format.fprintf ppf "truncate(%s,%d)" p n
+  | Buggy_create p -> Format.fprintf ppf "BUGGY-create(%s)" p
+  | Buggy_unlink p -> Format.fprintf ppf "BUGGY-unlink(%s)" p
+  | Buggy_write (p, d) ->
+      Format.fprintf ppf "BUGGY-write(%s,%dB)" p (String.length d)
+
+let pp ppf ops =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       pp_op)
+    ops
+
+let apply (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) op =
+  let ign (r : _ Vfs.Fs.r) = ignore (Result.is_ok r : bool) in
+  match op with
+  | Create p | Buggy_create p -> ign (F.create fs p)
+  | Mkdir p -> ign (F.mkdir fs p)
+  | Unlink p | Buggy_unlink p -> ign (F.unlink fs p)
+  | Rmdir p -> ign (F.rmdir fs p)
+  | Rename (a, b) -> ign (F.rename fs a b)
+  | Link (a, b) -> ign (F.link fs a b)
+  | Symlink (a, b) -> ign (F.symlink fs a b)
+  | Write (p, off, data) | Write_atomic (p, off, data) ->
+      ign (F.write fs p ~off data)
+  | Buggy_write (p, data) -> (
+      (* oracle semantics: a correct page-aligned append *)
+      match F.stat fs p with
+      | Ok st ->
+          let page = Layout.Geometry.page_size in
+          let off = (st.Vfs.Fs.size + page - 1) / page * page in
+          ign (F.write fs p ~off data)
+      | Error _ -> ())
+  | Truncate (p, n) -> ign (F.truncate fs p n)
+
+let setup =
+  [ Mkdir "/D"; Create "/A"; Write ("/A", 0, String.make 2000 'a') ]
+
+let alphabet =
+  [
+    Create "/B";
+    Mkdir "/E";
+    Unlink "/A";
+    Rmdir "/D";
+    Rename ("/A", "/B");
+    Rename ("/A", "/D/A2");
+    Rename ("/D", "/E2");
+    Link ("/A", "/B2");
+    Symlink ("/A", "/S");
+    Write ("/A", 0, String.make 100 'w');
+    Write ("/A", 4090, String.make 100 'x');
+    Write ("/B", 0, String.make 50 'y');
+    Truncate ("/A", 10);
+    Truncate ("/A", 9000);
+  ]
+
+let systematic_pairs () =
+  List.concat_map
+    (fun a -> List.map (fun b -> setup @ [ a; b ]) alphabet)
+    alphabet
+
+let random ~seed ~ops_per_workload ~count =
+  let rng = Random.State.make [| seed |] in
+  let dirs = [ "/D"; "/E"; "/D/X" ] in
+  let files = [ "/A"; "/B"; "/D/F"; "/D/X/G"; "/E/H" ] in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let gen_op () =
+    match Random.State.int rng 11 with
+    | 0 -> Create (pick files)
+    | 1 -> Mkdir (pick dirs)
+    | 2 -> Unlink (pick files)
+    | 3 -> Rmdir (pick dirs)
+    | 4 -> Rename (pick files, pick files)
+    | 5 -> Rename (pick dirs, pick dirs)
+    | 6 -> Link (pick files, pick files)
+    | 7 ->
+        Write
+          ( pick files,
+            Random.State.int rng 5000,
+            String.make (1 + Random.State.int rng 5000) 'r' )
+    | 8 -> Truncate (pick files, Random.State.int rng 10000)
+    | 9 -> Symlink (pick files, pick files)
+    | _ -> Rename (pick files, pick dirs ^ "/moved")
+  in
+  List.init count (fun _ ->
+      List.init ops_per_workload (fun _ -> gen_op ()))

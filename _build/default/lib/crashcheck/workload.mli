@@ -1,0 +1,42 @@
+(** Syscall workloads for crash-consistency testing (the role of
+    Chipmunk/ACE's systematically generated tests, §5.7). *)
+
+type op =
+  | Create of string
+  | Mkdir of string
+  | Unlink of string
+  | Rmdir of string
+  | Rename of string * string
+  | Link of string * string
+  | Symlink of string * string  (** target, linkpath *)
+  | Write of string * int * string  (** path, offset, data *)
+  | Write_atomic of string * int * string
+      (** COW data write (the §3.4 extension): crash-atomic per page *)
+  | Truncate of string * int
+  | Buggy_create of string
+      (** deliberately mis-ordered variants, §4.2 bug reinjection *)
+  | Buggy_unlink of string
+  | Buggy_write of string * string
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> op list -> unit
+
+val apply : (module Vfs.Fs.S with type t = 'a) -> 'a -> op -> unit
+(** Execute one op, ignoring legitimate errors (generated sequences may
+    contain ops that fail, e.g. unlinking a renamed-away file); the buggy
+    variants are executed with their {e correct} semantics here (this is
+    the oracle path). *)
+
+val setup : op list
+(** Common prefix establishing a small namespace. *)
+
+val alphabet : op list
+(** Template ops over the setup namespace. *)
+
+val systematic_pairs : unit -> op list list
+(** Every ordered pair from [alphabet], each prefixed with [setup]:
+    |alphabet|² workloads. *)
+
+val random : seed:int -> ops_per_workload:int -> count:int -> op list list
+(** Seeded random workloads over a wider namespace (the fuzzing
+    component). *)

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Geometry Records

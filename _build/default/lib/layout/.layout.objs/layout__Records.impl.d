@@ -1,0 +1,1 @@
+lib/layout/records.ml: Bytes Format Geometry Int64 Pmem String

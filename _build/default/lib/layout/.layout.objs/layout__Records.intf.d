@@ -1,0 +1,1 @@
+lib/layout/records.mli: Format Geometry Pmem

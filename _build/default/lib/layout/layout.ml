@@ -1,0 +1,4 @@
+(** SquirrelFS on-PM layout: geometry and record formats. *)
+
+module Geometry = Geometry
+module Records = Records

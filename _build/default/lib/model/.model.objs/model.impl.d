@@ -1,0 +1,1 @@
+lib/model/model.ml: Absstate Explore Progs Scenarios

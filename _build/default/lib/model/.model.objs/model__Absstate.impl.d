@@ -1,0 +1,1 @@
+lib/model/absstate.ml: Array Format Hashtbl List Marshal Printf Seq

@@ -1,0 +1,1 @@
+lib/model/explore.ml: Absstate Array Format Hashtbl List Marshal Progs Queue String

@@ -1,0 +1,1 @@
+lib/model/progs.ml: Absstate Array Format Printf

@@ -1,0 +1,1 @@
+lib/model/scenarios.ml: Absstate Array Explore List Printf Progs

@@ -1,0 +1,215 @@
+(** Abstract Synchronous-Soft-Updates state machine (the Alloy model of
+    paper §3.4/§5.7, as an explicit-state transition system).
+
+    The universe is a small fixed set of inodes and directory entries.
+    Every micro-transition is a single crash-atomic persistent update
+    (an 8-byte store in the implementation), so every reachable state of
+    the explorer is a possible durable (crash) state: checking the
+    invariants on all reachable states and on all post-recovery states is
+    exactly the paper's model-checking setup. *)
+
+type kind = KFile | KDir
+
+type inode = {
+  i_alloc : bool;
+  i_kind : kind;
+  i_links : int;
+  i_init : bool; (* fields written before being linked *)
+}
+
+type dentry = {
+  d_alloc : bool;
+  d_parent : int; (* inode id of containing directory *)
+  d_named : bool;
+  d_ino : int; (* 0 = invalid *)
+  d_rptr : int; (* 0 = none, else 1 + target dentry id *)
+}
+
+type t = { inodes : inode array; dentries : dentry array }
+
+let free_inode = { i_alloc = false; i_kind = KFile; i_links = 0; i_init = false }
+
+let free_dentry =
+  { d_alloc = false; d_parent = 0; d_named = false; d_ino = 0; d_rptr = 0 }
+
+let root = 1
+
+(* [n_inodes] includes slot 0 (unused) and the root at slot 1. *)
+let create ~n_inodes ~n_dentries =
+  let inodes = Array.make n_inodes free_inode in
+  inodes.(root) <- { i_alloc = true; i_kind = KDir; i_links = 2; i_init = true };
+  { inodes; dentries = Array.make n_dentries free_dentry }
+
+let copy t =
+  { inodes = Array.copy t.inodes; dentries = Array.copy t.dentries }
+
+let encode t = Marshal.to_string t []
+
+let pp ppf t =
+  Format.fprintf ppf "inodes:";
+  Array.iteri
+    (fun i n ->
+      if n.i_alloc then
+        Format.fprintf ppf " %d(%s,links=%d%s)" i
+          (match n.i_kind with KFile -> "f" | KDir -> "d")
+          n.i_links
+          (if n.i_init then "" else ",uninit"))
+    t.inodes;
+  Format.fprintf ppf "; dentries:";
+  Array.iteri
+    (fun i d ->
+      if d.d_alloc then
+        Format.fprintf ppf " %d(parent=%d,ino=%d%s%s)" i d.d_parent d.d_ino
+          (if d.d_named then "" else ",unnamed")
+          (if d.d_rptr = 0 then ""
+           else Printf.sprintf ",rptr->%d" (d.d_rptr - 1)))
+    t.dentries
+
+(* {1 Invariants (paper §5.7)} *)
+
+let committed_entries t =
+  Array.to_seq t.dentries
+  |> Seq.filter_map (fun d ->
+         if d.d_alloc && d.d_ino <> 0 then Some d else None)
+  |> List.of_seq
+
+(* A committed source is logically dead once the destination's commit has
+   happened: the destination holds the source's inode (or the source has
+   already been cleared). Before the commit — which, for a destination
+   that replaces an existing entry, still points at the old target — the
+   source remains the live entry. *)
+let killed_by_rptr t i =
+  Array.exists
+    (fun d ->
+      d.d_alloc && d.d_ino <> 0 && d.d_rptr = i + 1
+      && (t.dentries.(i).d_ino = d.d_ino || t.dentries.(i).d_ino = 0))
+    t.dentries
+
+let live_entries t =
+  List.of_seq
+    (Seq.filter_map
+       (fun (i, d) ->
+         if d.d_alloc && d.d_ino <> 0 && not (killed_by_rptr t i) then Some d
+         else None)
+       (Array.to_seqi t.dentries))
+
+let check t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (* 2: no pointers to uninitialized objects *)
+  List.iter
+    (fun d ->
+      let n = t.inodes.(d.d_ino) in
+      if not (n.i_alloc && n.i_init) then
+        err "dentry points at uninitialized/free inode %d" d.d_ino;
+      if not d.d_named then err "committed dentry has no name")
+    (committed_entries t);
+  (* 1: legal link counts: never below the number of live references *)
+  Array.iteri
+    (fun i n ->
+      if n.i_alloc && i <> root then begin
+        let refs =
+          List.length (List.filter (fun d -> d.d_ino = i) (live_entries t))
+        in
+        let floor = match n.i_kind with KDir -> if refs > 0 then 2 else 0 | KFile -> refs in
+        if n.i_links < floor then
+          err "inode %d: links %d below live references %d" i n.i_links refs
+      end)
+    t.inodes;
+  (* parent link counts: at least 2 + live subdirectories *)
+  Array.iteri
+    (fun i n ->
+      if n.i_alloc && n.i_kind = KDir && n.i_init then begin
+        let subdirs =
+          List.length
+            (List.filter
+               (fun d ->
+                 d.d_parent = i && t.inodes.(d.d_ino).i_kind = KDir)
+               (live_entries t))
+        in
+        if n.i_links < 2 + subdirs then
+          err "dir %d: links %d below 2 + %d subdirs" i n.i_links subdirs
+      end)
+    t.inodes;
+  (* 3: freed objects contain no pointers *)
+  Array.iteri
+    (fun i d ->
+      if not d.d_alloc && (d.d_ino <> 0 || d.d_rptr <> 0) then
+        err "free dentry %d still carries pointers" i)
+    t.dentries;
+  (* 4: rename pointers form no cycles; at most one pointer per target *)
+  let targets = Hashtbl.create 8 in
+  Array.iteri
+    (fun i d ->
+      if d.d_alloc && d.d_rptr <> 0 then begin
+        let tgt = d.d_rptr - 1 in
+        if Hashtbl.mem targets tgt then
+          err "dentry %d targeted by two rename pointers" tgt;
+        Hashtbl.replace targets tgt ();
+        if t.dentries.(tgt).d_rptr = i + 1 then
+          err "rename pointer cycle between %d and %d" i tgt
+      end)
+    t.dentries;
+  List.rev !errs
+
+(* {1 Recovery (the mount-time procedure on the abstract state)} *)
+
+let recover t =
+  let t = copy t in
+  (* complete committed renames, roll back everything pre-commit *)
+  Array.iteri
+    (fun i d ->
+      if d.d_alloc && d.d_rptr <> 0 then
+        if d.d_ino <> 0 then begin
+          let src = d.d_rptr - 1 in
+          if t.dentries.(src).d_ino = d.d_ino || t.dentries.(src).d_ino = 0
+          then begin
+            (* committed: clear + free the source, drop the pointer *)
+            t.dentries.(src) <- free_dentry;
+            t.dentries.(i) <- { d with d_rptr = 0 }
+          end
+          else
+            (* pre-commit overwrite: the destination still holds its old
+               target; just drop the pointer *)
+            t.dentries.(i) <- { d with d_rptr = 0 }
+        end
+        else t.dentries.(i) <- free_dentry)
+    t.dentries;
+  (* free allocated-but-uncommitted dentries *)
+  Array.iteri
+    (fun i d -> if d.d_alloc && d.d_ino = 0 then t.dentries.(i) <- free_dentry)
+    t.dentries;
+  (* free unreferenced inodes; fix link counts *)
+  let live = live_entries t in
+  Array.iteri
+    (fun i n ->
+      if n.i_alloc && i <> root then begin
+        let refs = List.filter (fun d -> d.d_ino = i) live in
+        if refs = [] then t.inodes.(i) <- free_inode
+        else
+          let want =
+            match n.i_kind with
+            | KFile -> List.length refs
+            | KDir ->
+                2
+                + List.length
+                    (List.filter
+                       (fun d ->
+                         d.d_parent = i && t.inodes.(d.d_ino).i_kind = KDir)
+                       live)
+          in
+          t.inodes.(i) <- { n with i_links = want }
+      end)
+    t.inodes;
+  (* root link count *)
+  let root_subdirs =
+    List.length
+      (List.filter
+         (fun d ->
+           d.d_parent = root
+           && t.inodes.(d.d_ino).i_alloc
+           && t.inodes.(d.d_ino).i_kind = KDir)
+         (live_entries t))
+  in
+  t.inodes.(root) <- { (t.inodes.(root)) with i_links = 2 + root_subdirs };
+  t

@@ -1,0 +1,144 @@
+(** Explicit-state exploration of the abstract SSU machine: all
+    interleavings of up to two concurrent operations, all intra-fence-
+    group drain orders, a crash at every state, and recovery from every
+    crash state. The paper bounds its Alloy checks to two concurrent
+    operations, ten objects and thirty steps (§5.7); the same bounds
+    apply here (programs are finite and the universe is fixed). *)
+
+type step = { s_op : string; s_micro : Progs.micro }
+
+let pp_step ppf s =
+  Format.fprintf ppf "%s: %a" s.s_op Progs.pp_micro s.s_micro
+
+type violation = {
+  v_detail : string;
+  v_after_recovery : bool;
+  v_trace : step list;
+}
+
+type outcome = {
+  states_explored : int;
+  crash_states_checked : int;
+  violations : violation list;
+}
+
+type scenario = {
+  sc_name : string;
+  sc_init : Absstate.t;
+  sc_ops : Progs.op list;
+  sc_post_recovery : Absstate.t -> string list;
+      (** scenario-specific property checked on every recovered state,
+          in addition to the global invariants *)
+}
+
+let no_extra_property (_ : Absstate.t) : string list = []
+
+type node = {
+  st : Absstate.t;
+  remaining : Progs.micro list list array; (* per op: remaining groups *)
+  trace : step list; (* newest first *)
+}
+
+let run ?(max_violations = 5) sc =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref 0 and crashes = ref 0 in
+  let violations = ref [] in
+  let note detail ~after_recovery trace =
+    if List.length !violations < max_violations then
+      violations :=
+        {
+          v_detail = detail;
+          v_after_recovery = after_recovery;
+          v_trace = List.rev trace;
+        }
+        :: !violations
+  in
+  let check_state node =
+    (* every reachable state is a possible crash state *)
+    incr crashes;
+    (match Absstate.check node.st with
+    | [] -> ()
+    | errs ->
+        note (String.concat " | " errs) ~after_recovery:false node.trace);
+    let recovered = Absstate.recover node.st in
+    (match Absstate.check recovered with
+    | [] -> ()
+    | errs ->
+        note
+          ("post-recovery: " ^ String.concat " | " errs)
+          ~after_recovery:true node.trace);
+    match sc.sc_post_recovery recovered with
+    | [] -> ()
+    | errs ->
+        note
+          ("post-recovery property: " ^ String.concat " | " errs)
+          ~after_recovery:true node.trace
+  in
+  let queue = Queue.create () in
+  let push node =
+    let key =
+      Absstate.encode node.st
+      ^ Marshal.to_string (Array.map (fun g -> g) node.remaining) []
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      incr states;
+      check_state node;
+      Queue.push node queue
+    end
+  in
+  push
+    {
+      st = sc.sc_init;
+      remaining = Array.of_list (List.map (fun op -> op.Progs.groups) sc.sc_ops);
+      trace = [];
+    };
+  while not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    Array.iteri
+      (fun oi groups ->
+        match groups with
+        | [] -> ()
+        | [] :: rest ->
+            (* group drained: advance (no state change) *)
+            let remaining = Array.copy node.remaining in
+            remaining.(oi) <- rest;
+            push { node with remaining }
+        | group :: rest ->
+            (* apply any one pending update from the current group *)
+            List.iteri
+              (fun mi micro ->
+                let st = Absstate.copy node.st in
+                Progs.apply st micro;
+                let remaining = Array.copy node.remaining in
+                remaining.(oi) <-
+                  List.filteri (fun j _ -> j <> mi) group :: rest;
+                let op_name = (List.nth sc.sc_ops oi).Progs.op_name in
+                push
+                  {
+                    st;
+                    remaining;
+                    trace = { s_op = op_name; s_micro = micro } :: node.trace;
+                  })
+              group)
+      node.remaining
+  done;
+  {
+    states_explored = !states;
+    crash_states_checked = !crashes;
+    violations = List.rev !violations;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "states=%d crash-states=%d violations=%d"
+    o.states_explored o.crash_states_checked (List.length o.violations);
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "@.  %s%s@.    trace: %a"
+        (if v.v_after_recovery then "[post-recovery] " else "")
+        v.v_detail
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+           pp_step)
+        v.v_trace)
+    o.violations

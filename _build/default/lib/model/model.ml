@@ -1,0 +1,7 @@
+(** Bounded model checker for the Synchronous Soft Updates design
+    (substitute for the paper's Alloy model, §3.4/§5.7). *)
+
+module Absstate = Absstate
+module Progs = Progs
+module Explore = Explore
+module Scenarios = Scenarios

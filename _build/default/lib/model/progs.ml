@@ -1,0 +1,225 @@
+(** Operation programs for the abstract SSU machine.
+
+    Each file-system operation is a list of {e fence groups}; a group is a
+    set of crash-atomic updates that share one store fence, so they may
+    drain to PM in any order, while updates in later groups strictly
+    follow earlier groups — exactly the ordering discipline the typestate
+    API enforces in the implementation. The explorer interleaves groups'
+    updates in every order (and interleaves concurrent operations). *)
+
+open Absstate
+
+type micro =
+  | Init_inode of int * kind * int (* inode, kind, initial links *)
+  | Set_name of int * int (* dentry, parent dir inode *)
+  | Commit of int * int (* dentry, inode *)
+  | Clear_ino of int
+  | Inc_links of int
+  | Dec_links of int
+  | Free_dentry of int
+  | Free_inode of int
+  | Set_rptr of int * int (* dst dentry, src dentry *)
+  | Clear_rptr of int
+  | Commit_rename of int * int (* dst dentry, src dentry *)
+
+let pp_micro ppf = function
+  | Init_inode (i, _, _) -> Format.fprintf ppf "init_inode(%d)" i
+  | Set_name (d, p) -> Format.fprintf ppf "set_name(d%d,parent=%d)" d p
+  | Commit (d, i) -> Format.fprintf ppf "commit(d%d->%d)" d i
+  | Clear_ino d -> Format.fprintf ppf "clear_ino(d%d)" d
+  | Inc_links i -> Format.fprintf ppf "inc_links(%d)" i
+  | Dec_links i -> Format.fprintf ppf "dec_links(%d)" i
+  | Free_dentry d -> Format.fprintf ppf "free_dentry(d%d)" d
+  | Free_inode i -> Format.fprintf ppf "free_inode(%d)" i
+  | Set_rptr (d, s) -> Format.fprintf ppf "set_rptr(d%d->d%d)" d s
+  | Clear_rptr d -> Format.fprintf ppf "clear_rptr(d%d)" d
+  | Commit_rename (d, s) -> Format.fprintf ppf "commit_rename(d%d<-d%d)" d s
+
+let apply (t : Absstate.t) = function
+  | Init_inode (i, kind, links) ->
+      t.inodes.(i) <-
+        { i_alloc = true; i_kind = kind; i_links = links; i_init = true }
+  | Set_name (d, parent) ->
+      t.dentries.(d) <-
+        { (t.dentries.(d)) with d_alloc = true; d_named = true; d_parent = parent }
+  | Commit (d, i) -> t.dentries.(d) <- { (t.dentries.(d)) with d_ino = i }
+  | Clear_ino d -> t.dentries.(d) <- { (t.dentries.(d)) with d_ino = 0 }
+  | Inc_links i ->
+      t.inodes.(i) <- { (t.inodes.(i)) with i_links = t.inodes.(i).i_links + 1 }
+  | Dec_links i ->
+      t.inodes.(i) <- { (t.inodes.(i)) with i_links = t.inodes.(i).i_links - 1 }
+  | Free_dentry d -> t.dentries.(d) <- free_dentry
+  | Free_inode i -> t.inodes.(i) <- free_inode
+  | Set_rptr (d, s) -> t.dentries.(d) <- { (t.dentries.(d)) with d_rptr = s + 1 }
+  | Clear_rptr d -> t.dentries.(d) <- { (t.dentries.(d)) with d_rptr = 0 }
+  | Commit_rename (d, s) ->
+      t.dentries.(d) <-
+        { (t.dentries.(d)) with d_ino = t.dentries.(s).d_ino }
+
+type op = { op_name : string; groups : micro list list }
+
+(* {1 Correct SSU programs (paper §3.3, fig. 2/3)} *)
+
+let create ~dentry ~ino ~parent =
+  {
+    op_name = Printf.sprintf "create(d%d,i%d)" dentry ino;
+    groups =
+      [
+        [ Init_inode (ino, KFile, 1); Set_name (dentry, parent) ];
+        [ Commit (dentry, ino) ];
+      ];
+  }
+
+let mkdir ~dentry ~ino ~parent =
+  {
+    op_name = Printf.sprintf "mkdir(d%d,i%d)" dentry ino;
+    groups =
+      [
+        [
+          Init_inode (ino, KDir, 2);
+          Set_name (dentry, parent);
+          Inc_links parent;
+        ];
+        [ Commit (dentry, ino) ];
+      ];
+  }
+
+(* unlink of a file whose link count is 1 (full deallocation). *)
+let unlink ~dentry ~ino =
+  {
+    op_name = Printf.sprintf "unlink(d%d,i%d)" dentry ino;
+    groups =
+      [
+        [ Clear_ino dentry ];
+        [ Dec_links ino; Free_dentry dentry ];
+        [ Free_inode ino ];
+      ];
+  }
+
+(* unlink of a hard link (target keeps other links). *)
+let unlink_hardlink ~dentry ~ino =
+  {
+    op_name = Printf.sprintf "unlink-link(d%d,i%d)" dentry ino;
+    groups = [ [ Clear_ino dentry ]; [ Dec_links ino; Free_dentry dentry ] ];
+  }
+
+let link ~dentry ~ino ~parent =
+  {
+    op_name = Printf.sprintf "link(d%d,i%d)" dentry ino;
+    groups =
+      [
+        [ Set_name (dentry, parent); Inc_links ino ];
+        [ Commit (dentry, ino) ];
+      ];
+  }
+
+let rmdir ~dentry ~ino ~parent =
+  {
+    op_name = Printf.sprintf "rmdir(d%d,i%d)" dentry ino;
+    groups =
+      [
+        [ Clear_ino dentry ];
+        [ Dec_links parent; Free_dentry dentry ];
+        [ Free_inode ino ];
+      ];
+  }
+
+(* rename to a fresh destination (fig. 2). *)
+let rename ~src ~dst ~dst_parent =
+  {
+    op_name = Printf.sprintf "rename(d%d->d%d)" src dst;
+    groups =
+      [
+        [ Set_name (dst, dst_parent) ];
+        [ Set_rptr (dst, src) ];
+        [ Commit_rename (dst, src) ];
+        [ Clear_ino src ];
+        [ Clear_rptr dst ];
+        [ Free_dentry src ];
+      ];
+  }
+
+(* rename replacing an existing destination whose target has one link. *)
+let rename_overwrite ~src ~dst ~old_ino =
+  {
+    op_name = Printf.sprintf "rename-over(d%d->d%d)" src dst;
+    groups =
+      [
+        [ Set_rptr (dst, src) ];
+        [ Commit_rename (dst, src) ];
+        [ Clear_ino src ];
+        [ Clear_rptr dst; Dec_links old_ino ];
+        [ Free_dentry src ];
+        [ Free_inode old_ino ];
+      ];
+  }
+
+(* cross-directory move of a directory (parent link counts change). *)
+let rename_dir_move ~src ~dst ~old_parent ~new_parent =
+  {
+    op_name = Printf.sprintf "rename-dir(d%d->d%d)" src dst;
+    groups =
+      [
+        [ Set_name (dst, new_parent); Inc_links new_parent ];
+        [ Set_rptr (dst, src) ];
+        [ Commit_rename (dst, src) ];
+        [ Clear_ino src ];
+        [ Clear_rptr dst; Dec_links old_parent ];
+        [ Free_dentry src ];
+      ];
+  }
+
+(* {1 Buggy variants (§4.2 reinjection: each violates one ordering)} *)
+
+(* dentry commit in the same fence group as inode init: the commit may
+   drain before the init (paper Listing 1). *)
+let buggy_create_commit_first ~dentry ~ino ~parent =
+  {
+    op_name = Printf.sprintf "BUGGY-create(d%d,i%d)" dentry ino;
+    groups =
+      [
+        [
+          Set_name (dentry, parent);
+          Commit (dentry, ino);
+          Init_inode (ino, KFile, 1);
+        ];
+      ];
+  }
+
+(* link decrement before the dentry clear (the §4.2 rename bug). *)
+let buggy_unlink_dec_first ~dentry ~ino =
+  {
+    op_name = Printf.sprintf "BUGGY-unlink(d%d,i%d)" dentry ino;
+    groups =
+      [
+        [ Dec_links ino ];
+        [ Clear_ino dentry; Free_dentry dentry ];
+        [ Free_inode ino ];
+      ];
+  }
+
+(* rename without the rename pointer: after a crash both names exist with
+   no way to tell which to keep — and the model's recovery cannot repair
+   what it cannot see, so the atomic-rename property fails. *)
+let buggy_rename_no_rptr ~src ~dst ~dst_parent =
+  {
+    op_name = Printf.sprintf "BUGGY-rename(d%d->d%d)" src dst;
+    groups =
+      [
+        [ Set_name (dst, dst_parent) ];
+        [ Commit_rename (dst, src) ];
+        [ Clear_ino src ];
+        [ Free_dentry src ];
+      ];
+  }
+
+(* mkdir that commits before the parent's link increment is durable. *)
+let buggy_mkdir_commit_before_inc ~dentry ~ino ~parent =
+  {
+    op_name = Printf.sprintf "BUGGY-mkdir(d%d,i%d)" dentry ino;
+    groups =
+      [
+        [ Init_inode (ino, KDir, 2); Set_name (dentry, parent) ];
+        [ Commit (dentry, ino); Inc_links parent ];
+      ];
+  }

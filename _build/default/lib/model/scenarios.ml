@@ -1,0 +1,121 @@
+(** Checked scenarios: bounded universes with one or two concurrent
+    operations (the paper's model-checking configuration, §5.7), plus the
+    buggy variants whose counterexample traces reproduce the design bugs
+    Alloy found during development (§4.2). *)
+
+open Absstate
+
+type t = Explore.scenario
+
+let mk name ?(n_inodes = 6) ?(n_dentries = 5) ?(setup = []) ?post ops : t =
+  let init = create ~n_inodes ~n_dentries in
+  List.iter (Progs.apply init) setup;
+  {
+    Explore.sc_name = name;
+    sc_init = init;
+    sc_ops = ops;
+    sc_post_recovery =
+      (match post with Some p -> p | None -> Explore.no_extra_property);
+  }
+
+(* Pre-populate: dentry 0 -> file inode 2 (one link). *)
+let with_file =
+  [
+    Progs.Init_inode (2, KFile, 1);
+    Progs.Set_name (0, root);
+    Progs.Commit (0, 2);
+  ]
+
+(* Pre-populate: dentry 1 -> dir inode 3, root links raised. *)
+let with_dir =
+  [
+    Progs.Init_inode (3, KDir, 2);
+    Progs.Set_name (1, root);
+    Progs.Commit (1, 3);
+    Progs.Inc_links root;
+  ]
+
+(* Atomic-rename property (fig. 2): after recovery, exactly one of
+   src/dst holds the moved inode. *)
+let atomic_rename ~src ~dst ~ino (st : Absstate.t) =
+  let holds d = st.dentries.(d).d_alloc && st.dentries.(d).d_ino = ino in
+  match (holds src, holds dst) with
+  | true, true -> [ Printf.sprintf "both d%d and d%d live after recovery" src dst ]
+  | false, false -> [ Printf.sprintf "neither d%d nor d%d survived" src dst ]
+  | true, false | false, true -> []
+
+let correct : t list =
+  [
+    mk "create" [ Progs.create ~dentry:0 ~ino:2 ~parent:root ];
+    mk "mkdir" [ Progs.mkdir ~dentry:0 ~ino:2 ~parent:root ];
+    mk "unlink" ~setup:with_file [ Progs.unlink ~dentry:0 ~ino:2 ];
+    mk "link" ~setup:with_file [ Progs.link ~dentry:1 ~ino:2 ~parent:root ];
+    mk "rmdir" ~setup:with_dir [ Progs.rmdir ~dentry:1 ~ino:3 ~parent:root ];
+    mk "rename"
+      ~setup:with_file
+      ~post:(atomic_rename ~src:0 ~dst:1 ~ino:2)
+      [ Progs.rename ~src:0 ~dst:1 ~dst_parent:root ];
+    mk "rename-overwrite"
+      ~setup:
+        (with_file
+        @ [
+            Progs.Init_inode (3, KFile, 1);
+            Progs.Set_name (1, root);
+            Progs.Commit (1, 3);
+          ])
+      ~post:(atomic_rename ~src:0 ~dst:1 ~ino:2)
+      [ Progs.rename_overwrite ~src:0 ~dst:1 ~old_ino:3 ];
+    mk "rename-dir-move"
+      ~setup:
+        (with_dir
+        @ [
+            (* a directory at dentry 0 under root to move into dir 3 *)
+            Progs.Init_inode (2, KDir, 2);
+            Progs.Set_name (0, root);
+            Progs.Commit (0, 2);
+            Progs.Inc_links root;
+          ])
+      ~post:(atomic_rename ~src:0 ~dst:2 ~ino:2)
+      [ Progs.rename_dir_move ~src:0 ~dst:2 ~old_parent:root ~new_parent:3 ];
+    (* two concurrent operations *)
+    mk "create||create"
+      [
+        Progs.create ~dentry:0 ~ino:2 ~parent:root;
+        Progs.create ~dentry:1 ~ino:3 ~parent:root;
+      ];
+    mk "mkdir||mkdir"
+      [
+        Progs.mkdir ~dentry:0 ~ino:2 ~parent:root;
+        Progs.mkdir ~dentry:1 ~ino:3 ~parent:root;
+      ];
+    mk "create||unlink" ~setup:with_file
+      [
+        Progs.unlink ~dentry:0 ~ino:2;
+        Progs.create ~dentry:1 ~ino:3 ~parent:root;
+      ];
+    mk "rename||create" ~setup:with_file
+      ~post:(atomic_rename ~src:0 ~dst:1 ~ino:2)
+      [
+        Progs.rename ~src:0 ~dst:1 ~dst_parent:root;
+        Progs.create ~dentry:2 ~ino:3 ~parent:root;
+      ];
+    mk "link||mkdir" ~setup:with_file
+      [
+        Progs.link ~dentry:1 ~ino:2 ~parent:root;
+        Progs.mkdir ~dentry:2 ~ino:3 ~parent:root;
+      ];
+    mk "unlink-hardlink" ~setup:(with_file @ [ Progs.Set_name (1, root); Progs.Commit (1, 2); Progs.Inc_links 2 ])
+      [ Progs.unlink_hardlink ~dentry:0 ~ino:2 ];
+  ]
+
+let buggy : t list =
+  [
+    mk "buggy-create" [ Progs.buggy_create_commit_first ~dentry:0 ~ino:2 ~parent:root ];
+    mk "buggy-unlink" ~setup:with_file
+      [ Progs.buggy_unlink_dec_first ~dentry:0 ~ino:2 ];
+    mk "buggy-rename" ~setup:with_file
+      ~post:(atomic_rename ~src:0 ~dst:1 ~ino:2)
+      [ Progs.buggy_rename_no_rptr ~src:0 ~dst:1 ~dst_parent:root ];
+    mk "buggy-mkdir"
+      [ Progs.buggy_mkdir_commit_before_inc ~dentry:0 ~ino:2 ~parent:root ];
+  ]

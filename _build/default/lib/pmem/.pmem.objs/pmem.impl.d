@@ -1,0 +1,1 @@
+lib/pmem/pmem.ml: Device Latency Stats

@@ -1,0 +1,1 @@
+lib/pmem/device.ml: Array Bytes Char Fun Hashtbl Int32 Int64 Latency List Printf Random Stats String

@@ -1,0 +1,308 @@
+let line_size = 64
+let word_size = 8
+
+(* A record is a single store of at most [word_size] bytes that does not
+   cross an 8-byte-aligned boundary, hence crash-atomic. *)
+type record = { off : int; data : string }
+
+type line = {
+  mutable pending : record list; (* newest first *)
+  mutable flushed : int; (* #oldest pending records covered by clwb *)
+}
+
+type t = {
+  size : int;
+  latest : Bytes.t;
+  durable : Bytes.t;
+  lines : (int, line) Hashtbl.t; (* dirty lines only *)
+  latency : Latency.t;
+  stats : Stats.t;
+  mutable now_ns : int;
+  mutable fence_hook : (t -> unit) option;
+  mutable in_fence : bool;
+}
+
+let create ?(latency = Latency.zero) ~size () =
+  {
+    size;
+    latest = Bytes.make size '\000';
+    durable = Bytes.make size '\000';
+    lines = Hashtbl.create 256;
+    latency;
+    stats = Stats.create ();
+    now_ns = 0;
+    fence_hook = None;
+    in_fence = false;
+  }
+
+let of_image ?(latency = Latency.zero) image =
+  {
+    size = Bytes.length image;
+    latest = Bytes.copy image;
+    durable = Bytes.copy image;
+    lines = Hashtbl.create 256;
+    latency;
+    stats = Stats.create ();
+    now_ns = 0;
+    fence_hook = None;
+    in_fence = false;
+  }
+
+let size t = t.size
+let stats t = t.stats
+let now_ns t = t.now_ns
+let charge t ns = t.now_ns <- t.now_ns + ns
+let set_fence_hook t hook = t.fence_hook <- hook
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Pmem.Device: range [%d,%d) outside device of size %d"
+         off (off + len) t.size)
+
+(* {1 Reads} *)
+
+let read t ~off ~len =
+  check_range t off len;
+  let first = off / line_size and last = (off + len - 1) / line_size in
+  let lines = if len = 0 then 0 else last - first + 1 in
+  t.stats.reads <- t.stats.reads + 1;
+  t.stats.bytes_read <- t.stats.bytes_read + len;
+  if lines > 0 then
+    charge t (t.latency.read_base_ns + (lines * t.latency.read_line_ns));
+  Bytes.sub t.latest off len
+
+let read_u64 t off =
+  check_range t off 8;
+  t.stats.reads <- t.stats.reads + 1;
+  t.stats.bytes_read <- t.stats.bytes_read + 8;
+  charge t t.latency.read_meta_ns;
+  Int64.to_int (Bytes.get_int64_le t.latest off)
+
+let read_u32 t off =
+  check_range t off 4;
+  t.stats.reads <- t.stats.reads + 1;
+  t.stats.bytes_read <- t.stats.bytes_read + 4;
+  charge t t.latency.read_meta_ns;
+  Int32.to_int (Bytes.get_int32_le t.latest off) land 0xFFFFFFFF
+
+let read_byte t off =
+  check_range t off 1;
+  t.stats.reads <- t.stats.reads + 1;
+  t.stats.bytes_read <- t.stats.bytes_read + 1;
+  charge t t.latency.read_meta_ns;
+  Char.code (Bytes.get t.latest off)
+
+(* {1 Stores} *)
+
+let get_line t idx =
+  match Hashtbl.find_opt t.lines idx with
+  | Some l -> l
+  | None ->
+      let l = { pending = []; flushed = 0 } in
+      Hashtbl.replace t.lines idx l;
+      l
+
+let add_record t ~cost_ns off data =
+  Bytes.blit_string data 0 t.latest off (String.length data);
+  let l = get_line t (off / line_size) in
+  l.pending <- { off; data } :: l.pending;
+  t.stats.stores <- t.stats.stores + 1;
+  t.stats.bytes_stored <- t.stats.bytes_stored + String.length data;
+  charge t cost_ns
+
+(* Split [data] into records that never cross an 8-byte-aligned boundary. *)
+let store_aux t ~cost_ns ~off data =
+  check_range t off (String.length data);
+  let len = String.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let room_in_word = word_size - (abs mod word_size) in
+    let chunk = min room_in_word (len - !pos) in
+    add_record t ~cost_ns abs (String.sub data !pos chunk);
+    pos := !pos + chunk
+  done
+
+let store t ~off data = store_aux t ~cost_ns:t.latency.store_ns ~off data
+
+let flush t ~off ~len =
+  check_range t off len;
+  if len > 0 then begin
+    let first = off / line_size and last = (off + len - 1) / line_size in
+    for idx = first to last do
+      match Hashtbl.find_opt t.lines idx with
+      | None -> ()
+      | Some l ->
+          l.flushed <- List.length l.pending;
+          t.stats.flushes <- t.stats.flushes + 1;
+          charge t t.latency.flush_ns
+    done
+  end
+
+(* Bulk store with cache-line-sized records: used only for zeroing freshly
+   allocated or deallocated regions, where intra-line tearing of uniform
+   content is acceptable. Keeps the pending-store log small. *)
+let store_coarse t ~off data =
+  check_range t off (String.length data);
+  let len = String.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let room = line_size - (abs mod line_size) in
+    let chunk = min room (len - !pos) in
+    add_record t ~cost_ns:t.latency.nt_store_ns abs (String.sub data !pos chunk);
+    pos := !pos + chunk
+  done;
+  flush t ~off ~len
+
+let store_nt t ~off data =
+  store_aux t ~cost_ns:t.latency.nt_store_ns ~off data;
+  flush t ~off ~len:(String.length data)
+
+let store_u64 t off v =
+  if off mod 8 <> 0 then invalid_arg "Pmem.Device.store_u64: unaligned";
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  store t ~off (Bytes.to_string b)
+
+let store_u32 t off v =
+  if off mod 4 <> 0 then invalid_arg "Pmem.Device.store_u32: unaligned";
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  store t ~off (Bytes.to_string b)
+
+let store_byte t off v = store t ~off (String.make 1 (Char.chr (v land 0xFF)))
+
+let zero t ~off ~len =
+  if len > 0 then store_coarse t ~off (String.make len '\000')
+
+(* {1 Fence} *)
+
+let apply_record durable { off; data } =
+  Bytes.blit_string data 0 durable off (String.length data)
+
+let fence t =
+  (match t.fence_hook with
+  | Some hook when not t.in_fence ->
+      t.in_fence <- true;
+      Fun.protect ~finally:(fun () -> t.in_fence <- false) (fun () -> hook t)
+  | Some _ | None -> ());
+  let drained = ref 0 in
+  let finished = ref [] in
+  Hashtbl.iter
+    (fun idx l ->
+      if l.flushed > 0 then begin
+        (* Apply the oldest [l.flushed] records to the durable image; the
+           rest stay pending ([l.pending] is newest-first). *)
+        let oldest_first = List.rev l.pending in
+        let rec take n = function
+          | r :: rest when n > 0 ->
+              apply_record t.durable r;
+              take (n - 1) rest
+          | rest -> rest
+        in
+        let remaining_oldest_first = take l.flushed oldest_first in
+        l.pending <- List.rev remaining_oldest_first;
+        l.flushed <- 0;
+        incr drained;
+        if l.pending = [] then finished := idx :: !finished
+      end)
+    t.lines;
+  List.iter (Hashtbl.remove t.lines) !finished;
+  t.stats.fences <- t.stats.fences + 1;
+  t.stats.lines_drained <- t.stats.lines_drained + !drained;
+  charge t (t.latency.fence_base_ns + (!drained * t.latency.fence_line_ns))
+
+let persist t ~off ~len =
+  flush t ~off ~len;
+  fence t
+
+(* {1 Crash images} *)
+
+let is_quiescent t = Hashtbl.length t.lines = 0
+let pending_line_count t = Hashtbl.length t.lines
+
+let image_durable t = Bytes.copy t.durable
+let image_latest t = Bytes.copy t.latest
+
+let dirty_lines t =
+  Hashtbl.fold (fun _ l acc -> List.rev l.pending :: acc) t.lines []
+(* each element: one line's pending records, oldest first *)
+
+let crash_image_count t =
+  let count =
+    List.fold_left
+      (fun acc recs ->
+        let n = List.length recs + 1 in
+        if acc > max_int / n then max_int else acc * n)
+      1 (dirty_lines t)
+  in
+  count
+
+(* Build an image applying, for each line, its first [k] records. *)
+let build_image t lines ks =
+  let img = Bytes.copy t.durable in
+  List.iter2
+    (fun recs k ->
+      let rec go n = function
+        | r :: rest when n > 0 ->
+            apply_record img r;
+            go (n - 1) rest
+        | _ -> ()
+      in
+      go k recs)
+    lines ks;
+  img
+
+let crash_images ?rng ?(max_images = 64) t =
+  let lines = dirty_lines t in
+  let counts = List.map (fun recs -> List.length recs) lines in
+  let total = crash_image_count t in
+  if total <= max_images then begin
+    (* Exhaustive odometer over per-line prefixes. *)
+    let images = ref [] in
+    let ks = Array.of_list (List.map (fun _ -> 0) counts) in
+    let maxes = Array.of_list counts in
+    let n = Array.length ks in
+    let rec emit () =
+      images := build_image t lines (Array.to_list ks) :: !images;
+      (* increment odometer *)
+      let rec inc i =
+        if i >= n then false
+        else if ks.(i) < maxes.(i) then begin
+          ks.(i) <- ks.(i) + 1;
+          true
+        end
+        else begin
+          ks.(i) <- 0;
+          inc (i + 1)
+        end
+      in
+      if inc 0 then emit ()
+    in
+    if n = 0 then [ Bytes.copy t.durable ]
+    else begin
+      emit ();
+      !images
+    end
+  end
+  else begin
+    let rng =
+      match rng with Some r -> r | None -> Random.State.make [| 0x5eed |]
+    in
+    let extremes =
+      [
+        build_image t lines (List.map (fun _ -> 0) counts);
+        build_image t lines counts;
+      ]
+    in
+    let samples =
+      List.init
+        (max 0 (max_images - 2))
+        (fun _ ->
+          let ks = List.map (fun c -> Random.State.int rng (c + 1)) counts in
+          build_image t lines ks)
+    in
+    extremes @ samples
+  end

@@ -1,0 +1,110 @@
+(** Simulated persistent-memory device with x86 persistence semantics.
+
+    The device models the programming model assumed by SquirrelFS (§3.4 of
+    the paper): regular stores land in the CPU cache and are not durable;
+    [flush] ([clwb]) initiates write-back of a cache line; [fence]
+    ([sfence]) guarantees that all previously flushed stores are durable.
+    Only stores of at most 8 bytes that do not cross an 8-byte-aligned
+    boundary are crash-atomic; larger stores are split into such units,
+    which may persist independently (torn writes).
+
+    At any moment the possible crash states are: the durable image, plus —
+    for each dirty cache line — any prefix of the line's pending stores
+    (cache lines may be evicted spontaneously, in any order across lines,
+    but stores to the same line drain in order). [crash_images] enumerates
+    or samples that space.
+
+    The device also keeps a simulated clock: every store, flush, fence and
+    read advances it per the {!Latency} model, and file systems charge
+    their own software overhead with [charge]. Benchmarks report simulated
+    time, which makes results deterministic and machine-independent. *)
+
+type t
+
+val create : ?latency:Latency.t -> size:int -> unit -> t
+(** Fresh zeroed device of [size] bytes. Default latency is {!Latency.zero}
+    (functional-test profile); benchmarks pass {!Latency.optane}. *)
+
+val of_image : ?latency:Latency.t -> Bytes.t -> t
+(** Quiescent device whose durable and visible contents are [image]
+    (crash-image remount path). The image is copied. *)
+
+val size : t -> int
+val stats : t -> Stats.t
+
+(** {1 Clock} *)
+
+val now_ns : t -> int
+val charge : t -> int -> unit
+(** [charge t ns] advances the clock by [ns] of software overhead. *)
+
+(** {1 Access} *)
+
+val read : t -> off:int -> len:int -> Bytes.t
+(** Read the CPU-visible (latest) contents. *)
+
+val read_u64 : t -> int -> int
+val read_u32 : t -> int -> int
+val read_byte : t -> int -> int
+
+val store : t -> off:int -> string -> unit
+(** Regular store: visible immediately, durable only after flush + fence.
+    Split into 8-byte atomic units. *)
+
+val store_u64 : t -> int -> int -> unit
+(** 8-byte aligned store: crash-atomic (single unit). Raises
+    [Invalid_argument] if [off] is not 8-byte aligned. *)
+
+val store_u32 : t -> int -> int -> unit
+val store_byte : t -> int -> int -> unit
+
+val store_nt : t -> off:int -> string -> unit
+(** Non-temporal store: bypasses the cache (modelled as store + flush of
+    the covered lines); still requires a fence for durability. *)
+
+val store_coarse : t -> off:int -> string -> unit
+(** Bulk store split at cache-line rather than 8-byte granularity, and
+    flushed immediately (non-temporal). Only for zeroing/bulk-initializing
+    regions whose intermediate crash states are uniform; keeps the pending
+    log small. Still requires a fence for durability. *)
+
+val zero : t -> off:int -> len:int -> unit
+(** Coarse-store zeroes over the range (flushed, not fenced). *)
+
+(** {1 Persistence primitives} *)
+
+val flush : t -> off:int -> len:int -> unit
+(** [clwb] every cache line overlapping the range. *)
+
+val fence : t -> unit
+(** [sfence]: all flushed stores become durable. Runs the fence hook (if
+    any) first, so the hook observes the maximal pending state. *)
+
+val persist : t -> off:int -> len:int -> unit
+(** [flush] then [fence]. *)
+
+val set_fence_hook : t -> (t -> unit) option -> unit
+(** Hook invoked at every [fence], before it takes effect; used by the
+    crash-consistency harness to probe crash images at persist
+    boundaries. *)
+
+(** {1 Crash states} *)
+
+val is_quiescent : t -> bool
+(** No pending (non-durable) stores. *)
+
+val pending_line_count : t -> int
+
+val image_durable : t -> Bytes.t
+(** Crash image containing only durable stores. *)
+
+val image_latest : t -> Bytes.t
+(** Image with every pending store applied (the "nothing lost" image). *)
+
+val crash_images : ?rng:Random.State.t -> ?max_images:int -> t -> Bytes.t list
+(** All legal crash images if there are at most [max_images] (default 64)
+    of them; otherwise the two extreme images plus a random sample, using
+    [rng] (default: a fixed seed for reproducibility). *)
+
+val crash_image_count : t -> int
+(** Number of legal crash images ([max_int] on overflow). *)

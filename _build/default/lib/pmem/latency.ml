@@ -1,0 +1,34 @@
+type t = {
+  store_ns : int;
+  nt_store_ns : int;
+  read_base_ns : int;
+  read_line_ns : int;
+  read_meta_ns : int;
+  flush_ns : int;
+  fence_base_ns : int;
+  fence_line_ns : int;
+}
+
+let optane =
+  {
+    store_ns = 1;
+    nt_store_ns = 8;
+    read_base_ns = 100;
+    read_line_ns = 12;
+    read_meta_ns = 40;
+    flush_ns = 4;
+    fence_base_ns = 60;
+    fence_line_ns = 30;
+  }
+
+let zero =
+  {
+    store_ns = 0;
+    nt_store_ns = 0;
+    read_base_ns = 0;
+    read_line_ns = 0;
+    read_meta_ns = 0;
+    flush_ns = 0;
+    fence_base_ns = 0;
+    fence_line_ns = 0;
+  }

@@ -1,0 +1,24 @@
+(** Latency model for the simulated persistent-memory device.
+
+    All costs are in simulated nanoseconds. The defaults are calibrated to
+    published Intel Optane DC PMM numbers (Yang et al., FAST '20): cached
+    stores are near-free, [clwb] issue is cheap, and the store fence pays
+    the media write latency for every line drained by it. *)
+
+type t = {
+  store_ns : int;  (** per 8-byte store into the CPU cache *)
+  nt_store_ns : int;  (** per 8-byte non-temporal store *)
+  read_base_ns : int;  (** first-access latency of a media read *)
+  read_line_ns : int;  (** per additional 64-byte line (bandwidth term) *)
+  read_meta_ns : int;  (** small (<=8-byte) metadata reads, partially cached *)
+  flush_ns : int;  (** per [clwb] issued *)
+  fence_base_ns : int;  (** fixed cost of [sfence] *)
+  fence_line_ns : int;  (** media drain cost per in-flight line *)
+}
+
+val optane : t
+(** Optane-like costs: the profile used by all benchmarks. *)
+
+val zero : t
+(** All costs zero; functional tests use this to stay fast while still
+    exercising the ordering semantics and statistics counters. *)

@@ -1,0 +1,5 @@
+(** Simulated persistent memory: device, latency model, statistics. *)
+
+module Device = Device
+module Latency = Latency
+module Stats = Stats

@@ -1,0 +1,47 @@
+type t = {
+  mutable stores : int;
+  mutable bytes_stored : int;
+  mutable reads : int;
+  mutable bytes_read : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable lines_drained : int;
+}
+
+let create () =
+  {
+    stores = 0;
+    bytes_stored = 0;
+    reads = 0;
+    bytes_read = 0;
+    flushes = 0;
+    fences = 0;
+    lines_drained = 0;
+  }
+
+let reset t =
+  t.stores <- 0;
+  t.bytes_stored <- 0;
+  t.reads <- 0;
+  t.bytes_read <- 0;
+  t.flushes <- 0;
+  t.fences <- 0;
+  t.lines_drained <- 0
+
+let copy t =
+  {
+    stores = t.stores;
+    bytes_stored = t.bytes_stored;
+    reads = t.reads;
+    bytes_read = t.bytes_read;
+    flushes = t.flushes;
+    fences = t.fences;
+    lines_drained = t.lines_drained;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "stores=%d bytes_stored=%d reads=%d bytes_read=%d flushes=%d fences=%d \
+     lines_drained=%d"
+    t.stores t.bytes_stored t.reads t.bytes_read t.flushes t.fences
+    t.lines_drained

@@ -1,0 +1,16 @@
+(** Operation counters for a simulated PM device. *)
+
+type t = {
+  mutable stores : int;  (** store instructions (8-byte units) *)
+  mutable bytes_stored : int;
+  mutable reads : int;  (** read calls *)
+  mutable bytes_read : int;
+  mutable flushes : int;  (** [clwb] instructions *)
+  mutable fences : int;  (** [sfence] instructions *)
+  mutable lines_drained : int;  (** in-flight lines made durable by fences *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

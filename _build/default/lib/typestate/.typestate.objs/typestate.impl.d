@@ -1,0 +1,1 @@
+lib/typestate/typestate.ml: States Token

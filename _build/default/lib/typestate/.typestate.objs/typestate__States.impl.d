@@ -1,0 +1,1 @@
+lib/typestate/states.ml:

@@ -1,0 +1,1 @@
+lib/typestate/token.ml: Hashtbl Printf

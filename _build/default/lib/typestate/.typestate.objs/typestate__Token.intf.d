@@ -1,0 +1,1 @@
+lib/typestate/token.mli:

@@ -1,0 +1,3 @@
+type dirty = |
+type in_flight = |
+type clean = |

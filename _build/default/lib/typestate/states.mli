@@ -1,0 +1,13 @@
+(** Phantom persistence typestates (paper §3.2).
+
+    These uninhabited types are used as phantom type parameters on handles
+    to persistent objects. A value of type [('p, 's) handle] with
+    ['p = dirty] has pending stores; [in_flight] means the stores have been
+    flushed ([clwb]) but not yet fenced; [clean] means every update issued
+    through the handle is durable. Transition functions are only defined at
+    the legal source states, so calling them out of order is a compile-time
+    type error — the OCaml analogue of the Rust typestate pattern. *)
+
+type dirty
+type in_flight
+type clean

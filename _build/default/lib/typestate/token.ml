@@ -1,0 +1,64 @@
+exception Stale_handle of string
+
+type registry = {
+  gens : (int, int) Hashtbl.t;
+  flush_epochs : (int, int) Hashtbl.t;
+  mutable epoch : int;
+}
+
+type t = { oid : int; gen : int }
+
+let create_registry () =
+  { gens = Hashtbl.create 64; flush_epochs = Hashtbl.create 64; epoch = 1 }
+
+let current reg oid =
+  match Hashtbl.find_opt reg.gens oid with Some g -> g | None -> 0
+
+let mint reg ~id =
+  let g = current reg id + 1 in
+  Hashtbl.replace reg.gens id g;
+  { oid = id; gen = g }
+
+let validate reg t =
+  if current reg t.oid <> t.gen then
+    raise
+      (Stale_handle
+         (Printf.sprintf
+            "object %d: handle generation %d is stale (current %d)" t.oid
+            t.gen (current reg t.oid)))
+
+let use reg t =
+  validate reg t;
+  mint reg ~id:t.oid
+
+let check reg t = validate reg t
+
+let release reg t =
+  validate reg t;
+  ignore (mint reg ~id:t.oid)
+
+let id t = t.oid
+
+let epoch reg = reg.epoch
+let bump_epoch reg = reg.epoch <- reg.epoch + 1
+
+let flushed_at reg t =
+  let t' = use reg t in
+  Hashtbl.replace reg.flush_epochs t.oid reg.epoch;
+  t'
+
+let assert_fenced reg t =
+  validate reg t;
+  (match Hashtbl.find_opt reg.flush_epochs t.oid with
+  | None ->
+      raise
+        (Stale_handle
+           (Printf.sprintf "object %d: fenced without a recorded flush" t.oid))
+  | Some fe ->
+      if fe >= reg.epoch then
+        raise
+          (Stale_handle
+             (Printf.sprintf
+                "object %d: no fence since flush (flush epoch %d, current %d)"
+                t.oid fe reg.epoch)));
+  use reg t

@@ -1,0 +1,58 @@
+(** Runtime linearity tokens.
+
+    Rust's ownership system guarantees each persistent object has exactly
+    one live handle, which is what makes typestate sound there. OCaml's
+    phantom types enforce the *ordering* of transitions statically but
+    cannot prevent an old handle from being used twice. These generation
+    tokens close that hole dynamically: every handle carries the
+    generation under which it was minted, every typestate transition
+    consumes the token ([use]) and bumps the generation, and using a stale
+    handle raises {!Stale_handle}. This is the documented substitution for
+    linearity (see DESIGN.md). *)
+
+exception Stale_handle of string
+
+type registry
+(** Per-filesystem table mapping object ids to their current generation,
+    plus the fence-epoch counter used by shared-fence witnesses. *)
+
+type t
+(** A token: object id + generation. Immutable; transitions mint fresh
+    tokens. *)
+
+val create_registry : unit -> registry
+
+val mint : registry -> id:int -> t
+(** Start a handle chain for object [id]: invalidates any outstanding
+    token for [id] and returns a fresh one. *)
+
+val use : registry -> t -> t
+(** Consume a token: verifies it is current, then bumps the generation and
+    returns the successor token. Raises {!Stale_handle} if the token was
+    already consumed (double use of a handle). *)
+
+val check : registry -> t -> unit
+(** Verify the token is current without consuming it (read-only access).
+    Raises {!Stale_handle} otherwise. *)
+
+val release : registry -> t -> unit
+(** End a handle chain: consumes the token with no successor. *)
+
+val id : t -> int
+
+(** {1 Fence epochs}
+
+    Shared-fence support: flushing a handle records the current epoch;
+    the filesystem bumps the epoch at every [sfence]; a handle may move
+    [in_flight -> clean] only if its flush epoch predates the current
+    epoch, i.e. a fence really happened after its flush. *)
+
+val epoch : registry -> int
+val bump_epoch : registry -> unit
+
+val flushed_at : registry -> t -> t
+(** Consume [t], recording the current epoch as its flush epoch. *)
+
+val assert_fenced : registry -> t -> t
+(** Consume [t], verifying a fence occurred since its flush epoch. Raises
+    {!Stale_handle} with an explanatory message if not. *)

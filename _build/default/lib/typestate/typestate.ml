@@ -1,0 +1,4 @@
+(** Phantom typestates and runtime linearity tokens. *)
+
+module States = States
+module Token = Token

@@ -1,0 +1,1 @@
+lib/vfs/vfs.ml: Conformance Errno Fs Logical Path

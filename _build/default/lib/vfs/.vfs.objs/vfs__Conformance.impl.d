@@ -1,0 +1,1 @@
+lib/vfs/conformance.ml: Char Errno Format Fs List Logical Pmem Printf String

@@ -1,0 +1,1 @@
+lib/vfs/conformance.mli: Fs Pmem

@@ -1,0 +1,1 @@
+lib/vfs/logical.ml: Errno Format Fs Hashtbl List Path Printf

@@ -1,0 +1,1 @@
+lib/vfs/logical.mli: Format Fs

@@ -1,0 +1,381 @@
+let failf fmt = Printf.ksprintf failwith fmt
+
+let cases (module F : Fs.S) ~device =
+  let ok what = function
+    | Ok v -> v
+    | Error e -> failf "%s: unexpected %s" what (Errno.to_string e)
+  in
+  let expect_err what want = function
+    | Ok _ -> failf "%s: expected %s, got success" what (Errno.to_string want)
+    | Error e ->
+        if not (Errno.equal e want) then
+          failf "%s: expected %s, got %s" what (Errno.to_string want)
+            (Errno.to_string e)
+  in
+  let fresh () =
+    let dev = device () in
+    F.mkfs dev;
+    ok "mount" (F.mount dev)
+  in
+  let check_eq what pp a b = if a <> b then failf "%s: got %s, want %s" what (pp a) (pp b) in
+  let str_of_int = string_of_int in
+  let id (s : string) = s in
+  let strs l = String.concat "," (List.sort compare l) in
+  [
+    ( "root exists and is an empty dir",
+      fun () ->
+        let fs = fresh () in
+        let st = ok "stat /" (F.stat fs "/") in
+        if st.Fs.kind <> Fs.Dir then failf "root is not a dir";
+        check_eq "root links" str_of_int st.Fs.links 2;
+        check_eq "root readdir" strs (ok "readdir /" (F.readdir fs "/")) [] );
+    ( "create file, stat and readdir",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        let st = ok "stat" (F.stat fs "/a") in
+        if st.Fs.kind <> Fs.File then failf "/a is not a file";
+        check_eq "size" str_of_int st.Fs.size 0;
+        check_eq "links" str_of_int st.Fs.links 1;
+        check_eq "entries" strs (ok "readdir" (F.readdir fs "/")) [ "a" ] );
+    ( "create existing fails EEXIST",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        expect_err "create again" Errno.EEXIST (F.create fs "/a") );
+    ( "create in missing dir fails ENOENT",
+      fun () ->
+        let fs = fresh () in
+        expect_err "create" Errno.ENOENT (F.create fs "/no/a") );
+    ( "create under a file fails ENOTDIR",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/f");
+        expect_err "create" Errno.ENOTDIR (F.create fs "/f/a") );
+    ( "write/read roundtrip",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        let n = ok "write" (F.write fs "/a" ~off:0 "hello world") in
+        check_eq "written" str_of_int n 11;
+        check_eq "read" id (ok "read" (F.read fs "/a" ~off:0 ~len:11)) "hello world";
+        check_eq "size" str_of_int (ok "stat" (F.stat fs "/a")).Fs.size 11 );
+    ( "overwrite in place",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:0 "aaaaaaaaaa"));
+        ignore (ok "write" (F.write fs "/a" ~off:3 "XYZ"));
+        check_eq "read" id (ok "read" (F.read fs "/a" ~off:0 ~len:10)) "aaaXYZaaaa" );
+    ( "append extends size",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "w1" (F.write fs "/a" ~off:0 "12345"));
+        ignore (ok "w2" (F.write fs "/a" ~off:5 "6789"));
+        check_eq "size" str_of_int (ok "stat" (F.stat fs "/a")).Fs.size 9;
+        check_eq "read" id (ok "read" (F.read fs "/a" ~off:0 ~len:9)) "123456789" );
+    ( "sparse write fills gap with zeros",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:100 "X"));
+        check_eq "size" str_of_int (ok "stat" (F.stat fs "/a")).Fs.size 101;
+        let d = ok "read" (F.read fs "/a" ~off:0 ~len:101) in
+        if String.sub d 0 100 <> String.make 100 '\000' then
+          failf "gap not zero-filled";
+        check_eq "tail" id (String.sub d 100 1) "X" );
+    ( "read past EOF is short",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:0 "abc"));
+        check_eq "short read" id (ok "read" (F.read fs "/a" ~off:1 ~len:100)) "bc";
+        check_eq "read at EOF" id (ok "read" (F.read fs "/a" ~off:3 ~len:10)) "";
+        check_eq "read beyond EOF" id (ok "read" (F.read fs "/a" ~off:50 ~len:10)) "" );
+    ( "multi-page file",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/big");
+        let chunk = String.init 4096 (fun i -> Char.chr (i mod 251)) in
+        for i = 0 to 4 do
+          ignore (ok "write" (F.write fs "/big" ~off:(i * 4096) chunk))
+        done;
+        check_eq "size" str_of_int (ok "stat" (F.stat fs "/big")).Fs.size 20480;
+        let d = ok "read" (F.read fs "/big" ~off:0 ~len:20480) in
+        for i = 0 to 4 do
+          if String.sub d (i * 4096) 4096 <> chunk then failf "page %d corrupt" i
+        done );
+    ( "unaligned write spanning pages",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        let data = String.make 6000 'Q' in
+        ignore (ok "write" (F.write fs "/a" ~off:3000 data));
+        check_eq "size" str_of_int (ok "stat" (F.stat fs "/a")).Fs.size 9000;
+        let d = ok "read" (F.read fs "/a" ~off:3000 ~len:6000) in
+        check_eq "content" id d data );
+    ( "mkdir and nested paths",
+      fun () ->
+        let fs = fresh () in
+        ok "mkdir /d" (F.mkdir fs "/d");
+        ok "mkdir /d/e" (F.mkdir fs "/d/e");
+        ok "create /d/e/f" (F.create fs "/d/e/f");
+        let st = ok "stat" (F.stat fs "/d/e/f") in
+        if st.Fs.kind <> Fs.File then failf "wrong kind";
+        check_eq "readdir /d" strs (ok "rd" (F.readdir fs "/d")) [ "e" ] );
+    ( "mkdir updates parent link count",
+      fun () ->
+        let fs = fresh () in
+        check_eq "root links" str_of_int (ok "stat" (F.stat fs "/")).Fs.links 2;
+        ok "mkdir" (F.mkdir fs "/d");
+        check_eq "root links after mkdir" str_of_int
+          (ok "stat" (F.stat fs "/")).Fs.links 3;
+        check_eq "new dir links" str_of_int (ok "stat" (F.stat fs "/d")).Fs.links 2;
+        ok "rmdir" (F.rmdir fs "/d");
+        check_eq "root links after rmdir" str_of_int
+          (ok "stat" (F.stat fs "/")).Fs.links 2 );
+    ( "mkdir existing fails EEXIST",
+      fun () ->
+        let fs = fresh () in
+        ok "mkdir" (F.mkdir fs "/d");
+        expect_err "mkdir again" Errno.EEXIST (F.mkdir fs "/d");
+        ok "create" (F.create fs "/f");
+        expect_err "mkdir over file" Errno.EEXIST (F.mkdir fs "/f") );
+    ( "rmdir non-empty fails ENOTEMPTY",
+      fun () ->
+        let fs = fresh () in
+        ok "mkdir" (F.mkdir fs "/d");
+        ok "create" (F.create fs "/d/f");
+        expect_err "rmdir" Errno.ENOTEMPTY (F.rmdir fs "/d");
+        ok "unlink" (F.unlink fs "/d/f");
+        ok "rmdir now" (F.rmdir fs "/d") );
+    ( "rmdir of file fails ENOTDIR, unlink of dir fails EISDIR",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/f");
+        ok "mkdir" (F.mkdir fs "/d");
+        expect_err "rmdir file" Errno.ENOTDIR (F.rmdir fs "/f");
+        expect_err "unlink dir" Errno.EISDIR (F.unlink fs "/d") );
+    ( "unlink removes file",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:0 "data"));
+        ok "unlink" (F.unlink fs "/a");
+        expect_err "stat" Errno.ENOENT (F.stat fs "/a");
+        check_eq "readdir" strs (ok "rd" (F.readdir fs "/")) [];
+        (* the name is reusable and the new file is empty *)
+        ok "create again" (F.create fs "/a");
+        check_eq "new file empty" str_of_int (ok "stat" (F.stat fs "/a")).Fs.size 0 );
+    ( "unlink missing fails ENOENT",
+      fun () ->
+        let fs = fresh () in
+        expect_err "unlink" Errno.ENOENT (F.unlink fs "/nope") );
+    ( "hard link shares inode and data",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:0 "shared"));
+        ok "link" (F.link fs "/a" "/b");
+        let sa = ok "stat a" (F.stat fs "/a") and sb = ok "stat b" (F.stat fs "/b") in
+        check_eq "same ino" str_of_int sa.Fs.ino sb.Fs.ino;
+        check_eq "links" str_of_int sa.Fs.links 2;
+        ignore (ok "write via b" (F.write fs "/b" ~off:0 "SHARED"));
+        check_eq "read via a" id (ok "read" (F.read fs "/a" ~off:0 ~len:6)) "SHARED";
+        ok "unlink a" (F.unlink fs "/a");
+        check_eq "links after unlink" str_of_int (ok "stat b" (F.stat fs "/b")).Fs.links 1;
+        check_eq "data survives" id (ok "read" (F.read fs "/b" ~off:0 ~len:6)) "SHARED" );
+    ( "link to dir fails EPERM",
+      fun () ->
+        let fs = fresh () in
+        ok "mkdir" (F.mkdir fs "/d");
+        expect_err "link" Errno.EPERM (F.link fs "/d" "/d2") );
+    ( "rename file within a directory",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:0 "payload"));
+        ok "rename" (F.rename fs "/a" "/b");
+        expect_err "src gone" Errno.ENOENT (F.stat fs "/a");
+        check_eq "data" id (ok "read" (F.read fs "/b" ~off:0 ~len:7)) "payload";
+        check_eq "entries" strs (ok "rd" (F.readdir fs "/")) [ "b" ] );
+    ( "rename across directories",
+      fun () ->
+        let fs = fresh () in
+        ok "mkdir" (F.mkdir fs "/d1");
+        ok "mkdir" (F.mkdir fs "/d2");
+        ok "create" (F.create fs "/d1/a");
+        ok "rename" (F.rename fs "/d1/a" "/d2/b");
+        expect_err "src gone" Errno.ENOENT (F.stat fs "/d1/a");
+        ignore (ok "dst exists" (F.stat fs "/d2/b"));
+        check_eq "d1 empty" strs (ok "rd" (F.readdir fs "/d1")) [];
+        check_eq "d2" strs (ok "rd" (F.readdir fs "/d2")) [ "b" ] );
+    ( "rename replaces existing destination file",
+      fun () ->
+        let fs = fresh () in
+        ok "create a" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:0 "new"));
+        ok "create b" (F.create fs "/b");
+        ignore (ok "write" (F.write fs "/b" ~off:0 "old"));
+        ok "rename" (F.rename fs "/a" "/b");
+        check_eq "data replaced" id (ok "read" (F.read fs "/b" ~off:0 ~len:3)) "new";
+        check_eq "one entry" strs (ok "rd" (F.readdir fs "/")) [ "b" ] );
+    ( "rename directory updates parent links",
+      fun () ->
+        let fs = fresh () in
+        ok "mkdir d1" (F.mkdir fs "/d1");
+        ok "mkdir d2" (F.mkdir fs "/d2");
+        ok "mkdir d1/sub" (F.mkdir fs "/d1/sub");
+        ok "create d1/sub/f" (F.create fs "/d1/sub/f");
+        check_eq "d1 links" str_of_int (ok "s" (F.stat fs "/d1")).Fs.links 3;
+        ok "rename" (F.rename fs "/d1/sub" "/d2/sub");
+        check_eq "d1 links after" str_of_int (ok "s" (F.stat fs "/d1")).Fs.links 2;
+        check_eq "d2 links after" str_of_int (ok "s" (F.stat fs "/d2")).Fs.links 3;
+        ignore (ok "file moved" (F.stat fs "/d2/sub/f")) );
+    ( "rename dir onto non-empty dir fails ENOTEMPTY",
+      fun () ->
+        let fs = fresh () in
+        ok "mkdir d1" (F.mkdir fs "/d1");
+        ok "mkdir d2" (F.mkdir fs "/d2");
+        ok "create d2/f" (F.create fs "/d2/f");
+        expect_err "rename" Errno.ENOTEMPTY (F.rename fs "/d1" "/d2") );
+    ( "rename dir onto empty dir succeeds",
+      fun () ->
+        let fs = fresh () in
+        ok "mkdir d1" (F.mkdir fs "/d1");
+        ok "create d1/f" (F.create fs "/d1/f");
+        ok "mkdir d2" (F.mkdir fs "/d2");
+        ok "rename" (F.rename fs "/d1" "/d2");
+        expect_err "src gone" Errno.ENOENT (F.stat fs "/d1");
+        ignore (ok "moved file" (F.stat fs "/d2/f")) );
+    ( "rename file onto dir fails EISDIR",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/f");
+        ok "mkdir" (F.mkdir fs "/d");
+        expect_err "rename" Errno.EISDIR (F.rename fs "/f" "/d") );
+    ( "rename to missing parent fails ENOENT",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/f");
+        expect_err "rename" Errno.ENOENT (F.rename fs "/f" "/no/f") );
+    ( "rename missing source fails ENOENT",
+      fun () ->
+        let fs = fresh () in
+        expect_err "rename" Errno.ENOENT (F.rename fs "/no" "/f") );
+    ( "name too long fails ENAMETOOLONG",
+      fun () ->
+        let fs = fresh () in
+        let long = "/" ^ String.make 200 'x' in
+        expect_err "create" Errno.ENAMETOOLONG (F.create fs long) );
+    ( "truncate shrink and grow",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:0 "123456789"));
+        ok "shrink" (F.truncate fs "/a" 4);
+        check_eq "size" str_of_int (ok "s" (F.stat fs "/a")).Fs.size 4;
+        check_eq "read" id (ok "r" (F.read fs "/a" ~off:0 ~len:10)) "1234";
+        ok "grow" (F.truncate fs "/a" 8);
+        check_eq "size" str_of_int (ok "s" (F.stat fs "/a")).Fs.size 8;
+        check_eq "grown tail zero" id
+          (ok "r" (F.read fs "/a" ~off:0 ~len:8))
+          ("1234" ^ String.make 4 '\000') );
+    ( "truncate to zero frees pages for reuse",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ignore (ok "write" (F.write fs "/a" ~off:0 (String.make 8192 'z')));
+        ok "truncate" (F.truncate fs "/a" 0);
+        check_eq "size" str_of_int (ok "s" (F.stat fs "/a")).Fs.size 0;
+        check_eq "read" id (ok "r" (F.read fs "/a" ~off:0 ~len:10)) "" );
+    ( "symlink and readlink",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/target");
+        ok "symlink" (F.symlink fs "/target" "/ln");
+        check_eq "target" id (ok "readlink" (F.readlink fs "/ln")) "/target";
+        let st = ok "stat" (F.stat fs "/ln") in
+        if st.Fs.kind <> Fs.Symlink then failf "not a symlink";
+        expect_err "readlink on file" Errno.EINVAL (F.readlink fs "/target") );
+    ( "many files force directory growth",
+      fun () ->
+        let fs = fresh () in
+        let n = 100 in
+        for i = 1 to n do
+          ok "create" (F.create fs (Printf.sprintf "/f%03d" i))
+        done;
+        let names = ok "readdir" (F.readdir fs "/") in
+        check_eq "count" str_of_int (List.length names) n;
+        for i = 1 to n do
+          ignore (ok "stat" (F.stat fs (Printf.sprintf "/f%03d" i)))
+        done );
+    ( "readdir on file fails ENOTDIR; stat missing fails ENOENT",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/f");
+        expect_err "readdir" Errno.ENOTDIR (F.readdir fs "/f");
+        expect_err "stat" Errno.ENOENT (F.stat fs "/missing") );
+    ( "fsync succeeds",
+      fun () ->
+        let fs = fresh () in
+        ok "create" (F.create fs "/a");
+        ok "fsync" (F.fsync fs "/a") );
+    ( "remount preserves the tree",
+      fun () ->
+        let dev = device () in
+        F.mkfs dev;
+        let fs = ok "mount" (F.mount dev) in
+        ok "mkdir" (F.mkdir fs "/d");
+        ok "create" (F.create fs "/d/a");
+        ignore (ok "write" (F.write fs "/d/a" ~off:0 "persist me"));
+        ok "link" (F.link fs "/d/a" "/d/b");
+        ok "create c" (F.create fs "/c");
+        ok "rename" (F.rename fs "/c" "/d/c");
+        let before = Logical.capture (module F) fs in
+        F.unmount fs;
+        let fs2 = ok "remount" (F.mount dev) in
+        let after = Logical.capture (module F) fs2 in
+        if not (Logical.equal before after) then
+          failf "tree differs after remount:@ before %s after %s"
+            (Format.asprintf "%a" Logical.pp before)
+            (Format.asprintf "%a" Logical.pp after) );
+    ( "mount of garbage device fails",
+      fun () ->
+        let dev = device () in
+        (match F.mount dev with
+        | Ok _ -> failf "mounted an unformatted device"
+        | Error _ -> ()) );
+    ( "deep directory nesting",
+      fun () ->
+        let fs = fresh () in
+        let path = ref "" in
+        for i = 1 to 12 do
+          path := !path ^ Printf.sprintf "/d%d" i;
+          ok "mkdir" (F.mkdir fs !path)
+        done;
+        ok "create" (F.create fs (!path ^ "/leaf"));
+        ignore (ok "stat" (F.stat fs (!path ^ "/leaf"))) );
+    ( "ENOSPC when out of inodes or pages",
+      fun () ->
+        (* tiny device: exhaust it and expect a clean ENOSPC *)
+        let dev = Pmem.Device.create ~size:(256 * 1024) () in
+        F.mkfs dev;
+        let fs = ok "mount" (F.mount dev) in
+        let rec fill i =
+          if i > 100_000 then failf "never ran out of space"
+          else
+            match F.create fs (Printf.sprintf "/f%d" i) with
+            | Ok () -> (
+                match F.write fs (Printf.sprintf "/f%d" i) ~off:0 (String.make 4096 'x') with
+                | Ok _ -> fill (i + 1)
+                | Error Errno.ENOSPC -> ()
+                | Error e -> failf "write: unexpected %s" (Errno.to_string e))
+            | Error Errno.ENOSPC -> ()
+            | Error e -> failf "create: unexpected %s" (Errno.to_string e)
+        in
+        fill 0;
+        (* the file system must still be usable *)
+        ignore (ok "readdir" (F.readdir fs "/")) );
+  ]

@@ -1,0 +1,10 @@
+(** Generic POSIX-behaviour conformance suite (xfstests substitute).
+
+    Each case creates a fresh file system via [device], runs a scenario
+    through the {!Fs.S} interface and raises [Failure] with a diagnostic
+    on any deviation. The suite is run against SquirrelFS and all three
+    baseline file systems; it covers the non-crash functional behaviour
+    the paper tested with handwritten tests and xfstests (§4.2, §5.7). *)
+
+val cases :
+  (module Fs.S) -> device:(unit -> Pmem.Device.t) -> (string * (unit -> unit)) list

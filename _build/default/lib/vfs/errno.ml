@@ -1,0 +1,28 @@
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | ENOSPC
+  | ENAMETOOLONG
+  | EINVAL
+  | EXDEV
+  | EMLINK
+  | EPERM
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ENOSPC -> "ENOSPC"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EINVAL -> "EINVAL"
+  | EXDEV -> "EXDEV"
+  | EMLINK -> "EMLINK"
+  | EPERM -> "EPERM"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal = ( = )

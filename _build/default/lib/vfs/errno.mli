@@ -1,0 +1,18 @@
+(** POSIX-style error codes returned by file-system operations. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | ENOSPC
+  | ENAMETOOLONG
+  | EINVAL
+  | EXDEV
+  | EMLINK
+  | EPERM
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

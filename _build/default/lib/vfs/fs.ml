@@ -1,0 +1,82 @@
+(** The common file-system interface.
+
+    Every file system in this repository — SquirrelFS and the three
+    baselines — implements [S], so workloads, benchmarks, the conformance
+    suite and the crash harness are generic. All operations are
+    synchronous: when a call returns, its updates are durable (this
+    mirrors the PM file systems the paper evaluates; [fsync] is a no-op on
+    all of them except Ext4-DAX, which checkpoints its journal). *)
+
+type kind = File | Dir | Symlink
+
+type stat = {
+  ino : int;
+  kind : kind;
+  links : int;
+  size : int;
+  atime : int;
+  mtime : int;
+  ctime : int;
+  mode : int;
+  uid : int;
+  gid : int;
+}
+
+type 'a r = ('a, Errno.t) result
+
+module type S = sig
+  type t
+
+  val flavor : string
+  (** Short name used in benchmark tables, e.g. ["squirrelfs"]. *)
+
+  val mkfs : Pmem.Device.t -> unit
+  (** Initialize an empty file system (durable when it returns). *)
+
+  val mount : Pmem.Device.t -> (t, Errno.t) result
+  (** Normal mount. If the volume was not cleanly unmounted, file systems
+      that need recovery perform it here. *)
+
+  val unmount : t -> unit
+  (** Mark the volume cleanly unmounted. *)
+
+  val device : t -> Pmem.Device.t
+
+  (* Namespace operations *)
+  val create : t -> string -> unit r
+  val mkdir : t -> string -> unit r
+  val unlink : t -> string -> unit r
+  val rmdir : t -> string -> unit r
+  val link : t -> string -> string -> unit r
+  (** [link t existing newpath] *)
+
+  val rename : t -> string -> string -> unit r
+  val symlink : t -> string -> string -> unit r
+  (** [symlink t target linkpath] *)
+
+  val readlink : t -> string -> string r
+
+  (* Data operations *)
+  val write : t -> string -> off:int -> string -> int r
+  val read : t -> string -> off:int -> len:int -> string r
+  val truncate : t -> string -> int -> unit r
+
+  val block_offset : t -> string -> int -> int r
+  (** [block_offset t path i] is the device byte offset of the [i]-th
+      4 KiB page of the file: the DAX-mmap primitive. Applications like
+      the LMDB workload store directly to the returned address, bypassing
+      the file system (as [mmap] does on a DAX file system). [EINVAL] if
+      the page is not allocated. *)
+
+  (* Metadata *)
+  val stat : t -> string -> stat r
+  val readdir : t -> string -> string list r
+  val fsync : t -> string -> unit r
+end
+
+type fs = (module S)
+
+let kind_to_string = function
+  | File -> "file"
+  | Dir -> "dir"
+  | Symlink -> "symlink"

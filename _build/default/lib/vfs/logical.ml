@@ -1,0 +1,90 @@
+type node =
+  | File of { cino : int; links : int; size : int; data : string }
+  | Dir of { cino : int; links : int; entries : (string * node) list }
+  | Symlink of { cino : int; target : string }
+
+type t = node
+
+let capture (type a) (module F : Fs.S with type t = a) (fs : a) =
+  (* Canonical inode numbers: first-visit order in a sorted DFS, so hard
+     links to the same inode get the same canonical id on both sides. *)
+  let canon = Hashtbl.create 64 in
+  let next = ref 0 in
+  let canon_of ino =
+    match Hashtbl.find_opt canon ino with
+    | Some c -> c
+    | None ->
+        incr next;
+        Hashtbl.replace canon ino !next;
+        !next
+  in
+  let fail path e =
+    failwith
+      (Printf.sprintf "Logical.capture: %s on %s" (Errno.to_string e) path)
+  in
+  let rec walk path =
+    match F.stat fs path with
+    | Error e -> fail path e
+    | Ok st -> (
+        let cino = canon_of st.Fs.ino in
+        match st.Fs.kind with
+        | Fs.File ->
+            let data =
+              match F.read fs path ~off:0 ~len:st.Fs.size with
+              | Ok d -> d
+              | Error e -> fail path e
+            in
+            File { cino; links = st.Fs.links; size = st.Fs.size; data }
+        | Fs.Symlink ->
+            let target =
+              match F.readlink fs path with
+              | Ok tgt -> tgt
+              | Error e -> fail path e
+            in
+            Symlink { cino; target }
+        | Fs.Dir ->
+            let names =
+              match F.readdir fs path with
+              | Ok ns -> List.sort compare ns
+              | Error e -> fail path e
+            in
+            let entries =
+              List.map
+                (fun n ->
+                  if not (Path.valid_name n) then
+                    failwith
+                      (Printf.sprintf
+                         "Logical.capture: invalid entry name %S under %s" n
+                         path);
+                  let child =
+                    if path = "/" then "/" ^ n else path ^ "/" ^ n
+                  in
+                  (n, walk child))
+                names
+            in
+            Dir { cino; links = st.Fs.links; entries })
+  in
+  walk "/"
+
+let rec equal ?(compare_data = true) a b =
+  match (a, b) with
+  | File a, File b ->
+      a.cino = b.cino && a.links = b.links && a.size = b.size
+      && ((not compare_data) || a.data = b.data)
+  | Symlink a, Symlink b -> a.cino = b.cino && a.target = b.target
+  | Dir a, Dir b ->
+      a.cino = b.cino && a.links = b.links
+      && List.length a.entries = List.length b.entries
+      && List.for_all2
+           (fun (n1, c1) (n2, c2) -> n1 = n2 && equal ~compare_data c1 c2)
+           a.entries b.entries
+  | (File _ | Dir _ | Symlink _), _ -> false
+
+let rec pp ppf = function
+  | File f ->
+      Format.fprintf ppf "file#%d(links=%d,size=%d)" f.cino f.links f.size
+  | Symlink s -> Format.fprintf ppf "symlink#%d(->%s)" s.cino s.target
+  | Dir d ->
+      Format.fprintf ppf "dir#%d(links=%d){" d.cino d.links;
+      List.iter (fun (n, c) -> Format.fprintf ppf "@ %s=%a;" n pp c) d.entries;
+      Format.fprintf ppf "}"

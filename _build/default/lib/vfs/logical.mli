@@ -1,0 +1,26 @@
+(** Logical snapshots of a mounted file system.
+
+    A snapshot captures the namespace tree, link structure, sizes and
+    (optionally compared) file contents, with inode numbers canonicalized
+    so that two file systems — or the same file system before and after a
+    crash/remount — can be compared for logical equality. Used by the
+    crash-consistency oracle and the remount-persistence tests. *)
+
+type node =
+  | File of { cino : int; links : int; size : int; data : string }
+  | Dir of { cino : int; links : int; entries : (string * node) list }
+      (** entries sorted by name *)
+  | Symlink of { cino : int; target : string }
+
+type t = node
+
+val capture : (module Fs.S with type t = 'a) -> 'a -> t
+(** Walk the tree from ["/"]. Raises [Failure] if the file system returns
+    an error mid-walk (a corrupt tree). *)
+
+val equal : ?compare_data:bool -> t -> t -> bool
+(** Structural equality on canonicalized snapshots. [compare_data] is
+    false for crash oracles (data-plane writes are not atomic in any of
+    the evaluated file systems). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+let valid_name n =
+  n <> "" && n <> "." && n <> ".."
+  && not (String.exists (fun c -> c = '/' || c = '\000') n)
+
+let split p =
+  if p = "" || p.[0] <> '/' then Error Errno.EINVAL
+  else
+    let parts = String.split_on_char '/' p in
+    (* leading '/' yields an initial ""; trailing '/' a final "". *)
+    let parts =
+      match parts with
+      | "" :: rest -> rest
+      | rest -> rest
+    in
+    let parts =
+      match List.rev parts with "" :: rest -> List.rev rest | _ -> parts
+    in
+    if List.for_all valid_name parts then Ok parts
+    else if List.exists (fun c -> c = "" ) parts then Error Errno.EINVAL
+    else Error Errno.EINVAL
+
+let parent_base p =
+  match split p with
+  | Error e -> Error e
+  | Ok [] -> Error Errno.EINVAL
+  | Ok parts ->
+      let rec go acc = function
+        | [ last ] -> Ok (List.rev acc, last)
+        | x :: rest -> go (x :: acc) rest
+        | [] -> Error Errno.EINVAL
+      in
+      go [] parts

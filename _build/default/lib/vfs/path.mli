@@ -1,0 +1,13 @@
+(** Absolute-path parsing shared by all file systems in the repository. *)
+
+val split : string -> (string list, Errno.t) result
+(** ["/a/b/c"] -> [["a"; "b"; "c"]]; ["/"] -> [[]]. Rejects relative
+    paths, empty components and ["."]/[".."] (SquirrelFS does not store
+    them; the VFS layer resolves them away in a real kernel). *)
+
+val parent_base : string -> (string list * string, Errno.t) result
+(** Parent components and final component; [EINVAL] for the root. *)
+
+val valid_name : string -> bool
+(** Non-empty, no ['/'] or NUL, not ["."] or [".."]. Length limits are
+    enforced by each file system. *)

@@ -1,0 +1,8 @@
+(** Common virtual-file-system layer: interface, errors, paths, logical
+    snapshots and the generic conformance suite. *)
+
+module Errno = Errno
+module Path = Path
+module Fs = Fs
+module Logical = Logical
+module Conformance = Conformance

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Filebench Gitbench Kvstore Lmdb_sim Micro Ycsb Zipf

@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Pmem Printf Random String Vfs

@@ -1,0 +1,1 @@
+lib/workloads/gitbench.ml: Char Hashtbl List Pmem Printf Random String Vfs

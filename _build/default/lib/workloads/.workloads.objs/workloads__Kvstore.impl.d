@@ -1,0 +1,1 @@
+lib/workloads/kvstore.ml: Array Buffer Bytes Hashtbl Int32 List Map Printf String Vfs

@@ -1,0 +1,1 @@
+lib/workloads/lmdb_sim.ml: Array Buffer Bytes Char Hashtbl Int64 List Pmem Printf Random String Vfs

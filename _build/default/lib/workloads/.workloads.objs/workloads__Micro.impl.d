@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Array Fun List Pmem Printf String Vfs

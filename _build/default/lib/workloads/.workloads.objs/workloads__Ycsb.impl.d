@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Char Kvstore Pmem Printf Random String Vfs Zipf

@@ -1,0 +1,163 @@
+(** Filebench-style macrobenchmarks (Figure 5(b)): the four personalities
+    the paper runs — fileserver, varmail, webserver, webproxy — with their
+    characteristic operation mixes, scaled to the simulated device.
+
+    - fileserver: create/write whole files, appends, whole-file reads,
+      deletes, stats (write-heavy).
+    - varmail: half small appends + fsync, half whole-file reads
+      (mail-spool pattern).
+    - webserver: whole-file reads with an occasional append to a shared
+      log file (read-heavy).
+    - webproxy: create + append a file, then read it several times. *)
+
+module Device = Pmem.Device
+
+type personality = Fileserver | Varmail | Webserver | Webproxy
+
+let name = function
+  | Fileserver -> "fileserver"
+  | Varmail -> "varmail"
+  | Webserver -> "webserver"
+  | Webproxy -> "webproxy"
+
+type result = {
+  workload : string;
+  fs : string;
+  ops : int;
+  sim_seconds : float;
+  kops_per_sec : float;
+}
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Filebench: unexpected " ^ Vfs.Errno.to_string e)
+
+let file_path dir i = Printf.sprintf "/d%d/f%d" (i mod dir) i
+
+(* Pre-create a directory tree with [nfiles] files of [fsize] bytes. *)
+let populate (type a) (module F : Vfs.Fs.S with type t = a) fs ~dirs ~nfiles
+    ~fsize =
+  for d = 0 to dirs - 1 do
+    ok (F.mkdir fs (Printf.sprintf "/d%d" d))
+  done;
+  let payload = String.make fsize 'p' in
+  for i = 0 to nfiles - 1 do
+    let p = file_path dirs i in
+    ok (F.create fs p);
+    ignore (ok (F.write fs p ~off:0 payload))
+  done
+
+let run_personality (type a) (module F : Vfs.Fs.S with type t = a) fs dev
+    ~personality ~dirs ~nfiles ~fsize ~ops ~seed =
+  let rng = Random.State.make [| seed |] in
+  let next_file = ref nfiles in
+  let append_sz = 4096 and small_append = 1024 in
+  let append_buf = String.make append_sz 'a' in
+  let small_buf = String.make small_append 's' in
+  let pick () = Random.State.int rng nfiles in
+  let t0 = Device.now_ns dev in
+  let executed = ref 0 in
+  let step () =
+    incr executed;
+    match personality with
+    | Fileserver -> (
+        (* mix: 30% create+write, 20% append, 25% whole read, 15% delete+recreate, 10% stat *)
+        match Random.State.int rng 100 with
+        | r when r < 30 ->
+            let i = !next_file in
+            incr next_file;
+            let p = file_path dirs i in
+            ok (F.create fs p);
+            ignore (ok (F.write fs p ~off:0 append_buf))
+        | r when r < 50 ->
+            let p = file_path dirs (pick ()) in
+            let sz = (ok (F.stat fs p)).Vfs.Fs.size in
+            ignore (ok (F.write fs p ~off:sz append_buf))
+        | r when r < 75 ->
+            let p = file_path dirs (pick ()) in
+            let sz = (ok (F.stat fs p)).Vfs.Fs.size in
+            ignore (ok (F.read fs p ~off:0 ~len:sz))
+        | r when r < 90 -> (
+            let p = file_path dirs (pick ()) in
+            match F.unlink fs p with
+            | Ok () ->
+                ok (F.create fs p);
+                ignore (ok (F.write fs p ~off:0 append_buf))
+            | Error _ -> ())
+        | _ -> ignore (ok (F.stat fs (file_path dirs (pick ()))))
+        )
+    | Varmail -> (
+        (* half appends (with fsync), half reads; some delete/create *)
+        match Random.State.int rng 100 with
+        | r when r < 25 -> (
+            let p = file_path dirs (pick ()) in
+            match F.unlink fs p with
+            | Ok () -> ok (F.create fs p)
+            | Error _ -> ())
+        | r when r < 50 ->
+            let p = file_path dirs (pick ()) in
+            let sz = (ok (F.stat fs p)).Vfs.Fs.size in
+            ignore (ok (F.write fs p ~off:sz small_buf));
+            ok (F.fsync fs p)
+        | _ ->
+            let p = file_path dirs (pick ()) in
+            let sz = (ok (F.stat fs p)).Vfs.Fs.size in
+            ignore (ok (F.read fs p ~off:0 ~len:sz)))
+    | Webserver -> (
+        match Random.State.int rng 100 with
+        | r when r < 90 ->
+            let p = file_path dirs (pick ()) in
+            let sz = (ok (F.stat fs p)).Vfs.Fs.size in
+            ignore (ok (F.read fs p ~off:0 ~len:sz))
+        | _ ->
+            let sz = (ok (F.stat fs "/weblog")).Vfs.Fs.size in
+            ignore (ok (F.write fs "/weblog" ~off:sz small_buf)))
+    | Webproxy -> (
+        match Random.State.int rng 100 with
+        | r when r < 15 ->
+            let i = !next_file in
+            incr next_file;
+            let p = file_path dirs i in
+            ok (F.create fs p);
+            ignore (ok (F.write fs p ~off:0 append_buf))
+        | r when r < 30 ->
+            let p = file_path dirs (pick ()) in
+            let sz = (ok (F.stat fs p)).Vfs.Fs.size in
+            ignore (ok (F.write fs p ~off:sz small_buf))
+        | _ ->
+            let p = file_path dirs (pick ()) in
+            let sz = (ok (F.stat fs p)).Vfs.Fs.size in
+            ignore (ok (F.read fs p ~off:0 ~len:(min sz 4096))))
+  in
+  (try
+     for _ = 1 to ops do
+       step ()
+     done
+   with Failure msg -> failwith (name personality ^ ": " ^ msg));
+  ignore fsize;
+  let dt = Device.now_ns dev - t0 in
+  (!executed, dt)
+
+let run (module F : Vfs.Fs.S) ~device ?(dirs = 10) ?(nfiles = 150)
+    ?(fsize = 8192) ?(ops = 2000) ?(seed = 7) personality =
+  let dev : Device.t = device () in
+  F.mkfs dev;
+  let fs = ok (F.mount dev) in
+  populate (module F) fs ~dirs ~nfiles ~fsize;
+  (match personality with
+  | Webserver -> ok (F.create fs "/weblog")
+  | Fileserver | Varmail | Webproxy -> ());
+  let executed, dt =
+    run_personality (module F) fs dev ~personality ~dirs ~nfiles ~fsize ~ops
+      ~seed
+  in
+  let sim_seconds = float_of_int dt /. 1e9 in
+  {
+    workload = name personality;
+    fs = F.flavor;
+    ops = executed;
+    sim_seconds;
+    kops_per_sec = float_of_int executed /. sim_seconds /. 1000.;
+  }
+
+let all = [ Fileserver; Varmail; Webserver; Webproxy ]

@@ -1,0 +1,96 @@
+(** Git-checkout workload (§5.4): materialize synthetic source trees and
+    switch between versions, which exercises the metadata-heavy
+    create/write/unlink pattern of [git checkout] between kernel
+    releases. Successive versions share ~80% of their files. *)
+
+module Device = Pmem.Device
+
+type result = {
+  fs : string;
+  checkouts : int;
+  files_touched : int;
+  sim_seconds : float;
+}
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Gitbench: unexpected " ^ Vfs.Errno.to_string e)
+
+(* A version is a deterministic set of (path, content seed, size). *)
+let version ~dirs ~files v =
+  let rng = Random.State.make [| 101 + v |] in
+  List.init files (fun i ->
+      let d = i mod dirs in
+      let path = Printf.sprintf "/src/d%d/f%d.c" d i in
+      (* ~20% of files change content per version; the rest keep a seed
+         that is a pure function of the file index *)
+      let changes = Random.State.int rng 100 < 20 in
+      let seed = if changes then (v * 10007) + i else i * 2654435761 land 0xFFFFF in
+      let size = 4096 + (seed * 37 mod 61440) in
+      (path, seed, size))
+
+let content seed size = String.init size (fun i -> Char.chr (32 + ((seed + i) mod 95)))
+
+(* CPU the application itself spends per touched file (hashing, delta
+   decompression): identical across file systems, as in real git. *)
+let app_cpu_ns = 150_000
+
+let checkout (type a) (module F : Vfs.Fs.S with type t = a) fs ~current
+    ~target =
+  let touched = ref 0 in
+  let cur = Hashtbl.create 64 in
+  List.iter (fun (p, s, z) -> Hashtbl.replace cur p (s, z)) current;
+  (* write new/changed files *)
+  List.iter
+    (fun (p, s, z) ->
+      match Hashtbl.find_opt cur p with
+      | Some (s', z') when s' = s && z' = z -> ()
+      | Some _ ->
+          incr touched;
+          Pmem.Device.charge (F.device fs) app_cpu_ns;
+          ok (F.truncate fs p 0);
+          ignore (ok (F.write fs p ~off:0 (content s z)))
+      | None ->
+          incr touched;
+          Pmem.Device.charge (F.device fs) app_cpu_ns;
+          ok (F.create fs p);
+          ignore (ok (F.write fs p ~off:0 (content s z))))
+    target;
+  (* remove files absent from the target *)
+  let tgt = Hashtbl.create 64 in
+  List.iter (fun (p, _, _) -> Hashtbl.replace tgt p ()) target;
+  List.iter
+    (fun (p, _, _) ->
+      if not (Hashtbl.mem tgt p) then begin
+        incr touched;
+        ok (F.unlink fs p)
+      end)
+    current;
+  !touched
+
+let run (module F : Vfs.Fs.S) ~device ?(dirs = 12) ?(files = 120)
+    ?(versions = 4) () =
+  let dev : Device.t = device () in
+  F.mkfs dev;
+  let fs = ok (F.mount dev) in
+  ok (F.mkdir fs "/src");
+  for d = 0 to dirs - 1 do
+    ok (F.mkdir fs (Printf.sprintf "/src/d%d" d))
+  done;
+  (* initial checkout (untimed) *)
+  let v0 = version ~dirs ~files 0 in
+  ignore (checkout (module F) fs ~current:[] ~target:v0);
+  let t0 = Device.now_ns dev in
+  let touched = ref 0 in
+  let cur = ref v0 in
+  for v = 1 to versions do
+    let next = version ~dirs ~files v in
+    touched := !touched + checkout (module F) fs ~current:!cur ~target:next;
+    cur := next
+  done;
+  {
+    fs = F.flavor;
+    checkouts = versions;
+    files_touched = !touched;
+    sim_seconds = float_of_int (Device.now_ns dev - t0) /. 1e9;
+  }

@@ -1,0 +1,195 @@
+(** LSM-style key-value store (the RocksDB substitute for the YCSB
+    experiments, Figure 5(c)).
+
+    Writes append to a write-ahead log through the file system (the path
+    the paper says dominates YCSB performance: small appends, plus
+    allocating writes when the memtable flushes to an SST file); reads hit
+    the memtable and then the SST files through [F.read]. Everything above
+    the file system (memtable, SST indexes) lives in DRAM, like RocksDB's
+    memtable and block cache. *)
+
+module Make (F : Vfs.Fs.S) = struct
+  module SMap = Map.Make (String)
+
+  type sst = {
+    sst_path : string;
+    index : (string, int * int) Hashtbl.t; (* key -> value (off, len) *)
+    sorted : string array;
+  }
+
+  type t = {
+    fs : F.t;
+    dir : string;
+    mutable memtable : string SMap.t;
+    mutable mem_bytes : int;
+    mutable wal_off : int;
+    mutable ssts : sst list; (* newest first *)
+    mutable next_sst : int;
+    flush_threshold : int;
+  }
+
+  let ok = function
+    | Ok v -> v
+    | Error e -> failwith ("Kvstore: unexpected " ^ Vfs.Errno.to_string e)
+
+  let wal_path t = t.dir ^ "/wal"
+
+  let open_ ?(flush_threshold = 128 * 1024) fs ~dir =
+    (match F.mkdir fs dir with Ok () -> () | Error _ -> ());
+    (match F.create fs (dir ^ "/wal") with Ok () -> () | Error _ -> ());
+    {
+      fs;
+      dir;
+      memtable = SMap.empty;
+      mem_bytes = 0;
+      wal_off = 0;
+      ssts = [];
+      next_sst = 0;
+      flush_threshold;
+    }
+
+  let u32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Bytes.to_string b
+
+  let flush_memtable t =
+    if not (SMap.is_empty t.memtable) then begin
+      let path = Printf.sprintf "%s/sst%06d" t.dir t.next_sst in
+      t.next_sst <- t.next_sst + 1;
+      ok (F.create t.fs path);
+      let buf = Buffer.create t.mem_bytes in
+      let index = Hashtbl.create (SMap.cardinal t.memtable) in
+      SMap.iter
+        (fun k v ->
+          Buffer.add_string buf (u32 (String.length k));
+          Buffer.add_string buf (u32 (String.length v));
+          Buffer.add_string buf k;
+          Hashtbl.replace index k (Buffer.length buf, String.length v);
+          Buffer.add_string buf v)
+        t.memtable;
+      ignore (ok (F.write t.fs path ~off:0 (Buffer.contents buf)));
+      let sorted =
+        Array.of_list (List.map fst (SMap.bindings t.memtable))
+      in
+      t.ssts <- { sst_path = path; index; sorted } :: t.ssts;
+      t.memtable <- SMap.empty;
+      t.mem_bytes <- 0;
+      (* reset the WAL *)
+      ok (F.truncate t.fs (wal_path t) 0);
+      t.wal_off <- 0
+    end
+
+  let put t k v =
+    let rec_ = u32 (String.length k) ^ u32 (String.length v) ^ k ^ v in
+    ignore (ok (F.write t.fs (wal_path t) ~off:t.wal_off rec_));
+    t.wal_off <- t.wal_off + String.length rec_;
+    t.memtable <- SMap.add k v t.memtable;
+    t.mem_bytes <- t.mem_bytes + String.length rec_;
+    if t.mem_bytes >= t.flush_threshold then flush_memtable t
+
+  let get t k =
+    match SMap.find_opt k t.memtable with
+    | Some v -> Some v
+    | None ->
+        let rec search = function
+          | [] -> None
+          | sst :: rest -> (
+              match Hashtbl.find_opt sst.index k with
+              | Some (off, len) -> Some (ok (F.read t.fs sst.sst_path ~off ~len))
+              | None -> search rest)
+        in
+        search t.ssts
+
+  (* First key >= [start] in a sorted array. *)
+  let lower_bound sorted start =
+    let lo = ref 0 and hi = ref (Array.length sorted) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) < start then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let scan t start n =
+    (* candidate keys from each source, merged *)
+    let candidates = ref SMap.empty in
+    let add k =
+      if k >= start && not (SMap.mem k !candidates) then
+        candidates := SMap.add k () !candidates
+    in
+    let _, start_mem, mem_tail = SMap.split start t.memtable in
+    if start_mem <> None then add start;
+    let taken = ref 0 in
+    (try
+       SMap.iter
+         (fun k _ ->
+           if !taken >= n then raise Exit;
+           add k;
+           incr taken)
+         mem_tail
+     with Exit -> ());
+    List.iter
+      (fun sst ->
+        let i0 = lower_bound sst.sorted start in
+        for i = i0 to min (Array.length sst.sorted - 1) (i0 + n - 1) do
+          add sst.sorted.(i)
+        done)
+      t.ssts;
+    let keys = ref [] and count = ref 0 in
+    (try
+       SMap.iter
+         (fun k () ->
+           if !count >= n then raise Exit;
+           keys := k :: !keys;
+           incr count)
+         !candidates
+     with Exit -> ());
+    let keys = List.rev !keys in
+    (* resolve each key to its newest source *)
+    let resolve k =
+      match SMap.find_opt k t.memtable with
+      | Some v -> `Mem v
+      | None ->
+          let rec search = function
+            | [] -> `Missing
+            | sst :: rest -> (
+                match Hashtbl.find_opt sst.index k with
+                | Some (off, len) -> `Sst (sst, off, len)
+                | None -> search rest)
+          in
+          search t.ssts
+    in
+    (* batch contiguous SST ranges into single reads (RocksDB reads SST
+       blocks sequentially during scans: this is where extent-aware file
+       systems get their range-scan advantage) *)
+    let out = ref [] in
+    let flush_run = function
+      | [] -> ()
+      | ((_, (sst, off0, _)) :: _) as run ->
+          let _, (_, off_last, len_last) = List.nth run (List.length run - 1) in
+          let blob = ok (F.read t.fs sst.sst_path ~off:off0 ~len:(off_last + len_last - off0)) in
+          List.iter
+            (fun (k, (_, off, len)) ->
+              out := (k, String.sub blob (off - off0) len) :: !out)
+            run
+    in
+    let run = ref [] in
+    List.iter
+      (fun k ->
+        match resolve k with
+        | `Missing -> ()
+        | `Mem v ->
+            flush_run (List.rev !run);
+            run := [];
+            out := (k, v) :: !out
+        | `Sst (sst, off, len) -> (
+            match !run with
+            | (_, (sst0, _, _)) :: _ when sst0 == sst ->
+                run := (k, (sst, off, len)) :: !run
+            | _ ->
+                flush_run (List.rev !run);
+                run := [ (k, (sst, off, len)) ]))
+      keys;
+    flush_run (List.rev !run);
+    List.rev !out
+end

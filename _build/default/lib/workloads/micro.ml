@@ -1,0 +1,102 @@
+(** Figure 5(a) microbenchmarks: operation latency in simulated
+    nanoseconds, averaged over several trials. The measured operations are
+    the paper's: 1 KB and 16 KB appends and reads, file create, mkdir,
+    directory rename, and unlink of a 16 KB file. *)
+
+module Device = Pmem.Device
+
+type result = {
+  op : string;
+  fs : string;
+  avg_ns : float;
+  min_ns : int;
+  max_ns : int;
+}
+
+let ops = [ "append-1k"; "append-16k"; "read-1k"; "read-16k"; "create"; "mkdir"; "rename-dir"; "unlink-16k" ]
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Micro: unexpected " ^ Vfs.Errno.to_string e)
+
+(* Run [reps] instances of [op] on a freshly prepared file system and
+   return the per-op simulated latency. *)
+let measure (type a) (module F : Vfs.Fs.S with type t = a) ~device ~reps op =
+  let dev : Device.t = device () in
+  F.mkfs dev;
+  let fs = ok (F.mount dev) in
+  let data1k = String.make 1024 'd' in
+  let data16k = String.make 16384 'D' in
+  (* setup outside the timed region *)
+  let prepare, run =
+    match op with
+    | "append-1k" ->
+        ( (fun i -> ok (F.create fs (Printf.sprintf "/f%d" i))),
+          fun i ->
+            ignore (ok (F.write fs (Printf.sprintf "/f%d" i) ~off:0 data1k)) )
+    | "append-16k" ->
+        ( (fun i -> ok (F.create fs (Printf.sprintf "/f%d" i))),
+          fun i ->
+            ignore (ok (F.write fs (Printf.sprintf "/f%d" i) ~off:0 data16k)) )
+    | "read-1k" ->
+        ( (fun i ->
+            ok (F.create fs (Printf.sprintf "/f%d" i));
+            ignore (ok (F.write fs (Printf.sprintf "/f%d" i) ~off:0 data1k))),
+          fun i ->
+            ignore (ok (F.read fs (Printf.sprintf "/f%d" i) ~off:0 ~len:1024))
+        )
+    | "read-16k" ->
+        ( (fun i ->
+            ok (F.create fs (Printf.sprintf "/f%d" i));
+            ignore (ok (F.write fs (Printf.sprintf "/f%d" i) ~off:0 data16k))),
+          fun i ->
+            ignore (ok (F.read fs (Printf.sprintf "/f%d" i) ~off:0 ~len:16384))
+        )
+    | "create" ->
+        ((fun _ -> ()), fun i -> ok (F.create fs (Printf.sprintf "/f%d" i)))
+    | "mkdir" ->
+        ((fun _ -> ()), fun i -> ok (F.mkdir fs (Printf.sprintf "/d%d" i)))
+    | "rename-dir" ->
+        ( (fun i -> ok (F.mkdir fs (Printf.sprintf "/d%d" i))),
+          fun i ->
+            ok (F.rename fs (Printf.sprintf "/d%d" i) (Printf.sprintf "/e%d" i))
+        )
+    | "unlink-16k" ->
+        ( (fun i ->
+            ok (F.create fs (Printf.sprintf "/f%d" i));
+            ignore (ok (F.write fs (Printf.sprintf "/f%d" i) ~off:0 data16k))),
+          fun i -> ok (F.unlink fs (Printf.sprintf "/f%d" i)) )
+    | s -> invalid_arg ("Micro.measure: unknown op " ^ s)
+  in
+  (* ensure the root has a warm directory page before measuring *)
+  ok (F.create fs "/warmup");
+  for i = 0 to reps - 1 do
+    prepare i
+  done;
+  let lat = Array.make reps 0 in
+  for i = 0 to reps - 1 do
+    let t0 = Device.now_ns dev in
+    run i;
+    lat.(i) <- Device.now_ns dev - t0
+  done;
+  lat
+
+let run (module F : Vfs.Fs.S) ~device ?(trials = 10) ?(reps = 32) () =
+  List.map
+    (fun op ->
+      let all =
+        List.concat_map
+          (fun _ ->
+            Array.to_list (measure (module F) ~device ~reps op))
+          (List.init trials Fun.id)
+      in
+      let n = List.length all in
+      let sum = List.fold_left ( + ) 0 all in
+      {
+        op;
+        fs = F.flavor;
+        avg_ns = float_of_int sum /. float_of_int n;
+        min_ns = List.fold_left min max_int all;
+        max_ns = List.fold_left max 0 all;
+      })
+    ops

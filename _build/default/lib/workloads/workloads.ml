@@ -1,0 +1,11 @@
+(** Evaluation workloads: microbenchmarks, Filebench personalities, YCSB
+    over an LSM key-value store, a memory-mapped COW B-tree (LMDB), and
+    git-checkout tree switching. *)
+
+module Micro = Micro
+module Zipf = Zipf
+module Filebench = Filebench
+module Kvstore = Kvstore
+module Ycsb = Ycsb
+module Lmdb_sim = Lmdb_sim
+module Gitbench = Gitbench

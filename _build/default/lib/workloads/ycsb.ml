@@ -1,0 +1,101 @@
+(** YCSB workload driver over the {!Kvstore} (Figure 5(c)).
+
+    Workloads and mixes follow the standard YCSB definitions the paper
+    uses: Loads A and E are pure inserts; Run A is 50/50 read/update;
+    B 95/5; C read-only; D 95% read-latest / 5% insert; E 95% short range
+    scans / 5% insert; F 50% read / 50% read-modify-write. Keys are
+    zipfian (latest-skewed for D); values are 1 KB. *)
+
+module Device = Pmem.Device
+
+type workload = Load_a | Load_e | Run_a | Run_b | Run_c | Run_d | Run_e | Run_f
+
+let name = function
+  | Load_a -> "load-a"
+  | Load_e -> "load-e"
+  | Run_a -> "run-a"
+  | Run_b -> "run-b"
+  | Run_c -> "run-c"
+  | Run_d -> "run-d"
+  | Run_e -> "run-e"
+  | Run_f -> "run-f"
+
+let all = [ Load_a; Load_e; Run_a; Run_b; Run_c; Run_d; Run_e; Run_f ]
+
+type result = {
+  workload : string;
+  fs : string;
+  ops : int;
+  sim_seconds : float;
+  kops_per_sec : float;
+}
+
+let key i = Printf.sprintf "user%012d" i
+let value_of rng = String.init 1000 (fun _ -> Char.chr (97 + Random.State.int rng 26))
+
+let run (module F : Vfs.Fs.S) ~device ?(records = 2000) ?(operations = 2000)
+    ?(seed = 11) workload =
+  let dev : Device.t = device () in
+  F.mkfs dev;
+  let fs =
+    match F.mount dev with
+    | Ok fs -> fs
+    | Error e -> failwith ("Ycsb: mount " ^ Vfs.Errno.to_string e)
+  in
+  let module KV = Kvstore.Make (F) in
+  let kv = KV.open_ fs ~dir:"/db" in
+  let rng = Random.State.make [| seed |] in
+  let insert_count = ref 0 in
+  let insert () =
+    let i = !insert_count in
+    incr insert_count;
+    KV.put kv (key i) (value_of rng)
+  in
+  let is_load = workload = Load_a || workload = Load_e in
+  (* Runs operate on a pre-loaded database (untimed). *)
+  if not is_load then
+    for _ = 1 to records do
+      insert ()
+    done;
+  let zipf = Zipf.create ~n:(max 1 !insert_count) rng in
+  let read_zipf () = ignore (KV.get kv (key (Zipf.next zipf))) in
+  let read_latest () =
+    let lag = Zipf.next zipf in
+    let i = max 0 (!insert_count - 1 - lag) in
+    ignore (KV.get kv (key i))
+  in
+  let update () = KV.put kv (key (Zipf.next zipf)) (value_of rng) in
+  let rmw () =
+    let k = key (Zipf.next zipf) in
+    ignore (KV.get kv k);
+    KV.put kv k (value_of rng)
+  in
+  let scan () =
+    let start = key (Zipf.next zipf) in
+    ignore (KV.scan kv start (1 + Random.State.int rng 50))
+  in
+  let op () =
+    let r = Random.State.int rng 100 in
+    match workload with
+    | Load_a | Load_e -> insert ()
+    | Run_a -> if r < 50 then read_zipf () else update ()
+    | Run_b -> if r < 95 then read_zipf () else update ()
+    | Run_c -> read_zipf ()
+    | Run_d -> if r < 95 then read_latest () else insert ()
+    | Run_e -> if r < 95 then scan () else insert ()
+    | Run_f -> if r < 50 then read_zipf () else rmw ()
+  in
+  let total = if is_load then records else operations in
+  let t0 = Device.now_ns dev in
+  for _ = 1 to total do
+    op ()
+  done;
+  let dt = Device.now_ns dev - t0 in
+  let sim_seconds = float_of_int dt /. 1e9 in
+  {
+    workload = name workload;
+    fs = F.flavor;
+    ops = total;
+    sim_seconds;
+    kops_per_sec = float_of_int total /. sim_seconds /. 1000.;
+  }

@@ -1,0 +1,42 @@
+(** Zipfian key distribution (YCSB's default request distribution),
+    using the Gray et al. quick approximation with theta = 0.99. *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  rng : Random.State.t;
+}
+
+let zeta n theta =
+  let s = ref 0.0 in
+  for i = 1 to n do
+    s := !s +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let create ?(theta = 0.99) ~n rng =
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta; rng }
+
+let next t =
+  let u = Random.State.float t.rng 1.0 in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else
+    let v =
+      float_of_int t.n
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    min (t.n - 1) (int_of_float v)
+
+let uniform t = Random.State.int t.rng t.n

@@ -1,0 +1,1 @@
+test/test_compile_fail.ml: Alcotest Bytes Filename List Printf String Sys Unix

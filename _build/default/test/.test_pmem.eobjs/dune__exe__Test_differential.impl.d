@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Baselines Char Format Hashtbl List Pmem Printf Random Squirrelfs String Vfs

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Array Bytes Fmt Gen Int64 List Pmem QCheck QCheck_alcotest String

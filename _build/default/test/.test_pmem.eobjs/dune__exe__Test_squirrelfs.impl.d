@@ -1,0 +1,1 @@
+test/test_squirrelfs.ml: Alcotest Layout List Pmem Squirrelfs String Typestate Vfs

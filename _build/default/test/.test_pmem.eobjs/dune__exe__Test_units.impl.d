@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Layout Pmem QCheck QCheck_alcotest Result String Typestate Vfs

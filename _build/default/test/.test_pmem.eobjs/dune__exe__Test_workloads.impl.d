@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Baselines Char Fun List Pmem Printf Random Squirrelfs String Vfs Workloads

@@ -1,0 +1,114 @@
+(* Baseline file systems: the full VFS conformance suite against each of
+   Ext4-DAX, NOVA and WineFS, plus journal-replay and cost-profile
+   behaviour. *)
+
+module Device = Pmem.Device
+module B = Baselines
+
+let device () = Device.create ~size:(4 * 1024 * 1024) ()
+
+let suite_for (module F : Vfs.Fs.S) =
+  ( F.flavor,
+    List.map
+      (fun (name, fn) -> Alcotest.test_case name `Quick fn)
+      (Vfs.Conformance.cases (module F) ~device) )
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Vfs.Errno.to_string e)
+
+let test_journal_replay () =
+  (* A committed-but-not-checkpointed transaction must be applied on
+     mount: forge the situation by replaying a manually truncated
+     image. *)
+  let dev = device () in
+  B.Ext4_dax_sim.mkfs dev;
+  let fs = ok "mount" (B.Ext4_dax_sim.mount dev) in
+  ignore (ok "create" (B.Ext4_dax_sim.create fs "/a"));
+  ignore (ok "write" (B.Ext4_dax_sim.write fs "/a" ~off:0 "hello"));
+  B.Ext4_dax_sim.unmount fs;
+  (* corrupt the checkpoint mark so the journal looks unapplied *)
+  Device.store_u64 dev B.Blayout.s_jseq 0;
+  Device.persist dev ~off:B.Blayout.s_jseq ~len:8;
+  let fs2 = ok "remount" (B.Ext4_dax_sim.mount dev) in
+  Alcotest.(check string) "data intact after replay" "hello"
+    (ok "read" (B.Ext4_dax_sim.read fs2 "/a" ~off:0 ~len:5))
+
+let test_profiles_differ () =
+  (* same op sequence; ext4 must burn more simulated time than winefs *)
+  let run (module F : Vfs.Fs.S) =
+    let dev = Device.create ~latency:Pmem.Latency.optane ~size:(4 * 1024 * 1024) () in
+    F.mkfs dev;
+    let fs = ok "mount" (F.mount dev) in
+    let t0 = Device.now_ns dev in
+    for i = 1 to 20 do
+      ignore (ok "create" (F.create fs (Printf.sprintf "/f%d" i)));
+      ignore
+        (ok "write" (F.write fs (Printf.sprintf "/f%d" i) ~off:0 (String.make 4096 'x')))
+    done;
+    Device.now_ns dev - t0
+  in
+  let ext4 = run (module B.Ext4_dax_sim) in
+  let winefs = run (module B.Winefs_sim) in
+  let nova = run (module B.Nova_sim) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ext4 (%dns) slower than winefs (%dns)" ext4 winefs)
+    true (ext4 > winefs);
+  Alcotest.(check bool)
+    (Printf.sprintf "nova (%dns) slower than winefs (%dns)" nova winefs)
+    true (nova >= winefs)
+
+let test_nova_rename_costlier_than_winefs () =
+  let run (module F : Vfs.Fs.S) =
+    let dev = Device.create ~latency:Pmem.Latency.optane ~size:(4 * 1024 * 1024) () in
+    F.mkfs dev;
+    let fs = ok "mount" (F.mount dev) in
+    ignore (ok "create" (F.create fs "/a"));
+    let t0 = Device.now_ns dev in
+    ignore (ok "rename" (F.rename fs "/a" "/b"));
+    Device.now_ns dev - t0
+  in
+  let nova = run (module B.Nova_sim) in
+  let winefs = run (module B.Winefs_sim) in
+  Alcotest.(check bool)
+    (Printf.sprintf "nova rename (%dns) > winefs rename (%dns)" nova winefs)
+    true
+    (nova > winefs)
+
+let test_big_file_indirect_blocks () =
+  let dev = Device.create ~size:(16 * 1024 * 1024) () in
+  B.Winefs_sim.mkfs dev;
+  let fs = ok "mount" (B.Winefs_sim.mount dev) in
+  ignore (ok "create" (B.Winefs_sim.create fs "/big"));
+  (* 80 blocks: well past the 12 direct pointers, into the indirect *)
+  let chunk = String.make 4096 'k' in
+  for i = 0 to 79 do
+    ignore (ok "write" (B.Winefs_sim.write fs "/big" ~off:(i * 4096) chunk))
+  done;
+  let st = ok "stat" (B.Winefs_sim.stat fs "/big") in
+  Alcotest.(check int) "size" (80 * 4096) st.Vfs.Fs.size;
+  let d = ok "read" (B.Winefs_sim.read fs "/big" ~off:(40 * 4096) ~len:4096) in
+  Alcotest.(check string) "indirect content" chunk d;
+  (* survives a remount *)
+  B.Winefs_sim.unmount fs;
+  let fs2 = ok "remount" (B.Winefs_sim.mount dev) in
+  let d2 = ok "read" (B.Winefs_sim.read fs2 "/big" ~off:(79 * 4096) ~len:4096) in
+  Alcotest.(check string) "after remount" chunk d2;
+  ignore (ok "unlink" (B.Winefs_sim.unlink fs2 "/big"))
+
+let extra =
+  [
+    ("journal replay", `Quick, test_journal_replay);
+    ("cost profiles differ", `Quick, test_profiles_differ);
+    ("nova rename costlier", `Quick, test_nova_rename_costlier_than_winefs);
+    ("indirect blocks", `Quick, test_big_file_indirect_blocks);
+  ]
+
+let () =
+  Alcotest.run "baselines"
+    [
+      suite_for (module B.Ext4_dax_sim);
+      suite_for (module B.Nova_sim);
+      suite_for (module B.Winefs_sim);
+      ("journaling", extra);
+    ]

@@ -1,0 +1,176 @@
+(* Crash-consistency harness: correct SquirrelFS must survive every legal
+   crash state of every workload; the deliberately mis-ordered buggy
+   variants must be caught. *)
+
+module W = Crashcheck.Workload
+module H = Crashcheck.Harness
+
+let check_clean name workloads =
+  let r = H.run_suite workloads in
+  if r.H.violations <> [] then
+    Alcotest.failf "%s: %a" name H.pp_report r;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s probed crash states" name)
+    true
+    (r.H.crash_states > 0)
+
+let test_create_workloads () =
+  check_clean "create"
+    [
+      [ W.Create "/a" ];
+      [ W.Create "/a"; W.Create "/b"; W.Create "/c" ];
+      [ W.Mkdir "/d"; W.Create "/d/a" ];
+    ]
+
+let test_write_workloads () =
+  check_clean "write"
+    [
+      [ W.Create "/a"; W.Write ("/a", 0, String.make 100 'x') ];
+      [ W.Create "/a"; W.Write ("/a", 0, String.make 5000 'x') ];
+      [
+        W.Create "/a";
+        W.Write ("/a", 0, String.make 100 'x');
+        W.Write ("/a", 100, String.make 100 'y');
+      ];
+      [ W.Create "/a"; W.Write ("/a", 10000, "sparse") ];
+      [ W.Create "/a"; W.Write ("/a", 0, String.make 9000 'x'); W.Truncate ("/a", 100) ];
+      [ W.Create "/a"; W.Truncate ("/a", 9000) ];
+    ]
+
+let test_unlink_workloads () =
+  check_clean "unlink"
+    [
+      [ W.Create "/a"; W.Unlink "/a" ];
+      [ W.Create "/a"; W.Write ("/a", 0, String.make 8192 'x'); W.Unlink "/a" ];
+      [ W.Mkdir "/d"; W.Rmdir "/d" ];
+      [ W.Create "/a"; W.Link ("/a", "/b"); W.Unlink "/a"; W.Unlink "/b" ];
+    ]
+
+let test_rename_workloads () =
+  check_clean "rename"
+    [
+      [ W.Create "/a"; W.Rename ("/a", "/b") ];
+      [ W.Create "/a"; W.Create "/b"; W.Rename ("/a", "/b") ];
+      [ W.Mkdir "/d"; W.Create "/a"; W.Rename ("/a", "/d/a") ];
+      [ W.Mkdir "/d"; W.Mkdir "/e"; W.Rename ("/d", "/e") ];
+      [ W.Mkdir "/d"; W.Mkdir "/e"; W.Rename ("/d", "/e/d") ];
+      [
+        W.Mkdir "/d";
+        W.Create "/d/f";
+        W.Mkdir "/e";
+        W.Rename ("/d/f", "/e/f");
+        W.Rename ("/e", "/d/e");
+      ];
+      [ W.Create "/a"; W.Link ("/a", "/b"); W.Rename ("/a", "/b") ];
+      [ W.Create "/a"; W.Symlink ("/a", "/s"); W.Rename ("/s", "/t") ];
+    ]
+
+let test_systematic_sample () =
+  (* a deterministic slice of the full seq-2 matrix (the full matrix runs
+     in the benchmark harness) *)
+  let all = W.systematic_pairs () in
+  let sample = List.filteri (fun i _ -> i mod 13 = 0) all in
+  check_clean "systematic sample" sample
+
+let test_random_fuzz () =
+  check_clean "fuzz"
+    (W.random ~seed:42 ~ops_per_workload:6 ~count:10)
+
+let expect_buggy name workload =
+  let r = H.run_workload workload in
+  Alcotest.(check bool)
+    (name ^ " is detected")
+    true
+    (r.H.violations <> [])
+
+let test_buggy_create_detected () =
+  expect_buggy "buggy create" [ W.Mkdir "/d"; W.Buggy_create "/b" ]
+
+let test_buggy_unlink_detected () =
+  expect_buggy "buggy unlink"
+    [ W.Create "/a"; W.Write ("/a", 0, "data"); W.Buggy_unlink "/a" ]
+
+let test_buggy_write_detected () =
+  expect_buggy "buggy write"
+    [ W.Create "/a"; W.Buggy_write ("/a", String.make 500 'z') ]
+
+let test_atomic_write_survives_data_compare () =
+  (* COW writes (the §3.4 extension) are crash-atomic even at the DATA
+     level: every crash state shows old XOR new contents *)
+  let page = String.make 4096 'o' in
+  let r =
+    H.run_workload ~compare_data:true
+      [
+        W.Create "/a";
+        W.Write_atomic ("/a", 0, page);
+        W.Write_atomic ("/a", 0, String.make 4096 'n');
+        W.Write_atomic ("/a", 1000, "patch");
+      ]
+  in
+  if r.H.violations <> [] then
+    Alcotest.failf "atomic writes torn: %a" H.pp_report r
+
+let test_regular_write_is_not_atomic () =
+  (* the control: the same workload with plain writes MUST produce torn
+     data states (the paper: data ops are not atomic in any of the
+     evaluated systems) *)
+  let r =
+    H.run_workload ~compare_data:true
+      [
+        W.Create "/a";
+        W.Write ("/a", 0, String.make 4096 'o');
+        W.Write ("/a", 0, String.make 4096 'n');
+      ]
+  in
+  Alcotest.(check bool) "plain overwrite tears under data comparison" true
+    (r.H.violations <> [])
+
+let test_atomic_write_metadata_clean () =
+  (* under the normal metadata-only oracle, COW-write workloads are as
+     clean as everything else *)
+  check_clean "atomic writes"
+    [
+      [ W.Create "/a"; W.Write_atomic ("/a", 0, String.make 5000 'x') ];
+      [
+        W.Create "/a";
+        W.Write ("/a", 0, String.make 8192 'i');
+        W.Write_atomic ("/a", 2048, String.make 4096 'j');
+        W.Unlink "/a";
+      ];
+    ]
+
+let test_correct_versions_pass () =
+  (* the same logical operations through the typestate API are clean *)
+  check_clean "correct counterparts"
+    [
+      [ W.Mkdir "/d"; W.Create "/b" ];
+      [ W.Create "/a"; W.Write ("/a", 0, "data"); W.Unlink "/a" ];
+      [ W.Create "/a"; W.Write ("/a", 0, String.make 500 'z') ];
+    ]
+
+let () =
+  Alcotest.run "crashcheck"
+    [
+      ( "clean",
+        [
+          ("create workloads", `Quick, test_create_workloads);
+          ("write workloads", `Quick, test_write_workloads);
+          ("unlink workloads", `Quick, test_unlink_workloads);
+          ("rename workloads", `Quick, test_rename_workloads);
+          ("systematic sample", `Slow, test_systematic_sample);
+          ("random fuzz", `Slow, test_random_fuzz);
+        ] );
+      ( "buggy",
+        [
+          ("buggy create detected", `Quick, test_buggy_create_detected);
+          ("buggy unlink detected", `Quick, test_buggy_unlink_detected);
+          ("buggy write detected", `Quick, test_buggy_write_detected);
+          ("correct versions pass", `Quick, test_correct_versions_pass);
+        ] );
+      ( "cow-writes",
+        [
+          ("atomic under data compare", `Quick, test_atomic_write_survives_data_compare);
+          ("plain write tears (control)", `Quick, test_regular_write_is_not_atomic);
+          ("metadata oracle clean", `Quick, test_atomic_write_metadata_clean);
+        ] );
+    ]

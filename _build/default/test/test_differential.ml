@@ -1,0 +1,117 @@
+(* Differential testing: the same randomly generated operation sequence,
+   applied to SquirrelFS and to each baseline, must produce the same
+   success/failure outcomes and logically equal trees. Four independent
+   implementations act as each other's oracles. *)
+
+module Device = Pmem.Device
+
+type op =
+  | Create of string
+  | Mkdir of string
+  | Unlink of string
+  | Rmdir of string
+  | Rename of string * string
+  | Link of string * string
+  | Symlink of string * string
+  | Write of string * int * string
+  | Truncate of string * int
+  | Read of string * int * int
+
+let pp_op = function
+  | Create p -> Printf.sprintf "create %s" p
+  | Mkdir p -> Printf.sprintf "mkdir %s" p
+  | Unlink p -> Printf.sprintf "unlink %s" p
+  | Rmdir p -> Printf.sprintf "rmdir %s" p
+  | Rename (a, b) -> Printf.sprintf "rename %s %s" a b
+  | Link (a, b) -> Printf.sprintf "link %s %s" a b
+  | Symlink (a, b) -> Printf.sprintf "symlink %s %s" a b
+  | Write (p, off, d) -> Printf.sprintf "write %s %d %d" p off (String.length d)
+  | Truncate (p, n) -> Printf.sprintf "truncate %s %d" p n
+  | Read (p, off, len) -> Printf.sprintf "read %s %d %d" p off len
+
+(* apply and report observable outcome *)
+let apply (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) op =
+  let tag = function Ok _ -> "ok" | Error _ -> "err" in
+  match op with
+  | Create p -> tag (F.create fs p)
+  | Mkdir p -> tag (F.mkdir fs p)
+  | Unlink p -> tag (F.unlink fs p)
+  | Rmdir p -> tag (F.rmdir fs p)
+  | Rename (a, b) -> tag (F.rename fs a b)
+  | Link (a, b) -> tag (F.link fs a b)
+  | Symlink (a, b) -> tag (F.symlink fs a b)
+  | Write (p, off, d) -> tag (F.write fs p ~off d)
+  | Truncate (p, n) -> tag (F.truncate fs p n)
+  | Read (p, off, len) -> (
+      match F.read fs p ~off ~len with
+      | Ok d -> "ok:" ^ string_of_int (Hashtbl.hash d)
+      | Error _ -> "err")
+
+let gen_ops rng n =
+  let dirs = [ "/d1"; "/d2"; "/d1/s" ] in
+  let files = [ "/f1"; "/f2"; "/d1/f"; "/d1/s/g"; "/d2/h" ] in
+  let any = dirs @ files in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  List.init n (fun _ ->
+      match Random.State.int rng 13 with
+      | 0 -> Create (pick files)
+      | 1 -> Mkdir (pick dirs)
+      | 2 -> Unlink (pick any)
+      | 3 -> Rmdir (pick any)
+      | 4 -> Rename (pick any, pick any)
+      | 5 -> Link (pick any, pick any)
+      | 6 -> Symlink (pick any, pick files)
+      | 7 | 8 ->
+          Write
+            ( pick files,
+              Random.State.int rng 6000,
+              String.make (1 + Random.State.int rng 6000)
+                (Char.chr (97 + Random.State.int rng 26)) )
+      | 9 -> Truncate (pick files, Random.State.int rng 10000)
+      | _ -> Read (pick files, Random.State.int rng 8000, Random.State.int rng 8000))
+
+let run_fs (module F : Vfs.Fs.S) ops =
+  let dev = Device.create ~size:(4 * 1024 * 1024) () in
+  F.mkfs dev;
+  match F.mount dev with
+  | Error e -> failwith (Vfs.Errno.to_string e)
+  | Ok fs ->
+      let outcomes = List.map (fun op -> apply (module F) fs op) ops in
+      (outcomes, Vfs.Logical.capture (module F) fs)
+
+let check_pair name (module A : Vfs.Fs.S) (module B : Vfs.Fs.S) seed =
+  let rng = Random.State.make [| seed |] in
+  let ops = gen_ops rng 40 in
+  let oa, ta = run_fs (module A) ops in
+  let ob, tb = run_fs (module B) ops in
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "%s seed %d: op %d (%s): %s=%s, %s=%s" name seed i
+          (pp_op (List.nth ops i))
+          A.flavor a B.flavor b)
+    (List.combine oa ob);
+  if not (Vfs.Logical.equal ta tb) then
+    Alcotest.failf "%s seed %d: final trees differ:\n%s:\n%s\n%s:\n%s" name
+      seed A.flavor
+      (Format.asprintf "%a" Vfs.Logical.pp ta)
+      B.flavor
+      (Format.asprintf "%a" Vfs.Logical.pp tb)
+
+let pairs =
+  [
+    ("squirrelfs vs winefs", (module Squirrelfs : Vfs.Fs.S), (module Baselines.Winefs_sim : Vfs.Fs.S));
+    ("squirrelfs vs ext4", (module Squirrelfs : Vfs.Fs.S), (module Baselines.Ext4_dax_sim : Vfs.Fs.S));
+    ("squirrelfs vs nova", (module Squirrelfs : Vfs.Fs.S), (module Baselines.Nova_sim : Vfs.Fs.S));
+  ]
+
+let tests =
+  List.map
+    (fun (name, a, b) ->
+      Alcotest.test_case name `Quick (fun () ->
+          for seed = 1 to 25 do
+            check_pair name a b seed
+          done))
+    pairs
+
+let () = Alcotest.run "differential" [ ("random ops", tests) ]

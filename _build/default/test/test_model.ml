@@ -1,0 +1,72 @@
+(* Model checker (Alloy substitute): every correct SSU scenario must be
+   invariant-clean across all interleavings, drain orders and crash
+   points; every buggy variant must yield a counterexample trace. *)
+
+module M = Model
+
+let test_correct (sc : M.Explore.scenario) () =
+  let o = M.Explore.run sc in
+  if o.M.Explore.violations <> [] then
+    Alcotest.failf "%s: %a" sc.M.Explore.sc_name M.Explore.pp_outcome o;
+  Alcotest.(check bool) "explored states" true (o.M.Explore.states_explored > 1)
+
+let test_buggy (sc : M.Explore.scenario) () =
+  let o = M.Explore.run sc in
+  Alcotest.(check bool)
+    (sc.M.Explore.sc_name ^ " produces a counterexample")
+    true
+    (o.M.Explore.violations <> []);
+  (* a counterexample must come with a non-empty trace *)
+  match o.M.Explore.violations with
+  | v :: _ ->
+      Alcotest.(check bool) "trace non-empty" true (v.M.Explore.v_trace <> [])
+  | [] -> ()
+
+let test_recovery_idempotent () =
+  (* recovering a recovered state changes nothing *)
+  let sc = List.hd M.Scenarios.correct in
+  let st = sc.M.Explore.sc_init in
+  let r1 = M.Absstate.recover st in
+  let r2 = M.Absstate.recover r1 in
+  Alcotest.(check string) "idempotent" (M.Absstate.encode r1)
+    (M.Absstate.encode r2)
+
+let test_initial_state_consistent () =
+  let st = M.Absstate.create ~n_inodes:4 ~n_dentries:4 in
+  Alcotest.(check (list string)) "fresh state consistent" [] (M.Absstate.check st)
+
+let test_rename_trace_shape () =
+  (* the buggy rename's counterexample should show a state where both
+     names are live (no rename pointer to disambiguate) *)
+  let sc =
+    List.find
+      (fun s -> s.M.Explore.sc_name = "buggy-rename")
+      M.Scenarios.buggy
+  in
+  let o = M.Explore.run sc in
+  Alcotest.(check bool) "found" true (o.M.Explore.violations <> [])
+
+let () =
+  let correct =
+    List.map
+      (fun sc ->
+        Alcotest.test_case sc.M.Explore.sc_name `Quick (test_correct sc))
+      M.Scenarios.correct
+  in
+  let buggy =
+    List.map
+      (fun sc ->
+        Alcotest.test_case sc.M.Explore.sc_name `Quick (test_buggy sc))
+      M.Scenarios.buggy
+  in
+  Alcotest.run "model"
+    [
+      ("correct scenarios", correct);
+      ("buggy scenarios", buggy);
+      ( "machinery",
+        [
+          Alcotest.test_case "recovery idempotent" `Quick test_recovery_idempotent;
+          Alcotest.test_case "initial state consistent" `Quick test_initial_state_consistent;
+          Alcotest.test_case "buggy rename counterexample" `Quick test_rename_trace_shape;
+        ] );
+    ]

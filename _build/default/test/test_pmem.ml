@@ -1,0 +1,334 @@
+(* Unit and property tests for the PM device simulator: visibility,
+   durability, atomicity and crash-image semantics. *)
+
+module Device = Pmem.Device
+module Latency = Pmem.Latency
+
+let bytes_eq = Alcotest.testable (fun ppf b -> Fmt.string ppf (Bytes.to_string b |> String.escaped)) Bytes.equal
+
+let mk ?(size = 4096) () = Device.create ~size ()
+
+let read_str dev off len = Bytes.to_string (Device.read dev ~off ~len)
+
+let test_store_visible () =
+  let dev = mk () in
+  Device.store dev ~off:100 "hello";
+  Alcotest.(check string) "latest sees store" "hello" (read_str dev 100 5)
+
+let test_store_not_durable () =
+  let dev = mk () in
+  Device.store dev ~off:0 "abc";
+  let img = Device.image_durable dev in
+  Alcotest.(check string) "durable unchanged" "\000\000\000"
+    (Bytes.sub_string img 0 3)
+
+let test_flush_alone_not_durable () =
+  let dev = mk () in
+  Device.store dev ~off:0 "abc";
+  Device.flush dev ~off:0 ~len:3;
+  let img = Device.image_durable dev in
+  Alcotest.(check string) "flush without fence not durable" "\000\000\000"
+    (Bytes.sub_string img 0 3)
+
+let test_fence_alone_not_durable () =
+  let dev = mk () in
+  Device.store dev ~off:0 "abc";
+  Device.fence dev;
+  let img = Device.image_durable dev in
+  Alcotest.(check string) "fence without flush not durable" "\000\000\000"
+    (Bytes.sub_string img 0 3)
+
+let test_persist_durable () =
+  let dev = mk () in
+  Device.store dev ~off:0 "abc";
+  Device.persist dev ~off:0 ~len:3;
+  let img = Device.image_durable dev in
+  Alcotest.(check string) "persist makes durable" "abc"
+    (Bytes.sub_string img 0 3);
+  Alcotest.(check bool) "quiescent" true (Device.is_quiescent dev)
+
+let test_store_after_flush_stays_pending () =
+  let dev = mk () in
+  Device.store dev ~off:0 "aaaa";
+  Device.flush dev ~off:0 ~len:4;
+  Device.store dev ~off:64 "bbbb";
+  (* second store is in a different line and was never flushed *)
+  Device.fence dev;
+  let img = Device.image_durable dev in
+  Alcotest.(check string) "flushed store durable" "aaaa"
+    (Bytes.sub_string img 0 4);
+  Alcotest.(check string) "unflushed store not durable" "\000\000\000\000"
+    (Bytes.sub_string img 64 4)
+
+let test_same_line_partial_flush () =
+  let dev = mk () in
+  Device.store dev ~off:0 "aaaa";
+  Device.flush dev ~off:0 ~len:4;
+  (* store to the same line after the clwb: not covered by it *)
+  Device.store dev ~off:8 "bbbb";
+  Device.fence dev;
+  let img = Device.image_durable dev in
+  Alcotest.(check string) "pre-clwb store durable" "aaaa"
+    (Bytes.sub_string img 0 4);
+  Alcotest.(check string) "post-clwb store pending" "\000\000\000\000"
+    (Bytes.sub_string img 8 4);
+  Alcotest.(check bool) "still dirty" false (Device.is_quiescent dev)
+
+let test_u64_roundtrip () =
+  let dev = mk () in
+  let v = 0x1234_5678_9abc_def in
+  Device.store_u64 dev 512 v;
+  Alcotest.(check int) "u64 roundtrip" v (Device.read_u64 dev 512)
+
+let test_u64_atomic_in_crash () =
+  let dev = mk () in
+  Device.store_u64 dev 0 0x1111111111111111;
+  Device.persist dev ~off:0 ~len:8;
+  Device.store_u64 dev 0 0x2222222222222222;
+  let images = Device.crash_images dev in
+  List.iter
+    (fun img ->
+      let d = Device.of_image img in
+      let v = Device.read_u64 d 0 in
+      Alcotest.(check bool) "either old or new, never torn" true
+        (v = 0x1111111111111111 || v = 0x2222222222222222))
+    images;
+  Alcotest.(check int) "two crash states" 2 (List.length images)
+
+let test_unaligned_u64_rejected () =
+  let dev = mk () in
+  Alcotest.check_raises "unaligned store_u64"
+    (Invalid_argument "Pmem.Device.store_u64: unaligned") (fun () ->
+      Device.store_u64 dev 4 1)
+
+let test_large_store_can_tear () =
+  let dev = mk () in
+  (* A 16-byte store spans two 8-byte words: it may tear between them. *)
+  Device.store dev ~off:0 "AAAAAAAABBBBBBBB";
+  let images = Device.crash_images dev in
+  Alcotest.(check int) "three crash states (0, 1 or 2 words)" 3
+    (List.length images);
+  let strings =
+    List.map (fun img -> Bytes.sub_string img 0 16) images
+    |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "torn states"
+    (List.sort compare
+       [
+         String.make 16 '\000';
+         "AAAAAAAA" ^ String.make 8 '\000';
+         "AAAAAAAABBBBBBBB";
+       ])
+    strings
+
+let test_cross_line_independent () =
+  let dev = mk () in
+  (* Two stores to different lines may persist in either order. *)
+  Device.store_u64 dev 0 1;
+  Device.store_u64 dev 64 2;
+  let images = Device.crash_images dev in
+  Alcotest.(check int) "2x2 crash states" 4 (List.length images);
+  let exists f = List.exists f images in
+  let v img off = Int64.to_int (Bytes.get_int64_le img off) in
+  Alcotest.(check bool) "second without first possible" true
+    (exists (fun img -> v img 0 = 0 && v img 64 = 2))
+
+let test_same_word_ordered () =
+  let dev = mk () in
+  (* Two stores to the same word drain in order: the second cannot persist
+     "without" the first (it overwrites it). Prefixes: none, first, both. *)
+  Device.store_u64 dev 0 1;
+  Device.store_u64 dev 0 2;
+  let images = Device.crash_images dev in
+  let vals =
+    List.map (fun img -> Int64.to_int (Bytes.get_int64_le img 0)) images
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "prefix values" [ 0; 1; 2 ] vals
+
+let test_of_image_quiescent () =
+  let dev = mk () in
+  Device.store dev ~off:0 "xyz";
+  Device.persist dev ~off:0 ~len:3;
+  let img = Device.image_durable dev in
+  let dev2 = Device.of_image img in
+  Alcotest.(check bool) "quiescent" true (Device.is_quiescent dev2);
+  Alcotest.(check string) "content preserved" "xyz" (read_str dev2 0 3)
+
+let test_zero_latency_clock () =
+  let dev = mk () in
+  Device.store dev ~off:0 "abcd";
+  Device.persist dev ~off:0 ~len:4;
+  Alcotest.(check int) "zero profile costs nothing" 0 (Device.now_ns dev)
+
+let test_optane_latency_clock () =
+  let dev = Device.create ~latency:Latency.optane ~size:4096 () in
+  Device.store_u64 dev 0 42;
+  let after_store = Device.now_ns dev in
+  Alcotest.(check int) "store cost" Latency.optane.store_ns after_store;
+  Device.flush dev ~off:0 ~len:8;
+  Device.fence dev;
+  let expected =
+    Latency.optane.store_ns + Latency.optane.flush_ns
+    + Latency.optane.fence_base_ns + Latency.optane.fence_line_ns
+  in
+  Alcotest.(check int) "persist cost" expected (Device.now_ns dev)
+
+let test_charge () =
+  let dev = mk () in
+  Device.charge dev 500;
+  Alcotest.(check int) "charged" 500 (Device.now_ns dev)
+
+let test_fence_hook_runs () =
+  let dev = mk () in
+  let calls = ref 0 in
+  Device.set_fence_hook dev (Some (fun _ -> incr calls));
+  Device.store dev ~off:0 "a";
+  Device.persist dev ~off:0 ~len:1;
+  Device.fence dev;
+  Alcotest.(check int) "hook per fence" 2 !calls
+
+let test_fence_hook_sees_pending () =
+  let dev = mk () in
+  let seen = ref (-1) in
+  Device.set_fence_hook dev
+    (Some (fun d -> seen := Device.pending_line_count d));
+  Device.store dev ~off:0 "a";
+  Device.persist dev ~off:0 ~len:1;
+  Alcotest.(check int) "pending visible at fence entry" 1 !seen
+
+let test_nt_store () =
+  let dev = mk () in
+  Device.store_nt dev ~off:0 "hello";
+  Alcotest.(check bool) "not yet durable" false
+    (Bytes.sub_string (Device.image_durable dev) 0 5 = "hello");
+  Device.fence dev;
+  Alcotest.(check string) "durable after fence" "hello"
+    (Bytes.sub_string (Device.image_durable dev) 0 5)
+
+let test_image_latest_includes_pending () =
+  let dev = mk () in
+  Device.store dev ~off:0 "zz";
+  let img = Device.image_latest dev in
+  Alcotest.(check string) "latest image has pending store" "zz"
+    (Bytes.sub_string img 0 2)
+
+let test_bounds_checked () =
+  let dev = mk ~size:128 () in
+  Alcotest.(check bool) "oob store raises" true
+    (try
+       Device.store dev ~off:120 "123456789";
+       false
+     with Invalid_argument _ -> true)
+
+let test_crash_image_count_quiescent () =
+  let dev = mk () in
+  Alcotest.(check int) "quiescent: one image" 1 (Device.crash_image_count dev);
+  Alcotest.(check int) "one image returned" 1
+    (List.length (Device.crash_images dev))
+
+let test_sampling_cap () =
+  let dev = mk ~size:8192 () in
+  (* 64 independent words -> 2^64 images; sampling must cap. *)
+  for i = 0 to 63 do
+    Device.store_u64 dev (i * 64) (i + 1)
+  done;
+  let images = Device.crash_images ~max_images:10 dev in
+  Alcotest.(check int) "capped" 10 (List.length images);
+  (* extremes present: all-zero and all-applied *)
+  let zero = Bytes.make 8192 '\000' in
+  Alcotest.(check bool) "durable extreme included" true
+    (List.exists (Bytes.equal zero) images);
+  Alcotest.(check bool) "latest extreme included" true
+    (List.exists (Bytes.equal (Device.image_latest dev)) images)
+
+(* Property tests *)
+
+let prop_persist_all_makes_durable =
+  QCheck.Test.make ~count:100 ~name:"random ops then full persist: durable = latest"
+    QCheck.(list (pair (int_bound 1000) (string_of_size Gen.(1 -- 16))))
+    (fun ops ->
+      let dev = mk ~size:2048 () in
+      List.iter
+        (fun (off, data) ->
+          let off = off mod (2048 - 16) in
+          Device.store dev ~off data)
+        ops;
+      Device.persist dev ~off:0 ~len:2048;
+      Bytes.equal (Device.image_durable dev) (Device.image_latest dev)
+      && Device.is_quiescent dev)
+
+let prop_crash_images_bounded_by_latest_and_durable =
+  QCheck.Test.make ~count:50
+    ~name:"every crash image word is some store prefix of that word"
+    QCheck.(list (pair (int_bound 15) small_int))
+    (fun ops ->
+      let dev = mk ~size:256 () in
+      (* Record per-word history of values. *)
+      let history = Array.make 32 [ 0 ] in
+      List.iter
+        (fun (word, v) ->
+          let v = abs v in
+          Device.store_u64 dev (word * 8) v;
+          history.(word) <- v :: history.(word))
+        ops;
+      let images = Device.crash_images ~max_images:128 dev in
+      List.for_all
+        (fun img ->
+          let ok = ref true in
+          for w = 0 to 31 do
+            let v = Int64.to_int (Bytes.get_int64_le img (w * 8)) in
+            if not (List.mem v history.(w)) then ok := false
+          done;
+          !ok)
+        images)
+
+let prop_store_read_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"store/read roundtrip"
+    QCheck.(pair (int_bound 1000) (string_of_size Gen.(1 -- 64)))
+    (fun (off, data) ->
+      let dev = mk ~size:2048 () in
+      let off = off mod (2048 - 64) in
+      Device.store dev ~off data;
+      Bytes.to_string (Device.read dev ~off ~len:(String.length data)) = data)
+
+let unit_tests =
+  [
+    ("store visible", `Quick, test_store_visible);
+    ("store not durable", `Quick, test_store_not_durable);
+    ("flush alone not durable", `Quick, test_flush_alone_not_durable);
+    ("fence alone not durable", `Quick, test_fence_alone_not_durable);
+    ("persist durable", `Quick, test_persist_durable);
+    ("unflushed line survives fence", `Quick, test_store_after_flush_stays_pending);
+    ("same line partial flush", `Quick, test_same_line_partial_flush);
+    ("u64 roundtrip", `Quick, test_u64_roundtrip);
+    ("u64 atomic in crash", `Quick, test_u64_atomic_in_crash);
+    ("unaligned u64 rejected", `Quick, test_unaligned_u64_rejected);
+    ("large store can tear", `Quick, test_large_store_can_tear);
+    ("cross-line reorder", `Quick, test_cross_line_independent);
+    ("same-word ordered", `Quick, test_same_word_ordered);
+    ("of_image quiescent", `Quick, test_of_image_quiescent);
+    ("zero latency clock", `Quick, test_zero_latency_clock);
+    ("optane latency clock", `Quick, test_optane_latency_clock);
+    ("charge", `Quick, test_charge);
+    ("fence hook runs", `Quick, test_fence_hook_runs);
+    ("fence hook sees pending", `Quick, test_fence_hook_sees_pending);
+    ("nt store", `Quick, test_nt_store);
+    ("image_latest includes pending", `Quick, test_image_latest_includes_pending);
+    ("bounds checked", `Quick, test_bounds_checked);
+    ("quiescent crash count", `Quick, test_crash_image_count_quiescent);
+    ("sampling cap", `Quick, test_sampling_cap);
+  ]
+
+let prop_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_persist_all_makes_durable;
+      prop_crash_images_bounded_by_latest_and_durable;
+      prop_store_read_roundtrip;
+    ]
+
+let () =
+  ignore bytes_eq;
+  Alcotest.run "pmem" [ ("device", unit_tests); ("device-props", prop_tests) ]

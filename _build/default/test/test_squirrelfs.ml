@@ -1,0 +1,258 @@
+(* SquirrelFS: VFS conformance plus SquirrelFS-specific behaviour —
+   typestate/linearity enforcement, mount-time rebuild, recovery. *)
+
+module Device = Pmem.Device
+module Sq = Squirrelfs
+module Token = Typestate.Token
+
+let device () = Device.create ~size:(4 * 1024 * 1024) ()
+
+let conformance =
+  List.map
+    (fun (name, fn) -> Alcotest.test_case name `Quick fn)
+    (Vfs.Conformance.cases (module Squirrelfs) ~device)
+
+let fresh () =
+  let dev = device () in
+  Sq.mkfs dev;
+  match Sq.mount dev with
+  | Ok fs -> (dev, fs)
+  | Error e -> Alcotest.failf "mount: %s" (Vfs.Errno.to_string e)
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Vfs.Errno.to_string e)
+
+(* {1 Typestate / linearity} *)
+
+let test_stale_handle_detected () =
+  let _dev, ctx = fresh () in
+  let ih = ok "alloc" (Sq.Objects.Inode.alloc ctx) in
+  let _ih2 = Sq.Objects.Inode.init_file ctx ih ~mode:0 ~uid:0 ~gid:0 in
+  (* Reusing the consumed handle must raise. *)
+  Alcotest.(check bool) "stale handle raises" true
+    (try
+       ignore (Sq.Objects.Inode.init_file ctx ih ~mode:0 ~uid:0 ~gid:0);
+       false
+     with Token.Stale_handle _ -> true)
+
+let test_fence_required_before_clean () =
+  let _dev, ctx = fresh () in
+  let ih = ok "alloc" (Sq.Objects.Inode.alloc ctx) in
+  let ih = Sq.Objects.Inode.init_file ctx ih ~mode:0 ~uid:0 ~gid:0 in
+  let ih = Sq.Objects.Inode.flush ctx ih in
+  (* No fence has been issued since the flush: after_fence must refuse. *)
+  Alcotest.(check bool) "after_fence without fence raises" true
+    (try
+       ignore (Sq.Objects.Inode.after_fence ctx ih);
+       false
+     with Token.Stale_handle _ -> true)
+
+let test_shared_fence_allows_after_fence () =
+  let _dev, ctx = fresh () in
+  let ih = ok "alloc" (Sq.Objects.Inode.alloc ctx) in
+  let ih = Sq.Objects.Inode.init_file ctx ih ~mode:0 ~uid:0 ~gid:0 in
+  let ih = Sq.Objects.Inode.flush ctx ih in
+  Sq.Fsctx.fence ctx;
+  let _ih = Sq.Objects.Inode.after_fence ctx ih in
+  ()
+
+let test_evidence_single_use () =
+  let _dev, ctx = fresh () in
+  let ino = ok "create" (Sq.Ops.create_file ctx ~dir:1 ~name:"a") in
+  ignore (ok "link" (Sq.Ops.link ctx ~dir:1 ~name:"b" ~target_ino:ino));
+  let dh = ok "get" (Sq.Objects.Dentry.get ctx ~dir:1 ~name:"a") in
+  let dh = Sq.Objects.Dentry.clear_ino ctx dh in
+  let dh = Sq.Objects.Dentry.fence ctx (Sq.Objects.Dentry.flush ctx dh) in
+  let _dh, ev = Sq.Objects.Dentry.cleared_evidence ctx dh in
+  let ih = Sq.Objects.Inode.get ctx ino in
+  let ih = Sq.Objects.Inode.dec_link ctx ih ~cleared:ev in
+  let ih = Sq.Objects.Inode.fence ctx (Sq.Objects.Inode.flush ctx ih) in
+  ignore ih;
+  let ih2 = Sq.Objects.Inode.get ctx ino in
+  Alcotest.(check bool) "evidence reuse fails" true
+    (try
+       ignore (Sq.Objects.Inode.dec_link ctx ih2 ~cleared:ev);
+       false
+     with Failure _ -> true)
+
+let test_set_size_requires_owned_pages () =
+  let _dev, ctx = fresh () in
+  let ino = ok "create" (Sq.Ops.create_file ctx ~dir:1 ~name:"f") in
+  let ih = Sq.Objects.Inode.get ctx ino in
+  Alcotest.(check bool) "size beyond owned pages fails" true
+    (try
+       ignore
+         (Sq.Objects.Inode.set_size ctx ih ~size:10_000 ~owned:None ());
+       false
+     with Failure _ -> true)
+
+(* {1 Fence accounting (paper §3.3: ops share fences)} *)
+
+let fences dev = (Device.stats dev).Pmem.Stats.fences
+
+let test_create_uses_two_fences () =
+  let dev, ctx = fresh () in
+  (* warm up: the first op in a fresh root allocates the first dir page *)
+  ignore (ok "warm" (Sq.Ops.create_file ctx ~dir:1 ~name:"w"));
+  let before = fences dev in
+  ignore (ok "create" (Sq.Ops.create_file ctx ~dir:1 ~name:"x"));
+  Alcotest.(check int) "create = 2 fences" 2 (fences dev - before)
+
+let test_mkdir_uses_two_fences () =
+  let dev, ctx = fresh () in
+  (* warm up: first op in a fresh root may allocate the first dir page *)
+  ignore (ok "warm" (Sq.Ops.create_file ctx ~dir:1 ~name:"w"));
+  let before = fences dev in
+  ignore (ok "mkdir" (Sq.Ops.mkdir ctx ~dir:1 ~name:"d"));
+  Alcotest.(check int) "mkdir = 2 fences" 2 (fences dev - before)
+
+let test_append_small_uses_two_fences () =
+  let dev, ctx = fresh () in
+  let ino = ok "create" (Sq.Ops.create_file ctx ~dir:1 ~name:"x") in
+  ignore (ok "w0" (Sq.Ops.write ctx ~ino ~off:0 "seed"));
+  let before = fences dev in
+  ignore (ok "append" (Sq.Ops.write ctx ~ino ~off:4 "more"));
+  (* non-allocating write: data fence + inode fence *)
+  Alcotest.(check int) "small append = 2 fences" 2 (fences dev - before)
+
+let test_allocating_write_uses_three_fences () =
+  let dev, ctx = fresh () in
+  let ino = ok "create" (Sq.Ops.create_file ctx ~dir:1 ~name:"x") in
+  let before = fences dev in
+  ignore (ok "write" (Sq.Ops.write ctx ~ino ~off:0 (String.make 4096 'a')));
+  Alcotest.(check int) "allocating write = 3 fences" 3 (fences dev - before)
+
+(* {1 Mount rebuild} *)
+
+let test_mount_rebuilds_indexes () =
+  let dev, fs = fresh () in
+  ignore (ok "mkdir" (Sq.mkdir fs "/d"));
+  ignore (ok "create" (Sq.create fs "/d/f"));
+  ignore (ok "write" (Sq.write fs "/d/f" ~off:0 "hello"));
+  let before = Vfs.Logical.capture (module Squirrelfs) fs in
+  Sq.unmount fs;
+  let fs2 = ok "remount" (Sq.mount dev) in
+  let after = Vfs.Logical.capture (module Squirrelfs) fs2 in
+  Alcotest.(check bool) "same logical tree" true
+    (Vfs.Logical.equal before after)
+
+let test_mount_garbage_fails () =
+  let dev = device () in
+  Alcotest.(check bool) "garbage mount fails" true
+    (match Sq.mount dev with Error Vfs.Errno.EINVAL -> true | _ -> false)
+
+let test_allocators_rebuilt () =
+  let dev, fs = fresh () in
+  ignore (ok "create" (Sq.create fs "/a"));
+  ignore (ok "write" (Sq.write fs "/a" ~off:0 (String.make 8192 'x')));
+  let free_inodes = Sq.Alloc.free_inode_count fs.Sq.Fsctx.alloc in
+  let free_pages = Sq.Alloc.free_page_count fs.Sq.Fsctx.alloc in
+  Sq.unmount fs;
+  let fs2 = ok "remount" (Sq.mount dev) in
+  Alcotest.(check int) "free inodes preserved" free_inodes
+    (Sq.Alloc.free_inode_count fs2.Sq.Fsctx.alloc);
+  Alcotest.(check int) "free pages preserved" free_pages
+    (Sq.Alloc.free_page_count fs2.Sq.Fsctx.alloc)
+
+let test_unlink_returns_resources () =
+  let _dev, fs = fresh () in
+  ignore (ok "warm" (Sq.create fs "/warm"));
+  let free_inodes = Sq.Alloc.free_inode_count fs.Sq.Fsctx.alloc in
+  let free_pages = Sq.Alloc.free_page_count fs.Sq.Fsctx.alloc in
+  ignore (ok "create" (Sq.create fs "/a"));
+  ignore (ok "write" (Sq.write fs "/a" ~off:0 (String.make 12288 'x')));
+  ignore (ok "unlink" (Sq.unlink fs "/a"));
+  Alcotest.(check int) "inodes back" free_inodes
+    (Sq.Alloc.free_inode_count fs.Sq.Fsctx.alloc);
+  Alcotest.(check int) "pages back" free_pages
+    (Sq.Alloc.free_page_count fs.Sq.Fsctx.alloc)
+
+(* {1 Recovery} *)
+
+(* Crash the file system by taking the durable image mid-operation and
+   remounting it. *)
+let crash_image dev = Device.image_durable dev
+
+let test_recovery_mount_clean_volume () =
+  let dev, fs = fresh () in
+  ignore (ok "create" (Sq.create fs "/a"));
+  Sq.unmount fs;
+  let fs2 = ok "recovery mount" (Sq.Mount.mount_recover dev) in
+  let st = Sq.Mount.last_stats () in
+  Alcotest.(check bool) "recovery ran" true st.Sq.Mount.recovered;
+  Alcotest.(check int) "no orphans on clean volume" 0 st.Sq.Mount.orphan_inodes;
+  ignore (ok "still works" (Sq.stat fs2 "/a"))
+
+let test_crash_no_unmount_triggers_recovery () =
+  let dev, fs = fresh () in
+  ignore (ok "create" (Sq.create fs "/a"));
+  (* no unmount: clean flag still 0 *)
+  let img = crash_image dev in
+  let dev2 = Device.of_image img in
+  let _fs2 = ok "mount" (Sq.mount dev2) in
+  let st = Sq.Mount.last_stats () in
+  Alcotest.(check bool) "recovery ran" true st.Sq.Mount.recovered
+
+let test_recovery_frees_orphan_inode () =
+  let dev, ctx = fresh () in
+  (* simulate a crash after inode init but before dentry commit: allocate
+     and initialize an inode, persist it, and never link it *)
+  let ih = ok "alloc" (Sq.Objects.Inode.alloc ctx) in
+  let ih = Sq.Objects.Inode.init_file ctx ih ~mode:0o644 ~uid:0 ~gid:0 in
+  let _ih = Sq.Objects.Inode.fence ctx (Sq.Objects.Inode.flush ctx ih) in
+  let dev2 = Device.of_image (crash_image dev) in
+  let fs2 = ok "mount" (Sq.mount dev2) in
+  let st = Sq.Mount.last_stats () in
+  Alcotest.(check int) "orphan freed" 1 st.Sq.Mount.orphan_inodes;
+  (* the slot is reusable again *)
+  ignore (ok "create" (Sq.create fs2 "/new"));
+  ignore (ok "stat" (Sq.stat fs2 "/new"))
+
+let test_recovery_fixes_link_count () =
+  let dev, ctx = fresh () in
+  let ino = ok "create" (Sq.Ops.create_file ctx ~dir:1 ~name:"a") in
+  (* corrupt: bump the link count without a second dentry *)
+  let geo = ctx.Sq.Fsctx.geo in
+  let base = Layout.Geometry.inode_off geo ~ino in
+  Device.store_u64 dev (base + Layout.Records.Inode.f_links) 7;
+  Device.persist dev ~off:base ~len:8;
+  let dev2 = Device.of_image (crash_image dev) in
+  let fs2 = ok "mount" (Sq.mount dev2) in
+  let st = Sq.Mount.last_stats () in
+  Alcotest.(check int) "one fixed link count" 1 st.Sq.Mount.fixed_link_counts;
+  let s = ok "stat" (Sq.stat fs2 "/a") in
+  Alcotest.(check int) "links corrected" 1 s.Vfs.Fs.links
+
+let test_mem_footprint_reported () =
+  let _dev, fs = fresh () in
+  ignore (ok "create" (Sq.create fs "/a"));
+  ignore (ok "write" (Sq.write fs "/a" ~off:0 (String.make 4096 'x')));
+  let bytes = Sq.Index.footprint_bytes fs.Sq.Fsctx.index in
+  Alcotest.(check bool) "non-trivial footprint" true (bytes > 250)
+
+let squirrelfs_tests =
+  [
+    ("stale handle detected", `Quick, test_stale_handle_detected);
+    ("fence required before clean", `Quick, test_fence_required_before_clean);
+    ("shared fence allows after_fence", `Quick, test_shared_fence_allows_after_fence);
+    ("evidence single use", `Quick, test_evidence_single_use);
+    ("set_size requires owned pages", `Quick, test_set_size_requires_owned_pages);
+    ("create = 2 fences", `Quick, test_create_uses_two_fences);
+    ("mkdir = 2 fences", `Quick, test_mkdir_uses_two_fences);
+    ("small append = 2 fences", `Quick, test_append_small_uses_two_fences);
+    ("allocating write = 3 fences", `Quick, test_allocating_write_uses_three_fences);
+    ("mount rebuilds indexes", `Quick, test_mount_rebuilds_indexes);
+    ("mount of garbage fails", `Quick, test_mount_garbage_fails);
+    ("allocators rebuilt", `Quick, test_allocators_rebuilt);
+    ("unlink returns resources", `Quick, test_unlink_returns_resources);
+    ("recovery mount on clean volume", `Quick, test_recovery_mount_clean_volume);
+    ("missing unmount triggers recovery", `Quick, test_crash_no_unmount_triggers_recovery);
+    ("recovery frees orphan inode", `Quick, test_recovery_frees_orphan_inode);
+    ("recovery fixes link count", `Quick, test_recovery_fixes_link_count);
+    ("memory footprint reported", `Quick, test_mem_footprint_reported);
+  ]
+
+let () =
+  Alcotest.run "squirrelfs"
+    [ ("conformance", conformance); ("squirrelfs", squirrelfs_tests) ]

@@ -1,0 +1,238 @@
+(* Workload substrates: KV store (RocksDB substitute), COW B-tree (LMDB
+   substitute), zipfian generator, and smoke runs of every benchmark
+   driver on SquirrelFS. *)
+
+module Device = Pmem.Device
+module W = Workloads
+
+let device () = Device.create ~size:(8 * 1024 * 1024) ()
+
+let fresh () =
+  let dev = device () in
+  Squirrelfs.mkfs dev;
+  match Squirrelfs.mount dev with
+  | Ok fs -> fs
+  | Error e -> Alcotest.failf "mount: %s" (Vfs.Errno.to_string e)
+
+module KV = W.Kvstore.Make (Squirrelfs)
+module DB = W.Lmdb_sim.Make (Squirrelfs)
+
+let test_kv_put_get () =
+  let fs = fresh () in
+  let kv = KV.open_ fs ~dir:"/db" in
+  KV.put kv "alpha" "1";
+  KV.put kv "beta" "2";
+  Alcotest.(check (option string)) "get alpha" (Some "1") (KV.get kv "alpha");
+  Alcotest.(check (option string)) "get beta" (Some "2") (KV.get kv "beta");
+  Alcotest.(check (option string)) "missing" None (KV.get kv "gamma");
+  KV.put kv "alpha" "1b";
+  Alcotest.(check (option string)) "overwrite" (Some "1b") (KV.get kv "alpha")
+
+let test_kv_flush_and_read_from_sst () =
+  let fs = fresh () in
+  let kv = KV.open_ ~flush_threshold:2048 fs ~dir:"/db" in
+  for i = 0 to 99 do
+    KV.put kv (Printf.sprintf "key%03d" i) (String.make 100 (Char.chr (65 + (i mod 26))))
+  done;
+  (* several flushes must have happened; all keys still readable *)
+  for i = 0 to 99 do
+    match KV.get kv (Printf.sprintf "key%03d" i) with
+    | Some v ->
+        Alcotest.(check char) "value content" (Char.chr (65 + (i mod 26))) v.[0]
+    | None -> Alcotest.failf "key%03d lost after flush" i
+  done
+
+let test_kv_scan () =
+  let fs = fresh () in
+  let kv = KV.open_ ~flush_threshold:1024 fs ~dir:"/db" in
+  for i = 0 to 49 do
+    KV.put kv (Printf.sprintf "k%02d" i) (string_of_int i)
+  done;
+  let r = KV.scan kv "k10" 5 in
+  Alcotest.(check (list string)) "scan keys"
+    [ "k10"; "k11"; "k12"; "k13"; "k14" ]
+    (List.map fst r);
+  Alcotest.(check (list string)) "scan values"
+    [ "10"; "11"; "12"; "13"; "14" ]
+    (List.map snd r)
+
+let test_btree_put_get () =
+  let fs = fresh () in
+  let db = DB.open_ fs ~path:"/data.mdb" in
+  let key i = Printf.sprintf "k%015d" i in
+  let value i = String.init 100 (fun j -> Char.chr (65 + ((i + j) mod 26))) in
+  (* enough keys to force leaf and branch splits (leaf cap = 35) *)
+  for i = 0 to 999 do
+    DB.put db (key i) (value i);
+    if i mod 50 = 49 then DB.commit db
+  done;
+  DB.commit db;
+  for i = 0 to 999 do
+    match DB.find db (key i) with
+    | Some v -> Alcotest.(check string) "value" (value i) v
+    | None -> Alcotest.failf "key %d missing" i
+  done;
+  Alcotest.(check (option string)) "absent" None (DB.find db (key 5000))
+
+let test_btree_random_order_and_overwrite () =
+  let fs = fresh () in
+  let db = DB.open_ fs ~path:"/data.mdb" in
+  let key i = Printf.sprintf "k%015d" i in
+  let value tag i = String.init 100 (fun j -> Char.chr (65 + ((tag + i + j) mod 26))) in
+  let rng = Random.State.make [| 5 |] in
+  let order = Array.init 500 Fun.id in
+  for i = 499 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  Array.iteri
+    (fun n i ->
+      DB.put db (key i) (value 0 i);
+      if n mod 100 = 99 then DB.commit db)
+    order;
+  DB.commit db;
+  Array.iteri
+    (fun n i ->
+      DB.put db (key i) (value 7 i);
+      if n mod 100 = 99 then DB.commit db)
+    order;
+  DB.commit db;
+  for i = 0 to 499 do
+    Alcotest.(check (option string)) "overwritten" (Some (value 7 i))
+      (DB.find db (key i))
+  done
+
+let test_btree_persists_across_reopen () =
+  let fs = fresh () in
+  let db = DB.open_ fs ~path:"/data.mdb" in
+  let key i = Printf.sprintf "k%015d" i in
+  for i = 0 to 199 do
+    DB.put db (key i) (String.make 100 'v')
+  done;
+  DB.commit db;
+  let db2 = DB.reopen fs ~path:"/data.mdb" in
+  for i = 0 to 199 do
+    Alcotest.(check bool) "present after reopen" true
+      (DB.find db2 (key i) <> None)
+  done
+
+let test_zipf_skew () =
+  let rng = Random.State.make [| 3 |] in
+  let z = W.Zipf.create ~n:1000 rng in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 20000 do
+    let k = W.Zipf.next z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let top10 = ref 0 in
+  for i = 0 to 9 do
+    top10 := !top10 + counts.(i)
+  done;
+  (* zipf(0.99): the 10 hottest keys should draw a large share *)
+  Alcotest.(check bool)
+    (Printf.sprintf "top-10 keys draw >25%% (got %d/20000)" !top10)
+    true
+    (!top10 > 5000);
+  Alcotest.(check bool) "all keys in range" true
+    (Array.for_all (fun c -> c >= 0) counts)
+
+let sq_device () = device ()
+
+let test_micro_runs () =
+  let results =
+    W.Micro.run (module Squirrelfs) ~device:sq_device ~trials:2 ~reps:8 ()
+  in
+  Alcotest.(check int) "all ops measured" (List.length W.Micro.ops)
+    (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s latency sane (%f)" r.W.Micro.op r.W.Micro.avg_ns)
+        true
+        (r.W.Micro.avg_ns >= 0.))
+    results
+
+let test_filebench_runs () =
+  List.iter
+    (fun p ->
+      let r =
+        W.Filebench.run (module Squirrelfs) ~device:sq_device ~nfiles:40
+          ~ops:200 p
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s throughput positive" r.W.Filebench.workload)
+        true
+        (r.W.Filebench.kops_per_sec > 0.))
+    W.Filebench.all
+
+let test_ycsb_runs () =
+  List.iter
+    (fun w ->
+      let r =
+        W.Ycsb.run (module Squirrelfs) ~device:sq_device ~records:100
+          ~operations:100 w
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s throughput positive" r.W.Ycsb.workload)
+        true
+        (r.W.Ycsb.kops_per_sec > 0.))
+    W.Ycsb.all
+
+let test_lmdb_runs () =
+  List.iter
+    (fun w ->
+      let r = W.Lmdb_sim.run (module Squirrelfs) ~device:sq_device ~keys:300 w in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s throughput positive" r.W.Lmdb_sim.workload)
+        true
+        (r.W.Lmdb_sim.kops_per_sec > 0.))
+    W.Lmdb_sim.workloads
+
+let test_git_runs () =
+  let r =
+    W.Gitbench.run (module Squirrelfs) ~device:sq_device ~files:60 ~versions:2 ()
+  in
+  Alcotest.(check bool) "files touched" true (r.W.Gitbench.files_touched > 0);
+  Alcotest.(check bool) "time positive" true (r.W.Gitbench.sim_seconds >= 0.)
+
+let test_all_fs_run_micro () =
+  (* every comparator can execute the microbenchmark suite *)
+  List.iter
+    (fun (module F : Vfs.Fs.S) ->
+      let results = W.Micro.run (module F) ~device:sq_device ~trials:1 ~reps:4 () in
+      Alcotest.(check int) (F.flavor ^ " complete") (List.length W.Micro.ops)
+        (List.length results))
+    [
+      (module Baselines.Ext4_dax_sim);
+      (module Baselines.Nova_sim);
+      (module Baselines.Winefs_sim);
+    ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "kvstore",
+        [
+          ("put/get", `Quick, test_kv_put_get);
+          ("flush + sst reads", `Quick, test_kv_flush_and_read_from_sst);
+          ("scan", `Quick, test_kv_scan);
+        ] );
+      ( "lmdb-btree",
+        [
+          ("put/get with splits", `Quick, test_btree_put_get);
+          ("random order + overwrite", `Quick, test_btree_random_order_and_overwrite);
+          ("persists across reopen", `Quick, test_btree_persists_across_reopen);
+        ] );
+      ("zipf", [ ("skew", `Quick, test_zipf_skew) ]);
+      ( "drivers",
+        [
+          ("micro", `Quick, test_micro_runs);
+          ("filebench", `Quick, test_filebench_runs);
+          ("ycsb", `Quick, test_ycsb_runs);
+          ("lmdb", `Quick, test_lmdb_runs);
+          ("git", `Quick, test_git_runs);
+          ("micro on all baselines", `Quick, test_all_fs_run_micro);
+        ] );
+    ]
