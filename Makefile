@@ -1,0 +1,26 @@
+.PHONY: all build check test faultcheck-smoke crashcheck bench clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 gate: full build plus the complete test suite.
+check:
+	dune build && dune runtest
+
+test: check
+
+# Fast end-to-end exercise of the media-fault pipeline: checksummed
+# volume, seeded bit flips, scrub, degraded remount, EIO checks.
+faultcheck-smoke: build
+	dune exec bin/faultcheck.exe -- --smoke --flips 2 --torn 0.2
+
+crashcheck: build
+	dune exec bin/crashcheck_cli.exe -- --systematic --buggy
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -435,6 +435,81 @@ let ablate () =
     plain cow
     ((cow -. plain) /. plain *. 100.)
 
+(* {1 Fault subsystem: checksum overhead, scrub throughput, detection} *)
+
+let faults () =
+  section "Fault subsystem: csum overhead / scrub throughput / detection";
+  (* Metadata checksum overhead: the same op sequence on a plain volume
+     and on a csum volume, in simulated time. *)
+  let run_meta ~csum =
+    let dev = device ~mb:4 () in
+    Squirrelfs.Mount.mkfs ~csum dev;
+    let fs = ok (Squirrelfs.mount dev) in
+    let t0 = Device.now_ns dev in
+    for i = 0 to 99 do
+      let p = Printf.sprintf "/f%d" i in
+      ignore (ok (Squirrelfs.create fs p) : unit);
+      ignore (ok (Squirrelfs.write fs p ~off:0 "payload") : int)
+    done;
+    for i = 0 to 99 do
+      ignore (ok (Squirrelfs.unlink fs (Printf.sprintf "/f%d" i)) : unit)
+    done;
+    float_of_int (Device.now_ns dev - t0) /. 1000.
+  in
+  let plain = run_meta ~csum:false and csum = run_meta ~csum:true in
+  Printf.printf
+    "metadata csum:    100x create+write+unlink: plain %.1f us, csum %.1f \
+     us (+%.2f%%)\n"
+    plain csum
+    ((csum -. plain) /. plain *. 100.);
+  (* Scrub throughput over the whole device, simulated. *)
+  let dev = device ~mb:4 () in
+  Squirrelfs.Mount.mkfs ~csum:true dev;
+  let fs = ok (Squirrelfs.mount dev) in
+  Device.set_fault_plan dev (Faults.Plan.make ~seed:42 ());
+  let t0 = Device.now_ns dev in
+  let bad = Device.scrub dev in
+  let dt = Device.now_ns dev - t0 in
+  let mb = 4.0 in
+  Printf.printf
+    "scrub:            %.0f MiB in %.2f ms simulated (%.2f GiB/s), %d bad \
+     lines\n"
+    mb
+    (float_of_int dt /. 1e6)
+    (mb /. 1024. /. (float_of_int dt /. 1e9))
+    (List.length bad);
+  (* Detection pipeline: seeded flips -> scrub -> degraded remount. *)
+  List.iter
+    (fun p -> ignore (ok (Squirrelfs.create fs p) : unit))
+    [ "/a"; "/b"; "/c" ];
+  let flips = 3 in
+  List.iteri
+    (fun i p ->
+      if i < flips then begin
+        let ino = (ok (Squirrelfs.stat fs p)).Vfs.Fs.ino in
+        let base = Layout.Geometry.inode_off fs.Squirrelfs.Fsctx.geo ~ino in
+        Device.flip_bit dev ~off:(base + Layout.Records.Inode.f_kind) ~bit:1
+      end)
+    [ "/a"; "/b"; "/c" ];
+  let caught = List.length (Device.scrub dev) in
+  (match Squirrelfs.mount (Device.of_image (Device.image_durable dev)) with
+  | Ok fs2 ->
+      let ms = Squirrelfs.Mount.last_stats () in
+      let eio =
+        List.length
+          (List.filter
+             (fun p -> Squirrelfs.stat fs2 p = Error Vfs.Errno.EIO)
+             [ "/a"; "/b"; "/c" ])
+      in
+      Printf.printf
+        "detection:        %d/%d flips scrub-flagged; remount degraded=%b, \
+         %d inodes quarantined, %d/%d paths EIO\n"
+        caught flips ms.Squirrelfs.Mount.degraded
+        ms.Squirrelfs.Mount.quarantined_inodes eio flips
+  | Error e ->
+      Printf.printf "detection:        degraded remount failed: %s\n"
+        (Vfs.Errno.to_string e))
+
 (* {1 Bechamel: one wall-clock benchmark per table/figure} *)
 
 let bechamel () =
@@ -516,6 +591,7 @@ let sections =
     ("bugs", bugs);
     ("mem", mem);
     ("ablate", ablate);
+    ("faults", faults);
     ("bechamel", bechamel);
   ]
 

@@ -31,6 +31,11 @@ let device (ctx : Fsctx.t) = ctx.Fsctx.dev
 let charge_op (ctx : Fsctx.t) parts =
   Device.charge ctx.dev (vfs_base_ns + (component_ns * List.length parts))
 
+(* Quarantined objects (metadata corrupt, degraded mount) surface as a
+   clean [EIO] at resolution time, never as an exception. *)
+let quarantined (ctx : Fsctx.t) ino =
+  Faults.Quarantine.mem_ino ctx.Fsctx.quar ino
+
 (* Walk directory components. Symlinks are not followed (SquirrelFS's VFS
    layer would resolve them above the file system). *)
 let rec walk_dir (ctx : Fsctx.t) dir = function
@@ -39,19 +44,23 @@ let rec walk_dir (ctx : Fsctx.t) dir = function
       match Index.lookup ctx.index ~dir c with
       | None -> Error Errno.ENOENT
       | Some (ino, _) ->
-          if Index.is_dir ctx.index ino then walk_dir ctx ino rest
+          if quarantined ctx ino then Error Errno.EIO
+          else if Index.is_dir ctx.index ino then walk_dir ctx ino rest
           else Error Errno.ENOTDIR)
 
 let resolve_any (ctx : Fsctx.t) path =
   let* parts = Vfs.Path.split path in
   charge_op ctx parts;
-  match List.rev parts with
-  | [] -> Ok Geometry.root_ino
-  | last :: rev_parents -> (
-      let* dir = walk_dir ctx Geometry.root_ino (List.rev rev_parents) in
-      match Index.lookup ctx.index ~dir last with
-      | None -> Error Errno.ENOENT
-      | Some (ino, _) -> Ok ino)
+  let* ino =
+    match List.rev parts with
+    | [] -> Ok Geometry.root_ino
+    | last :: rev_parents -> (
+        let* dir = walk_dir ctx Geometry.root_ino (List.rev rev_parents) in
+        match Index.lookup ctx.index ~dir last with
+        | None -> Error Errno.ENOENT
+        | Some (ino, _) -> Ok ino)
+  in
+  if quarantined ctx ino then Error Errno.EIO else Ok ino
 
 (* Parent directory + final name, with the parent fully resolved. *)
 let resolve_parent (ctx : Fsctx.t) path =
@@ -70,7 +79,8 @@ let parent_chain (ctx : Fsctx.t) path =
         match Index.lookup ctx.index ~dir c with
         | None -> Error Errno.ENOENT
         | Some (ino, _) ->
-            if Index.is_dir ctx.index ino then go ino (dir :: acc) rest
+            if quarantined ctx ino then Error Errno.EIO
+            else if Index.is_dir ctx.index ino then go ino (dir :: acc) rest
             else Error Errno.ENOTDIR)
   in
   go Geometry.root_ino [] parents
@@ -113,7 +123,8 @@ let unlink (ctx : t) path =
   match Index.lookup ctx.index ~dir name with
   | None -> Error Errno.ENOENT
   | Some (ino, _) ->
-      if Index.is_dir ctx.index ino then Error Errno.EISDIR
+      if quarantined ctx ino then Error Errno.EIO
+      else if Index.is_dir ctx.index ino then Error Errno.EISDIR
       else Ops.unlink ctx ~dir ~name
 
 let rmdir (ctx : t) path =
@@ -124,13 +135,15 @@ let rmdir (ctx : t) path =
     match Index.lookup ctx.index ~dir:parent name with
     | None -> Error Errno.ENOENT
     | Some (ino, _) ->
-        if not (Index.is_dir ctx.index ino) then Error Errno.ENOTDIR
+        if quarantined ctx ino then Error Errno.EIO
+        else if not (Index.is_dir ctx.index ino) then Error Errno.ENOTDIR
         else Ops.rmdir ctx ~parent ~name
 
 let rename (ctx : t) src dst =
   let* src_dir, src_name = resolve_parent ctx src in
   match Index.lookup ctx.index ~dir:src_dir src_name with
   | None -> Error Errno.ENOENT
+  | Some (sino, _) when quarantined ctx sino -> Error Errno.EIO
   | Some (sino, _) -> (
       let* dst_dir, dst_name = resolve_parent ctx dst in
       let src_is_dir = Index.is_dir ctx.index sino in
@@ -143,6 +156,7 @@ let rename (ctx : t) src dst =
       in
       match Index.lookup ctx.index ~dir:dst_dir dst_name with
       | Some (dino, _) when dino = sino -> Ok () (* same file: no-op *)
+      | Some (dino, _) when quarantined ctx dino -> Error Errno.EIO
       | Some (dino, _) ->
           let dst_is_dir = Index.is_dir ctx.index dino in
           if src_is_dir && not dst_is_dir then Error Errno.ENOTDIR

@@ -4,25 +4,32 @@ module R = Layout.Records
 
 let check (ctx : Fsctx.t) =
   let dev = ctx.dev and geo = ctx.geo in
+  let quar = ctx.quar in
+  let module Q = Faults.Quarantine in
+  let degraded = not (Q.is_empty quar) in
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
 
-  (* Inode table. *)
+  (* Inode table. Quarantined objects are excluded from every invariant:
+     their persistent metadata is known-corrupt, so nothing useful can be
+     checked against it. *)
   let inodes : (int, R.Inode.t) Hashtbl.t = Hashtbl.create 64 in
   for ino = 1 to geo.inode_count do
-    let base = Geometry.inode_off geo ~ino in
-    match R.Inode.decode dev ~base with
-    | Some r ->
-        if r.ino <> ino then err "inode %d: ino field says %d" ino r.ino
-        else Hashtbl.replace inodes ino r
-    | None ->
-        if R.Inode.is_allocated dev ~base then
-          err "inode %d: allocated but undecodable (partial init?)" ino
+    if not (Q.mem_ino quar ino) then
+      let base = Geometry.inode_off geo ~ino in
+      match R.Inode.decode dev ~base with
+      | Some r ->
+          if r.ino <> ino then err "inode %d: ino field says %d" ino r.ino
+          else Hashtbl.replace inodes ino r
+      | None ->
+          if R.Inode.is_allocated dev ~base then
+            err "inode %d: allocated but undecodable (partial init?)" ino
   done;
   (match Hashtbl.find_opt inodes Geometry.root_ino with
   | Some r when r.kind = R.Kind.Dir -> ()
   | Some _ -> err "root inode is not a directory"
-  | None -> err "root inode missing");
+  | None ->
+      if not (Q.mem_ino quar Geometry.root_ino) then err "root inode missing");
 
   (* Page descriptors. *)
   let pages_of : (int, (R.Desc.page_kind * int * int) list ref) Hashtbl.t =
@@ -30,13 +37,17 @@ let check (ctx : Fsctx.t) =
   in
   for page = 0 to geo.page_count - 1 do
     let base = Geometry.desc_off geo ~page in
+    if Q.mem_page quar page then ()
+    else
     match R.Desc.decode dev ~base with
     | Some { ino; kind; offset; replaces } when ino <> 0 ->
         if replaces <> 0 then
           err "page %d: replace pointer still set (interrupted COW write)"
             page;
         (match Hashtbl.find_opt inodes ino with
-        | None -> err "page %d: backpointer to free/invalid inode %d" page ino
+        | None ->
+            if not (Q.mem_ino quar ino) then
+              err "page %d: backpointer to free/invalid inode %d" page ino
         | Some r -> (
             match (kind, r.kind) with
             | R.Desc.Dirpage, R.Kind.Dir | R.Desc.Data, R.Kind.File
@@ -75,7 +86,11 @@ let check (ctx : Fsctx.t) =
                 | R.Desc.Data, offset, _ -> Hashtbl.replace covered offset ()
                 | R.Desc.Dirpage, _, _ -> ())
               !l);
-        let keep = (r.size + Geometry.page_size - 1) / Geometry.page_size in
+        (* clamp: a torn/corrupt size field must not explode the loop *)
+        let keep =
+          min geo.page_count
+            ((r.size + Geometry.page_size - 1) / Geometry.page_size)
+        in
         for o = 0 to keep - 1 do
           if not (Hashtbl.mem covered o) then
             err "inode %d: size %d covers unowned page offset %d" ino r.size o
@@ -131,8 +146,10 @@ let check (ctx : Fsctx.t) =
                           if not (Vfs.Path.valid_name name) then
                             err "dir %d: committed dentry with invalid name %S"
                               dir name;
-                          if not (Hashtbl.mem inodes ino) then
-                            err "dentry %s: points at free inode %d" name ino
+                          if not (Hashtbl.mem inodes ino) then begin
+                            if not (Q.mem_ino quar ino) then
+                              err "dentry %s: points at free inode %d" name ino
+                          end
                           else begin
                             if Hashtbl.mem entries (dir, name) then
                               err "dir %d: duplicate name %s" dir name;
@@ -179,11 +196,15 @@ let check (ctx : Fsctx.t) =
             end)
           !l
   done;
-  Hashtbl.iter
-    (fun ino _ ->
-      if not (Hashtbl.mem reachable ino) then
-        err "inode %d: allocated but unreachable from root" ino)
-    inodes;
+  (* In degraded mode reachability and link counts are unreliable: a
+     quarantined directory hides its subtree and its dentries no longer
+     count, so only report these on healthy volumes. *)
+  if not degraded then
+    Hashtbl.iter
+      (fun ino _ ->
+        if not (Hashtbl.mem reachable ino) then
+          err "inode %d: allocated but unreachable from root" ino)
+      inodes;
 
   (* Link counts. *)
   let want = Hashtbl.create 64 in
@@ -202,13 +223,14 @@ let check (ctx : Fsctx.t) =
       | Some _ -> add ino 1
       | None -> ())
     entries;
-  Hashtbl.iter
-    (fun ino r ->
-      match Hashtbl.find_opt want ino with
-      | Some w when r.R.Inode.links <> w && Hashtbl.mem reachable ino ->
-          err "inode %d: link count %d, expected %d" ino r.links w
-      | Some _ | None -> ())
-    inodes;
+  if not degraded then
+    Hashtbl.iter
+      (fun ino r ->
+        match Hashtbl.find_opt want ino with
+        | Some w when r.R.Inode.links <> w && Hashtbl.mem reachable ino ->
+            err "inode %d: link count %d, expected %d" ino r.links w
+        | Some _ | None -> ())
+      inodes;
 
   List.rev !errs
 
@@ -304,29 +326,44 @@ let check_raw dev (geo : Geometry.t) =
      cycles; a committed destination's source is logically dead *)
   let killed : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
   let rptr_targets : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* validate before dereferencing: a torn/corrupt pointer must produce a
+     report, not an exception *)
+  let loc_opt off =
+    if
+      off >= geo.data_off
+      && off < geo.data_off + (geo.page_count * Geometry.page_size)
+      && (off - geo.data_off) mod Geometry.dentry_size = 0
+    then Some (Geometry.dentry_loc_of_off geo off)
+    else None
+  in
   List.iter
     (fun d ->
-      if d.rw_rptr <> 0 then begin
-        let sp, ss = Geometry.dentry_loc_of_off geo d.rw_rptr in
-        if Hashtbl.mem rptr_targets (sp, ss) then
-          err "dentry (page %d, slot %d) targeted by two rename pointers" sp ss;
-        Hashtbl.replace rptr_targets (sp, ss) ();
-        (if d.rw_ino <> 0 then
-           let sbase = Geometry.dentry_off geo ~page:sp ~slot:ss in
-           let src_ino = Device.read_u64 dev (sbase + R.Dentry.f_ino) in
-           if src_ino = d.rw_ino || src_ino = 0 then
-             Hashtbl.replace killed (sp, ss) ());
-        (* cycle: the target points back *)
-        List.iter
-          (fun d2 ->
-            if d2.rw_page = sp && d2.rw_slot = ss && d2.rw_rptr <> 0 then begin
-              let tp, ts = Geometry.dentry_loc_of_off geo d2.rw_rptr in
-              if tp = d.rw_page && ts = d.rw_slot then
-                err "rename pointer cycle between (page %d slot %d) and \
-                     (page %d slot %d)" d.rw_page d.rw_slot sp ss
-            end)
-          raw
-      end)
+      if d.rw_rptr <> 0 then
+        match loc_opt d.rw_rptr with
+        | None ->
+            err "dentry (page %d, slot %d): garbage rename pointer %#x"
+              d.rw_page d.rw_slot d.rw_rptr
+        | Some (sp, ss) ->
+            if Hashtbl.mem rptr_targets (sp, ss) then
+              err "dentry (page %d, slot %d) targeted by two rename pointers"
+                sp ss;
+            Hashtbl.replace rptr_targets (sp, ss) ();
+            (if d.rw_ino <> 0 then
+               let sbase = Geometry.dentry_off geo ~page:sp ~slot:ss in
+               let src_ino = Device.read_u64 dev (sbase + R.Dentry.f_ino) in
+               if src_ino = d.rw_ino || src_ino = 0 then
+                 Hashtbl.replace killed (sp, ss) ());
+            (* cycle: the target points back *)
+            List.iter
+              (fun d2 ->
+                if d2.rw_page = sp && d2.rw_slot = ss && d2.rw_rptr <> 0 then
+                  match loc_opt d2.rw_rptr with
+                  | Some (tp, ts) when tp = d.rw_page && ts = d.rw_slot ->
+                      err
+                        "rename pointer cycle between (page %d slot %d) and \
+                         (page %d slot %d)" d.rw_page d.rw_slot sp ss
+                  | Some _ | None -> ())
+              raw)
     raw;
   let live =
     List.filter
@@ -373,7 +410,10 @@ let check_raw dev (geo : Geometry.t) =
                 | R.Desc.Data, offset -> Hashtbl.replace covered offset ()
                 | R.Desc.Dirpage, _ -> ())
               !l);
-        let keep = (r.size + Geometry.page_size - 1) / Geometry.page_size in
+        let keep =
+          min geo.page_count
+            ((r.size + Geometry.page_size - 1) / Geometry.page_size)
+        in
         for o = 0 to keep - 1 do
           if not (Hashtbl.mem covered o) then
             err "inode %d: size %d beyond owned pages (offset %d missing)"

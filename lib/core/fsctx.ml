@@ -6,9 +6,11 @@ type t = {
   index : Index.t;
   mutable next_range_id : int;
   mutable share_fences : bool;
+  csum : bool;
+  quar : Faults.Quarantine.t;
 }
 
-let make ~dev ~geo ~cpus =
+let make ?(csum = false) ~dev ~geo ~cpus () =
   {
     dev;
     geo;
@@ -17,6 +19,8 @@ let make ~dev ~geo ~cpus =
     index = Index.create ();
     next_range_id = 0;
     share_fences = true;
+    csum;
+    quar = Faults.Quarantine.create ();
   }
 
 let fence t =

@@ -14,9 +14,14 @@ type t = {
       (** when false, [after_fence] transitions issue their own [sfence]
           instead of reusing a shared one — the ablation of the paper's
           fence-sharing optimization (§3.2, §4.1) *)
+  csum : bool;
+      (** volume has checksummed metadata records (superblock flag) *)
+  quar : Faults.Quarantine.t;
+      (** objects quarantined for media corruption; non-empty = degraded *)
 }
 
-val make : dev:Pmem.Device.t -> geo:Layout.Geometry.t -> cpus:int -> t
+val make :
+  ?csum:bool -> dev:Pmem.Device.t -> geo:Layout.Geometry.t -> cpus:int -> unit -> t
 
 val fence : t -> unit
 (** Issue an [sfence] and advance the fence epoch used by shared-fence

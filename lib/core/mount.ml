@@ -10,6 +10,9 @@ type recovery_stats = {
   orphan_pages : int;
   orphan_dentries : int;
   fixed_link_counts : int;
+  quarantined_inodes : int;
+  quarantined_pages : int;
+  degraded : bool;
 }
 
 let empty_stats =
@@ -21,6 +24,9 @@ let empty_stats =
     orphan_pages = 0;
     orphan_dentries = 0;
     fixed_link_counts = 0;
+    quarantined_inodes = 0;
+    quarantined_pages = 0;
+    degraded = false;
   }
 
 let stats = ref empty_stats
@@ -36,7 +42,7 @@ let index_insert_ns = 700
    link-count accounting (§5.5 "constructs additional structures"). *)
 let recovery_obj_ns = 400
 
-let mkfs dev =
+let mkfs ?(csum = false) dev =
   let geo = Geometry.compute ~device_size:(Device.size dev) in
   (* Zero the metadata tables so everything reads as free. *)
   Device.zero dev ~off:geo.inode_table_off
@@ -50,8 +56,9 @@ let mkfs dev =
   Device.store_u64 dev (b + R.Inode.f_kind) (R.Kind.to_int R.Kind.Dir);
   Device.store_u64 dev (b + R.Inode.f_links) 2;
   Device.store_u64 dev (b + R.Inode.f_mode) 0o755;
+  if csum then R.Inode.seal dev ~base:b;
   Device.persist dev ~off:b ~len:Geometry.inode_size;
-  R.Superblock.write dev geo ~clean:true
+  R.Superblock.write ~csum dev geo ~clean:true
 
 (* {1 Scan data} *)
 
@@ -75,19 +82,47 @@ let zero_persist dev ~off ~len =
   Device.zero dev ~off ~len;
   Device.fence dev
 
+module Q = Faults.Quarantine
+
+(* A rename pointer read from a possibly-corrupt/torn record: validate
+   before trusting it to locate a dentry. *)
+let dentry_loc_opt (geo : Geometry.t) off =
+  if
+    off >= geo.data_off
+    && off < geo.data_off + (geo.page_count * Geometry.page_size)
+    && (off - geo.data_off) mod Geometry.dentry_size = 0
+  then Some (Geometry.dentry_loc_of_off geo off)
+  else None
+
 (* Rebuild all volatile state; if [recover], also repair the volume. *)
 let rebuild (ctx : Fsctx.t) ~recover =
   let dev = ctx.dev and geo = ctx.geo in
   let st = ref { empty_stats with recovered = recover } in
   let bump f = st := f !st in
 
-  (* Pass 1: inode table. *)
+  (* Pass 1: inode table. A quarantined inode's record is untrustworthy:
+     keep it visible (so lookups resolve and return EIO) but never treat
+     it as garbage; synthesize attrs if the record no longer decodes. *)
   let attrs : (int, R.Inode.t) Hashtbl.t = Hashtbl.create 1024 in
   let garbage_inodes = ref [] in
   for ino = 1 to geo.inode_count do
     let base = Geometry.inode_off geo ~ino in
     match R.Inode.decode dev ~base with
     | Some r when r.ino = ino -> Hashtbl.replace attrs ino r
+    | (Some _ | None) when Q.mem_ino ctx.quar ino ->
+        Hashtbl.replace attrs ino
+          {
+            R.Inode.ino;
+            kind = R.Kind.File;
+            links = 1;
+            size = 0;
+            atime = 0;
+            mtime = 0;
+            ctime = 0;
+            mode = 0o644;
+            uid = 0;
+            gid = 0;
+          }
     | Some _ | None ->
         if R.Inode.is_allocated dev ~base then
           garbage_inodes := ino :: !garbage_inodes
@@ -107,7 +142,10 @@ let rebuild (ctx : Fsctx.t) ~recover =
     (fun page d ->
       match d with
       | Some { R.Desc.ino; replaces; _ }
-        when ino <> 0 && replaces <> 0 && replaces - 1 < geo.page_count ->
+        when ino <> 0
+             && replaces <> 0
+             && replaces - 1 < geo.page_count
+             && not (Q.mem_page ctx.quar page) ->
           let old = replaces - 1 in
           Hashtbl.replace killed_pages old ();
           if recover then begin
@@ -128,23 +166,25 @@ let rebuild (ctx : Fsctx.t) ~recover =
   let garbage_descs = ref [] in
   for page = 0 to geo.page_count - 1 do
     let base = Geometry.desc_off geo ~page in
-    match desc_raw.(page) with
-    | Some { ino; kind; offset; replaces = _ }
-      when ino <> 0 && not (Hashtbl.mem killed_pages page) ->
-        let l =
-          match Hashtbl.find_opt owned ino with
-          | Some l -> l
-          | None ->
-              let l = ref [] in
-              Hashtbl.replace owned ino l;
-              l
-        in
-        l := (kind, offset, page) :: !l
-    | Some { ino; _ } when ino <> 0 -> () (* superseded by a replacer *)
-    | Some _ -> garbage_descs := page :: !garbage_descs
-    | None ->
-        if R.Desc.is_allocated dev ~base then
-          garbage_descs := page :: !garbage_descs
+    if Q.mem_page ctx.quar page then () (* neither owned nor garbage *)
+    else
+      match desc_raw.(page) with
+      | Some { ino; kind; offset; replaces = _ }
+        when ino <> 0 && not (Hashtbl.mem killed_pages page) ->
+          let l =
+            match Hashtbl.find_opt owned ino with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace owned ino l;
+                l
+          in
+          l := (kind, offset, page) :: !l
+      | Some { ino; _ } when ino <> 0 -> () (* superseded by a replacer *)
+      | Some _ -> garbage_descs := page :: !garbage_descs
+      | None ->
+          if R.Desc.is_allocated dev ~base then
+            garbage_descs := page :: !garbage_descs
   done;
 
   (* Pass 3: directory pages -> raw dentries. *)
@@ -154,7 +194,7 @@ let rebuild (ctx : Fsctx.t) ~recover =
   Hashtbl.iter
     (fun ino l ->
       match Hashtbl.find_opt attrs ino with
-      | Some r when r.kind = R.Kind.Dir ->
+      | Some r when r.kind = R.Kind.Dir && not (Q.mem_ino ctx.quar ino) ->
           let pages =
             List.filter_map
               (function
@@ -214,7 +254,16 @@ let rebuild (ctx : Fsctx.t) ~recover =
   List.iter
     (fun d ->
       if d.rd_ino <> 0 && d.rd_rptr <> 0 then begin
-        let sp, ss = Geometry.dentry_loc_of_off geo d.rd_rptr in
+        match dentry_loc_opt geo d.rd_rptr with
+        | None ->
+            (* garbage pointer (torn/corrupt record): never a legal crash
+               state, so just clear it when repairing *)
+            if recover then
+              persist_u64 dev
+                (dentry_base geo ~page:d.rd_page ~slot:d.rd_slot
+                + R.Dentry.f_rename_ptr)
+                0
+        | Some (sp, ss) ->
         let sbase = dentry_base geo ~page:sp ~slot:ss in
         let src_ino = Device.read_u64 dev (sbase + R.Dentry.f_ino) in
         let committed = src_ino = d.rd_ino || src_ino = 0 in
@@ -419,6 +468,10 @@ let rebuild (ctx : Fsctx.t) ~recover =
     (fun ino r ->
       if Hashtbl.mem reachable ino then begin
         incr inserts;
+        if Q.mem_ino ctx.quar ino then
+          (* resolvable so that operations can answer EIO; no pages *)
+          Index.add_file ctx.index ino
+        else
         match r.R.Inode.kind with
         | R.Kind.Dir ->
             Index.add_dir ctx.index ino;
@@ -470,14 +523,93 @@ let rebuild (ctx : Fsctx.t) ~recover =
     ((Alloc.free_inode_count ctx.alloc + Alloc.free_page_count ctx.alloc) * 40);
   stats := !st
 
+(* Media pre-pass (csum volumes only): verify record checksums before
+   any recovery decision. Corrupt committed records are quarantined; the
+   volume then mounts degraded, meaning {e no} destructive recovery runs
+   — a repair pass working from corrupt metadata could free live data. *)
+let media_prepass (ctx : Fsctx.t) =
+  let dev = ctx.dev and geo = ctx.geo in
+  (* Inode suspects: allocated records whose sealed-field CRC fails. *)
+  let suspects = ref [] in
+  for ino = 1 to geo.inode_count do
+    let base = Geometry.inode_off geo ~ino in
+    if R.Inode.is_allocated dev ~base && not (R.Inode.verify dev ~base) then
+      suspects := ino :: !suspects
+  done;
+  (* Committed page descriptors with a bad CRC: kind/offset can no longer
+     be trusted, so quarantine the page and the file that owns it. *)
+  for page = 0 to geo.page_count - 1 do
+    let base = Geometry.desc_off geo ~page in
+    let ino = Device.read_u64 dev (base + R.Desc.f_ino) in
+    if ino <> 0 && not (R.Desc.verify dev ~base) then begin
+      Q.add ctx.quar ~reason:"page descriptor CRC mismatch" (Q.Page page);
+      if ino >= 1 && ino <= geo.inode_count then
+        Q.add ctx.quar ~reason:"owns page with corrupt descriptor" (Q.Ino ino)
+    end
+  done;
+  (* A suspect inode is quarantined only if a committed dentry (or being
+     the root) references it: an unreferenced suspect is indistinguishable
+     from a half-initialized crash orphan, and the ordinary garbage path
+     already handles those without data loss. *)
+  match !suspects with
+  | [] -> ()
+  | suspects ->
+      let suspect = Hashtbl.create 8 in
+      List.iter (fun i -> Hashtbl.replace suspect i ()) suspects;
+      let referenced = Hashtbl.create 8 in
+      for page = 0 to geo.page_count - 1 do
+        let base = Geometry.desc_off geo ~page in
+        if
+          Device.read_u64 dev (base + R.Desc.f_ino) <> 0
+          && not (Q.mem_page ctx.quar page)
+        then
+          match R.Desc.decode dev ~base with
+          | Some { kind = R.Desc.Dirpage; _ } ->
+              for slot = 0 to Geometry.dentries_per_page - 1 do
+                let target =
+                  Device.read_u64 dev
+                    (dentry_base geo ~page ~slot + R.Dentry.f_ino)
+                in
+                if Hashtbl.mem suspect target then
+                  Hashtbl.replace referenced target ()
+              done
+          | Some _ | None -> ()
+      done;
+      List.iter
+        (fun ino ->
+          if ino = Geometry.root_ino || Hashtbl.mem referenced ino then
+            Q.add ctx.quar ~reason:"inode CRC mismatch" (Q.Ino ino))
+        suspects
+
 let do_mount ~cpus ~force_recover dev =
   match R.Superblock.read dev with
   | None -> Error Vfs.Errno.EINVAL
-  | Some { geometry = geo; clean } ->
-      let ctx = Fsctx.make ~dev ~geo ~cpus in
-      rebuild ctx ~recover:((not clean) || force_recover);
-      R.Superblock.set_clean dev false;
-      Ok ctx
+  | Some { geometry = geo; clean; csum } ->
+      if csum && not (R.Superblock.verify dev) then Error Vfs.Errno.EIO
+      else begin
+        let ctx = Fsctx.make ~csum ~dev ~geo ~cpus () in
+        if csum then media_prepass ctx;
+        let degraded = not (Q.is_empty ctx.quar) in
+        rebuild ctx ~recover:(((not clean) || force_recover) && not degraded);
+        let qi, qp =
+          List.fold_left
+            (fun (i, p) (e : Q.entry) ->
+              match e.obj with
+              | Q.Ino _ -> (i + 1, p)
+              | Q.Page _ -> (i, p + 1)
+              | Q.Superblock -> (i, p))
+            (0, 0) (Q.to_list ctx.quar)
+        in
+        stats :=
+          {
+            !stats with
+            quarantined_inodes = qi;
+            quarantined_pages = qp;
+            degraded;
+          };
+        R.Superblock.set_clean dev false;
+        Ok ctx
+      end
 
 let mount ?(cpus = 4) dev = do_mount ~cpus ~force_recover:false dev
 let mount_recover ?(cpus = 4) dev = do_mount ~cpus ~force_recover:true dev

@@ -7,7 +7,14 @@
     volume was not cleanly unmounted, the mount additionally runs
     recovery: it completes or rolls back interrupted renames via rename
     pointers, frees orphaned inodes, dentries and pages, and corrects
-    link counts. *)
+    link counts.
+
+    On csum volumes ([mkfs ~csum:true]) a media pre-pass verifies record
+    checksums first. Corrupt committed records are quarantined rather
+    than repaired: the mount completes in {e degraded} mode (recovery's
+    destructive passes are disabled, since repairs driven by corrupt
+    metadata could free live data) and operations touching quarantined
+    objects return [EIO]. *)
 
 type recovery_stats = {
   recovered : bool;
@@ -17,15 +24,22 @@ type recovery_stats = {
   orphan_pages : int;  (** descriptors zeroed (unowned / beyond size) *)
   orphan_dentries : int;  (** allocated-but-uncommitted dentries zeroed *)
   fixed_link_counts : int;
+  quarantined_inodes : int;  (** inodes with corrupt metadata (csum) *)
+  quarantined_pages : int;  (** pages with corrupt descriptors (csum) *)
+  degraded : bool;  (** quarantine non-empty: recovery was suppressed *)
 }
 
-val mkfs : Pmem.Device.t -> unit
+val mkfs : ?csum:bool -> Pmem.Device.t -> unit
 (** Zero the metadata tables, create the root directory, write the
-    superblock (marked clean). Durable on return. *)
+    superblock (marked clean). Durable on return. With [~csum:true]
+    (default false) the volume carries CRC32-checksummed metadata
+    records; the default image is byte-identical to pre-checksum
+    builds. *)
 
 val mount : ?cpus:int -> Pmem.Device.t -> (Fsctx.t, Vfs.Errno.t) result
 (** Rebuild volatile state; run recovery if the clean flag is unset; mark
-    the volume mounted (dirty). [EINVAL] if the superblock is invalid. *)
+    the volume mounted (dirty). [EINVAL] if the superblock is invalid;
+    [EIO] if a csum volume's superblock fails its own checksum. *)
 
 val mount_recover : ?cpus:int -> Pmem.Device.t -> (Fsctx.t, Vfs.Errno.t) result
 (** Like [mount] but always runs the recovery passes (used to measure

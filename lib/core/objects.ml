@@ -91,7 +91,8 @@ module Prange = struct
           Device.zero ctx.dev ~off:(off + len) ~len:(Geometry.page_size - len);
         let d = Geometry.desc_off ctx.geo ~page in
         Device.store_u64 ctx.dev (d + R.Desc.f_kind) (R.Desc.kind_to_int h.kind);
-        Device.store_u64 ctx.dev (d + R.Desc.f_offset) file_off)
+        Device.store_u64 ctx.dev (d + R.Desc.f_offset) file_off;
+        if ctx.csum then R.Desc.seal ctx.dev ~base:d)
       h.r_pages;
     remake h tok
 
@@ -215,6 +216,7 @@ module Inode = struct
     put R.Inode.f_uid uid;
     put R.Inode.f_gid gid;
     put R.Inode.f_ino h.i_ino;
+    if ctx.csum then R.Inode.seal ctx.dev ~base:(Geometry.inode_off ctx.geo ~ino:h.i_ino);
     remake h tok
 
   let init_file ctx h ~mode ~uid ~gid =
@@ -615,6 +617,7 @@ module Preplace = struct
           (R.Desc.kind_to_int R.Desc.Data);
         Device.store_u64 ctx.dev (d + R.Desc.f_offset) offset;
         Device.store_u64 ctx.dev (d + R.Desc.f_replaces) (old_page + 1);
+        if ctx.csum then R.Desc.seal ctx.dev ~base:d;
         Ok
           {
             rid;

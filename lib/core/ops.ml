@@ -354,8 +354,23 @@ let rename (ctx : Fsctx.t) ~src_dir ~src_name ~dst_dir ~dst_name =
 
 let page_units size = (size + ps - 1) / ps
 
+(* Operations on a quarantined object (metadata known corrupt, see
+   {!Mount}) fail cleanly with [EIO] instead of trusting its records. *)
+let quarantined (ctx : Fsctx.t) ino = Faults.Quarantine.mem_ino ctx.quar ino
+
+exception Media_eio
+
+(* A transient device read error is retried once; a persistent one
+   surfaces as a clean [EIO] result, never as an exception. *)
+let read_retry dev ~off ~len =
+  try Device.read dev ~off ~len
+  with Device.Media_error _ -> (
+    try Device.read dev ~off ~len
+    with Device.Media_error _ -> raise Media_eio)
+
 let read (ctx : Fsctx.t) ~ino ~off ~len =
   if off < 0 || len < 0 then Error Vfs.Errno.EINVAL
+  else if quarantined ctx ino then Error Vfs.Errno.EIO
   else begin
     let ih = Inode.get ctx ino in
     let size = Inode.size ctx ih in
@@ -363,19 +378,21 @@ let read (ctx : Fsctx.t) ~ino ~off ~len =
     else begin
       let len = min len (size - off) in
       let buf = Buffer.create len in
-      let pos = ref off in
-      while !pos < off + len do
-        let page_idx = !pos / ps in
-        let in_page = !pos mod ps in
-        let chunk = min (ps - in_page) (off + len - !pos) in
-        (match Index.file_page ctx.index ~ino ~offset:page_idx with
-        | Some page ->
-            let doff = Geometry.page_off ctx.geo ~page + in_page in
-            Buffer.add_bytes buf (Device.read ctx.dev ~off:doff ~len:chunk)
-        | None -> Buffer.add_string buf (String.make chunk '\000'));
-        pos := !pos + chunk
-      done;
-      Ok (Buffer.contents buf)
+      try
+        let pos = ref off in
+        while !pos < off + len do
+          let page_idx = !pos / ps in
+          let in_page = !pos mod ps in
+          let chunk = min (ps - in_page) (off + len - !pos) in
+          (match Index.file_page ctx.index ~ino ~offset:page_idx with
+          | Some page ->
+              let doff = Geometry.page_off ctx.geo ~page + in_page in
+              Buffer.add_bytes buf (read_retry ctx.dev ~off:doff ~len:chunk)
+          | None -> Buffer.add_string buf (String.make chunk '\000'));
+          pos := !pos + chunk
+        done;
+        Ok (Buffer.contents buf)
+      with Media_eio -> Error Vfs.Errno.EIO
     end
   end
 
@@ -396,6 +413,7 @@ let fresh_page_content ~off ~data o =
 
 let write ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
   if off < 0 then Error Vfs.Errno.EINVAL
+  else if quarantined ctx ino then Error Vfs.Errno.EIO
   else if String.length data = 0 then Ok 0
   else begin
     let len = String.length data in
@@ -480,6 +498,7 @@ let write ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
 let truncate ?(cpu = 0) (ctx : Fsctx.t) ~ino new_size =
   ignore cpu;
   if new_size < 0 then Error Vfs.Errno.EINVAL
+  else if quarantined ctx ino then Error Vfs.Errno.EIO
   else begin
     let ih = Inode.get ctx ino in
     let cur_size = Inode.size ctx ih in
@@ -585,6 +604,7 @@ let replace_page ?(cpu = 0) (ctx : Fsctx.t) ~ino ~offset ~old_page ~content =
 
 let write_atomic ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
   if off < 0 then Error Vfs.Errno.EINVAL
+  else if quarantined ctx ino then Error Vfs.Errno.EIO
   else if String.length data = 0 then Ok 0
   else begin
     let len = String.length data in

@@ -13,6 +13,11 @@ type report = {
   ops_run : int;
   fences_probed : int;
   crash_states : int;
+  media_states : int;
+  faults_injected : int;
+  faults_detected : int;
+  faults_quarantined : int;
+  eio_checks : int;
   violations : violation list;
 }
 
@@ -22,6 +27,11 @@ let empty =
     ops_run = 0;
     fences_probed = 0;
     crash_states = 0;
+    media_states = 0;
+    faults_injected = 0;
+    faults_detected = 0;
+    faults_quarantined = 0;
+    eio_checks = 0;
     violations = [];
   }
 
@@ -31,6 +41,11 @@ let merge a b =
     ops_run = a.ops_run + b.ops_run;
     fences_probed = a.fences_probed + b.fences_probed;
     crash_states = a.crash_states + b.crash_states;
+    media_states = a.media_states + b.media_states;
+    faults_injected = a.faults_injected + b.faults_injected;
+    faults_detected = a.faults_detected + b.faults_detected;
+    faults_quarantined = a.faults_quarantined + b.faults_quarantined;
+    eio_checks = a.eio_checks + b.eio_checks;
     violations = a.violations @ b.violations;
   }
 
@@ -60,8 +75,57 @@ let apply_real (ctx : Sq.Fsctx.t) (op : Workload.op) =
                (Vfs.Errno.to_string e)))
   | op -> Workload.apply (module Squirrelfs) ctx op
 
+(* Enumerate every path in the live file system (depth-first), one entry
+   per inode (hardlinks keep the first path seen). Used to pick Phase-B
+   corruption targets among committed, referenced metadata records. *)
+let live_objects fs =
+  let seen = Hashtbl.create 32 in
+  let out = ref [] in
+  let rec walk path =
+    match Sq.readdir fs path with
+    | Error _ -> ()
+    | Ok names ->
+        List.iter
+          (fun name ->
+            let p = if path = "/" then "/" ^ name else path ^ "/" ^ name in
+            match Sq.stat fs p with
+            | Error _ -> ()
+            | Ok st ->
+                if not (Hashtbl.mem seen st.Vfs.Fs.ino) then begin
+                  Hashtbl.add seen st.Vfs.Fs.ino ();
+                  out := (p, st.Vfs.Fs.ino) :: !out
+                end;
+                if st.Vfs.Fs.kind = Vfs.Fs.Dir then walk p)
+          names
+  in
+  walk "/";
+  List.rev !out
+
+(* Deterministically pick [k] distinct elements (partial Fisher-Yates). *)
+let pick_k rng k xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let k = min k n in
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list (Array.sub arr 0 k)
+
 let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
-    ?(compare_data = false) ops =
+    ?(media_images_per_fence = 4) ?(compare_data = false)
+    ?(faults = Faults.none) ops =
+  let faulty = not (Faults.is_none faults) in
+  (* Media faults only make sense on a volume that can detect them:
+     fault runs format with checksummed metadata records. *)
+  let csum = faulty in
+  let media =
+    faulty
+    && (faults.Faults.Plan.torn_line_rate > 0.
+       || faults.Faults.Plan.stuck_line_rate > 0.)
+  in
   let n = List.length ops in
   (* Oracle: logical state after each prefix of the workload. *)
   let odev = Device.create ~size:device_size () in
@@ -79,16 +143,21 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
     ops;
   (* Real run with crash probing at every fence. *)
   let dev = Device.create ~size:device_size () in
-  Sq.mkfs dev;
+  Sq.Mount.mkfs ~csum dev;
   let fs =
     match Sq.mount dev with
     | Ok fs -> fs
     | Error e -> failwith ("mount: " ^ Vfs.Errno.to_string e)
   in
+  if faulty then Device.set_fault_plan dev faults;
   let cur_op = ref 0 in
   let cur_opv = ref None in
   let fences = ref 0 in
   let states = ref 0 in
+  let media_states = ref 0 in
+  let detected = ref 0 in
+  let quarantined = ref 0 in
+  let eio_checks = ref 0 in
   let violations = ref [] in
   let violate detail =
     violations :=
@@ -111,6 +180,15 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
     match Sq.mount d2 with
     | Error e -> violate ("crash image fails to mount: " ^ Vfs.Errno.to_string e)
     | Ok fs2 -> (
+        (* On a csum volume, a pure crash image (no media faults were
+           injected into it) must never trip the media pre-pass: SSU
+           orders every seal before its record's commit, so quarantine
+           here means a code path published an unsealed record. This is
+           how the harness catches Buggy_* variants on csum volumes. *)
+        if csum && (Sq.Mount.last_stats ()).Sq.Mount.degraded then
+          violate
+            "media quarantine on a pure crash image (committed record \
+             without a valid checksum)";
         dbg "fsck";
         (match Sq.Fsck.check fs2 with
         | [] -> ()
@@ -133,10 +211,31 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
                     got %a"
                    Logical.pp got))
   in
+  (* A crash image with injected media damage (torn / stuck lines) is not
+     a legal SSU state, so no logical comparison applies; the contract is
+     graceful handling only: mount either succeeds (possibly degraded,
+     with the damage quarantined) or refuses with a clean error — it must
+     never raise, and neither must fsck on the mounted result. *)
+  let check_media_image img =
+    incr media_states;
+    let d2 = Device.of_image img in
+    match Sq.mount d2 with
+    | exception e ->
+        violate ("media crash image: mount raised " ^ Printexc.to_string e)
+    | Error _ -> ()
+    | Ok fs2 -> (
+        match Sq.Fsck.check fs2 with
+        | _ -> ()
+        | exception e ->
+            violate ("media crash image: fsck raised " ^ Printexc.to_string e))
+  in
   let probe d ~legal =
     incr fences;
     List.iter (fun img -> check_image img ~legal)
-      (Device.crash_images ~max_images:max_images_per_fence d)
+      (Device.crash_images ~max_images:max_images_per_fence d);
+    if media then
+      List.iter check_media_image
+        (Device.crash_images_faulty ~max_images:media_images_per_fence d)
   in
   Device.set_fence_hook dev
     (Some
@@ -157,23 +256,117 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
   cur_op := n;
   cur_opv := None;
   probe dev ~legal:[ oracle.(n) ];
+  (* Phase B: permanent corruption. Flip one seeded bit in the sealed
+     (checksummed) region of up to [bit_flips] committed inode records,
+     then require the full detection pipeline: the scrubber flags every
+     damaged line, a remount comes up degraded with the damaged inodes
+     quarantined, reads of their paths return a clean EIO, and the rest
+     of the tree stays accessible. *)
+  if faulty && faults.Faults.Plan.bit_flips > 0 then begin
+    let geo = fs.Sq.Fsctx.geo in
+    let rng = Random.State.make [| faults.Faults.Plan.seed; 0xB17F11 |] in
+    let targets = pick_k rng faults.Faults.Plan.bit_flips (live_objects fs) in
+    let sealed_bytes =
+      List.concat_map
+        (fun (off, len) -> List.init len (fun i -> off + i))
+        Layout.Records.Inode.sealed_ranges
+    in
+    let flips =
+      List.map
+        (fun (path, ino) ->
+          let base = Layout.Geometry.inode_off geo ~ino in
+          let byte = List.nth sealed_bytes
+              (Random.State.int rng (List.length sealed_bytes))
+          in
+          let bit = Random.State.int rng 8 in
+          let off = base + byte in
+          Device.flip_bit dev ~off ~bit;
+          (path, ino, off))
+        targets
+    in
+    (* A workload can finish with an empty tree (everything unlinked);
+       then there is nothing to corrupt and nothing to check. *)
+    if flips <> [] then begin
+    (* Scrubber: every flipped line must fail its line ECC. *)
+    let bad = Device.scrub dev in
+    List.iter
+      (fun (path, _ino, off) ->
+        let line = off - (off mod Device.line_size) in
+        if not (List.mem line bad) then
+          violate
+            (Printf.sprintf "scrub missed flipped line 0x%x (inode of %s)"
+               line path))
+      flips;
+    (* Degraded remount of the damaged durable image. *)
+    (match Sq.mount (Device.of_image (Device.image_durable dev)) with
+    | Error e ->
+        violate
+          ("damaged volume fails to mount degraded: " ^ Vfs.Errno.to_string e)
+    | exception e ->
+        violate ("damaged volume: mount raised " ^ Printexc.to_string e)
+    | Ok fs3 ->
+        let ms = Sq.Mount.last_stats () in
+        if not ms.Sq.Mount.degraded then
+          violate "remount after metadata corruption is not degraded";
+        quarantined :=
+          !quarantined + ms.Sq.Mount.quarantined_inodes
+          + ms.Sq.Mount.quarantined_pages;
+        List.iter
+          (fun (path, ino, _off) ->
+            if Faults.Quarantine.mem_ino fs3.Sq.Fsctx.quar ino then
+              incr detected
+            else
+              violate
+                (Printf.sprintf
+                   "corrupt inode %d (%s) not quarantined on remount" ino path);
+            (match Sq.stat fs3 path with
+            | Error Vfs.Errno.EIO -> incr eio_checks
+            | Error e ->
+                violate
+                  (Printf.sprintf "stat %s on quarantined inode: %s (want EIO)"
+                     path (Vfs.Errno.to_string e))
+            | Ok _ ->
+                violate
+                  (Printf.sprintf "stat %s succeeded on a quarantined inode"
+                     path)
+            | exception e ->
+                violate
+                  (Printf.sprintf "stat %s raised %s (want EIO result)" path
+                     (Printexc.to_string e))))
+          flips;
+        (* The undamaged remainder of the tree must stay readable. *)
+        (match Sq.readdir fs3 "/" with
+        | Ok _ -> ()
+        | Error e ->
+            violate ("degraded mount cannot list /: " ^ Vfs.Errno.to_string e)))
+    end
+  end;
+  let dstats = Device.stats dev in
   {
     workloads = 1;
     ops_run = n;
     fences_probed = !fences;
     crash_states = !states;
+    media_states = !media_states;
+    faults_injected =
+      dstats.Pmem.Stats.bitflips + dstats.Pmem.Stats.torn_lines
+      + dstats.Pmem.Stats.stuck_lines + dstats.Pmem.Stats.read_faults;
+    faults_detected = !detected;
+    faults_quarantined = !quarantined;
+    eio_checks = !eio_checks;
     violations = List.rev !violations;
   }
 
-let run_suite ?device_size ?max_images_per_fence ?compare_data ?progress
-    workloads =
+let run_suite ?device_size ?max_images_per_fence ?media_images_per_fence
+    ?compare_data ?faults ?progress workloads =
   let total = List.length workloads in
   List.fold_left
     (fun (i, acc) w ->
       (match progress with Some f -> f i total | None -> ());
       ( i + 1,
         merge acc
-          (run_workload ?device_size ?max_images_per_fence ?compare_data w) ))
+          (run_workload ?device_size ?max_images_per_fence
+             ?media_images_per_fence ?compare_data ?faults w) ))
     (0, empty) workloads
   |> snd
 
@@ -182,6 +375,16 @@ let pp_report ppf r =
     "workloads=%d ops=%d fences=%d crash-states=%d violations=%d" r.workloads
     r.ops_run r.fences_probed r.crash_states
     (List.length r.violations);
+  if
+    r.media_states + r.faults_injected + r.faults_detected
+    + r.faults_quarantined + r.eio_checks
+    > 0
+  then
+    Format.fprintf ppf
+      "@.faults: media-states=%d injected=%d detected=%d quarantined=%d \
+       eio-checks=%d"
+      r.media_states r.faults_injected r.faults_detected r.faults_quarantined
+      r.eio_checks;
   List.iteri
     (fun i v ->
       if i < 10 then

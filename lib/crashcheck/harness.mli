@@ -16,7 +16,27 @@
 
     Data contents are excluded from the comparison (data-plane writes are
     not atomic in SquirrelFS or in any of the baselines, matching the
-    paper); sizes and all metadata are compared. *)
+    paper); sizes and all metadata are compared.
+
+    {2 Fault injection}
+
+    With a non-trivial [?faults] plan the real volume is formatted with
+    checksummed metadata ([mkfs ~csum:true]) and the plan is installed on
+    its device. Three extra obligations are then checked:
+
+    - {e pure crash images} (no media damage) must never trip the media
+      pre-pass: SSU seals every record before committing it, so a
+      quarantine on a plain crash image means some code path published an
+      unsealed record (this catches the [Buggy_*] variants on csum
+      volumes);
+    - {e media crash images} (torn / stuck cache lines sampled per the
+      plan's rates) are not legal SSU states, so the contract is graceful
+      handling only: mount and fsck must not raise;
+    - after the workload, {e Phase B} flips one seeded bit in the sealed
+      region of up to [bit_flips] committed inode records and requires
+      the full pipeline: the scrubber flags every damaged line, a remount
+      comes up degraded with the damaged inodes quarantined, their paths
+      return a clean [EIO], and the rest of the tree stays readable. *)
 
 type violation = {
   v_op_index : int;
@@ -29,25 +49,36 @@ type report = {
   ops_run : int;
   fences_probed : int;
   crash_states : int;
+  media_states : int;  (** faulty (torn/stuck) crash images checked *)
+  faults_injected : int;  (** bit flips + torn + stuck + read faults *)
+  faults_detected : int;  (** injected flips caught by checksum quarantine *)
+  faults_quarantined : int;  (** objects quarantined across remounts *)
+  eio_checks : int;  (** quarantined paths that correctly returned [EIO] *)
   violations : violation list;
 }
 
 val run_workload :
   ?device_size:int ->
   ?max_images_per_fence:int ->
+  ?media_images_per_fence:int ->
   ?compare_data:bool ->
+  ?faults:Faults.Plan.t ->
   Workload.op list ->
   report
-(** Defaults: 512 KiB device, 12 images per fence. [compare_data]
-    (default false) additionally compares file contents against the
-    oracle — only meaningful for workloads whose data writes are all
-    [Write_atomic], since regular data writes are not crash-atomic (in
-    SquirrelFS or any of the baselines, matching the paper). *)
+(** Defaults: 512 KiB device, 12 images per fence, 4 media images per
+    fence, [faults = Faults.none] (in which case the run is bit-identical
+    to the pre-fault-subsystem harness). [compare_data] (default false)
+    additionally compares file contents against the oracle — only
+    meaningful for workloads whose data writes are all [Write_atomic],
+    since regular data writes are not crash-atomic (in SquirrelFS or any
+    of the baselines, matching the paper). *)
 
 val run_suite :
   ?device_size:int ->
   ?max_images_per_fence:int ->
+  ?media_images_per_fence:int ->
   ?compare_data:bool ->
+  ?faults:Faults.Plan.t ->
   ?progress:(int -> int -> unit) ->
   Workload.op list list ->
   report

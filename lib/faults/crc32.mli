@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE, polynomial 0xEDB88320). Values fit in 32 bits and are
+    returned as non-negative [int]s. Pass [?crc] to chain digests over
+    discontiguous ranges (used for records whose mutable fields are
+    excluded from the checksum). *)
+
+val digest : ?crc:int -> string -> int
+val digest_bytes : ?crc:int -> Bytes.t -> off:int -> len:int -> int

@@ -1,0 +1,14 @@
+(* Umbrella module for the fault-injection & media-reliability
+   subsystem. Layering: this library sits below [Pmem] (the device
+   consults the plan and trace) and below [Layout]/[Core] (which use
+   Crc32 and Quarantine). It depends only on [fmt]. *)
+
+module Crc32 = Crc32
+module Plan = Plan
+module Trace = Trace
+module State = State
+module Quarantine = Quarantine
+
+(* Convenience aliases so call sites can say [Faults.none]. *)
+let none = Plan.none
+let is_none = Plan.is_none

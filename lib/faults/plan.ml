@@ -1,0 +1,43 @@
+(* A fault plan is pure data: what to inject, how much, and where.
+   All randomness downstream is drawn from a [Random.State] seeded with
+   [seed], so a plan fully determines the fault sequence. *)
+
+type region = { off : int; len : int }
+
+type t = {
+  seed : int;
+  bit_flips : int;  (** flips injected per [Device.inject_flips] call *)
+  read_error_rate : float;  (** P(transient Media_error) per bulk read *)
+  torn_line_rate : float;  (** P(pending line torn mid-record at crash) *)
+  stuck_line_rate : float;  (** P(pending line never drains at crash) *)
+  regions : region list;  (** restrict bit flips; [] means whole device *)
+}
+
+let none =
+  {
+    seed = 0;
+    bit_flips = 0;
+    read_error_rate = 0.;
+    torn_line_rate = 0.;
+    stuck_line_rate = 0.;
+    regions = [];
+  }
+
+let is_none p = p = none
+
+let make ?(seed = 42) ?(bit_flips = 0) ?(read_error_rate = 0.)
+    ?(torn_line_rate = 0.) ?(stuck_line_rate = 0.) ?(regions = []) () =
+  let rate name r =
+    if r < 0. || r > 1. then invalid_arg ("Faults.Plan.make: bad " ^ name)
+  in
+  rate "read_error_rate" read_error_rate;
+  rate "torn_line_rate" torn_line_rate;
+  rate "stuck_line_rate" stuck_line_rate;
+  if bit_flips < 0 then invalid_arg "Faults.Plan.make: negative bit_flips";
+  { seed; bit_flips; read_error_rate; torn_line_rate; stuck_line_rate; regions }
+
+let pp ppf p =
+  if is_none p then Fmt.string ppf "none"
+  else
+    Fmt.pf ppf "seed=%d flips=%d read_err=%g torn=%g stuck=%g" p.seed
+      p.bit_flips p.read_error_rate p.torn_line_rate p.stuck_line_rate

@@ -1,0 +1,24 @@
+(* Live injection state attached to a device: the plan, the seeded RNG
+   that makes every draw reproducible, and the accumulated trace. *)
+
+type t = {
+  plan : Plan.t;
+  rng : Random.State.t;
+  mutable seq : int;
+  mutable events : Trace.event list;  (* newest first *)
+}
+
+let create (plan : Plan.t) =
+  { plan; rng = Random.State.make [| plan.Plan.seed |]; seq = 0; events = [] }
+
+let plan t = t.plan
+let rng t = t.rng
+
+let record t kind ~off ~bit =
+  let e = { Trace.seq = t.seq; kind; off; bit } in
+  t.seq <- t.seq + 1;
+  t.events <- e :: t.events;
+  e
+
+let events t = List.rev t.events
+let count t = t.seq

@@ -1,0 +1,26 @@
+(* Per-fault trace records. Every injected fault is appended to the
+   device's fault state so tests can assert byte-exact determinism:
+   same plan (same seed) over the same workload must yield the same
+   event list. *)
+
+type kind = Bit_flip | Torn_line | Stuck_line | Read_error
+
+type event = {
+  seq : int;  (** 0-based injection order *)
+  kind : kind;
+  off : int;  (** byte offset (flip/read) or line base (torn/stuck) *)
+  bit : int;  (** bit index within byte for [Bit_flip]; 0 otherwise *)
+}
+
+let kind_to_string = function
+  | Bit_flip -> "bit_flip"
+  | Torn_line -> "torn_line"
+  | Stuck_line -> "stuck_line"
+  | Read_error -> "read_error"
+
+let pp_kind ppf k = Fmt.string ppf (kind_to_string k)
+
+let pp_event ppf e =
+  Fmt.pf ppf "#%d %s off=%#x bit=%d" e.seq (kind_to_string e.kind) e.off e.bit
+
+let equal_event (a : event) (b : event) = a = b

@@ -22,6 +22,26 @@ let any_nonzero dev base len =
   let rec go i = i < len && (Bytes.get b i <> '\000' || go (i + 1)) in
   go 0
 
+(* {1 Record checksums}
+
+   Only fields that are immutable once the record is initialized are
+   covered ("sealed"): the SSU ordering rules guarantee the whole init
+   group — including the CRC — is durable before the record is committed,
+   so at {e every} legal crash point a committed record carries a valid
+   checksum and a mismatch can only mean media corruption. Mutable fields
+   (link counts, sizes, times, the commit backpointers themselves) change
+   via independent 8-byte atomic stores and are excluded; they are covered
+   by the device-level line ECC + scrubber instead. *)
+
+let crc_ns = 40 (* simulated software cost of one record checksum *)
+
+let crc_of_ranges dev ~base ranges =
+  List.fold_left
+    (fun crc (off, len) ->
+      let b = Device.read_meta dev ~off:(base + off) ~len in
+      Faults.Crc32.digest_bytes ~crc b ~off:0 ~len)
+    0 ranges
+
 module Inode = struct
   let f_ino = 0
   let f_kind = 8
@@ -33,6 +53,11 @@ module Inode = struct
   let f_mode = 56
   let f_uid = 64
   let f_gid = 72
+  let f_crc = 120
+
+  (* ino, kind, mode, uid, gid + the zero padding; links/size/times are
+     mutable and excluded. *)
+  let sealed_ranges = [ (0, 16); (56, 64); (124, 4) ]
 
   type t = {
     ino : int;
@@ -69,6 +94,17 @@ module Inode = struct
             }
 
   let is_allocated dev ~base = any_nonzero dev base Geometry.inode_size
+
+  let seal dev ~base =
+    let crc = crc_of_ranges dev ~base sealed_ranges in
+    Device.store_u32 dev (base + f_crc) crc;
+    Device.charge dev crc_ns
+
+  let verify dev ~base =
+    Device.charge dev crc_ns;
+    match crc_of_ranges dev ~base sealed_ranges with
+    | crc -> crc = Device.read_u32 dev (base + f_crc)
+    | exception Device.Media_error _ -> false
 end
 
 module Dentry = struct
@@ -104,6 +140,11 @@ module Desc = struct
   let f_kind = 8
   let f_offset = 16
   let f_replaces = 24
+  let f_crc = 56
+
+  (* kind, offset + zero padding; ino (the commit backpointer) and
+     replaces (cleared on COW completion) are mutable and excluded. *)
+  let sealed_ranges = [ (8, 16); (32, 24); (60, 4) ]
 
   type page_kind = Data | Dirpage
 
@@ -127,6 +168,17 @@ module Desc = struct
             }
 
   let is_allocated dev ~base = any_nonzero dev base Geometry.desc_size
+
+  let seal dev ~base =
+    let crc = crc_of_ranges dev ~base sealed_ranges in
+    Device.store_u32 dev (base + f_crc) crc;
+    Device.charge dev crc_ns
+
+  let verify dev ~base =
+    Device.charge dev crc_ns;
+    match crc_of_ranges dev ~base sealed_ranges with
+    | crc -> crc = Device.read_u32 dev (base + f_crc)
+    | exception Device.Media_error _ -> false
 end
 
 module Superblock = struct
@@ -141,10 +193,15 @@ module Superblock = struct
   let f_page_desc_off = 48
   let f_data_off = 56
   let f_clean = 64
+  let f_flags = 72 (* bit 0: metadata checksums enabled *)
+  let f_crc = 80
 
-  type t = { geometry : Geometry.t; clean : bool }
+  (* everything immutable after mkfs; the clean flag is excluded. *)
+  let sealed_ranges = [ (0, 64); (72, 8) ]
 
-  let write dev (g : Geometry.t) ~clean =
+  type t = { geometry : Geometry.t; clean : bool; csum : bool }
+
+  let write ?(csum = false) dev (g : Geometry.t) ~clean =
     let put f v =
       let b = Bytes.create 8 in
       Bytes.set_int64_le b 0 (Int64.of_int v);
@@ -159,7 +216,18 @@ module Superblock = struct
     put f_page_desc_off g.page_desc_off;
     put f_data_off g.data_off;
     put f_clean (if clean then 1 else 0);
+    if csum then begin
+      put f_flags 1;
+      put f_crc (crc_of_ranges dev ~base:0 sealed_ranges);
+      Device.charge dev crc_ns
+    end;
     Device.fence dev
+
+  let verify dev =
+    Device.charge dev crc_ns;
+    match crc_of_ranges dev ~base:0 sealed_ranges with
+    | crc -> crc = Device.read_u32 dev f_crc
+    | exception Device.Media_error _ -> false
 
   let read dev =
     if Device.read_u64 dev f_magic <> magic then None
@@ -174,7 +242,12 @@ module Superblock = struct
           data_off = Device.read_u64 dev f_data_off;
         }
       in
-      Some { geometry; clean = Device.read_u64 dev f_clean = 1 }
+      Some
+        {
+          geometry;
+          clean = Device.read_u64 dev f_clean = 1;
+          csum = Device.read_u64 dev f_flags land 1 = 1;
+        }
 
   let set_clean dev clean =
     Device.store_u64 dev f_clean (if clean then 1 else 0);

@@ -4,7 +4,17 @@
     functions in the core library; this module only fixes the binary
     format and provides read-side decoding. An object is {e allocated} iff
     any of its bytes is non-zero; dentries and page descriptors are
-    {e valid} iff their inode-number field is non-zero (paper §3.4). *)
+    {e valid} iff their inode-number field is non-zero (paper §3.4).
+
+    When a volume is made with [mkfs ~csum:true], inode and descriptor
+    records additionally carry a CRC32 over their {e sealed}
+    (immutable-after-init) fields, written by [seal] during
+    initialization. Because SSU ordering makes the whole init group —
+    including the CRC — durable before the record is committed, [verify]
+    failing on a committed record can only mean media corruption, never a
+    legal crash state. Mutable fields (links, sizes, times, commit
+    backpointers, dentries) are excluded and covered by the device-level
+    line ECC instead. *)
 
 module Kind : sig
   type t = File | Dir | Symlink
@@ -26,6 +36,11 @@ module Inode : sig
   val f_mode : int (* u64 *)
   val f_uid : int (* u64 *)
   val f_gid : int (* u64 *)
+  val f_crc : int (* u32 over [sealed_ranges] *)
+
+  val sealed_ranges : (int * int) list
+  (** [(off, len)] pairs, relative to the record base, covered by the
+      CRC: ino, kind, mode, uid, gid and the zero padding. *)
 
   type t = {
     ino : int;
@@ -45,6 +60,14 @@ module Inode : sig
 
   val is_allocated : Pmem.Device.t -> base:int -> bool
   (** Any byte non-zero. *)
+
+  val seal : Pmem.Device.t -> base:int -> unit
+  (** Store the CRC of the sealed fields (plain store; the caller's init
+      flush + fence makes it durable with the rest of the init group). *)
+
+  val verify : Pmem.Device.t -> base:int -> bool
+  (** Recompute and compare; [false] also on a persistent
+      {!Pmem.Device.Media_error}. Only meaningful on csum volumes. *)
 end
 
 module Dentry : sig
@@ -70,6 +93,11 @@ module Desc : sig
   val f_offset : int (* u64 page index within the file *)
   val f_replaces : int
   (* u64: 1 + page this one atomically replaces (COW data writes), 0 = none *)
+  val f_crc : int (* u32 over [sealed_ranges] *)
+
+  val sealed_ranges : (int * int) list
+  (** kind and offset plus zero padding; the ino backpointer and
+      [replaces] are mutable and excluded. *)
 
   type page_kind = Data | Dirpage
 
@@ -83,6 +111,9 @@ module Desc : sig
   val is_allocated : Pmem.Device.t -> base:int -> bool
   val kind_to_int : page_kind -> int
   val kind_of_int : int -> page_kind option
+
+  val seal : Pmem.Device.t -> base:int -> unit
+  val verify : Pmem.Device.t -> base:int -> bool
 end
 
 module Superblock : sig
@@ -97,15 +128,24 @@ module Superblock : sig
   val f_page_desc_off : int
   val f_data_off : int
   val f_clean : int (* u64: 1 = cleanly unmounted *)
+  val f_flags : int (* u64: bit 0 = metadata checksums enabled *)
+  val f_crc : int (* u32 over [sealed_ranges] *)
 
-  type t = { geometry : Geometry.t; clean : bool }
+  val sealed_ranges : (int * int) list
 
-  val write : Pmem.Device.t -> Geometry.t -> clean:bool -> unit
+  type t = { geometry : Geometry.t; clean : bool; csum : bool }
+
+  val write : ?csum:bool -> Pmem.Device.t -> Geometry.t -> clean:bool -> unit
   (** Persist a fresh superblock (mkfs path): non-temporal stores plus a
-      fence. *)
+      fence. With [~csum:true] (default false) the checksum flag and the
+      superblock's own CRC are also written; with the default the byte
+      image and store sequence are identical to pre-checksum builds. *)
 
   val read : Pmem.Device.t -> t option
   (** [None] if the magic does not match. *)
+
+  val verify : Pmem.Device.t -> bool
+  (** Check the superblock CRC (meaningful only when [csum] is set). *)
 
   val set_clean : Pmem.Device.t -> bool -> unit
   (** Atomically update the clean-unmount flag and persist it. *)

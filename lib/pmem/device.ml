@@ -10,6 +10,8 @@ type line = {
   mutable flushed : int; (* #oldest pending records covered by clwb *)
 }
 
+exception Media_error of { off : int; len : int }
+
 type t = {
   size : int;
   latest : Bytes.t;
@@ -20,6 +22,8 @@ type t = {
   mutable now_ns : int;
   mutable fence_hook : (t -> unit) option;
   mutable in_fence : bool;
+  mutable faults : Faults.State.t option;
+  mutable ecc : int array; (* per-line CRC of durable content; [||] = off *)
 }
 
 let create ?(latency = Latency.zero) ~size () =
@@ -33,6 +37,8 @@ let create ?(latency = Latency.zero) ~size () =
     now_ns = 0;
     fence_hook = None;
     in_fence = false;
+    faults = None;
+    ecc = [||];
   }
 
 let of_image ?(latency = Latency.zero) image =
@@ -46,6 +52,8 @@ let of_image ?(latency = Latency.zero) image =
     now_ns = 0;
     fence_hook = None;
     in_fence = false;
+    faults = None;
+    ecc = [||];
   }
 
 let size t = t.size
@@ -60,9 +68,112 @@ let check_range t off len =
       (Printf.sprintf "Pmem.Device: range [%d,%d) outside device of size %d"
          off (off + len) t.size)
 
+(* {1 Fault plans}
+
+   The ECC table holds one CRC32 per cache line of the *durable* image,
+   recomputed as fences drain lines. It is only maintained while a fault
+   plan is active, so the default path does no extra work and all
+   existing results stay bit-identical. [flip_bit] deliberately skips
+   the ECC update — that is what lets [scrub] detect rot. *)
+
+let line_count t = (t.size + line_size - 1) / line_size
+
+let ecc_of_line t idx =
+  let off = idx * line_size in
+  let len = min line_size (t.size - off) in
+  Faults.Crc32.digest_bytes t.durable ~off ~len
+
+let set_fault_plan t plan =
+  if Faults.Plan.is_none plan then begin
+    t.faults <- None;
+    t.ecc <- [||]
+  end
+  else begin
+    t.faults <- Some (Faults.State.create plan);
+    t.ecc <- Array.init (line_count t) (ecc_of_line t)
+  end
+
+let fault_state t = t.faults
+
+let fault_events t =
+  match t.faults with None -> [] | Some st -> Faults.State.events st
+
+let flip_bit t ~off ~bit =
+  check_range t off 1;
+  if bit < 0 || bit > 7 then invalid_arg "Pmem.Device.flip_bit: bad bit";
+  let mask = 1 lsl bit in
+  let flip buf = Bytes.set buf off (Char.chr (Char.code (Bytes.get buf off) lxor mask)) in
+  flip t.durable;
+  flip t.latest;
+  t.stats.bitflips <- t.stats.bitflips + 1;
+  match t.faults with
+  | Some st -> ignore (Faults.State.record st Faults.Trace.Bit_flip ~off ~bit)
+  | None -> ()
+
+let inject_flips t =
+  match t.faults with
+  | None -> 0
+  | Some st ->
+      let plan = Faults.State.plan st in
+      let rng = Faults.State.rng st in
+      let regions =
+        match plan.Faults.Plan.regions with
+        | [] -> [ { Faults.Plan.off = 0; len = t.size } ]
+        | rs -> rs
+      in
+      let regions = Array.of_list regions in
+      for _ = 1 to plan.Faults.Plan.bit_flips do
+        let r = regions.(Random.State.int rng (Array.length regions)) in
+        let off = r.Faults.Plan.off + Random.State.int rng r.Faults.Plan.len in
+        let bit = Random.State.int rng 8 in
+        flip_bit t ~off ~bit
+      done;
+      plan.Faults.Plan.bit_flips
+
+let scrub t =
+  if Array.length t.ecc = 0 then []
+  else begin
+    let n = Array.length t.ecc in
+    let bad = ref [] in
+    for idx = n - 1 downto 0 do
+      if ecc_of_line t idx <> t.ecc.(idx) then bad := (idx * line_size) :: !bad
+    done;
+    t.stats.scrubbed_lines <- t.stats.scrubbed_lines + n;
+    t.stats.scrub_errors <- t.stats.scrub_errors + List.length !bad;
+    charge t (t.latency.read_base_ns + (n * t.latency.read_line_ns));
+    !bad
+  end
+
 (* {1 Reads} *)
 
+let maybe_read_fault t ~off ~len =
+  match t.faults with
+  | Some st ->
+      let rate = (Faults.State.plan st).Faults.Plan.read_error_rate in
+      if rate > 0. && Random.State.float (Faults.State.rng st) 1.0 < rate then begin
+        t.stats.read_faults <- t.stats.read_faults + 1;
+        ignore (Faults.State.record st Faults.Trace.Read_error ~off ~bit:0);
+        raise (Media_error { off; len })
+      end
+  | None -> ()
+
 let read t ~off ~len =
+  check_range t off len;
+  let first = off / line_size and last = (off + len - 1) / line_size in
+  let lines = if len = 0 then 0 else last - first + 1 in
+  t.stats.reads <- t.stats.reads + 1;
+  t.stats.bytes_read <- t.stats.bytes_read + len;
+  if lines > 0 then
+    charge t (t.latency.read_base_ns + (lines * t.latency.read_line_ns));
+  maybe_read_fault t ~off ~len;
+  Bytes.sub t.latest off len
+
+(* Metadata read path used by the checksum layer: same cost model as
+   [read], but transient read faults are never injected (the CRC
+   machinery models a controller that retries metadata fetches until the
+   media answers; injecting there would make corruption *detection*
+   itself flaky and non-deterministic). *)
+let read_meta t ~off ~len =
   check_range t off len;
   let first = off / line_size and last = (off + len - 1) / line_size in
   let lines = if len = 0 then 0 else last - first + 1 in
@@ -206,6 +317,7 @@ let fence t =
         l.pending <- List.rev remaining_oldest_first;
         l.flushed <- 0;
         incr drained;
+        if Array.length t.ecc > 0 then t.ecc.(idx) <- ecc_of_line t idx;
         if l.pending = [] then finished := idx :: !finished
       end)
     t.lines;
@@ -306,3 +418,63 @@ let crash_images ?rng ?(max_images = 64) t =
     in
     extremes @ samples
   end
+
+(* Faulty crash images: like [crash_images], but each dirty line may
+   additionally be {e stuck} (all its in-flight updates lost, modelling a
+   write-pending-queue failure at power loss) or {e torn} (the last
+   applied record persists only partially, violating 8-byte atomicity —
+   the media fault SSU reasoning cannot rule out). Samples are drawn from
+   the fault plan's RNG, so the set is seed-deterministic. *)
+let apply_partial img { off; data } =
+  let half = String.length data / 2 in
+  if half > 0 then Bytes.blit_string data 0 img off half
+
+let crash_images_faulty ?(max_images = 16) t =
+  match t.faults with
+  | None -> crash_images ~max_images t
+  | Some st ->
+      let plan = Faults.State.plan st in
+      let rng = Faults.State.rng st in
+      let lines = dirty_lines t in
+      if lines = [] then [ Bytes.copy t.durable ]
+      else
+        List.init max_images (fun _ ->
+            let img = Bytes.copy t.durable in
+            List.iter
+              (fun recs ->
+                match recs with
+                | [] -> ()
+                | first :: _ ->
+                    let base = first.off / line_size * line_size in
+                    let n = List.length recs in
+                    if Random.State.float rng 1.0 < plan.Faults.Plan.stuck_line_rate
+                    then begin
+                      t.stats.stuck_lines <- t.stats.stuck_lines + 1;
+                      ignore
+                        (Faults.State.record st Faults.Trace.Stuck_line
+                           ~off:base ~bit:0)
+                    end
+                    else begin
+                      let k = Random.State.int rng (n + 1) in
+                      let torn =
+                        k > 0
+                        && Random.State.float rng 1.0
+                           < plan.Faults.Plan.torn_line_rate
+                      in
+                      let full = if torn then k - 1 else k in
+                      let rec go i = function
+                        | r :: rest when i < full ->
+                            apply_record img r;
+                            go (i + 1) rest
+                        | r :: _ when torn && i = full ->
+                            apply_partial img r;
+                            t.stats.torn_lines <- t.stats.torn_lines + 1;
+                            ignore
+                              (Faults.State.record st Faults.Trace.Torn_line
+                                 ~off:r.off ~bit:0)
+                        | _ -> ()
+                      in
+                      go 0 recs
+                    end)
+              lines;
+            img)

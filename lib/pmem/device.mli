@@ -21,6 +21,11 @@
 
 type t
 
+exception Media_error of { off : int; len : int }
+(** Raised by bulk {!read} when an active fault plan injects a transient
+    read error. Callers are expected to retry and surface [EIO] if the
+    error persists — never to let the exception escape a syscall. *)
+
 val create : ?latency:Latency.t -> size:int -> unit -> t
 (** Fresh zeroed device of [size] bytes. Default latency is {!Latency.zero}
     (functional-test profile); benchmarks pass {!Latency.optane}. *)
@@ -30,6 +35,10 @@ val of_image : ?latency:Latency.t -> Bytes.t -> t
     (crash-image remount path). The image is copied. *)
 
 val size : t -> int
+val line_size : int
+(** Cache-line size in bytes (64): the granularity of flush, of crash-time
+    line effects, and of the device ECC table. *)
+
 val stats : t -> Stats.t
 
 (** {1 Clock} *)
@@ -41,7 +50,13 @@ val charge : t -> int -> unit
 (** {1 Access} *)
 
 val read : t -> off:int -> len:int -> Bytes.t
-(** Read the CPU-visible (latest) contents. *)
+(** Read the CPU-visible (latest) contents. Under an active fault plan
+    with a non-zero read-error rate this call may raise {!Media_error}. *)
+
+val read_meta : t -> off:int -> len:int -> Bytes.t
+(** Like {!read} (same cost model) but never injects transient read
+    faults: the metadata-checksum layer retries media fetches, so
+    corruption detection itself stays deterministic. *)
 
 val read_u64 : t -> int -> int
 val read_u32 : t -> int -> int
@@ -108,3 +123,44 @@ val crash_images : ?rng:Random.State.t -> ?max_images:int -> t -> Bytes.t list
 
 val crash_image_count : t -> int
 (** Number of legal crash images ([max_int] on overflow). *)
+
+(** {1 Fault injection}
+
+    A fault plan ({!Faults.Plan.t}) turns the device into a misbehaving
+    medium: seeded bit flips in durable lines, transient read errors, and
+    stuck/torn cache lines in crash images. With no plan (the default)
+    none of this machinery runs and every observable result — stats,
+    simulated clock, crash-image sets — is bit-identical to a device
+    without the subsystem. While a plan is active the device maintains a
+    per-line CRC32 ECC table over the durable image (recomputed as fences
+    drain lines) that {!scrub} checks. *)
+
+val set_fault_plan : t -> Faults.Plan.t -> unit
+(** Install [plan]; {!Faults.Plan.none} removes any active plan. The ECC
+    baseline is (re)computed from the current durable image. *)
+
+val fault_state : t -> Faults.State.t option
+val fault_events : t -> Faults.Trace.event list
+(** Injected-fault trace, oldest first; [[]] without a plan. *)
+
+val flip_bit : t -> off:int -> bit:int -> unit
+(** Flip one bit of durable (and visible) storage without updating the
+    ECC table — simulated media rot, detectable by {!scrub} and by
+    record checksums. *)
+
+val inject_flips : t -> int
+(** Inject [plan.bit_flips] random flips (constrained to [plan.regions]
+    if non-empty) drawn from the plan's RNG; returns the number
+    injected. 0 without a plan. *)
+
+val scrub : t -> int list
+(** Verify every durable line against the ECC baseline; returns the byte
+    offsets of corrupted lines (empty without an active plan). Charges
+    the simulated clock like a full-device read and updates
+    [scrubbed_lines]/[scrub_errors]. *)
+
+val crash_images_faulty : ?max_images:int -> t -> Bytes.t list
+(** Sampled crash images (default 16) where dirty lines may additionally
+    be stuck (in-flight updates lost wholesale) or torn (last record
+    half-applied, violating 8-byte atomicity), per the plan's rates and
+    RNG. Falls back to {!crash_images} without a plan. *)

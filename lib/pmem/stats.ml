@@ -6,6 +6,13 @@ type t = {
   mutable flushes : int;
   mutable fences : int;
   mutable lines_drained : int;
+  (* media-fault counters; all stay 0 unless a fault plan is active *)
+  mutable bitflips : int;
+  mutable read_faults : int;
+  mutable torn_lines : int;
+  mutable stuck_lines : int;
+  mutable scrubbed_lines : int;
+  mutable scrub_errors : int;
 }
 
 let create () =
@@ -17,6 +24,12 @@ let create () =
     flushes = 0;
     fences = 0;
     lines_drained = 0;
+    bitflips = 0;
+    read_faults = 0;
+    torn_lines = 0;
+    stuck_lines = 0;
+    scrubbed_lines = 0;
+    scrub_errors = 0;
   }
 
 let reset t =
@@ -26,7 +39,13 @@ let reset t =
   t.bytes_read <- 0;
   t.flushes <- 0;
   t.fences <- 0;
-  t.lines_drained <- 0
+  t.lines_drained <- 0;
+  t.bitflips <- 0;
+  t.read_faults <- 0;
+  t.torn_lines <- 0;
+  t.stuck_lines <- 0;
+  t.scrubbed_lines <- 0;
+  t.scrub_errors <- 0
 
 let copy t =
   {
@@ -37,6 +56,12 @@ let copy t =
     flushes = t.flushes;
     fences = t.fences;
     lines_drained = t.lines_drained;
+    bitflips = t.bitflips;
+    read_faults = t.read_faults;
+    torn_lines = t.torn_lines;
+    stuck_lines = t.stuck_lines;
+    scrubbed_lines = t.scrubbed_lines;
+    scrub_errors = t.scrub_errors;
   }
 
 let pp ppf t =
@@ -44,4 +69,14 @@ let pp ppf t =
     "stores=%d bytes_stored=%d reads=%d bytes_read=%d flushes=%d fences=%d \
      lines_drained=%d"
     t.stores t.bytes_stored t.reads t.bytes_read t.flushes t.fences
-    t.lines_drained
+    t.lines_drained;
+  if
+    t.bitflips + t.read_faults + t.torn_lines + t.stuck_lines
+    + t.scrubbed_lines + t.scrub_errors
+    > 0
+  then
+    Format.fprintf ppf
+      " bitflips=%d read_faults=%d torn_lines=%d stuck_lines=%d \
+       scrubbed_lines=%d scrub_errors=%d"
+      t.bitflips t.read_faults t.torn_lines t.stuck_lines t.scrubbed_lines
+      t.scrub_errors

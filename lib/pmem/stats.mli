@@ -8,6 +8,12 @@ type t = {
   mutable flushes : int;  (** [clwb] instructions *)
   mutable fences : int;  (** [sfence] instructions *)
   mutable lines_drained : int;  (** in-flight lines made durable by fences *)
+  mutable bitflips : int;  (** injected durable bit flips *)
+  mutable read_faults : int;  (** injected transient read errors *)
+  mutable torn_lines : int;  (** lines torn mid-record in faulty crash images *)
+  mutable stuck_lines : int;  (** lines dropped whole in faulty crash images *)
+  mutable scrubbed_lines : int;  (** lines verified by {!Device.scrub} *)
+  mutable scrub_errors : int;  (** lines the scrubber found corrupted *)
 }
 
 val create : unit -> t

@@ -10,6 +10,7 @@ type t =
   | EXDEV
   | EMLINK
   | EPERM
+  | EIO
 
 let to_string = function
   | ENOENT -> "ENOENT"
@@ -23,6 +24,7 @@ let to_string = function
   | EXDEV -> "EXDEV"
   | EMLINK -> "EMLINK"
   | EPERM -> "EPERM"
+  | EIO -> "EIO"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 let equal = ( = )

@@ -12,6 +12,7 @@ type t =
   | EXDEV
   | EMLINK
   | EPERM
+  | EIO
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

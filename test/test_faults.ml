@@ -1,0 +1,281 @@
+(* Tests for the fault-injection & media-reliability subsystem: CRC32,
+   seeded determinism of the fault stream, checksum detection of metadata
+   corruption, degraded-mount quarantine semantics, and clean EIO (never
+   an exception) through the VFS API. *)
+
+module Device = Pmem.Device
+module G = Layout.Geometry
+module R = Layout.Records
+module Sq = Squirrelfs
+module Plan = Faults.Plan
+module Crc32 = Faults.Crc32
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected %s" (Vfs.Errno.to_string e)
+
+let mkfs_csum_mounted ?(size = 512 * 1024) () =
+  let dev = Device.create ~size () in
+  Sq.Mount.mkfs ~csum:true dev;
+  (dev, ok (Sq.mount dev))
+
+(* {1 CRC32} *)
+
+let test_crc32_known () =
+  (* IEEE CRC32 of "123456789" is the classic check value. *)
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.digest "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.digest "");
+  (* Chaining: digest of a concatenation equals chained digests. *)
+  let a = "squirrel" and b = "fs" in
+  Alcotest.(check int) "chained"
+    (Crc32.digest (a ^ b))
+    (Crc32.digest ~crc:(Crc32.digest a) b)
+
+let test_crc32_bit_sensitivity () =
+  let base = Bytes.of_string (String.init 64 Char.chr) in
+  let c0 = Crc32.digest_bytes base ~off:0 ~len:64 in
+  for byte = 0 to 63 do
+    for bit = 0 to 7 do
+      let b = Bytes.copy base in
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+      if Crc32.digest_bytes b ~off:0 ~len:64 = c0 then
+        Alcotest.failf "flip of byte %d bit %d not detected" byte bit
+    done
+  done
+
+(* {1 Seeded determinism} *)
+
+(* The same plan on the same workload must produce the identical fault
+   trace, event for event. *)
+let run_traced seed =
+  let dev = Device.create ~size:(256 * 1024) () in
+  Sq.Mount.mkfs ~csum:true dev;
+  let fs = ok (Sq.mount dev) in
+  Device.set_fault_plan dev
+    (Plan.make ~seed ~bit_flips:4 ~read_error_rate:0.01 ());
+  ok (Sq.create fs "/a");
+  ok (Sq.mkdir fs "/d");
+  (match Sq.write fs "/a" ~off:0 (String.make 200 'x') with
+  | Ok _ | Error _ -> ());
+  ignore (Device.inject_flips dev : int);
+  Device.fault_events dev
+
+let test_trace_deterministic () =
+  let t1 = run_traced 7 and t2 = run_traced 7 and t3 = run_traced 8 in
+  Alcotest.(check int) "same length" (List.length t1) (List.length t2);
+  List.iter2
+    (fun a b ->
+      if not (Faults.Trace.equal_event a b) then
+        Alcotest.failf "traces diverge: %s vs %s"
+          (Format.asprintf "%a" Faults.Trace.pp_event a)
+          (Format.asprintf "%a" Faults.Trace.pp_event b))
+    t1 t2;
+  Alcotest.(check bool) "flips injected" true (List.length t1 >= 4);
+  Alcotest.(check bool) "different seed, different trace" true
+    (t1 <> t3)
+
+(* {1 Checksum detection} *)
+
+(* Every single-bit flip anywhere in the sealed region of a committed
+   inode record must flip its verify result. *)
+let test_inode_checksum_detects_all_flips () =
+  let dev, fs = mkfs_csum_mounted () in
+  ok (Sq.create fs "/victim");
+  let st = ok (Sq.stat fs "/victim") in
+  let base = G.inode_off fs.Sq.Fsctx.geo ~ino:st.Vfs.Fs.ino in
+  Alcotest.(check bool) "committed record verifies" true
+    (R.Inode.verify dev ~base);
+  Device.set_fault_plan dev (Plan.make ~seed:1 ());
+  List.iter
+    (fun (off, len) ->
+      for i = 0 to len - 1 do
+        for bit = 0 to 7 do
+          let abs = base + off + i in
+          Device.flip_bit dev ~off:abs ~bit;
+          if R.Inode.verify dev ~base then
+            Alcotest.failf "flip at +%d bit %d not detected" (off + i) bit;
+          Device.flip_bit dev ~off:abs ~bit (* restore *)
+        done
+      done)
+    R.Inode.sealed_ranges;
+  Alcotest.(check bool) "restored record verifies" true
+    (R.Inode.verify dev ~base)
+
+(* The scrubber's line ECC catches flips even in fields the record CRC
+   does not cover (mutable fields like sizes and link counts). *)
+let test_scrub_catches_mutable_field_flip () =
+  let dev, fs = mkfs_csum_mounted () in
+  ok (Sq.create fs "/f");
+  let st = ok (Sq.stat fs "/f") in
+  let base = G.inode_off fs.Sq.Fsctx.geo ~ino:st.Vfs.Fs.ino in
+  Device.set_fault_plan dev (Plan.make ~seed:1 ());
+  Alcotest.(check (list int)) "clean scrub" [] (Device.scrub dev);
+  Device.flip_bit dev ~off:(base + R.Inode.f_size) ~bit:3;
+  let bad = Device.scrub dev in
+  let line = base + R.Inode.f_size in
+  let line = line - (line mod Device.line_size) in
+  Alcotest.(check bool) "flipped line flagged" true (List.mem line bad)
+
+(* {1 Degraded mount, quarantine, EIO} *)
+
+let test_degraded_mount_quarantine () =
+  let dev, fs = mkfs_csum_mounted () in
+  ok (Sq.create fs "/good");
+  ignore (ok (Sq.write fs "/good" ~off:0 "intact") : int);
+  ok (Sq.create fs "/bad");
+  ignore (ok (Sq.write fs "/bad" ~off:0 "doomed") : int);
+  let bad_ino = (ok (Sq.stat fs "/bad")).Vfs.Fs.ino in
+  let base = G.inode_off fs.Sq.Fsctx.geo ~ino:bad_ino in
+  Device.set_fault_plan dev (Plan.make ~seed:1 ());
+  (* Corrupt the sealed kind field of the committed /bad inode. *)
+  Device.flip_bit dev ~off:(base + R.Inode.f_kind) ~bit:0;
+  let d2 = Device.of_image (Device.image_durable dev) in
+  let fs2 = ok (Sq.mount d2) in
+  let ms = Sq.Mount.last_stats () in
+  Alcotest.(check bool) "degraded" true ms.Sq.Mount.degraded;
+  Alcotest.(check int) "one inode quarantined" 1 ms.Sq.Mount.quarantined_inodes;
+  Alcotest.(check bool) "quarantine table has it" true
+    (Faults.Quarantine.mem_ino fs2.Sq.Fsctx.quar bad_ino);
+  (* EIO as a clean result, never an exception, via the VFS API. *)
+  (match Sq.stat fs2 "/bad" with
+  | Error Vfs.Errno.EIO -> ()
+  | Error e -> Alcotest.failf "stat /bad: %s, want EIO" (Vfs.Errno.to_string e)
+  | Ok _ -> Alcotest.fail "stat /bad succeeded on quarantined inode");
+  (match Sq.read fs2 "/bad" ~off:0 ~len:6 with
+  | Error Vfs.Errno.EIO -> ()
+  | Error e -> Alcotest.failf "read /bad: %s, want EIO" (Vfs.Errno.to_string e)
+  | Ok _ -> Alcotest.fail "read /bad succeeded on quarantined inode");
+  (match Sq.write fs2 "/bad" ~off:0 "nope" with
+  | Error Vfs.Errno.EIO -> ()
+  | Error e -> Alcotest.failf "write /bad: %s, want EIO" (Vfs.Errno.to_string e)
+  | Ok _ -> Alcotest.fail "write /bad succeeded on quarantined inode");
+  (match Sq.unlink fs2 "/bad" with
+  | Error Vfs.Errno.EIO -> ()
+  | Error e ->
+      Alcotest.failf "unlink /bad: %s, want EIO" (Vfs.Errno.to_string e)
+  | Ok _ -> Alcotest.fail "unlink /bad succeeded on quarantined inode");
+  (* The rest of the volume stays fully readable. *)
+  Alcotest.(check string) "intact file reads" "intact"
+    (ok (Sq.read fs2 "/good" ~off:0 ~len:6));
+  Alcotest.(check bool) "/ lists both names" true
+    (List.sort compare (ok (Sq.readdir fs2 "/")) = [ "bad"; "good" ]);
+  (* Degraded fsck accepts the quarantined volume. *)
+  Alcotest.(check (list string)) "fsck clean (degraded)" [] (Sq.Fsck.check fs2)
+
+(* A corrupt superblock is refused outright with EIO. *)
+let test_superblock_corruption_refuses_mount () =
+  let dev, _fs = mkfs_csum_mounted () in
+  Device.set_fault_plan dev (Plan.make ~seed:1 ());
+  Device.flip_bit dev ~off:8 ~bit:2;
+  (* geometry field: sealed *)
+  match Sq.mount (Device.of_image (Device.image_durable dev)) with
+  | Error Vfs.Errno.EIO -> ()
+  | Error e -> Alcotest.failf "mount: %s, want EIO" (Vfs.Errno.to_string e)
+  | Ok _ -> Alcotest.fail "mount of corrupt superblock succeeded"
+
+(* {1 Transient read errors} *)
+
+let test_read_errors_surface_as_eio () =
+  let dev, fs = mkfs_csum_mounted () in
+  ok (Sq.create fs "/f");
+  ignore (ok (Sq.write fs "/f" ~off:0 (String.make 4096 'q')) : int);
+  (* Rate 1.0: every bulk read faults, the data path's single retry also
+     faults, so reads must surface EIO — as a result, not an exception. *)
+  Device.set_fault_plan dev (Plan.make ~seed:3 ~read_error_rate:1.0 ());
+  (match Sq.read fs "/f" ~off:0 ~len:16 with
+  | Error Vfs.Errno.EIO -> ()
+  | Error e -> Alcotest.failf "read: %s, want EIO" (Vfs.Errno.to_string e)
+  | Ok _ -> Alcotest.fail "read succeeded under total read failure");
+  (* Metadata still works: stat goes through the fault-free meta path. *)
+  ignore (ok (Sq.stat fs "/f") : Vfs.Fs.stat);
+  Device.set_fault_plan dev Faults.none;
+  Alcotest.(check string) "recovers once faults clear" "qqqq"
+    (ok (Sq.read fs "/f" ~off:0 ~len:4))
+
+(* {1 Harness integration} *)
+
+(* Same seed => byte-identical report (including the fault counters). *)
+let test_harness_fault_run_deterministic () =
+  let plan = Plan.make ~seed:11 ~bit_flips:2 ~torn_line_rate:0.2 () in
+  let w =
+    Crashcheck.Workload.[ Create "/a"; Write ("/a", 0, "data"); Mkdir "/d" ]
+  in
+  let r1 = Crashcheck.Harness.run_workload ~faults:plan w in
+  let r2 = Crashcheck.Harness.run_workload ~faults:plan w in
+  Alcotest.(check bool) "identical reports" true (r1 = r2);
+  Alcotest.(check int) "no violations" 0
+    (List.length r1.Crashcheck.Harness.violations);
+  Alcotest.(check int) "both flips detected" 2
+    r1.Crashcheck.Harness.faults_detected;
+  Alcotest.(check int) "both flips EIO-checked" 2
+    r1.Crashcheck.Harness.eio_checks;
+  Alcotest.(check bool) "media images probed" true
+    (r1.Crashcheck.Harness.media_states > 0)
+
+(* The reinjected ordering bugs must still be caught when the volume
+   carries checksums (the fault plan makes the harness format csum). *)
+let test_buggy_still_caught_under_csum () =
+  let plan = Plan.make ~seed:5 () in
+  List.iter
+    (fun w ->
+      let r = Crashcheck.Harness.run_workload ~faults:plan w in
+      Alcotest.(check bool) "caught" true
+        (r.Crashcheck.Harness.violations <> []))
+    Crashcheck.Workload.
+      [
+        [ Mkdir "/d"; Buggy_create "/b" ];
+        [ Create "/a"; Write ("/a", 0, "xy"); Buggy_unlink "/a" ];
+      ]
+
+(* With faults disabled the harness must behave exactly as before the
+   subsystem existed: plain volume, zero fault counters. *)
+let test_harness_no_faults_zero_counters () =
+  let w = Crashcheck.Workload.[ Create "/a"; Mkdir "/d" ] in
+  let r = Crashcheck.Harness.run_workload w in
+  Alcotest.(check int) "no violations" 0
+    (List.length r.Crashcheck.Harness.violations);
+  Alcotest.(check int) "no media states" 0 r.Crashcheck.Harness.media_states;
+  Alcotest.(check int) "no injected" 0 r.Crashcheck.Harness.faults_injected;
+  Alcotest.(check int) "no detected" 0 r.Crashcheck.Harness.faults_detected;
+  Alcotest.(check int) "no eio checks" 0 r.Crashcheck.Harness.eio_checks
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_known;
+          Alcotest.test_case "bit sensitivity" `Quick
+            test_crc32_bit_sensitivity;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "seeded trace" `Quick test_trace_deterministic;
+          Alcotest.test_case "harness fault run" `Quick
+            test_harness_fault_run_deterministic;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "inode checksum" `Quick
+            test_inode_checksum_detects_all_flips;
+          Alcotest.test_case "scrub mutable fields" `Quick
+            test_scrub_catches_mutable_field_flip;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "quarantine + EIO" `Quick
+            test_degraded_mount_quarantine;
+          Alcotest.test_case "superblock refusal" `Quick
+            test_superblock_corruption_refuses_mount;
+          Alcotest.test_case "transient read EIO" `Quick
+            test_read_errors_surface_as_eio;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "buggy caught under csum" `Quick
+            test_buggy_still_caught_under_csum;
+          Alcotest.test_case "no faults, zero counters" `Quick
+            test_harness_no_faults_zero_counters;
+        ] );
+    ]
