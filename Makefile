@@ -1,15 +1,29 @@
-.PHONY: all build check test faultcheck-smoke crashcheck bench clean
+.PHONY: all build check test faultcheck-smoke fuzz-smoke crashcheck bench clean
 
 all: build
+
+# Tier-1 gate: full build plus the complete test suite, then the fuzzer
+# smoke matrix.
+check:
+	dune build && dune runtest
+	$(MAKE) fuzz-smoke
 
 build:
 	dune build
 
-# Tier-1 gate: full build plus the complete test suite.
-check:
-	dune build && dune runtest
-
 test: check
+
+# Small seed-matrix fuzzing run: a few clean seeds (any violation is an
+# SSU bug) plus one mutant-rediscovery run that must re-find every
+# Buggy_* variant with a <= 6-op shrunk reproducer.
+fuzz-smoke: build
+	@for s in 1 2 3; do \
+	  echo "== fuzz --seed $$s (clean) =="; \
+	  dune exec bin/fuzz.exe -- --seed $$s --iters 12 --op-budget 6 \
+	    --buggy-rate 0 || exit 2; \
+	done
+	@echo "== fuzz --expect-buggy =="
+	dune exec bin/fuzz.exe -- --seed 1 --iters 40 --op-budget 6 --expect-buggy
 
 # Fast end-to-end exercise of the media-fault pipeline: checksummed
 # volume, seeded bit flips, scrub, degraded remount, EIO checks.

@@ -577,6 +577,41 @@ let bechamel () =
       | Some [] | None -> Printf.printf "%-34s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* Crash-state fuzzer throughput (the Chipmunk role, §5.7): how fast the
+   differential oracle explores recovered crash states, in states per
+   simulated second (Optane latency model) and per wall second. *)
+let fuzz () =
+  section "Crash-state fuzzer: differential-oracle exploration throughput";
+  let t0 = Unix.gettimeofday () in
+  let cfg =
+    {
+      Fuzzer.default_cfg with
+      seed = 7;
+      iters = 12;
+      op_budget = 6;
+      buggy_rate = 0.;
+      latency = Some Pmem.Latency.optane;
+    }
+  in
+  let r = Fuzzer.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  let h = r.Fuzzer.r_harness in
+  Printf.printf
+    "sequences=%d ops=%d fences=%d crash-states=%d violations=%d \
+     capacity-divergences=%d\n"
+    r.Fuzzer.r_iters h.Crashcheck.Harness.ops_run h.Crashcheck.Harness.fences_probed
+    h.Crashcheck.Harness.crash_states
+    (List.length h.Crashcheck.Harness.violations)
+    r.Fuzzer.r_divergences;
+  Printf.printf "simulated time on fuzzed devices: %.3f ms\n"
+    (float_of_int r.Fuzzer.r_sim_ns /. 1e6);
+  (match Fuzzer.states_per_sim_sec r with
+  | Some s -> Printf.printf "crash states / simulated second:  %.0f\n" s
+  | None -> ());
+  Printf.printf "crash states / wall second:       %.0f (%.2f s wall)\n"
+    (float_of_int h.Crashcheck.Harness.crash_states /. wall)
+    wall
+
 let sections =
   [
     ("fig5a", fig5a);
@@ -592,6 +627,7 @@ let sections =
     ("mem", mem);
     ("ablate", ablate);
     ("faults", faults);
+    ("fuzz", fuzz);
     ("bechamel", bechamel);
   ]
 

@@ -1,0 +1,138 @@
+(* fuzz: the Chipmunk-style crash-state fuzzer.
+
+     fuzz --seed 1 --iters 200                 -- fuzz, shrink any failures
+     fuzz --seed 1 --iters 60 --expect-buggy   -- must re-find all Buggy_*
+     fuzz --buggy-rate 0 --iters 50            -- clean fuzzing: must be quiet
+     fuzz --replay "create /a; buggy-write /a 64"
+                                               -- re-run a shrunk reproducer *)
+
+open Cmdliner
+
+let latency_of optane = if optane then Some Pmem.Latency.optane else None
+
+let replay_cmd line images device_kib optane =
+  match Fuzzer.Repro.of_cli line with
+  | Error msg ->
+      prerr_endline ("replay: " ^ msg);
+      exit 1
+  | Ok ops -> (
+      let res =
+        Fuzzer.Exec.run ~device_size:(device_kib * 1024) ~max_images_per_fence:images
+          ?latency:(latency_of optane) ops
+      in
+      Format.printf "%a@." Crashcheck.Harness.pp_report res.Fuzzer.Exec.o_report;
+      match res.Fuzzer.Exec.o_fail with
+      | Some (cp, detail) ->
+          Printf.printf "FAIL at op %d / fence %d / image %d: %s\n" cp.Fuzzer.Exec.cp_op
+            cp.Fuzzer.Exec.cp_fence cp.Fuzzer.Exec.cp_image detail;
+          exit 2
+      | None ->
+          print_endline "clean";
+          exit 0)
+
+let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_shrink
+    replay expect_buggy =
+  match replay with
+  | Some line -> replay_cmd line images device_kib optane
+  | None ->
+      let faults =
+        if torn > 0. || stuck > 0. then
+          Faults.Plan.make ~seed ~torn_line_rate:torn ~stuck_line_rate:stuck ()
+        else Faults.none
+      in
+      let cfg =
+        {
+          Fuzzer.default_cfg with
+          seed;
+          iters;
+          op_budget;
+          buggy_rate;
+          max_images = images;
+          device_size = device_kib * 1024;
+          faults;
+          latency = latency_of optane;
+          shrink = not no_shrink;
+        }
+      in
+      let r = Fuzzer.run cfg in
+      Format.printf "%a@." Fuzzer.pp_report r;
+      if expect_buggy then begin
+        (* acceptance: every mutant re-discovered, every reproducer small *)
+        let kinds = Fuzzer.kinds_found r in
+        let ok = ref true in
+        List.iter
+          (fun k ->
+            let hit = List.mem k kinds in
+            if not hit then ok := false;
+            Printf.printf "re-discovered buggy-%s: %s\n" (Fuzzer.buggy_kind_name k)
+              (if hit then "yes" else "NO"))
+          Fuzzer.all_buggy_kinds;
+        List.iter
+          (fun f ->
+            if List.length f.Fuzzer.fd_min > 6 then begin
+              ok := false;
+              Printf.printf "reproducer of %d ops exceeds the 6-op bound\n"
+                (List.length f.Fuzzer.fd_min)
+            end)
+          r.Fuzzer.r_found;
+        exit (if !ok then 0 else 2)
+      end
+      else if buggy_rate = 0. then
+        (* clean fuzzing: any violation is an SSU bug in the real code *)
+        exit (if r.Fuzzer.r_harness.Crashcheck.Harness.violations = [] then 0 else 2)
+      else exit 0
+
+let () =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed") in
+  let iters =
+    Arg.(value & opt int 50 & info [ "iters" ] ~docv:"N" ~doc:"Sequences to generate")
+  in
+  let op_budget =
+    Arg.(value & opt int 8 & info [ "op-budget" ] ~docv:"N" ~doc:"Ops per sequence")
+  in
+  let images =
+    Arg.(value & opt int 8 & info [ "images" ] ~doc:"Max crash images per fence")
+  in
+  let buggy_rate =
+    Arg.(
+      value
+      & opt float 0.15
+      & info [ "buggy-rate" ] ~docv:"P"
+          ~doc:"Probability an op slot emits a mis-ordered Buggy_* mutant")
+  in
+  let device_kib =
+    Arg.(value & opt int 256 & info [ "device-kib" ] ~doc:"Device size in KiB")
+  in
+  let torn =
+    Arg.(
+      value & opt float 0. & info [ "torn" ] ~docv:"P" ~doc:"Torn-line rate (media images)")
+  in
+  let stuck =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "stuck" ] ~docv:"P" ~doc:"Stuck-line rate (media images)")
+  in
+  let optane =
+    Arg.(value & flag & info [ "optane" ] ~doc:"Charge Optane-like simulated latency")
+  in
+  let no_shrink = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip shrinking") in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"OPS" ~doc:"Replay a semicolon-separated reproducer")
+  in
+  let expect_buggy =
+    Arg.(
+      value & flag
+      & info [ "expect-buggy" ]
+          ~doc:"Fail unless all Buggy_* mutants are re-discovered with <= 6-op reproducers")
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "fuzz" ~doc:"Crash-state fuzzing of SquirrelFS with a differential oracle")
+          Term.(
+            const run $ seed $ iters $ op_budget $ images $ buggy_rate $ device_kib
+            $ torn $ stuck $ optane $ no_shrink $ replay $ expect_buggy)))

@@ -1,0 +1,172 @@
+(* Top-level fuzzing loop: generate → execute → (on failure) shrink →
+   emit reproducer. Every iteration reseeds its own [Random.State] from
+   (seed, iteration), and nothing in the library reads the wall clock, so
+   a (cfg) value fully determines the report. *)
+
+module W = Crashcheck.Workload
+module H = Crashcheck.Harness
+
+type cfg = {
+  seed : int;
+  iters : int;
+  op_budget : int;
+  buggy_rate : float;  (** probability an op slot emits a [Buggy_*] mutant *)
+  max_images : int;
+  media_images : int;
+  device_size : int;
+  faults : Faults.Plan.t;
+  latency : Pmem.Latency.t option;
+  shrink : bool;
+}
+
+let default_cfg =
+  {
+    seed = 1;
+    iters = 50;
+    op_budget = 8;
+    buggy_rate = 0.15;
+    max_images = 8;
+    media_images = 4;
+    device_size = 256 * 1024;
+    faults = Faults.none;
+    latency = None;
+    shrink = true;
+  }
+
+type found = {
+  fd_iter : int;
+  fd_ops : W.op list;  (** original failing sequence *)
+  fd_min : W.op list;  (** shrunk reproducer *)
+  fd_crash : Exec.crash_point;  (** crash point in the shrunk sequence *)
+  fd_detail : string;
+  fd_shrink_runs : int;
+}
+
+type report = {
+  r_seed : int;
+  r_iters : int;
+  r_op_budget : int;
+  r_harness : H.report;  (** merged across all executions of the loop *)
+  r_divergences : int;
+  r_shrink_runs : int;
+  r_sim_ns : int;
+  r_found : found list;
+}
+
+let exec cfg ops =
+  Exec.run ~device_size:cfg.device_size ~max_images_per_fence:cfg.max_images
+    ~media_images_per_fence:cfg.media_images ~faults:cfg.faults ?latency:cfg.latency
+    ops
+
+let run ?progress cfg =
+  let harness = ref H.empty in
+  let divergences = ref 0 and sim_ns = ref 0 and shrink_runs = ref 0 in
+  let found = ref [] in
+  let account (o : Exec.outcome) =
+    harness := H.merge !harness o.Exec.o_report;
+    divergences := !divergences + o.Exec.o_divergences;
+    sim_ns := !sim_ns + o.Exec.o_sim_ns
+  in
+  (* shrinker re-executions accounted like any other run *)
+  let exec_acc ops =
+    let o = exec cfg ops in
+    account o;
+    o
+  in
+  for iter = 0 to cfg.iters - 1 do
+    (match progress with Some f -> f iter cfg.iters | None -> ());
+    let rng = Random.State.make [| 0x5EED; cfg.seed; iter |] in
+    let ops = Gen.sequence rng { Gen.op_budget = cfg.op_budget; buggy_rate = cfg.buggy_rate } in
+    let res = exec_acc ops in
+    match res.Exec.o_fail with
+    | None -> ()
+    | Some (cp, detail) ->
+        let min_ops, det, mcp, sruns =
+          if not cfg.shrink then (ops, detail, cp, 0)
+          else begin
+            (* ops after the crash point cannot contribute: start from the
+               failing prefix if it still fails on its own *)
+            let runs = ref 0 in
+            let fails l =
+              incr runs;
+              (exec_acc l).Exec.o_fail <> None
+            in
+            let prefix = List.filteri (fun i _ -> i <= cp.Exec.cp_op) ops in
+            let start = if fails prefix then prefix else ops in
+            let m, _ = Shrink.minimize ~fails start in
+            match (exec_acc m).Exec.o_fail with
+            | Some (mcp, mdet) -> (m, mdet, mcp, !runs + 1)
+            | None -> (start, detail, cp, !runs + 1)
+          end
+        in
+        shrink_runs := !shrink_runs + sruns;
+        found :=
+          {
+            fd_iter = iter;
+            fd_ops = ops;
+            fd_min = min_ops;
+            fd_crash = mcp;
+            fd_detail = det;
+            fd_shrink_runs = sruns;
+          }
+          :: !found
+  done;
+  {
+    r_seed = cfg.seed;
+    r_iters = cfg.iters;
+    r_op_budget = cfg.op_budget;
+    r_harness = !harness;
+    r_divergences = !divergences;
+    r_shrink_runs = !shrink_runs;
+    r_sim_ns = !sim_ns;
+    r_found = List.rev !found;
+  }
+
+(* {2 Buggy-mutant accounting: the fuzzer's own acceptance test} *)
+
+type buggy_kind = [ `Create | `Unlink | `Write ]
+
+let buggy_kind_name = function
+  | `Create -> "create"
+  | `Unlink -> "unlink"
+  | `Write -> "write"
+
+let all_buggy_kinds : buggy_kind list = [ `Create; `Unlink; `Write ]
+
+let buggy_kind_of_op : W.op -> buggy_kind option = function
+  | W.Buggy_create _ -> Some `Create
+  | W.Buggy_unlink _ -> Some `Unlink
+  | W.Buggy_write _ -> Some `Write
+  | _ -> None
+
+(* Kinds are read off the *shrunk* reproducers: a buggy op the shrinker
+   could remove would mean the violation did not come from it. *)
+let kinds_found r =
+  List.sort_uniq compare
+    (List.concat_map (fun f -> List.filter_map buggy_kind_of_op f.fd_min) r.r_found)
+
+let states_per_sim_sec r =
+  if r.r_sim_ns = 0 then None
+  else Some (float_of_int r.r_harness.H.crash_states *. 1e9 /. float_of_int r.r_sim_ns)
+
+let pp_report ppf r =
+  Format.fprintf ppf "fuzz: seed=%d iters=%d op-budget=%d@.%a@."
+    r.r_seed r.r_iters r.r_op_budget H.pp_report r.r_harness;
+  Format.fprintf ppf "capacity-divergences=%d shrink-runs=%d sim-time=%.3f ms"
+    r.r_divergences r.r_shrink_runs
+    (float_of_int r.r_sim_ns /. 1e6);
+  (match states_per_sim_sec r with
+  | Some s -> Format.fprintf ppf " crash-states/sim-sec=%.0f" s
+  | None -> ());
+  List.iter
+    (fun f ->
+      Format.fprintf ppf
+        "@.FOUND (iter %d, %d ops shrunk to %d, crash at op %d / fence %d / \
+         image %d, %d shrink runs):@.  detail: %s@.  ops:%a@.  ocaml: %s@.  \
+         cli:   --replay \"%s\""
+        f.fd_iter (List.length f.fd_ops) (List.length f.fd_min) f.fd_crash.Exec.cp_op
+        f.fd_crash.Exec.cp_fence f.fd_crash.Exec.cp_image f.fd_shrink_runs f.fd_detail
+        W.pp f.fd_min (Repro.to_ocaml f.fd_min) (Repro.to_cli f.fd_min))
+    r.r_found
+
+let report_to_string r = Format.asprintf "%a" pp_report r

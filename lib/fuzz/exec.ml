@@ -1,0 +1,256 @@
+(* Differential crash-state executor.
+
+   One sequence, two file systems: SquirrelFS on a simulated PM device and
+   the in-memory reference model, op by op. Before each op the pair of
+   legal logical states is fixed (model before / model after); a fence
+   hook enumerates crash images at every persist point, remounts each one
+   (running recovery), re-checks it with [Fsck], and requires the
+   recovered tree to be one of the two — SquirrelFS metadata ops are
+   synchronous and crash-atomic, so anything else is an SSU ordering bug.
+   Op return values are compared too (same errno, same success), and the
+   final durable state must equal the final model state exactly.
+
+   The model has no capacity limits, so a SquirrelFS [ENOSPC]/[EMLINK]
+   against a model success is benign: the model is rolled back and the
+   event counted as a divergence, not a violation. *)
+
+module Device = Pmem.Device
+module Sq = Squirrelfs
+module W = Crashcheck.Workload
+module H = Crashcheck.Harness
+module Logical = Vfs.Logical
+module Errno = Vfs.Errno
+
+type crash_point = { cp_op : int; cp_fence : int; cp_image : int }
+
+type outcome = {
+  o_report : H.report;
+  o_fail : (crash_point * string) option;
+  o_divergences : int;
+  o_sim_ns : int;
+}
+
+exception Abort
+
+let root_level p =
+  match Vfs.Path.split p with Ok [ name ] -> Some name | Ok _ | Error _ -> None
+
+let unit_r = function Ok _ -> Ok () | Error e -> Error e
+
+(* Apply one op to the live SquirrelFS. The Buggy_* variants run the raw
+   mis-ordered store sequences from [Crashcheck.Buggy], guarded so their
+   preconditions failing surfaces as the same clean errno the reference
+   model computes (the raw variants [failwith] otherwise); capacity
+   exhaustion inside a raw variant surfaces as [ENOSPC]. The guards only
+   understand root-level paths — all the generator emits. *)
+let apply_sq (ctx : Sq.Fsctx.t) (op : W.op) : (unit, Errno.t) result =
+  match op with
+  | W.Create p -> Sq.create ctx p
+  | W.Mkdir p -> Sq.mkdir ctx p
+  | W.Unlink p -> Sq.unlink ctx p
+  | W.Rmdir p -> Sq.rmdir ctx p
+  | W.Rename (a, b) -> Sq.rename ctx a b
+  | W.Link (a, b) -> Sq.link ctx a b
+  | W.Symlink (target, p) -> Sq.symlink ctx target p
+  | W.Write (p, off, d) -> unit_r (Sq.write ctx p ~off d)
+  | W.Truncate (p, n) -> Sq.truncate ctx p n
+  | W.Write_atomic (p, off, d) -> (
+      match Sq.stat ctx p with
+      | Error e -> Error e
+      | Ok st -> (
+          match st.Vfs.Fs.kind with
+          | Vfs.Fs.Dir -> Error Errno.EISDIR
+          | Vfs.Fs.Symlink -> Error Errno.EINVAL
+          | Vfs.Fs.File -> unit_r (Sq.Ops.write_atomic ctx ~ino:st.Vfs.Fs.ino ~off d)))
+  | W.Buggy_create p -> (
+      match root_level p with
+      | None -> Error Errno.EINVAL
+      | Some name -> (
+          match Sq.stat ctx p with
+          | Ok _ -> Error Errno.EEXIST
+          | Error Errno.ENOENT -> (
+              match Crashcheck.Buggy.create ctx ~dir:Layout.Geometry.root_ino ~name with
+              | () -> Ok ()
+              | exception Failure _ -> Error Errno.ENOSPC)
+          | Error e -> Error e))
+  | W.Buggy_unlink p -> (
+      match root_level p with
+      | None -> Error Errno.EINVAL
+      | Some name -> (
+          match Sq.stat ctx p with
+          | Error e -> Error e
+          | Ok st when st.Vfs.Fs.kind = Vfs.Fs.Dir -> Error Errno.EISDIR
+          | Ok _ -> (
+              match Crashcheck.Buggy.unlink ctx ~dir:Layout.Geometry.root_ino ~name with
+              | () -> Ok ()
+              | exception Failure _ -> Error Errno.ENOSPC)))
+  | W.Buggy_write (p, d) -> (
+      match Sq.stat ctx p with
+      | Error e -> Error e
+      | Ok st -> (
+          match st.Vfs.Fs.kind with
+          | Vfs.Fs.Dir -> Error Errno.EISDIR
+          | Vfs.Fs.Symlink -> Error Errno.EINVAL
+          | Vfs.Fs.File ->
+              if String.length d = 0 || String.length d > Layout.Geometry.page_size then
+                Error Errno.EINVAL
+              else (
+                match Crashcheck.Buggy.write_append ctx ~ino:st.Vfs.Fs.ino d with
+                | () -> Ok ()
+                | exception Failure _ -> Error Errno.ENOSPC)))
+
+let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
+    ?(media_images_per_fence = 4) ?(faults = Faults.none) ?latency ops =
+  let faulty = not (Faults.is_none faults) in
+  let media =
+    faulty
+    && (faults.Faults.Plan.torn_line_rate > 0. || faults.Faults.Plan.stuck_line_rate > 0.)
+  in
+  let csum = faulty in
+  let n = List.length ops in
+  let opsa = Array.of_list ops in
+  let dev = Device.create ?latency ~size:device_size () in
+  Sq.Mount.mkfs ~csum dev;
+  let fs =
+    match Sq.mount dev with
+    | Ok fs -> fs
+    | Error e -> failwith ("Fuzzer.Exec.run: mount: " ^ Errno.to_string e)
+  in
+  if faulty then Device.set_fault_plan dev faults;
+  let cur_op = ref 0 and cur_fence = ref 0 in
+  let fences = ref 0 and states = ref 0 and media_states = ref 0 in
+  let ops_run = ref 0 and divergences = ref 0 in
+  let legal = ref [ Ref_fs.capture Ref_fs.empty ] in
+  let fail = ref None in
+  let violations = ref [] in
+  let violate ~image detail =
+    let cp = { cp_op = !cur_op; cp_fence = !cur_fence; cp_image = image } in
+    fail := Some (cp, detail);
+    violations :=
+      {
+        H.v_op_index = !cur_op;
+        v_op = (if !cur_op < n then Some opsa.(!cur_op) else None);
+        v_detail = detail;
+      }
+      :: !violations;
+    (* first violation wins: the crash point it pins down is what the
+       shrinker minimizes, so stop exploring this sequence *)
+    raise Abort
+  in
+  let check_image ~image img =
+    incr states;
+    let d2 = Device.of_image img in
+    (match Layout.Records.Superblock.read d2 with
+    | None -> violate ~image "crash image has no superblock"
+    | Some sb -> (
+        match Sq.Fsck.check_raw d2 sb.Layout.Records.Superblock.geometry with
+        | [] -> ()
+        | errs -> violate ~image ("raw invariants: " ^ String.concat " | " errs)));
+    match Sq.mount d2 with
+    | Error e -> violate ~image ("crash image fails to mount: " ^ Errno.to_string e)
+    | Ok fs2 -> (
+        if csum && (Sq.Mount.last_stats ()).Sq.Mount.degraded then
+          violate ~image
+            "media quarantine on a pure crash image (committed record without \
+             a valid checksum)";
+        (match Sq.Fsck.check fs2 with
+        | [] -> ()
+        | errs -> violate ~image ("fsck: " ^ String.concat " | " errs));
+        match Logical.capture (module Squirrelfs) fs2 with
+        | exception Failure msg -> violate ~image ("capture: " ^ msg)
+        | got ->
+            if not (List.exists (fun st -> Logical.equal ~compare_data:false got st) !legal)
+            then
+              violate ~image
+                (Format.asprintf
+                   "recovered state is not prefix-consistent with the \
+                    reference model; got %a"
+                   Logical.pp got))
+  in
+  (* Torn/stuck crash images are not legal SSU states; the contract is
+     graceful handling only (same as the crash harness). *)
+  let check_media_image ~image img =
+    incr media_states;
+    let d2 = Device.of_image img in
+    match Sq.mount d2 with
+    | exception e ->
+        violate ~image ("media crash image: mount raised " ^ Printexc.to_string e)
+    | Error _ -> ()
+    | Ok fs2 -> (
+        match Sq.Fsck.check fs2 with
+        | _ -> ()
+        | exception e ->
+            violate ~image ("media crash image: fsck raised " ^ Printexc.to_string e))
+  in
+  let probe d =
+    incr cur_fence;
+    incr fences;
+    List.iteri (fun i img -> check_image ~image:i img)
+      (Device.crash_images ~max_images:max_images_per_fence d);
+    if media then
+      List.iteri (fun i img -> check_media_image ~image:i img)
+        (Device.crash_images_faulty ~max_images:media_images_per_fence d)
+  in
+  (try
+     Device.set_fence_hook dev (Some probe);
+     let model = ref Ref_fs.empty in
+     let cap_prev = ref (Ref_fs.capture Ref_fs.empty) in
+     for i = 0 to n - 1 do
+       cur_op := i;
+       let m_next, m_res = Ref_fs.apply !model opsa.(i) in
+       let cap_next = if m_res = Ok () then Ref_fs.capture m_next else !cap_prev in
+       (* fixed before apply_sq: the fence hook fires inside it *)
+       legal := if m_res = Ok () then [ !cap_prev; cap_next ] else [ !cap_prev ];
+       let sq_res = apply_sq fs opsa.(i) in
+       incr ops_run;
+       match (sq_res, m_res) with
+       | Ok (), Ok () ->
+           model := m_next;
+           cap_prev := cap_next
+       | Error a, Error b when a = b -> ()
+       | Error (Errno.ENOSPC | Errno.EMLINK), Ok () ->
+           (* capacity divergence: roll the model back, keep going *)
+           incr divergences
+       | Ok (), Error b ->
+           violate ~image:(-1)
+             (Printf.sprintf "differential: squirrelfs succeeded, model says %s"
+                (Errno.to_string b))
+       | Error a, Ok () ->
+           violate ~image:(-1)
+             (Printf.sprintf "differential: squirrelfs says %s, model succeeded"
+                (Errno.to_string a))
+       | Error a, Error b ->
+           violate ~image:(-1)
+             (Printf.sprintf "differential: squirrelfs says %s, model says %s"
+                (Errno.to_string a) (Errno.to_string b))
+     done;
+     cur_op := n;
+     legal := [ !cap_prev ];
+     (* final durable state must equal the final model state exactly *)
+     probe dev;
+     Device.set_fence_hook dev None;
+     match Sq.Fsck.check fs with
+     | [] -> ()
+     | errs -> violate ~image:(-1) ("live fsck after sequence: " ^ String.concat " | " errs)
+   with Abort -> Device.set_fence_hook dev None);
+  let dstats = Device.stats dev in
+  {
+    o_report =
+      {
+        H.workloads = 1;
+        ops_run = !ops_run;
+        fences_probed = !fences;
+        crash_states = !states;
+        media_states = !media_states;
+        faults_injected =
+          dstats.Pmem.Stats.bitflips + dstats.Pmem.Stats.torn_lines
+          + dstats.Pmem.Stats.stuck_lines + dstats.Pmem.Stats.read_faults;
+        faults_detected = 0;
+        faults_quarantined = 0;
+        eio_checks = 0;
+        violations = List.rev !violations;
+      };
+    o_fail = !fail;
+    o_divergences = !divergences;
+    o_sim_ns = Device.now_ns dev;
+  }

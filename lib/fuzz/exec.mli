@@ -1,0 +1,44 @@
+(** Differential crash-state executor: one op sequence run against
+    SquirrelFS on a simulated PM device and against {!Ref_fs}
+    simultaneously, with crash-image enumeration + remount + [Fsck] +
+    prefix-consistency checking at every persist point. *)
+
+type crash_point = {
+  cp_op : int;  (** index of the op being executed when the check failed *)
+  cp_fence : int;  (** 1-based global fence count at the failing probe *)
+  cp_image : int;  (** index within that fence's enumerated images; -1 for
+                       failures not tied to a crash image (differential
+                       return-value mismatches, live-fsck failures) *)
+}
+
+type outcome = {
+  o_report : Crashcheck.Harness.report;
+      (** one-workload report, mergeable with crash-harness reports *)
+  o_fail : (crash_point * string) option;
+      (** first violation, if any: the executor stops at the first *)
+  o_divergences : int;
+      (** benign capacity divergences (SquirrelFS [ENOSPC]/[EMLINK] where
+          the unlimited model succeeded; the model is rolled back) *)
+  o_sim_ns : int;  (** simulated ns consumed on the main device *)
+}
+
+val apply_sq : Squirrelfs.Fsctx.t -> Crashcheck.Workload.op -> (unit, Vfs.Errno.t) result
+(** Apply one op to a live SquirrelFS, [Buggy_*] variants included (guarded
+    so failed preconditions return the model's errno instead of raising;
+    the guards understand root-level paths, which is all the generator
+    emits). *)
+
+val run :
+  ?device_size:int ->
+  ?max_images_per_fence:int ->
+  ?media_images_per_fence:int ->
+  ?faults:Faults.Plan.t ->
+  ?latency:Pmem.Latency.t ->
+  Crashcheck.Workload.op list ->
+  outcome
+(** Defaults: 256 KiB device, 8 crash images per fence, 4 media images
+    per fence, [Faults.none], zero latency. With a non-trivial [?faults]
+    plan the volume is formatted [~csum:true], the plan is installed, and
+    torn/stuck media images (from [crash_images_faulty]) get the
+    graceful-handling check on top of the pure crash images. Fully
+    deterministic for fixed arguments. *)

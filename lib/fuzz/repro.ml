@@ -1,0 +1,98 @@
+(* Replayable reproducer emission: a failing (shrunk) sequence is printed
+   both as an OCaml value (paste into a test) and as a CLI line for
+   [bin/fuzz.exe --replay]. Data payloads are emitted as length + filler
+   byte — the crash oracle never compares contents, so the replay is
+   behaviourally identical. *)
+
+module W = Crashcheck.Workload
+
+let fill n = String.make n 'z'
+
+let op_to_cli = function
+  | W.Create p -> Printf.sprintf "create %s" p
+  | W.Mkdir p -> Printf.sprintf "mkdir %s" p
+  | W.Unlink p -> Printf.sprintf "unlink %s" p
+  | W.Rmdir p -> Printf.sprintf "rmdir %s" p
+  | W.Rename (a, b) -> Printf.sprintf "rename %s %s" a b
+  | W.Link (a, b) -> Printf.sprintf "link %s %s" a b
+  | W.Symlink (t, p) -> Printf.sprintf "symlink %s %s" t p
+  | W.Write (p, off, d) -> Printf.sprintf "write %s %d %d" p off (String.length d)
+  | W.Write_atomic (p, off, d) ->
+      Printf.sprintf "write-atomic %s %d %d" p off (String.length d)
+  | W.Truncate (p, n) -> Printf.sprintf "truncate %s %d" p n
+  | W.Buggy_create p -> Printf.sprintf "buggy-create %s" p
+  | W.Buggy_unlink p -> Printf.sprintf "buggy-unlink %s" p
+  | W.Buggy_write (p, d) -> Printf.sprintf "buggy-write %s %d" p (String.length d)
+
+let to_cli ops = String.concat "; " (List.map op_to_cli ops)
+
+let op_to_ocaml = function
+  | W.Create p -> Printf.sprintf "Create %S" p
+  | W.Mkdir p -> Printf.sprintf "Mkdir %S" p
+  | W.Unlink p -> Printf.sprintf "Unlink %S" p
+  | W.Rmdir p -> Printf.sprintf "Rmdir %S" p
+  | W.Rename (a, b) -> Printf.sprintf "Rename (%S, %S)" a b
+  | W.Link (a, b) -> Printf.sprintf "Link (%S, %S)" a b
+  | W.Symlink (t, p) -> Printf.sprintf "Symlink (%S, %S)" t p
+  | W.Write (p, off, d) ->
+      Printf.sprintf "Write (%S, %d, String.make %d 'z')" p off (String.length d)
+  | W.Write_atomic (p, off, d) ->
+      Printf.sprintf "Write_atomic (%S, %d, String.make %d 'z')" p off (String.length d)
+  | W.Truncate (p, n) -> Printf.sprintf "Truncate (%S, %d)" p n
+  | W.Buggy_create p -> Printf.sprintf "Buggy_create %S" p
+  | W.Buggy_unlink p -> Printf.sprintf "Buggy_unlink %S" p
+  | W.Buggy_write (p, d) ->
+      Printf.sprintf "Buggy_write (%S, String.make %d 'z')" p (String.length d)
+
+let to_ocaml ops =
+  "Crashcheck.Workload.[ " ^ String.concat "; " (List.map op_to_ocaml ops) ^ " ]"
+
+let op_of_tokens toks =
+  let int s = int_of_string_opt s in
+  match toks with
+  | [ "create"; p ] -> Ok (W.Create p)
+  | [ "mkdir"; p ] -> Ok (W.Mkdir p)
+  | [ "unlink"; p ] -> Ok (W.Unlink p)
+  | [ "rmdir"; p ] -> Ok (W.Rmdir p)
+  | [ "rename"; a; b ] -> Ok (W.Rename (a, b))
+  | [ "link"; a; b ] -> Ok (W.Link (a, b))
+  | [ "symlink"; t; p ] -> Ok (W.Symlink (t, p))
+  | [ "write"; p; off; len ] -> (
+      match (int off, int len) with
+      | Some off, Some len when len >= 0 -> Ok (W.Write (p, off, fill len))
+      | _ -> Error "write: expected integer offset and length")
+  | [ "write-atomic"; p; off; len ] -> (
+      match (int off, int len) with
+      | Some off, Some len when len >= 0 -> Ok (W.Write_atomic (p, off, fill len))
+      | _ -> Error "write-atomic: expected integer offset and length")
+  | [ "truncate"; p; n ] -> (
+      match int n with
+      | Some n -> Ok (W.Truncate (p, n))
+      | None -> Error "truncate: expected integer length")
+  | [ "buggy-create"; p ] -> Ok (W.Buggy_create p)
+  | [ "buggy-unlink"; p ] -> Ok (W.Buggy_unlink p)
+  | [ "buggy-write"; p; len ] -> (
+      match int len with
+      | Some len when len >= 0 -> Ok (W.Buggy_write (p, fill len))
+      | _ -> Error "buggy-write: expected integer length")
+  | tok :: _ -> Error ("unknown or malformed op: " ^ tok)
+  | [] -> Error "empty op"
+
+let of_cli s =
+  let stmts =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  List.fold_left
+    (fun acc stmt ->
+      match acc with
+      | Error _ as e -> e
+      | Ok ops -> (
+          let toks =
+            String.split_on_char ' ' stmt |> List.filter (fun x -> x <> "")
+          in
+          match op_of_tokens toks with
+          | Ok op -> Ok (op :: ops)
+          | Error e -> Error (Printf.sprintf "%S: %s" stmt e)))
+    (Ok []) stmts
+  |> Result.map List.rev

@@ -1,0 +1,313 @@
+(* Tests for the crash-state fuzzer (lib/fuzz): reference-model semantics,
+   executor oracle behaviour, mutant re-discovery with shrinking, repro
+   round-trips, and the determinism regression the crash enumerator's
+   seeded-PRNG invariant depends on. *)
+
+module W = Crashcheck.Workload
+module F = Fuzzer
+
+let run ops = F.Exec.run ops
+
+let check_clean name ops =
+  let o = run ops in
+  match o.F.Exec.o_fail with
+  | None -> ()
+  | Some (cp, detail) ->
+      Alcotest.failf "%s: unexpected violation at op %d: %s" name cp.F.Exec.cp_op detail
+
+let check_fails name ops =
+  let o = run ops in
+  if o.F.Exec.o_fail = None then Alcotest.failf "%s: expected a violation" name
+
+(* {1 Reference model} *)
+
+(* The model's capture must canonicalize exactly like Vfs.Logical.capture:
+   build the same tree on a real SquirrelFS and compare snapshots. *)
+let test_model_capture_matches_squirrelfs () =
+  let ops =
+    W.
+      [
+        Mkdir "/d";
+        Mkdir "/d/sub";
+        Create "/d/f";
+        Create "/a";
+        Write ("/a", 0, String.make 5000 'q');
+        Link ("/a", "/d/hard");
+        Symlink ("/d/f", "/s");
+        Rename ("/d/f", "/b");
+        Truncate ("/a", 100);
+        Unlink ("/d/hard");
+      ]
+  in
+  let dev = Pmem.Device.create ~size:(512 * 1024) () in
+  Squirrelfs.mkfs dev;
+  let fs =
+    match Squirrelfs.mount dev with
+    | Ok fs -> fs
+    | Error e -> Alcotest.failf "mount: %s" (Vfs.Errno.to_string e)
+  in
+  let model = ref F.Ref_fs.empty in
+  List.iter
+    (fun op ->
+      let m, r1 = F.Ref_fs.apply !model op in
+      let r2 = F.Exec.apply_sq fs op in
+      if r1 <> r2 then
+        Alcotest.failf "outcome mismatch on %s: model %s, squirrelfs %s"
+          (Format.asprintf "%a" W.pp_op op)
+          (match r1 with Ok () -> "ok" | Error e -> Vfs.Errno.to_string e)
+          (match r2 with Ok () -> "ok" | Error e -> Vfs.Errno.to_string e);
+      model := m)
+    ops;
+  let got = Vfs.Logical.capture (module Squirrelfs) fs in
+  let want = F.Ref_fs.capture !model in
+  if not (Vfs.Logical.equal ~compare_data:true got want) then
+    Alcotest.failf "snapshots differ:@.squirrelfs %a@.model %a" Vfs.Logical.pp got
+      Vfs.Logical.pp want
+
+(* Errno parity on a sample of error paths (precedence order included). *)
+let test_model_errno_parity () =
+  let cases =
+    W.
+      [
+        Unlink "/missing";
+        Rmdir "/";
+        Create "/nodir/f";
+        Write ("/missing", 0, "x");
+        Mkdir "/d";
+        Create "/d";
+        Unlink "/d";
+        Create "/f";
+        Mkdir "/f/sub";
+        Rename ("/d", "/d2");
+        Mkdir "/d2/in";
+        Rename ("/d2", "/d2/in/deeper");
+        Link ("/d2", "/ln");
+        Rename ("/f", "/d2");
+        Truncate ("/d2", 0);
+        Symlink ("/f", "/s");
+        Write ("/s", 0, "x");
+        Rename ("/missing", "/f");
+        Create (String.concat "" [ "/"; String.make 200 'n' ]);
+      ]
+  in
+  check_clean "errno parity (differential check inside the executor)" cases
+
+(* {1 Executor oracle} *)
+
+let test_clean_sequences_pass () =
+  check_clean "rename chains"
+    W.
+      [
+        Mkdir "/d";
+        Create "/d/a";
+        Write ("/d/a", 0, String.make 3000 'x');
+        Rename ("/d/a", "/b");
+        Create "/d/a";
+        Rename ("/d/a", "/b");
+        Rename ("/b", "/d/c");
+        Unlink ("/d/c");
+        Rmdir "/d";
+      ]
+
+let test_buggy_create_fails () = check_fails "buggy create" W.[ Mkdir "/d"; Buggy_create "/x" ]
+
+let test_buggy_unlink_fails () =
+  check_fails "buggy unlink" W.[ Create "/a"; Buggy_unlink "/a" ]
+
+let test_buggy_write_fails () =
+  check_fails "buggy write" W.[ Create "/a"; Buggy_write ("/a", "z") ]
+
+(* Capacity exhaustion is a divergence, never a violation: the model has
+   no limits, SquirrelFS reports clean ENOSPC, both keep going. *)
+let test_enospc_is_divergence_not_violation () =
+  (* 128 KiB volume holds ~29 data pages: the first 96 KiB write fits,
+     the second cannot *)
+  let big = String.make (96 * 1024) 'x' in
+  let o =
+    F.Exec.run ~device_size:(128 * 1024)
+      W.[ Create "/a"; Write ("/a", 0, big); Write ("/a", 96 * 1024, big); Create "/b" ]
+  in
+  (match o.F.Exec.o_fail with
+  | None -> ()
+  | Some (_, d) -> Alcotest.failf "unexpected violation: %s" d);
+  Alcotest.(check bool) "diverged at least once" true (o.F.Exec.o_divergences >= 1)
+
+(* {1 Shrinking} *)
+
+let test_shrinker_minimizes () =
+  let noise =
+    W.
+      [
+        Mkdir "/d";
+        Create "/d/f";
+        Write ("/d/f", 0, String.make 2000 'x');
+        Create "/a";
+        Rename ("/a", "/b");
+        Buggy_unlink "/b";
+        Create "/c";
+      ]
+  in
+  let fails ops = (run ops).F.Exec.o_fail <> None in
+  Alcotest.(check bool) "original fails" true (fails noise);
+  let min_ops, runs = F.Shrink.minimize ~fails noise in
+  Alcotest.(check bool) "still fails" true (fails min_ops);
+  Alcotest.(check bool) "shrink used runs" true (runs > 0);
+  if List.length min_ops > 3 then
+    Alcotest.failf "expected <= 3 ops after shrinking, got %d:%s"
+      (List.length min_ops)
+      (Format.asprintf "%a" W.pp min_ops);
+  (* the buggy op must survive: it is the cause *)
+  Alcotest.(check bool) "buggy op kept" true
+    (List.exists (fun op -> F.buggy_kind_of_op op <> None) min_ops)
+
+(* {1 Reproducer round-trip} *)
+
+let test_repro_roundtrip () =
+  let ops =
+    W.
+      [
+        Mkdir "/d";
+        Create "/d/f";
+        Write ("/d/f", 3, String.make 7 'z');
+        Write_atomic ("/d/f", 0, String.make 9 'z');
+        Truncate ("/d/f", 2);
+        Rename ("/d/f", "/g");
+        Link ("/g", "/h");
+        Symlink ("/g", "/s");
+        Buggy_write ("/g", String.make 4 'z');
+        Buggy_create "/x";
+        Buggy_unlink "/g";
+        Unlink "/h";
+        Rmdir "/nope";
+      ]
+  in
+  match F.Repro.of_cli (F.Repro.to_cli ops) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok ops' ->
+      if ops' <> ops then
+        Alcotest.failf "round-trip mismatch:@.%a@.vs %a" W.pp ops W.pp ops'
+
+let test_repro_rejects_garbage () =
+  (match F.Repro.of_cli "create /a; frobnicate /b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match F.Repro.of_cli "write /a zero 4" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+(* {1 Mutant re-discovery: the fuzzer's own acceptance test} *)
+
+let rediscovery_cfg =
+  { F.default_cfg with seed = 1; iters = 40; op_budget = 6; buggy_rate = 0.15 }
+
+let rediscovery = lazy (F.run rediscovery_cfg)
+
+let test_rediscovers_all_mutants () =
+  let r = Lazy.force rediscovery in
+  let kinds = F.kinds_found r in
+  List.iter
+    (fun k ->
+      if not (List.mem k kinds) then
+        Alcotest.failf "buggy-%s not re-discovered in %d iterations"
+          (F.buggy_kind_name k) rediscovery_cfg.F.iters)
+    F.all_buggy_kinds
+
+let test_reproducers_are_small () =
+  let r = Lazy.force rediscovery in
+  Alcotest.(check bool) "found something" true (r.F.r_found <> []);
+  List.iter
+    (fun f ->
+      let n = List.length f.F.fd_min in
+      if n > 6 then
+        Alcotest.failf "reproducer has %d ops (> 6):%s" n
+          (Format.asprintf "%a" W.pp f.F.fd_min);
+      (* each emitted reproducer must replay to a failure *)
+      if (run f.F.fd_min).F.Exec.o_fail = None then
+        Alcotest.failf "shrunk reproducer does not replay:%s"
+          (Format.asprintf "%a" W.pp f.F.fd_min))
+    r.F.r_found
+
+(* {1 Determinism regression} *)
+
+(* Same seed + same flags => bit-identical trace and report, including
+   found-bug lists, shrunk reproducers and the rendered report text. *)
+let test_fuzzer_deterministic () =
+  let cfg = { F.default_cfg with seed = 21; iters = 8; op_budget = 6; buggy_rate = 0.3 } in
+  let r1 = F.run cfg and r2 = F.run cfg in
+  Alcotest.(check string) "rendered reports identical" (F.report_to_string r1)
+    (F.report_to_string r2);
+  Alcotest.(check bool) "reports structurally identical" true (r1 = r2)
+
+(* Generation alone is deterministic too (guards the generator if the
+   executor ever grows state). *)
+let test_generator_deterministic () =
+  let gen () =
+    List.init 10 (fun i ->
+        F.Gen.sequence
+          (Random.State.make [| 0x5EED; 4; i |])
+          { F.Gen.op_budget = 8; buggy_rate = 0.2 })
+  in
+  Alcotest.(check bool) "sequences identical" true (gen () = gen ())
+
+(* A media-fault fuzzing run (torn/stuck sampling via crash_images_faulty)
+   is deterministic as well and checks media images gracefully. *)
+let test_fuzzer_with_media_faults () =
+  let cfg =
+    {
+      F.default_cfg with
+      seed = 3;
+      iters = 4;
+      op_budget = 5;
+      buggy_rate = 0.;
+      faults = Faults.Plan.make ~seed:3 ~torn_line_rate:0.3 ~stuck_line_rate:0.1 ();
+    }
+  in
+  let r1 = F.run cfg and r2 = F.run cfg in
+  Alcotest.(check bool) "media states explored" true
+    (r1.F.r_harness.Crashcheck.Harness.media_states > 0);
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun v -> v.Crashcheck.Harness.v_detail)
+       r1.F.r_harness.Crashcheck.Harness.violations);
+  Alcotest.(check bool) "deterministic" true (r1 = r2)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "capture matches squirrelfs" `Quick
+            test_model_capture_matches_squirrelfs;
+          Alcotest.test_case "errno parity" `Quick test_model_errno_parity;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean sequences pass" `Quick test_clean_sequences_pass;
+          Alcotest.test_case "buggy create caught" `Quick test_buggy_create_fails;
+          Alcotest.test_case "buggy unlink caught" `Quick test_buggy_unlink_fails;
+          Alcotest.test_case "buggy write caught" `Quick test_buggy_write_fails;
+          Alcotest.test_case "ENOSPC is benign divergence" `Quick
+            test_enospc_is_divergence_not_violation;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimizes to the cause" `Quick test_shrinker_minimizes;
+          Alcotest.test_case "repro round-trip" `Quick test_repro_roundtrip;
+          Alcotest.test_case "repro rejects garbage" `Quick test_repro_rejects_garbage;
+        ] );
+      ( "rediscovery",
+        [
+          Alcotest.test_case "all Buggy_* mutants found" `Slow
+            test_rediscovers_all_mutants;
+          Alcotest.test_case "reproducers <= 6 ops and replay" `Slow
+            test_reproducers_are_small;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same report" `Quick
+            test_fuzzer_deterministic;
+          Alcotest.test_case "generator" `Quick test_generator_deterministic;
+          Alcotest.test_case "media faults deterministic" `Quick
+            test_fuzzer_with_media_faults;
+        ] );
+    ]
