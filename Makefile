@@ -1,12 +1,13 @@
-.PHONY: all build check test faultcheck-smoke fuzz-smoke crashcheck bench clean
+.PHONY: all build check test faultcheck-smoke fuzz-smoke crashcheck bench bench-json bench-json-quick clean
 
 all: build
 
 # Tier-1 gate: full build plus the complete test suite, then the fuzzer
-# smoke matrix.
+# smoke matrix and a quick states/sec trajectory point (BENCH_fuzz.json).
 check:
 	dune build && dune runtest
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-json-quick
 
 build:
 	dune build
@@ -35,6 +36,16 @@ crashcheck: build
 
 bench: build
 	dune exec bench/main.exe
+
+# States/sec perf trajectory, machine-readable: legacy-copy vs delta-view
+# engines plus the -j sharding determinism check, written to
+# BENCH_fuzz.json. The full variant runs on the 32 MB volume; the quick
+# variant (part of `make check`) on a small one.
+bench-json: build
+	dune exec bench/main.exe -- fuzz-json
+
+bench-json-quick: build
+	dune exec bench/main.exe -- fuzz-json-quick
 
 clean:
 	dune clean

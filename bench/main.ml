@@ -577,40 +577,197 @@ let bechamel () =
       | Some [] | None -> Printf.printf "%-34s (no estimate)\n" name)
     (List.sort compare rows)
 
-(* Crash-state fuzzer throughput (the Chipmunk role, §5.7): how fast the
-   differential oracle explores recovered crash states, in states per
-   simulated second (Optane latency model) and per wall second. *)
-let fuzz () =
-  section "Crash-state fuzzer: differential-oracle exploration throughput";
+(* {1 Crash-state fuzzer throughput (the Chipmunk role, §5.7)}
+
+   States/sec is the fuzzing north-star metric: how fast the differential
+   oracle explores recovered crash states. The section compares the two
+   exploration engines on the same seed matrix — [Copy], the legacy path
+   (materialize every crash image, remount via two more full-device
+   copies), against [Delta], the zero-copy path (views patched into one
+   scratch buffer, [of_view] mounts, memoized fsck verdicts) — on the
+   32 MB default volume, where the per-state memcpy tax is largest. *)
+
+type fuzz_measure = {
+  fm_states : int;
+  fm_deduped : int;
+  fm_sim_ns : int;
+  fm_wall : float;
+  fm_report : Fuzzer.report;
+}
+
+let fuzz_cfg ?(seed = 7) ?(buggy_rate = 0.) ~engine ~mb ~iters ~op_budget () =
+  {
+    Fuzzer.default_cfg with
+    seed;
+    iters;
+    op_budget;
+    buggy_rate;
+    device_size = mb * 1024 * 1024;
+    latency = Some Pmem.Latency.optane;
+    shrink = false;
+    engine;
+  }
+
+let measure_fuzz ?(jobs = 1) cfg =
   let t0 = Unix.gettimeofday () in
-  let cfg =
-    {
-      Fuzzer.default_cfg with
-      seed = 7;
-      iters = 12;
-      op_budget = 6;
-      buggy_rate = 0.;
-      latency = Some Pmem.Latency.optane;
-    }
-  in
-  let r = Fuzzer.run cfg in
+  let r = Fuzzer.Parallel.run ~jobs cfg in
   let wall = Unix.gettimeofday () -. t0 in
   let h = r.Fuzzer.r_harness in
+  {
+    fm_states =
+      h.Crashcheck.Harness.crash_states + h.Crashcheck.Harness.media_states;
+    fm_deduped = h.Crashcheck.Harness.states_deduped;
+    fm_sim_ns = r.Fuzzer.r_sim_ns;
+    fm_wall = wall;
+    fm_report = r;
+  }
+
+let states_per_wall m =
+  if m.fm_wall > 0. then float_of_int m.fm_states /. m.fm_wall else 0.
+
+(* Same exploration modulo the work done per state? Counter-for-counter
+   and violation-for-violation (dedup count excluded by construction). *)
+let fuzz_reports_equivalent (a : Fuzzer.report) (b : Fuzzer.report) =
+  let key (r : Fuzzer.report) =
+    let h = r.Fuzzer.r_harness in
+    ( h.Crashcheck.Harness.crash_states,
+      h.Crashcheck.Harness.media_states,
+      h.Crashcheck.Harness.fences_probed,
+      h.Crashcheck.Harness.ops_run,
+      List.sort compare
+        (List.map
+           (fun (v : Crashcheck.Harness.violation) ->
+             (v.Crashcheck.Harness.v_op_index, v.Crashcheck.Harness.v_detail))
+           h.Crashcheck.Harness.violations),
+      r.Fuzzer.r_sim_ns,
+      List.map (fun (f : Fuzzer.found) -> (f.Fuzzer.fd_iter, f.Fuzzer.fd_min))
+        r.Fuzzer.r_found )
+  in
+  key a = key b
+
+let fuzz () =
+  section "Crash-state fuzzer: legacy-copy vs delta-view engines (32 MB volume)";
+  let mb = 32 and iters = 2 and op_budget = 5 in
+  let copy =
+    measure_fuzz (fuzz_cfg ~engine:Crashcheck.Harness.Copy ~mb ~iters ~op_budget ())
+  in
+  let delta =
+    measure_fuzz (fuzz_cfg ~engine:Crashcheck.Harness.Delta ~mb ~iters ~op_budget ())
+  in
+  Printf.printf "%-18s %12s %9s %9s %16s\n" "engine" "crash-states" "deduped"
+    "wall (s)" "states/wall-sec";
+  List.iter
+    (fun (name, m) ->
+      Printf.printf "%-18s %12d %9d %9.2f %16.0f\n" name m.fm_states
+        m.fm_deduped m.fm_wall (states_per_wall m))
+    [ ("copy (legacy)", copy); ("delta (zero-copy)", delta) ];
+  Printf.printf "speedup (delta/copy): %.2fx%s\n"
+    (states_per_wall delta /. states_per_wall copy)
+    (if fuzz_reports_equivalent copy.fm_report delta.fm_report then ""
+     else "  [ENGINE MISMATCH: reports differ]");
+  (* Default-volume throughput (delta engine), for continuity with the
+     numbers this section reported before the engine split. *)
+  let r =
+    (measure_fuzz
+       { (fuzz_cfg ~engine:Crashcheck.Harness.Delta ~mb:0 ~iters:12 ~op_budget:6 ()) with
+         Fuzzer.device_size = Fuzzer.default_cfg.Fuzzer.device_size;
+         shrink = true;
+       })
+      .fm_report
+  in
+  let h = r.Fuzzer.r_harness in
   Printf.printf
-    "sequences=%d ops=%d fences=%d crash-states=%d violations=%d \
-     capacity-divergences=%d\n"
-    r.Fuzzer.r_iters h.Crashcheck.Harness.ops_run h.Crashcheck.Harness.fences_probed
-    h.Crashcheck.Harness.crash_states
-    (List.length h.Crashcheck.Harness.violations)
-    r.Fuzzer.r_divergences;
-  Printf.printf "simulated time on fuzzed devices: %.3f ms\n"
-    (float_of_int r.Fuzzer.r_sim_ns /. 1e6);
+    "default volume: sequences=%d ops=%d fences=%d crash-states=%d deduped=%d \
+     violations=%d\n"
+    r.Fuzzer.r_iters h.Crashcheck.Harness.ops_run
+    h.Crashcheck.Harness.fences_probed h.Crashcheck.Harness.crash_states
+    h.Crashcheck.Harness.states_deduped
+    (List.length h.Crashcheck.Harness.violations);
   (match Fuzzer.states_per_sim_sec r with
   | Some s -> Printf.printf "crash states / simulated second:  %.0f\n" s
-  | None -> ());
-  Printf.printf "crash states / wall second:       %.0f (%.2f s wall)\n"
-    (float_of_int h.Crashcheck.Harness.crash_states /. wall)
-    wall
+  | None -> ())
+
+(* {1 BENCH_fuzz.json: machine-readable perf trajectory}
+
+   [fuzz-json] (full: 32 MB engine comparison + -j sharding check) and
+   [fuzz-json-quick] (small volume, wired into `make check`) write the
+   same JSON shape so CI can track states/sec from PR to PR. *)
+
+let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs () =
+  section
+    (Printf.sprintf "BENCH_fuzz.json (%s: %d MB volume, %d iters, -j %d)" mode
+       mb iters jobs);
+  let copy =
+    measure_fuzz (fuzz_cfg ~engine:Crashcheck.Harness.Copy ~mb ~iters ~op_budget ())
+  in
+  let delta =
+    measure_fuzz (fuzz_cfg ~engine:Crashcheck.Harness.Delta ~mb ~iters ~op_budget ())
+  in
+  let engines_equiv = fuzz_reports_equivalent copy.fm_report delta.fm_report in
+  (* Sharding check on the default volume with mutants on: -j N must
+     reproduce the -j 1 report (canonicalized) exactly. *)
+  let jcfg =
+    {
+      (fuzz_cfg ~seed:1 ~buggy_rate:0.15 ~engine:Crashcheck.Harness.Delta ~mb:0
+         ~iters:10 ~op_budget:6 ())
+      with
+      Fuzzer.device_size = Fuzzer.default_cfg.Fuzzer.device_size;
+      shrink = true;
+    }
+  in
+  let j1 = measure_fuzz ~jobs:1 jcfg in
+  let jn = measure_fuzz ~jobs jcfg in
+  let jobs_equiv = fuzz_reports_equivalent j1.fm_report jn.fm_report in
+  let states_per_sim m =
+    if m.fm_sim_ns > 0 then
+      float_of_int m.fm_states *. 1e9 /. float_of_int m.fm_sim_ns
+    else 0.
+  in
+  let dedup_ratio m =
+    if m.fm_states > 0 then float_of_int m.fm_deduped /. float_of_int m.fm_states
+    else 0.
+  in
+  let engine_json m =
+    Printf.sprintf
+      "{ \"crash_states\": %d, \"states_deduped\": %d, \"dedup_ratio\": %.4f, \
+       \"wall_s\": %.4f, \"states_per_wall_s\": %.1f, \
+       \"states_per_sim_s\": %.1f }"
+      m.fm_states m.fm_deduped (dedup_ratio m) m.fm_wall (states_per_wall m)
+      (states_per_sim m)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"mode\": \"%s\",\n\
+      \  \"volume_mb\": %d,\n\
+      \  \"iters\": %d,\n\
+      \  \"op_budget\": %d,\n\
+      \  \"copy\": %s,\n\
+      \  \"delta\": %s,\n\
+      \  \"speedup_delta_over_copy\": %.2f,\n\
+      \  \"engines_equivalent\": %b,\n\
+      \  \"jobs\": { \"n\": %d, \"j1_wall_s\": %.4f, \"jn_wall_s\": %.4f, \
+       \"identical_reports\": %b }\n\
+       }\n"
+      mode mb iters op_budget (engine_json copy) (engine_json delta)
+      (states_per_wall delta /. states_per_wall copy)
+      engines_equiv jobs j1.fm_wall jn.fm_wall jobs_equiv
+  in
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  Printf.printf "wrote BENCH_fuzz.json\n";
+  if not (engines_equiv && jobs_equiv) then begin
+    Printf.printf "BENCH_fuzz: ENGINE OR SHARDING MISMATCH\n";
+    exit 2
+  end
+
+let fuzz_json () =
+  fuzz_json_common ~mode:"full" ~mb:32 ~iters:2 ~op_budget:5 ~jobs:4 ()
+
+let fuzz_json_quick () =
+  fuzz_json_common ~mode:"quick" ~mb:2 ~iters:2 ~op_budget:4 ~jobs:4 ()
 
 let sections =
   [
@@ -628,13 +785,20 @@ let sections =
     ("ablate", ablate);
     ("faults", faults);
     ("fuzz", fuzz);
+    ("fuzz-json", fuzz_json);
+    ("fuzz-json-quick", fuzz_json_quick);
     ("bechamel", bechamel);
   ]
 
 let () =
   let args =
     match Array.to_list Sys.argv with
-    | _ :: [] | [ _; "all" ] -> List.map fst sections
+    | _ :: [] | [ _; "all" ] ->
+        (* the fuzz-json* sections are CI artifacts (and fuzz-json repeats
+           the engine comparison fuzz already runs): explicit-only *)
+        List.filter
+          (fun n -> not (String.starts_with ~prefix:"fuzz-json" n))
+          (List.map fst sections)
     | _ :: rest -> rest
     | [] -> []
   in

@@ -3,6 +3,7 @@
      fuzz --seed 1 --iters 200                 -- fuzz, shrink any failures
      fuzz --seed 1 --iters 60 --expect-buggy   -- must re-find all Buggy_*
      fuzz --buggy-rate 0 --iters 50            -- clean fuzzing: must be quiet
+     fuzz -j 4 --seed 1 --iters 200            -- 4 domains, same report
      fuzz --replay "create /a; buggy-write /a 64"
                                                -- re-run a shrunk reproducer *)
 
@@ -10,7 +11,14 @@ open Cmdliner
 
 let latency_of optane = if optane then Some Pmem.Latency.optane else None
 
-let replay_cmd line images device_kib optane =
+let engine_of = function
+  | "copy" -> Crashcheck.Harness.Copy
+  | "delta" -> Crashcheck.Harness.Delta
+  | s ->
+      prerr_endline ("fuzz: unknown engine " ^ s ^ " (want copy|delta)");
+      exit 1
+
+let replay_cmd line images device_kib optane engine =
   match Fuzzer.Repro.of_cli line with
   | Error msg ->
       prerr_endline ("replay: " ^ msg);
@@ -18,7 +26,7 @@ let replay_cmd line images device_kib optane =
   | Ok ops -> (
       let res =
         Fuzzer.Exec.run ~device_size:(device_kib * 1024) ~max_images_per_fence:images
-          ?latency:(latency_of optane) ops
+          ?latency:(latency_of optane) ~engine ops
       in
       Format.printf "%a@." Crashcheck.Harness.pp_report res.Fuzzer.Exec.o_report;
       match res.Fuzzer.Exec.o_fail with
@@ -31,9 +39,10 @@ let replay_cmd line images device_kib optane =
           exit 0)
 
 let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_shrink
-    replay expect_buggy =
+    jobs engine replay expect_buggy =
+  let engine = engine_of engine in
   match replay with
-  | Some line -> replay_cmd line images device_kib optane
+  | Some line -> replay_cmd line images device_kib optane engine
   | None ->
       let faults =
         if torn > 0. || stuck > 0. then
@@ -52,9 +61,10 @@ let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_s
           faults;
           latency = latency_of optane;
           shrink = not no_shrink;
+          engine;
         }
       in
-      let r = Fuzzer.run cfg in
+      let r = Fuzzer.Parallel.run ~jobs cfg in
       Format.printf "%a@." Fuzzer.pp_report r;
       if expect_buggy then begin
         (* acceptance: every mutant re-discovered, every reproducer small *)
@@ -117,6 +127,24 @@ let () =
     Arg.(value & flag & info [ "optane" ] ~doc:"Charge Optane-like simulated latency")
   in
   let no_shrink = Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip shrinking") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard iterations across N domains; the merged report is \
+             bit-identical to -j 1 (found reproducers canonicalized by \
+             iteration)")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt string "delta"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Crash-state engine: delta (zero-copy views + memoized fsck, the \
+             default) or copy (legacy materialized images)")
+  in
   let replay =
     Arg.(
       value
@@ -135,4 +163,4 @@ let () =
           (Cmd.info "fuzz" ~doc:"Crash-state fuzzing of SquirrelFS with a differential oracle")
           Term.(
             const run $ seed $ iters $ op_budget $ images $ buggy_rate $ device_kib
-            $ torn $ stuck $ optane $ no_shrink $ replay $ expect_buggy)))
+            $ torn $ stuck $ optane $ no_shrink $ jobs $ engine $ replay $ expect_buggy)))

@@ -29,8 +29,12 @@ let empty_stats =
     degraded = false;
   }
 
-let stats = ref empty_stats
-let last_stats () = !stats
+(* Domain-local: each domain of the parallel fuzz runner mounts on its
+   own private device, so "the last mount's stats" is a per-domain
+   notion — a plain global ref would race across domains. *)
+let stats_key = Domain.DLS.new_key (fun () -> ref empty_stats)
+let last_stats () = !(Domain.DLS.get stats_key)
+let set_stats s = Domain.DLS.get stats_key := s
 
 (* DRAM-index maintenance cost per inserted entry (RB-tree/hashtable
    insert plus allocation), charged to the simulated clock so mount time
@@ -521,7 +525,7 @@ let rebuild (ctx : Fsctx.t) ~recover =
   done;
   Device.charge dev
     ((Alloc.free_inode_count ctx.alloc + Alloc.free_page_count ctx.alloc) * 40);
-  stats := !st
+  set_stats !st
 
 (* Media pre-pass (csum volumes only): verify record checksums before
    any recovery decision. Corrupt committed records are quarantined; the
@@ -600,9 +604,9 @@ let do_mount ~cpus ~force_recover dev =
               | Q.Superblock -> (i, p))
             (0, 0) (Q.to_list ctx.quar)
         in
-        stats :=
+        set_stats
           {
-            !stats with
+            (last_stats ()) with
             quarantined_inodes = qi;
             quarantined_pages = qp;
             degraded;

@@ -13,6 +13,7 @@ type report = {
   ops_run : int;
   fences_probed : int;
   crash_states : int;
+  states_deduped : int;
   media_states : int;
   faults_injected : int;
   faults_detected : int;
@@ -27,6 +28,7 @@ let empty =
     ops_run = 0;
     fences_probed = 0;
     crash_states = 0;
+    states_deduped = 0;
     media_states = 0;
     faults_injected = 0;
     faults_detected = 0;
@@ -41,6 +43,7 @@ let merge a b =
     ops_run = a.ops_run + b.ops_run;
     fences_probed = a.fences_probed + b.fences_probed;
     crash_states = a.crash_states + b.crash_states;
+    states_deduped = a.states_deduped + b.states_deduped;
     media_states = a.media_states + b.media_states;
     faults_injected = a.faults_injected + b.faults_injected;
     faults_detected = a.faults_detected + b.faults_detected;
@@ -48,6 +51,15 @@ let merge a b =
     eio_checks = a.eio_checks + b.eio_checks;
     violations = a.violations @ b.violations;
   }
+
+(* Crash-state exploration engine. [Copy] is the legacy path: every view
+   is materialized into a fresh image and remounted through [of_image]
+   (two more copies), nothing memoized. [Delta] patches views into one
+   reusable scratch buffer, mounts it zero-copy through [of_view], and
+   memoizes the content-determined part of each state's verdict by
+   64-bit content hash. Both engines probe the identical view sets, so
+   they find the identical violations. *)
+type engine = Copy | Delta
 
 (* Real-run dispatch: buggy variants go through the raw mis-ordered
    implementations; everything else through the normal FS. *)
@@ -116,7 +128,7 @@ let pick_k rng k xs =
 
 let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
     ?(media_images_per_fence = 4) ?(compare_data = false)
-    ?(faults = Faults.none) ops =
+    ?(faults = Faults.none) ?(engine = Delta) ops =
   let faulty = not (Faults.is_none faults) in
   (* Media faults only make sense on a volume that can detect them:
      fault runs format with checksummed metadata records. *)
@@ -154,6 +166,7 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
   let cur_opv = ref None in
   let fences = ref 0 in
   let states = ref 0 in
+  let deduped = ref 0 in
   let media_states = ref 0 in
   let detected = ref 0 in
   let quarantined = ref 0 in
@@ -164,78 +177,140 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
       { v_op_index = !cur_op; v_op = !cur_opv; v_detail = detail }
       :: !violations
   in
-  let check_image img ~legal =
-    incr states;
-    if Sys.getenv_opt "CRASHCHECK_DEBUG" <> None then Printf.eprintf "  image %d (op %d)\n%!" !states !cur_op;
+  (* One scratch buffer per run (Delta engine): crash views are patched
+     into it in place and mounted zero-copy via [of_view]. *)
+  let scr = lazy (Device.scratch dev) in
+  let mount_view v =
+    match engine with
+    | Delta ->
+        let s = Lazy.force scr in
+        Device.apply_view s v;
+        Device.of_view s
+    | Copy -> Device.of_image (Device.materialize dev v)
+  in
+  (* Content-determined part of a crash state's verdict: every check that
+     depends only on the image bytes (superblock, raw invariants, mount,
+     degraded-on-pure-image, fsck, capture). The oracle comparison stays
+     outside — it depends on which ops bracketed the fence, not on the
+     image — so memoizing this pair by content hash is sound. *)
+  let check_state v : string list * Logical.t option =
     let dbg m = if Sys.getenv_opt "CRASHCHECK_DEBUG" <> None then Printf.eprintf "    %s\n%!" m in
-    let d2 = Device.of_image img in
+    let bad = ref [] in
+    let push m = bad := m :: !bad in
+    let d2 = mount_view v in
     dbg "raw fsck";
     (match Layout.Records.Superblock.read d2 with
     | Some sb ->
         (match Sq.Fsck.check_raw d2 sb.Layout.Records.Superblock.geometry with
         | [] -> ()
-        | errs -> violate ("raw invariants: " ^ String.concat " | " errs))
-    | None -> violate "crash image has no superblock");
+        | errs -> push ("raw invariants: " ^ String.concat " | " errs))
+    | None -> push "crash image has no superblock");
     dbg "mounting";
-    match Sq.mount d2 with
-    | Error e -> violate ("crash image fails to mount: " ^ Vfs.Errno.to_string e)
-    | Ok fs2 -> (
-        (* On a csum volume, a pure crash image (no media faults were
-           injected into it) must never trip the media pre-pass: SSU
-           orders every seal before its record's commit, so quarantine
-           here means a code path published an unsealed record. This is
-           how the harness catches Buggy_* variants on csum volumes. *)
-        if csum && (Sq.Mount.last_stats ()).Sq.Mount.degraded then
+    let cap =
+      match Sq.mount d2 with
+      | Error e ->
+          push ("crash image fails to mount: " ^ Vfs.Errno.to_string e);
+          None
+      | Ok fs2 -> (
+          (* On a csum volume, a pure crash image (no media faults were
+             injected into it) must never trip the media pre-pass: SSU
+             orders every seal before its record's commit, so quarantine
+             here means a code path published an unsealed record. This is
+             how the harness catches Buggy_* variants on csum volumes. *)
+          if csum && (Sq.Mount.last_stats ()).Sq.Mount.degraded then
+            push
+              "media quarantine on a pure crash image (committed record \
+               without a valid checksum)";
+          dbg "fsck";
+          (match Sq.Fsck.check fs2 with
+          | [] -> ()
+          | errs -> push ("fsck: " ^ String.concat " | " errs));
+          dbg "capture";
+          match Logical.capture (module Squirrelfs) fs2 with
+          | exception Failure msg ->
+              push ("capture: " ^ msg);
+              None
+          | got -> Some got)
+    in
+    (List.rev !bad, cap)
+  in
+  let memo : (int64, string list * Logical.t option) Hashtbl.t =
+    Hashtbl.create 512
+  in
+  let check_image v ~legal =
+    incr states;
+    if Sys.getenv_opt "CRASHCHECK_DEBUG" <> None then Printf.eprintf "  image %d (op %d)\n%!" !states !cur_op;
+    let bads, cap =
+      match engine with
+      | Copy -> check_state v
+      | Delta -> (
+          let h = Device.view_hash dev v in
+          match Hashtbl.find_opt memo h with
+          | Some verdict ->
+              incr deduped;
+              verdict
+          | None ->
+              let verdict = check_state v in
+              Hashtbl.replace memo h verdict;
+              verdict)
+    in
+    List.iter violate bads;
+    match cap with
+    | None -> ()
+    | Some got ->
+        if
+          not
+            (List.exists (fun st -> Logical.equal ~compare_data got st) legal)
+        then
           violate
-            "media quarantine on a pure crash image (committed record \
-             without a valid checksum)";
-        dbg "fsck";
-        (match Sq.Fsck.check fs2 with
-        | [] -> ()
-        | errs ->
-            violate
-              ("fsck: " ^ String.concat " | " errs));
-        dbg "capture";
-        match Logical.capture (module Squirrelfs) fs2 with
-        | exception Failure msg -> violate ("capture: " ^ msg)
-        | got ->
-            if
-              not
-                (List.exists
-                   (fun st -> Logical.equal ~compare_data got st)
-                   legal)
-            then
-              violate
-                (Format.asprintf
-                   "recovered state matches neither pre- nor post-op state; \
-                    got %a"
-                   Logical.pp got))
+            (Format.asprintf
+               "recovered state matches neither pre- nor post-op state; \
+                got %a"
+               Logical.pp got)
   in
   (* A crash image with injected media damage (torn / stuck lines) is not
      a legal SSU state, so no logical comparison applies; the contract is
      graceful handling only: mount either succeeds (possibly degraded,
      with the damage quarantined) or refuses with a clean error — it must
      never raise, and neither must fsck on the mounted result. *)
-  let check_media_image img =
-    incr media_states;
-    let d2 = Device.of_image img in
+  let check_media_state v : string list =
+    let d2 = mount_view v in
     match Sq.mount d2 with
     | exception e ->
-        violate ("media crash image: mount raised " ^ Printexc.to_string e)
-    | Error _ -> ()
+        [ "media crash image: mount raised " ^ Printexc.to_string e ]
+    | Error _ -> []
     | Ok fs2 -> (
         match Sq.Fsck.check fs2 with
-        | _ -> ()
+        | _ -> []
         | exception e ->
-            violate ("media crash image: fsck raised " ^ Printexc.to_string e))
+            [ "media crash image: fsck raised " ^ Printexc.to_string e ])
+  in
+  let memo_media : (int64, string list) Hashtbl.t = Hashtbl.create 128 in
+  let check_media_image v =
+    incr media_states;
+    let bads =
+      match engine with
+      | Copy -> check_media_state v
+      | Delta -> (
+          let h = Device.view_hash dev v in
+          match Hashtbl.find_opt memo_media h with
+          | Some verdict ->
+              incr deduped;
+              verdict
+          | None ->
+              let verdict = check_media_state v in
+              Hashtbl.replace memo_media h verdict;
+              verdict)
+    in
+    List.iter violate bads
   in
   let probe d ~legal =
     incr fences;
-    List.iter (fun img -> check_image img ~legal)
-      (Device.crash_images ~max_images:max_images_per_fence d);
+    List.iter (fun v -> check_image v ~legal)
+      (Device.crash_views ~max_images:max_images_per_fence d);
     if media then
       List.iter check_media_image
-        (Device.crash_images_faulty ~max_images:media_images_per_fence d)
+        (Device.crash_views_faulty ~max_images:media_images_per_fence d)
   in
   Device.set_fence_hook dev
     (Some
@@ -347,6 +422,7 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
     ops_run = n;
     fences_probed = !fences;
     crash_states = !states;
+    states_deduped = !deduped;
     media_states = !media_states;
     faults_injected =
       dstats.Pmem.Stats.bitflips + dstats.Pmem.Stats.torn_lines
@@ -358,7 +434,7 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
   }
 
 let run_suite ?device_size ?max_images_per_fence ?media_images_per_fence
-    ?compare_data ?faults ?progress workloads =
+    ?compare_data ?faults ?engine ?progress workloads =
   let total = List.length workloads in
   List.fold_left
     (fun (i, acc) w ->
@@ -366,14 +442,14 @@ let run_suite ?device_size ?max_images_per_fence ?media_images_per_fence
       ( i + 1,
         merge acc
           (run_workload ?device_size ?max_images_per_fence
-             ?media_images_per_fence ?compare_data ?faults w) ))
+             ?media_images_per_fence ?compare_data ?faults ?engine w) ))
     (0, empty) workloads
   |> snd
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "workloads=%d ops=%d fences=%d crash-states=%d violations=%d" r.workloads
-    r.ops_run r.fences_probed r.crash_states
+    "workloads=%d ops=%d fences=%d crash-states=%d deduped=%d violations=%d"
+    r.workloads r.ops_run r.fences_probed r.crash_states r.states_deduped
     (List.length r.violations);
   if
     r.media_states + r.faults_injected + r.faults_detected

@@ -49,6 +49,12 @@ type report = {
   ops_run : int;
   fences_probed : int;
   crash_states : int;
+  states_deduped : int;
+      (** crash/media states whose content-determined verdict (recovery +
+          fsck + capture) came from the memo instead of a remount; always
+          0 under the [Copy] engine. Deduped states still count in
+          [crash_states]/[media_states] and still get the per-occurrence
+          oracle comparison. *)
   media_states : int;  (** faulty (torn/stuck) crash images checked *)
   faults_injected : int;  (** bit flips + torn + stuck + read faults *)
   faults_detected : int;  (** injected flips caught by checksum quarantine *)
@@ -57,21 +63,34 @@ type report = {
   violations : violation list;
 }
 
+type engine = Copy | Delta
+(** Crash-state exploration engine. [Copy] is the legacy path: each crash
+    state is materialized into a fresh byte image and remounted through
+    [Device.of_image] (three full-device copies per state), with no
+    memoization. [Delta] (the default) patches {!Pmem.Device.crash_views}
+    delta views into one reusable scratch buffer, mounts it zero-copy
+    through [Device.of_view], and memoizes the content-determined verdict
+    of each state by 64-bit content hash, so duplicate states across the
+    fence sequence are checked once. Both engines enumerate identical
+    state sets (same views, same RNG consumption) and report identical
+    violations; only the work done per state differs. *)
+
 val run_workload :
   ?device_size:int ->
   ?max_images_per_fence:int ->
   ?media_images_per_fence:int ->
   ?compare_data:bool ->
   ?faults:Faults.Plan.t ->
+  ?engine:engine ->
   Workload.op list ->
   report
 (** Defaults: 512 KiB device, 12 images per fence, 4 media images per
     fence, [faults = Faults.none] (in which case the run is bit-identical
-    to the pre-fault-subsystem harness). [compare_data] (default false)
-    additionally compares file contents against the oracle — only
-    meaningful for workloads whose data writes are all [Write_atomic],
-    since regular data writes are not crash-atomic (in SquirrelFS or any
-    of the baselines, matching the paper). *)
+    to the pre-fault-subsystem harness), [engine = Delta]. [compare_data]
+    (default false) additionally compares file contents against the
+    oracle — only meaningful for workloads whose data writes are all
+    [Write_atomic], since regular data writes are not crash-atomic (in
+    SquirrelFS or any of the baselines, matching the paper). *)
 
 val run_suite :
   ?device_size:int ->
@@ -79,6 +98,7 @@ val run_suite :
   ?media_images_per_fence:int ->
   ?compare_data:bool ->
   ?faults:Faults.Plan.t ->
+  ?engine:engine ->
   ?progress:(int -> int -> unit) ->
   Workload.op list list ->
   report

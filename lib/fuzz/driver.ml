@@ -17,6 +17,7 @@ type cfg = {
   faults : Faults.Plan.t;
   latency : Pmem.Latency.t option;
   shrink : bool;
+  engine : H.engine;  (** crash-state engine; [Delta] unless benchmarking *)
 }
 
 let default_cfg =
@@ -31,6 +32,7 @@ let default_cfg =
     faults = Faults.none;
     latency = None;
     shrink = true;
+    engine = H.Delta;
   }
 
 type found = {
@@ -56,9 +58,16 @@ type report = {
 let exec cfg ops =
   Exec.run ~device_size:cfg.device_size ~max_images_per_fence:cfg.max_images
     ~media_images_per_fence:cfg.media_images ~faults:cfg.faults ?latency:cfg.latency
-    ops
+    ~engine:cfg.engine ops
 
-let run ?progress cfg =
+(* [iter_offset]/[iter_stride] shard the iteration space for the
+   domain-parallel runner: the shard owns iterations
+   {iter_offset, iter_offset + iter_stride, ...} < cfg.iters. Each
+   iteration reseeds from (0x5EED, seed, iter) regardless of which shard
+   runs it, so the union of all shards' work — and therefore the merged
+   report — is the (1, 0)-shard run, independent of the sharding. *)
+let run ?progress ?(iter_offset = 0) ?(iter_stride = 1) cfg =
+  if iter_stride < 1 then invalid_arg "Fuzzer.run: iter_stride < 1";
   let harness = ref H.empty in
   let divergences = ref 0 and sim_ns = ref 0 and shrink_runs = ref 0 in
   let found = ref [] in
@@ -73,7 +82,10 @@ let run ?progress cfg =
     account o;
     o
   in
-  for iter = 0 to cfg.iters - 1 do
+  let next_iter = ref iter_offset in
+  while !next_iter < cfg.iters do
+    let iter = !next_iter in
+    next_iter := iter + iter_stride;
     (match progress with Some f -> f iter cfg.iters | None -> ());
     let rng = Random.State.make [| 0x5EED; cfg.seed; iter |] in
     let ops = Gen.sequence rng { Gen.op_budget = cfg.op_budget; buggy_rate = cfg.buggy_rate } in

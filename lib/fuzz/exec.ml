@@ -100,7 +100,8 @@ let apply_sq (ctx : Sq.Fsctx.t) (op : W.op) : (unit, Errno.t) result =
                 | exception Failure _ -> Error Errno.ENOSPC)))
 
 let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
-    ?(media_images_per_fence = 4) ?(faults = Faults.none) ?latency ops =
+    ?(media_images_per_fence = 4) ?(faults = Faults.none) ?latency
+    ?(engine = H.Delta) ops =
   let faulty = not (Faults.is_none faults) in
   let media =
     faulty
@@ -119,6 +120,7 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
   if faulty then Device.set_fault_plan dev faults;
   let cur_op = ref 0 and cur_fence = ref 0 in
   let fences = ref 0 and states = ref 0 and media_states = ref 0 in
+  let deduped = ref 0 in
   let ops_run = ref 0 and divergences = ref 0 in
   let legal = ref [ Ref_fs.capture Ref_fs.empty ] in
   let fail = ref None in
@@ -137,59 +139,119 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
        shrinker minimizes, so stop exploring this sequence *)
     raise Abort
   in
-  let check_image ~image img =
-    incr states;
-    let d2 = Device.of_image img in
-    (match Layout.Records.Superblock.read d2 with
-    | None -> violate ~image "crash image has no superblock"
+  (* Delta engine: one scratch buffer for the whole run, views patched in
+     place and mounted zero-copy; Copy engine: legacy materialize +
+     of_image per state. *)
+  let scr = lazy (Device.scratch dev) in
+  let mount_view v =
+    match engine with
+    | H.Delta ->
+        let s = Lazy.force scr in
+        Device.apply_view s v;
+        Device.of_view s
+    | H.Copy -> Device.of_image (Device.materialize dev v)
+  in
+  (* Content-determined verdict of a crash state: first failing check, or
+     the recovered capture. The prefix-consistency comparison against
+     [!legal] stays outside (it depends on the bracketing ops, not the
+     image), so this is sound to memoize by content hash. *)
+  let check_state v =
+    let d2 = mount_view v in
+    match Layout.Records.Superblock.read d2 with
+    | None -> Error "crash image has no superblock"
     | Some sb -> (
         match Sq.Fsck.check_raw d2 sb.Layout.Records.Superblock.geometry with
-        | [] -> ()
-        | errs -> violate ~image ("raw invariants: " ^ String.concat " | " errs)));
-    match Sq.mount d2 with
-    | Error e -> violate ~image ("crash image fails to mount: " ^ Errno.to_string e)
-    | Ok fs2 -> (
-        if csum && (Sq.Mount.last_stats ()).Sq.Mount.degraded then
+        | _ :: _ as errs ->
+            Error ("raw invariants: " ^ String.concat " | " errs)
+        | [] -> (
+            match Sq.mount d2 with
+            | Error e ->
+                Error ("crash image fails to mount: " ^ Errno.to_string e)
+            | Ok fs2 ->
+                if csum && (Sq.Mount.last_stats ()).Sq.Mount.degraded then
+                  Error
+                    "media quarantine on a pure crash image (committed record \
+                     without a valid checksum)"
+                else (
+                  match Sq.Fsck.check fs2 with
+                  | _ :: _ as errs ->
+                      Error ("fsck: " ^ String.concat " | " errs)
+                  | [] -> (
+                      match Logical.capture (module Squirrelfs) fs2 with
+                      | exception Failure msg -> Error ("capture: " ^ msg)
+                      | got -> Ok got))))
+  in
+  let memo = Hashtbl.create 512 in
+  let check_image ~image v =
+    incr states;
+    let verdict =
+      match engine with
+      | H.Copy -> check_state v
+      | H.Delta -> (
+          let h = Device.view_hash dev v in
+          match Hashtbl.find_opt memo h with
+          | Some verdict ->
+              incr deduped;
+              verdict
+          | None ->
+              let verdict = check_state v in
+              Hashtbl.replace memo h verdict;
+              verdict)
+    in
+    match verdict with
+    | Error detail -> violate ~image detail
+    | Ok got ->
+        if not (List.exists (fun st -> Logical.equal ~compare_data:false got st) !legal)
+        then
           violate ~image
-            "media quarantine on a pure crash image (committed record without \
-             a valid checksum)";
-        (match Sq.Fsck.check fs2 with
-        | [] -> ()
-        | errs -> violate ~image ("fsck: " ^ String.concat " | " errs));
-        match Logical.capture (module Squirrelfs) fs2 with
-        | exception Failure msg -> violate ~image ("capture: " ^ msg)
-        | got ->
-            if not (List.exists (fun st -> Logical.equal ~compare_data:false got st) !legal)
-            then
-              violate ~image
-                (Format.asprintf
-                   "recovered state is not prefix-consistent with the \
-                    reference model; got %a"
-                   Logical.pp got))
+            (Format.asprintf
+               "recovered state is not prefix-consistent with the \
+                reference model; got %a"
+               Logical.pp got)
   in
   (* Torn/stuck crash images are not legal SSU states; the contract is
      graceful handling only (same as the crash harness). *)
-  let check_media_image ~image img =
-    incr media_states;
-    let d2 = Device.of_image img in
+  let check_media_state v =
+    let d2 = mount_view v in
     match Sq.mount d2 with
     | exception e ->
-        violate ~image ("media crash image: mount raised " ^ Printexc.to_string e)
-    | Error _ -> ()
+        Some ("media crash image: mount raised " ^ Printexc.to_string e)
+    | Error _ -> None
     | Ok fs2 -> (
         match Sq.Fsck.check fs2 with
-        | _ -> ()
+        | _ -> None
         | exception e ->
-            violate ~image ("media crash image: fsck raised " ^ Printexc.to_string e))
+            Some ("media crash image: fsck raised " ^ Printexc.to_string e))
+  in
+  let memo_media = Hashtbl.create 128 in
+  let check_media_image ~image v =
+    incr media_states;
+    let verdict =
+      match engine with
+      | H.Copy -> check_media_state v
+      | H.Delta -> (
+          let h = Device.view_hash dev v in
+          match Hashtbl.find_opt memo_media h with
+          | Some verdict ->
+              incr deduped;
+              verdict
+          | None ->
+              let verdict = check_media_state v in
+              Hashtbl.replace memo_media h verdict;
+              verdict)
+    in
+    match verdict with
+    | Some detail -> violate ~image detail
+    | None -> ()
   in
   let probe d =
     incr cur_fence;
     incr fences;
-    List.iteri (fun i img -> check_image ~image:i img)
-      (Device.crash_images ~max_images:max_images_per_fence d);
+    List.iteri (fun i v -> check_image ~image:i v)
+      (Device.crash_views ~max_images:max_images_per_fence d);
     if media then
-      List.iteri (fun i img -> check_media_image ~image:i img)
-        (Device.crash_images_faulty ~max_images:media_images_per_fence d)
+      List.iteri (fun i v -> check_media_image ~image:i v)
+        (Device.crash_views_faulty ~max_images:media_images_per_fence d)
   in
   (try
      Device.set_fence_hook dev (Some probe);
@@ -241,6 +303,7 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
         ops_run = !ops_run;
         fences_probed = !fences;
         crash_states = !states;
+        states_deduped = !deduped;
         media_states = !media_states;
         faults_injected =
           dstats.Pmem.Stats.bitflips + dstats.Pmem.Stats.torn_lines

@@ -34,11 +34,14 @@ val run :
   ?media_images_per_fence:int ->
   ?faults:Faults.Plan.t ->
   ?latency:Pmem.Latency.t ->
+  ?engine:Crashcheck.Harness.engine ->
   Crashcheck.Workload.op list ->
   outcome
 (** Defaults: 256 KiB device, 8 crash images per fence, 4 media images
-    per fence, [Faults.none], zero latency. With a non-trivial [?faults]
-    plan the volume is formatted [~csum:true], the plan is installed, and
-    torn/stuck media images (from [crash_images_faulty]) get the
-    graceful-handling check on top of the pure crash images. Fully
-    deterministic for fixed arguments. *)
+    per fence, [Faults.none], zero latency, [engine = Delta]. With a
+    non-trivial [?faults] plan the volume is formatted [~csum:true], the
+    plan is installed, and torn/stuck media images (from
+    [crash_views_faulty]) get the graceful-handling check on top of the
+    pure crash images. Fully deterministic for fixed arguments, and both
+    engines probe identical state sets and report identical outcomes
+    (the [Delta] engine additionally counts [states_deduped]). *)

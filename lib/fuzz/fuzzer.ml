@@ -9,4 +9,5 @@ module Gen = Gen
 module Exec = Exec
 module Shrink = Shrink
 module Repro = Repro
+module Parallel = Parallel
 include Driver

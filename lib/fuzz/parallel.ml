@@ -1,0 +1,49 @@
+(* Domain-parallel fuzzing.
+
+   The iteration space is sharded across OCaml 5 domains: shard [k] of
+   [jobs] runs iterations {k, k + jobs, k + 2*jobs, ...} through the
+   ordinary single-threaded [Driver] on its own private device. Every
+   iteration reseeds from (0x5EED, seed, iter) — never from domain
+   identity or scheduling — so the union of the shards' work is exactly
+   the [-j 1] run, and the merged report is bit-identical to it modulo
+   ordering (found reproducers are canonicalized by sorting on their
+   iteration index; harness violation lists keep shard order).
+
+   The only cross-domain state in the whole stack is [Mount.last_stats],
+   which is domain-local (Domain.DLS), so shards share nothing. *)
+
+module H = Crashcheck.Harness
+
+let merge (a : Driver.report) (b : Driver.report) : Driver.report =
+  {
+    a with
+    Driver.r_harness = H.merge a.Driver.r_harness b.Driver.r_harness;
+    r_divergences = a.Driver.r_divergences + b.Driver.r_divergences;
+    r_shrink_runs = a.Driver.r_shrink_runs + b.Driver.r_shrink_runs;
+    r_sim_ns = a.Driver.r_sim_ns + b.Driver.r_sim_ns;
+    r_found = a.Driver.r_found @ b.Driver.r_found;
+  }
+
+let canonicalize (r : Driver.report) : Driver.report =
+  {
+    r with
+    Driver.r_found =
+      List.sort
+        (fun a b -> compare a.Driver.fd_iter b.Driver.fd_iter)
+        r.Driver.r_found;
+  }
+
+let run ?(jobs = 1) ?progress cfg =
+  if jobs < 1 then invalid_arg "Fuzzer.Parallel.run: jobs < 1";
+  if jobs = 1 then Driver.run ?progress cfg
+  else begin
+    (* Progress only from shard 0 (reporting from other domains would
+       interleave); shard 0 runs on the spawning domain. *)
+    let others =
+      List.init (jobs - 1) (fun k ->
+          Domain.spawn (fun () ->
+              Driver.run ~iter_offset:(k + 1) ~iter_stride:jobs cfg))
+    in
+    let r0 = Driver.run ?progress ~iter_offset:0 ~iter_stride:jobs cfg in
+    canonicalize (List.fold_left merge r0 (List.map Domain.join others))
+  end

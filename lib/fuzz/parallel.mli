@@ -1,0 +1,20 @@
+(** Domain-parallel fuzzing: shard the iteration space across OCaml 5
+    domains, each running the deterministic single-threaded {!Driver} on
+    a private device, and merge the per-shard reports. *)
+
+val merge : Driver.report -> Driver.report -> Driver.report
+(** Associative merge of shard reports: harness counters through
+    {!Crashcheck.Harness.merge}, divergences/shrink-runs/sim-time summed,
+    found lists concatenated. *)
+
+val canonicalize : Driver.report -> Driver.report
+(** Sort found reproducers by iteration index — the order the [-j 1] run
+    discovers them in. *)
+
+val run : ?jobs:int -> ?progress:(int -> int -> unit) -> Driver.cfg -> Driver.report
+(** [run ~jobs cfg]: shard [k] of [jobs] runs iterations
+    [{k, k+jobs, ...}] (each reseeded from [(0x5EED, seed, iter)], never
+    from domain identity), so the merged, canonicalized report is
+    bit-identical to [Driver.run cfg] up to the ordering of the harness
+    violation list. [jobs = 1] (the default) is exactly [Driver.run].
+    [progress] reports only shard 0's iterations. *)

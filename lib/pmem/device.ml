@@ -24,6 +24,21 @@ type t = {
   mutable in_fence : bool;
   mutable faults : Faults.State.t option;
   mutable ecc : int array; (* per-line CRC of durable content; [||] = off *)
+  mutable gen : int; (* bumped whenever durable content changes *)
+  mutable line_hash : int64 array; (* per-line content hash; [||] = off *)
+  mutable base_hash : int64; (* xor of line_hash: hash of durable image *)
+  mutable attached : scratch option; (* scratch kept in sync across fences *)
+  mutable taint : (int, unit) Hashtbl.t option;
+      (* line indexes mutated through this device; only on borrowed
+         ([of_view]) devices, so the owning scratch can revert them *)
+}
+
+and scratch = {
+  s_dev : t;
+  s_buf : Bytes.t;
+  mutable s_gen : int; (* device generation the buffer mirrors *)
+  mutable s_patched : int list; (* line idxs patched by the current view *)
+  mutable s_borrow : t option; (* outstanding [of_view] device, if any *)
 }
 
 let create ?(latency = Latency.zero) ~size () =
@@ -39,6 +54,11 @@ let create ?(latency = Latency.zero) ~size () =
     in_fence = false;
     faults = None;
     ecc = [||];
+    gen = 0;
+    line_hash = [||];
+    base_hash = 0L;
+    attached = None;
+    taint = None;
   }
 
 let of_image ?(latency = Latency.zero) image =
@@ -54,6 +74,11 @@ let of_image ?(latency = Latency.zero) image =
     in_fence = false;
     faults = None;
     ecc = [||];
+    gen = 0;
+    line_hash = [||];
+    base_hash = 0L;
+    attached = None;
+    taint = None;
   }
 
 let size t = t.size
@@ -68,6 +93,70 @@ let check_range t off len =
       (Printf.sprintf "Pmem.Device: range [%d,%d) outside device of size %d"
          off (off + len) t.size)
 
+let line_count t = (t.size + line_size - 1) / line_size
+
+let line_span t idx =
+  let off = idx * line_size in
+  (off, min line_size (t.size - off))
+
+(* {1 Content hashing}
+
+   A 64-bit content hash of the durable image, maintained incrementally:
+   one FNV-1a digest per cache line (salted with the line index) combined
+   by xor. Because xor is self-inverse, draining a line at a fence (or
+   flipping a bit) updates the device hash in O(1) per touched line, and
+   the hash of any crash view is the base hash with the patched lines'
+   digests swapped out — O(dirty lines) per view, no materialization.
+   Only maintained once [scratch]/[view_hash] has been used on the
+   device, so the default path does no extra work. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
+
+let fnv_bytes h buf ~off ~len =
+  let h = ref h in
+  for i = off to off + len - 1 do
+    h := fnv_byte !h (Char.code (Bytes.get buf i))
+  done;
+  !h
+
+let fnv_int h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h ((v lsr (i * 8)) land 0xFF)
+  done;
+  !h
+
+(* Digest of one line's content at a given index (the salt makes equal
+   content at different offsets hash differently, so the xor combination
+   cannot cancel across lines). *)
+let hash_line_content idx b =
+  fnv_bytes (fnv_int fnv_offset idx) b ~off:0 ~len:(Bytes.length b)
+
+let hash_line_of t buf idx =
+  let off, len = line_span t idx in
+  fnv_bytes (fnv_int fnv_offset idx) buf ~off ~len
+
+let enable_content_hash t =
+  if Array.length t.line_hash = 0 then begin
+    t.line_hash <- Array.init (line_count t) (hash_line_of t t.durable);
+    t.base_hash <- Array.fold_left Int64.logxor 0L t.line_hash
+  end
+
+let refresh_line_hash t idx =
+  if Array.length t.line_hash > 0 then begin
+    let h = hash_line_of t t.durable idx in
+    t.base_hash <-
+      Int64.logxor t.base_hash (Int64.logxor t.line_hash.(idx) h);
+    t.line_hash.(idx) <- h
+  end
+
+let durable_hash t =
+  enable_content_hash t;
+  t.base_hash
+
 (* {1 Fault plans}
 
    The ECC table holds one CRC32 per cache line of the *durable* image,
@@ -76,11 +165,8 @@ let check_range t off len =
    existing results stay bit-identical. [flip_bit] deliberately skips
    the ECC update — that is what lets [scrub] detect rot. *)
 
-let line_count t = (t.size + line_size - 1) / line_size
-
 let ecc_of_line t idx =
-  let off = idx * line_size in
-  let len = min line_size (t.size - off) in
+  let off, len = line_span t idx in
   Faults.Crc32.digest_bytes t.durable ~off ~len
 
 let set_fault_plan t plan =
@@ -98,6 +184,11 @@ let fault_state t = t.faults
 let fault_events t =
   match t.faults with None -> [] | Some st -> Faults.State.events st
 
+let taint_line t idx =
+  match t.taint with
+  | Some tbl -> Hashtbl.replace tbl idx ()
+  | None -> ()
+
 let flip_bit t ~off ~bit =
   check_range t off 1;
   if bit < 0 || bit > 7 then invalid_arg "Pmem.Device.flip_bit: bad bit";
@@ -105,6 +196,9 @@ let flip_bit t ~off ~bit =
   let flip buf = Bytes.set buf off (Char.chr (Char.code (Bytes.get buf off) lxor mask)) in
   flip t.durable;
   flip t.latest;
+  t.gen <- t.gen + 1;
+  refresh_line_hash t (off / line_size);
+  taint_line t (off / line_size);
   t.stats.bitflips <- t.stats.bitflips + 1;
   match t.faults with
   | Some st -> ignore (Faults.State.record st Faults.Trace.Bit_flip ~off ~bit)
@@ -157,22 +251,26 @@ let maybe_read_fault t ~off ~len =
       end
   | None -> ()
 
+(* A faulted read transfers nothing: the controller aborts the
+   transaction before any data (or time) moves, so it neither charges
+   latency nor counts in [reads]/[bytes_read]; only [read_faults] is
+   incremented (inside [maybe_read_fault]). *)
 let read t ~off ~len =
   check_range t off len;
+  maybe_read_fault t ~off ~len;
   let first = off / line_size and last = (off + len - 1) / line_size in
   let lines = if len = 0 then 0 else last - first + 1 in
   t.stats.reads <- t.stats.reads + 1;
   t.stats.bytes_read <- t.stats.bytes_read + len;
   if lines > 0 then
     charge t (t.latency.read_base_ns + (lines * t.latency.read_line_ns));
-  maybe_read_fault t ~off ~len;
   Bytes.sub t.latest off len
 
-(* Metadata read path used by the checksum layer: same cost model as
-   [read], but transient read faults are never injected (the CRC
-   machinery models a controller that retries metadata fetches until the
-   media answers; injecting there would make corruption *detection*
-   itself flaky and non-deterministic). *)
+(* Metadata read path used by the checksum layer: same cost and
+   accounting model as a successful [read], but transient read faults are
+   never injected (the CRC machinery models a controller that retries
+   metadata fetches until the media answers; injecting there would make
+   corruption *detection* itself flaky and non-deterministic). *)
 let read_meta t ~off ~len =
   check_range t off len;
   let first = off / line_size and last = (off + len - 1) / line_size in
@@ -218,6 +316,7 @@ let add_record t ~cost_ns off data =
   Bytes.blit_string data 0 t.latest off (String.length data);
   let l = get_line t (off / line_size) in
   l.pending <- { off; data } :: l.pending;
+  taint_line t (off / line_size);
   t.stats.stores <- t.stats.stores + 1;
   t.stats.bytes_stored <- t.stats.bytes_stored + String.length data;
   charge t cost_ns
@@ -288,6 +387,50 @@ let store_byte t off v = store t ~off (String.make 1 (Char.chr (v land 0xFF)))
 let zero t ~off ~len =
   if len > 0 then store_coarse t ~off (String.make len '\000')
 
+(* {1 Scratch maintenance}
+
+   A scratch is a full-device buffer that mirrors the owning device's
+   durable image, into which crash views are patched in place. Reverting
+   a view restores the patched lines (and any lines a borrowed [of_view]
+   device mutated) straight from the durable base, so both apply and
+   revert are O(touched lines), never O(device). The one full-buffer
+   copy happens at [scratch] creation; after that, fences keep the
+   attached scratch in sync by re-blitting only the lines they drain. *)
+
+let scratch_restore_lines s idxs =
+  let t = s.s_dev in
+  List.iter
+    (fun idx ->
+      let off, len = line_span t idx in
+      Bytes.blit t.durable off s.s_buf off len)
+    idxs
+
+(* Lines the current view patched plus lines a borrowed device stored
+   to; restoring this set from [durable] returns the buffer to base. *)
+let scratch_dirty_lines s =
+  let borrowed =
+    match s.s_borrow with
+    | Some d -> (
+        match d.taint with
+        | Some tbl -> Hashtbl.fold (fun idx () acc -> idx :: acc) tbl []
+        | None -> [])
+    | None -> []
+  in
+  List.rev_append borrowed s.s_patched
+
+let scratch_release s =
+  scratch_restore_lines s (scratch_dirty_lines s);
+  (match s.s_borrow with Some d -> d.taint <- None | None -> ());
+  s.s_borrow <- None;
+  s.s_patched <- []
+
+(* Drop view/borrow bookkeeping without touching the buffer (used when
+   the buffer is about to be rebuilt wholesale). *)
+let scratch_forget s =
+  (match s.s_borrow with Some d -> d.taint <- None | None -> ());
+  s.s_borrow <- None;
+  s.s_patched <- []
+
 (* {1 Fence} *)
 
 let apply_record durable { off; data } =
@@ -300,6 +443,7 @@ let fence t =
       Fun.protect ~finally:(fun () -> t.in_fence <- false) (fun () -> hook t)
   | Some _ | None -> ());
   let drained = ref 0 in
+  let drained_idxs = ref [] in
   let finished = ref [] in
   Hashtbl.iter
     (fun idx l ->
@@ -317,11 +461,26 @@ let fence t =
         l.pending <- List.rev remaining_oldest_first;
         l.flushed <- 0;
         incr drained;
+        drained_idxs := idx :: !drained_idxs;
         if Array.length t.ecc > 0 then t.ecc.(idx) <- ecc_of_line t idx;
+        refresh_line_hash t idx;
         if l.pending = [] then finished := idx :: !finished
       end)
     t.lines;
   List.iter (Hashtbl.remove t.lines) !finished;
+  if !drained > 0 then begin
+    let old_gen = t.gen in
+    t.gen <- old_gen + 1;
+    (* Keep the attached scratch mirroring the new durable image: restore
+       the drained lines plus whatever the outstanding view/borrow
+       touched — all from the just-updated durable base. *)
+    match t.attached with
+    | Some s when s.s_gen = old_gen ->
+        scratch_restore_lines s !drained_idxs;
+        scratch_release s;
+        s.s_gen <- t.gen
+    | Some _ | None -> ()
+  end;
   t.stats.fences <- t.stats.fences + 1;
   t.stats.lines_drained <- t.stats.lines_drained + !drained;
   charge t (t.latency.fence_base_ns + (!drained * t.latency.fence_line_ns))
@@ -330,7 +489,7 @@ let persist t ~off ~len =
   flush t ~off ~len;
   fence t
 
-(* {1 Crash images} *)
+(* {1 Crash views} *)
 
 let is_quiescent t = Hashtbl.length t.lines = 0
 let pending_line_count t = Hashtbl.length t.lines
@@ -338,48 +497,101 @@ let pending_line_count t = Hashtbl.length t.lines
 let image_durable t = Bytes.copy t.durable
 let image_latest t = Bytes.copy t.latest
 
-let dirty_lines t =
-  Hashtbl.fold (fun _ l acc -> List.rev l.pending :: acc) t.lines []
+(* Dirty lines with their pending records (oldest first), sorted by line
+   index so enumeration — and therefore sampled-image RNG consumption —
+   is stable by construction, independent of hash-table history. *)
+let dirty_line_assoc t =
+  Hashtbl.fold (fun idx l acc -> (idx, List.rev l.pending) :: acc) t.lines []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let dirty_lines t = List.map snd (dirty_line_assoc t)
 (* each element: one line's pending records, oldest first *)
 
 let crash_image_count t =
-  let count =
-    List.fold_left
-      (fun acc recs ->
-        let n = List.length recs + 1 in
-        if acc > max_int / n then max_int else acc * n)
-      1 (dirty_lines t)
+  List.fold_left
+    (fun acc recs ->
+      let n = List.length recs + 1 in
+      if acc > max_int / n then max_int else acc * n)
+    1 (dirty_lines t)
+
+type view = { v_recs : record list }
+(* Line-ascending; oldest-first within a line; torn records arrive
+   pre-truncated. Applying the records in list order onto the durable
+   base yields the crash image. *)
+
+let view_patch_count v = List.length v.v_recs
+
+(* Build a view applying, for each line, its first [k] records. *)
+let build_view lines ks =
+  let rec take n = function
+    | r :: rest when n > 0 -> r :: take (n - 1) rest
+    | _ -> []
   in
-  count
+  { v_recs = List.concat (List.map2 (fun (_, recs) k -> take k recs) lines ks) }
 
-(* Build an image applying, for each line, its first [k] records. *)
-let build_image t lines ks =
-  let img = Bytes.copy t.durable in
-  List.iter2
-    (fun recs k ->
-      let rec go n = function
-        | r :: rest when n > 0 ->
-            apply_record img r;
-            go (n - 1) rest
-        | _ -> ()
-      in
-      go k recs)
-    lines ks;
-  img
+let group_by_line recs =
+  let rec go acc cur_idx cur = function
+    | [] -> List.rev (if cur = [] then acc else (cur_idx, List.rev cur) :: acc)
+    | r :: rest ->
+        let idx = r.off / line_size in
+        if cur = [] then go acc idx [ r ] rest
+        else if idx = cur_idx then go acc cur_idx (r :: cur) rest
+        else go ((cur_idx, List.rev cur) :: acc) idx [ r ] rest
+  in
+  go [] (-1) [] recs
 
-let crash_images ?rng ?(max_images = 64) t =
-  let lines = dirty_lines t in
-  let counts = List.map (fun recs -> List.length recs) lines in
+(* Post-patch content of every line the view touches: (idx, bytes). *)
+let patched_line_contents t v =
+  List.map
+    (fun (idx, recs) ->
+      let off, len = line_span t idx in
+      let b = Bytes.sub t.durable off len in
+      List.iter
+        (fun r -> Bytes.blit_string r.data 0 b (r.off - off) (String.length r.data))
+        recs;
+      (idx, b))
+    (group_by_line v.v_recs)
+
+(* Content hash of a view relative to the current durable base only:
+   xor of salted digests of the patched lines that actually differ from
+   the base. Canonical within one (device, generation) — two views with
+   the same resulting image hash equally — but not comparable across
+   fences. Needs no precomputed state. *)
+let view_local_hash t v =
+  List.fold_left
+    (fun h (idx, b) ->
+      let off, len = line_span t idx in
+      if Bytes.equal b (Bytes.sub t.durable off len) then h
+      else Int64.logxor h (hash_line_content idx b))
+    0L (patched_line_contents t v)
+
+(* Full-content hash of the crash image a view denotes: the durable
+   image's rolling hash with the patched lines' digests swapped out.
+   Canonical across fences (equal image content => equal hash, whatever
+   the base was), which is what makes cross-fence memoization sound up
+   to 64-bit collisions. *)
+let view_hash t v =
+  enable_content_hash t;
+  List.fold_left
+    (fun h (idx, b) ->
+      let hc = hash_line_content idx b in
+      if Int64.equal hc t.line_hash.(idx) then h
+      else Int64.logxor h (Int64.logxor t.line_hash.(idx) hc))
+    t.base_hash (patched_line_contents t v)
+
+let crash_views ?rng ?(max_images = 64) t =
+  let lines = dirty_line_assoc t in
+  let counts = List.map (fun (_, recs) -> List.length recs) lines in
   let total = crash_image_count t in
-  if total <= max_images then begin
+  if lines = [] then [ { v_recs = [] } ]
+  else if total <= max_images then begin
     (* Exhaustive odometer over per-line prefixes. *)
-    let images = ref [] in
+    let views = ref [] in
     let ks = Array.of_list (List.map (fun _ -> 0) counts) in
     let maxes = Array.of_list counts in
     let n = Array.length ks in
     let rec emit () =
-      images := build_image t lines (Array.to_list ks) :: !images;
-      (* increment odometer *)
+      views := build_view lines (Array.to_list ks) :: !views;
       let rec inc i =
         if i >= n then false
         else if ks.(i) < maxes.(i) then begin
@@ -393,88 +605,186 @@ let crash_images ?rng ?(max_images = 64) t =
       in
       if inc 0 then emit ()
     in
-    if n = 0 then [ Bytes.copy t.durable ]
-    else begin
-      emit ();
-      !images
-    end
+    emit ();
+    !views
   end
   else begin
     let rng =
       match rng with Some r -> r | None -> Random.State.make [| 0x5eed |]
     in
-    let extremes =
-      [
-        build_image t lines (List.map (fun _ -> 0) counts);
-        build_image t lines counts;
-      ]
+    (* Sampled: the two extreme images plus random prefix vectors,
+       deduplicated by content so RNG collisions (with each other or
+       with the extremes) cannot silently shrink coverage; top up to
+       [max_images] distinct states within a bounded retry budget. *)
+    let seen = Hashtbl.create 64 in
+    let out = ref [] in
+    let n_out = ref 0 in
+    let add v =
+      let h = view_local_hash t v in
+      if not (Hashtbl.mem seen h) then begin
+        Hashtbl.replace seen h ();
+        out := v :: !out;
+        incr n_out
+      end
     in
-    let samples =
-      List.init
-        (max 0 (max_images - 2))
-        (fun _ ->
-          let ks = List.map (fun c -> Random.State.int rng (c + 1)) counts in
-          build_image t lines ks)
-    in
-    extremes @ samples
+    add (build_view lines (List.map (fun _ -> 0) counts));
+    add (build_view lines counts);
+    let budget = ref (16 * max_images) in
+    while !n_out < max_images && !budget > 0 do
+      decr budget;
+      add (build_view lines (List.map (fun c -> Random.State.int rng (c + 1)) counts))
+    done;
+    List.rev !out
   end
 
-(* Faulty crash images: like [crash_images], but each dirty line may
+(* Faulty crash views: like [crash_views], but each dirty line may
    additionally be {e stuck} (all its in-flight updates lost, modelling a
    write-pending-queue failure at power loss) or {e torn} (the last
    applied record persists only partially, violating 8-byte atomicity —
    the media fault SSU reasoning cannot rule out). Samples are drawn from
    the fault plan's RNG, so the set is seed-deterministic. *)
-let apply_partial img { off; data } =
-  let half = String.length data / 2 in
-  if half > 0 then Bytes.blit_string data 0 img off half
-
-let crash_images_faulty ?(max_images = 16) t =
+let crash_views_faulty ?(max_images = 16) t =
   match t.faults with
-  | None -> crash_images ~max_images t
+  | None -> crash_views ~max_images t
   | Some st ->
       let plan = Faults.State.plan st in
       let rng = Faults.State.rng st in
-      let lines = dirty_lines t in
-      if lines = [] then [ Bytes.copy t.durable ]
+      let lines = dirty_line_assoc t in
+      if lines = [] then [ { v_recs = [] } ]
       else
         List.init max_images (fun _ ->
-            let img = Bytes.copy t.durable in
-            List.iter
-              (fun recs ->
-                match recs with
-                | [] -> ()
-                | first :: _ ->
-                    let base = first.off / line_size * line_size in
-                    let n = List.length recs in
-                    if Random.State.float rng 1.0 < plan.Faults.Plan.stuck_line_rate
-                    then begin
-                      t.stats.stuck_lines <- t.stats.stuck_lines + 1;
-                      ignore
-                        (Faults.State.record st Faults.Trace.Stuck_line
-                           ~off:base ~bit:0)
-                    end
-                    else begin
-                      let k = Random.State.int rng (n + 1) in
-                      let torn =
-                        k > 0
-                        && Random.State.float rng 1.0
-                           < plan.Faults.Plan.torn_line_rate
-                      in
-                      let full = if torn then k - 1 else k in
-                      let rec go i = function
-                        | r :: rest when i < full ->
-                            apply_record img r;
-                            go (i + 1) rest
-                        | r :: _ when torn && i = full ->
-                            apply_partial img r;
-                            t.stats.torn_lines <- t.stats.torn_lines + 1;
-                            ignore
-                              (Faults.State.record st Faults.Trace.Torn_line
-                                 ~off:r.off ~bit:0)
-                        | _ -> ()
-                      in
-                      go 0 recs
-                    end)
-              lines;
-            img)
+            let recs =
+              List.concat_map
+                (fun (_, recs) ->
+                  match recs with
+                  | [] -> []
+                  | first :: _ ->
+                      let base = first.off / line_size * line_size in
+                      let n = List.length recs in
+                      if
+                        Random.State.float rng 1.0
+                        < plan.Faults.Plan.stuck_line_rate
+                      then begin
+                        t.stats.stuck_lines <- t.stats.stuck_lines + 1;
+                        ignore
+                          (Faults.State.record st Faults.Trace.Stuck_line
+                             ~off:base ~bit:0);
+                        []
+                      end
+                      else begin
+                        let k = Random.State.int rng (n + 1) in
+                        let torn =
+                          k > 0
+                          && Random.State.float rng 1.0
+                             < plan.Faults.Plan.torn_line_rate
+                        in
+                        let full = if torn then k - 1 else k in
+                        let rec go i = function
+                          | r :: rest when i < full -> r :: go (i + 1) rest
+                          | r :: _ when torn && i = full ->
+                              t.stats.torn_lines <- t.stats.torn_lines + 1;
+                              ignore
+                                (Faults.State.record st Faults.Trace.Torn_line
+                                   ~off:r.off ~bit:0);
+                              [ { r with data = String.sub r.data 0 (String.length r.data / 2) } ]
+                          | _ -> []
+                        in
+                        go 0 recs
+                      end)
+                lines
+            in
+            { v_recs = recs })
+
+(* {1 Materialized crash images (legacy wrappers)} *)
+
+let materialize t (v : view) =
+  let img = Bytes.copy t.durable in
+  List.iter (fun r -> Bytes.blit_string r.data 0 img r.off (String.length r.data)) v.v_recs;
+  img
+
+let crash_images ?rng ?max_images t =
+  List.map (materialize t) (crash_views ?rng ?max_images t)
+
+let crash_images_faulty ?max_images t =
+  List.map (materialize t) (crash_views_faulty ?max_images t)
+
+(* {1 Scratch API} *)
+
+let scratch t =
+  enable_content_hash t;
+  (match t.attached with Some old -> scratch_forget old | None -> ());
+  let s =
+    {
+      s_dev = t;
+      s_buf = Bytes.copy t.durable;
+      s_gen = t.gen;
+      s_patched = [];
+      s_borrow = None;
+    }
+  in
+  t.attached <- Some s;
+  s
+
+let apply_view s (v : view) =
+  let t = s.s_dev in
+  if s.s_gen <> t.gen || Bytes.length s.s_buf <> t.size then begin
+    (* Out of sync (e.g. the base mutated via [flip_bit], or the scratch
+       was detached): rebuild wholesale. *)
+    scratch_forget s;
+    Bytes.blit t.durable 0 s.s_buf 0 t.size;
+    s.s_gen <- t.gen
+  end
+  else scratch_release s;
+  List.iter
+    (fun r ->
+      let idx = r.off / line_size in
+      if not (List.mem idx s.s_patched) then s.s_patched <- idx :: s.s_patched;
+      Bytes.blit_string r.data 0 s.s_buf r.off (String.length r.data))
+    v.v_recs
+
+let revert_view s =
+  if s.s_gen = s.s_dev.gen then scratch_release s else scratch_forget s
+
+let scratch_image s = Bytes.copy s.s_buf
+
+let of_view ?(latency = Latency.zero) s =
+  (* Borrowed device: [latest] and [durable] alias the scratch buffer
+     (zero copies), and every mutation records its line in the taint
+     table so the owning scratch can revert it. The device is only
+     meaningful for remount/check flows and only until the next
+     [apply_view]/[revert_view]/[fence] on the owning scratch. *)
+  (match s.s_borrow with
+  | Some d ->
+      (* fold the previous borrow's mutations into the patched set *)
+      (match d.taint with
+      | Some tbl ->
+          Hashtbl.iter
+            (fun idx () ->
+              if not (List.mem idx s.s_patched) then
+                s.s_patched <- idx :: s.s_patched)
+            tbl
+      | None -> ());
+      d.taint <- None
+  | None -> ());
+  let d =
+    {
+      size = Bytes.length s.s_buf;
+      latest = s.s_buf;
+      durable = s.s_buf;
+      lines = Hashtbl.create 64;
+      latency;
+      stats = Stats.create ();
+      now_ns = 0;
+      fence_hook = None;
+      in_fence = false;
+      faults = None;
+      ecc = [||];
+      gen = 0;
+      line_hash = [||];
+      base_hash = 0L;
+      attached = None;
+      taint = Some (Hashtbl.create 64);
+    }
+  in
+  s.s_borrow <- Some d;
+  d

@@ -11,8 +11,10 @@
     At any moment the possible crash states are: the durable image, plus —
     for each dirty cache line — any prefix of the line's pending stores
     (cache lines may be evicted spontaneously, in any order across lines,
-    but stores to the same line drain in order). [crash_images] enumerates
-    or samples that space.
+    but stores to the same line drain in order). {!crash_views} enumerates
+    or samples that space as {e delta views} — per-line record prefixes
+    over the shared durable base — and {!crash_images} is the legacy
+    materializing wrapper around it.
 
     The device also keeps a simulated clock: every store, flush, fence and
     read advances it per the {!Latency} model, and file systems charge
@@ -32,7 +34,8 @@ val create : ?latency:Latency.t -> size:int -> unit -> t
 
 val of_image : ?latency:Latency.t -> Bytes.t -> t
 (** Quiescent device whose durable and visible contents are [image]
-    (crash-image remount path). The image is copied. *)
+    (crash-image remount path). The image is copied — twice; prefer the
+    zero-copy {!of_view} when probing many crash states. *)
 
 val size : t -> int
 val line_size : int
@@ -51,12 +54,19 @@ val charge : t -> int -> unit
 
 val read : t -> off:int -> len:int -> Bytes.t
 (** Read the CPU-visible (latest) contents. Under an active fault plan
-    with a non-zero read-error rate this call may raise {!Media_error}. *)
+    with a non-zero read-error rate this call may raise {!Media_error}.
+
+    Fault accounting: a faulted read models the controller aborting the
+    transaction {e before any data moves}, so it charges no latency and
+    does not count in [stats.reads]/[bytes_read]; only
+    [stats.read_faults] is incremented. A successful read (including
+    every {!read_meta}) charges and counts in full. *)
 
 val read_meta : t -> off:int -> len:int -> Bytes.t
-(** Like {!read} (same cost model) but never injects transient read
-    faults: the metadata-checksum layer retries media fetches, so
-    corruption detection itself stays deterministic. *)
+(** Like {!read} (same cost and accounting model for the successful
+    path) but never injects transient read faults: the metadata-checksum
+    layer retries media fetches, so corruption detection itself stays
+    deterministic. *)
 
 val read_u64 : t -> int -> int
 val read_u32 : t -> int -> int
@@ -93,7 +103,10 @@ val flush : t -> off:int -> len:int -> unit
 
 val fence : t -> unit
 (** [sfence]: all flushed stores become durable. Runs the fence hook (if
-    any) first, so the hook observes the maximal pending state. *)
+    any) first, so the hook observes the maximal pending state. After the
+    drain, any scratch created by {!scratch} is re-synchronized to the
+    new durable base (O(drained + patched lines)), and any view applied
+    to it is implicitly reverted. *)
 
 val persist : t -> off:int -> len:int -> unit
 (** [flush] then [fence]. *)
@@ -116,13 +129,101 @@ val image_durable : t -> Bytes.t
 val image_latest : t -> Bytes.t
 (** Image with every pending store applied (the "nothing lost" image). *)
 
-val crash_images : ?rng:Random.State.t -> ?max_images:int -> t -> Bytes.t list
-(** All legal crash images if there are at most [max_images] (default 64)
-    of them; otherwise the two extreme images plus a random sample, using
-    [rng] (default: a fixed seed for reproducibility). *)
-
 val crash_image_count : t -> int
 (** Number of legal crash images ([max_int] on overflow). *)
+
+(** {2 Delta views}
+
+    A {!view} denotes one crash image without materializing it: the
+    shared durable base plus a flattened, line-ascending list of the
+    per-line record prefixes that survived the crash. Views are cheap
+    (O(dirty records)) and are patched into a reusable {!scratch} buffer
+    with {!apply_view} / {!revert_view}, both O(touched lines). *)
+
+type view
+(** One crash state of the device, as a delta over the durable base.
+    A view is only meaningful against the device (and device generation)
+    that produced it: any mutation of the durable image — a fence that
+    drains lines, {!flip_bit} — invalidates outstanding views. *)
+
+val view_patch_count : view -> int
+(** Number of surviving pending records the view patches in. *)
+
+val crash_views : ?rng:Random.State.t -> ?max_images:int -> t -> view list
+(** All legal crash states as views if there are at most [max_images]
+    (default 64) of them; otherwise the two extreme views plus random
+    samples drawn from [rng] (default: a fixed seed for
+    reproducibility), deduplicated by content and topped up to
+    [max_images] distinct states within a bounded retry budget. Dirty
+    lines are enumerated in ascending line-index order, so the result —
+    and the RNG consumption of the sampling branch — is stable by
+    construction. *)
+
+val crash_views_faulty : ?max_images:int -> t -> view list
+(** Sampled crash views (default 16) where dirty lines may additionally
+    be stuck (in-flight updates lost wholesale) or torn (last record
+    half-applied, violating 8-byte atomicity), per the fault plan's
+    rates and RNG. Falls back to {!crash_views} without a plan. Torn
+    records arrive pre-truncated inside the view. *)
+
+val materialize : t -> view -> Bytes.t
+(** Fresh byte image of the crash state the view denotes (copy of the
+    durable base with the view's records applied). *)
+
+val view_hash : t -> view -> int64
+(** 64-bit content hash of the image the view denotes. Equal image
+    content hashes equally {e across fences and devices of the same
+    size} (the hash is over full content, not over the patch list), so
+    it is a sound memoization key up to 64-bit collisions. First use
+    enables incremental per-line hashing on the device (one full-device
+    pass; afterwards maintained in O(1) per drained line). *)
+
+val durable_hash : t -> int64
+(** Content hash of the current durable image — equals
+    [view_hash t v] for any view denoting that same content. *)
+
+(** {2 Scratch buffers}
+
+    The zero-copy exploration engine: one full-device buffer, created
+    once, that crash views are patched into and reverted from in place.
+    At most one scratch is kept fence-synchronized per device (creating
+    a new one detaches the previous). *)
+
+type scratch
+
+val scratch : t -> scratch
+(** Scratch buffer initialized to the durable image (the one O(device)
+    copy). It tracks the owning device across fences: after each drain
+    the buffer is re-synced to the new durable base and any applied view
+    is reverted. Enables content hashing on the device. *)
+
+val apply_view : scratch -> view -> unit
+(** Patch the view's records into the scratch buffer, first reverting
+    any previously applied view. O(touched lines) when the scratch is in
+    sync with the device; falls back to a full re-blit if the base
+    mutated underneath it (e.g. via {!flip_bit}). *)
+
+val revert_view : scratch -> unit
+(** Restore the scratch to the durable base: re-blits the lines patched
+    by the current view plus any lines mutated through an outstanding
+    {!of_view} borrow. O(touched lines). *)
+
+val scratch_image : scratch -> Bytes.t
+(** Copy of the scratch buffer's current contents (tests/debugging). *)
+
+val of_view : ?latency:Latency.t -> scratch -> t
+(** Zero-copy mount of the scratch's current contents: the returned
+    device's visible and durable storage {e alias the scratch buffer} —
+    no copies. Mutations through the returned device are taint-tracked
+    per line and undone by the next {!apply_view}/{!revert_view} on the
+    owning scratch, which also invalidates the borrowed device. Intended
+    for remount/recovery/fsck probing of a crash state; pending-store
+    crash semantics of the borrowed device are not meaningful. *)
+
+(** {2 Materialized crash images (legacy wrappers)} *)
+
+val crash_images : ?rng:Random.State.t -> ?max_images:int -> t -> Bytes.t list
+(** [List.map (materialize t) (crash_views ?rng ?max_images t)]. *)
 
 (** {1 Fault injection}
 
@@ -146,7 +247,8 @@ val fault_events : t -> Faults.Trace.event list
 val flip_bit : t -> off:int -> bit:int -> unit
 (** Flip one bit of durable (and visible) storage without updating the
     ECC table — simulated media rot, detectable by {!scrub} and by
-    record checksums. *)
+    record checksums. (The content hash behind {!view_hash} {e is}
+    updated: memoization must see the rotted content as a new state.) *)
 
 val inject_flips : t -> int
 (** Inject [plan.bit_flips] random flips (constrained to [plan.regions]
@@ -160,7 +262,4 @@ val scrub : t -> int list
     [scrubbed_lines]/[scrub_errors]. *)
 
 val crash_images_faulty : ?max_images:int -> t -> Bytes.t list
-(** Sampled crash images (default 16) where dirty lines may additionally
-    be stuck (in-flight updates lost wholesale) or torn (last record
-    half-applied, violating 8-byte atomicity), per the plan's rates and
-    RNG. Falls back to {!crash_images} without a plan. *)
+(** [List.map (materialize t) (crash_views_faulty ?max_images t)]. *)

@@ -193,6 +193,41 @@ let test_read_errors_surface_as_eio () =
   Alcotest.(check string) "recovers once faults clear" "qqqq"
     (ok (Sq.read fs "/f" ~off:0 ~len:4))
 
+(* A faulted read models the controller aborting before any data moves:
+   no latency charged, no reads/bytes_read counted — only read_faults.
+   read_meta never faults and charges in full. Pins the accounting
+   contract documented in device.mli. *)
+let test_read_fault_accounting () =
+  let dev = Device.create ~latency:Pmem.Latency.optane ~size:4096 () in
+  Device.store dev ~off:0 "abcdefgh";
+  Device.persist dev ~off:0 ~len:8;
+  Device.set_fault_plan dev (Plan.make ~seed:9 ~read_error_rate:1.0 ());
+  let st0 = Pmem.Stats.copy (Device.stats dev) in
+  let t0 = Device.now_ns dev in
+  (match Device.read dev ~off:0 ~len:8 with
+  | exception Device.Media_error _ -> ()
+  | _ -> Alcotest.fail "read succeeded under read_error_rate=1.0");
+  let st1 = Pmem.Stats.copy (Device.stats dev) in
+  Alcotest.(check int) "faulted read counts no read" st0.Pmem.Stats.reads
+    st1.Pmem.Stats.reads;
+  Alcotest.(check int) "faulted read moves no bytes" st0.Pmem.Stats.bytes_read
+    st1.Pmem.Stats.bytes_read;
+  Alcotest.(check int) "one read fault recorded"
+    (st0.Pmem.Stats.read_faults + 1)
+    st1.Pmem.Stats.read_faults;
+  Alcotest.(check int) "faulted read charges no latency" t0 (Device.now_ns dev);
+  (* read_meta bypasses injection and charges/counts in full. *)
+  let b = Device.read_meta dev ~off:0 ~len:8 in
+  Alcotest.(check string) "read_meta still works" "abcdefgh" (Bytes.to_string b);
+  let st2 = Pmem.Stats.copy (Device.stats dev) in
+  Alcotest.(check int) "read_meta counts" (st1.Pmem.Stats.reads + 1)
+    st2.Pmem.Stats.reads;
+  Alcotest.(check int) "read_meta moves bytes" (st1.Pmem.Stats.bytes_read + 8)
+    st2.Pmem.Stats.bytes_read;
+  Alcotest.(check int) "no extra fault" st1.Pmem.Stats.read_faults
+    st2.Pmem.Stats.read_faults;
+  Alcotest.(check bool) "read_meta charges latency" true (Device.now_ns dev > t0)
+
 (* {1 Harness integration} *)
 
 (* Same seed => byte-identical report (including the fault counters). *)
@@ -326,6 +361,8 @@ let () =
             test_superblock_corruption_refuses_mount;
           Alcotest.test_case "transient read EIO" `Quick
             test_read_errors_surface_as_eio;
+          Alcotest.test_case "read-fault accounting" `Quick
+            test_read_fault_accounting;
         ] );
       ( "harness",
         [

@@ -271,6 +271,57 @@ let test_fuzzer_with_media_faults () =
        r1.F.r_harness.Crashcheck.Harness.violations);
   Alcotest.(check bool) "deterministic" true (r1 = r2)
 
+(* {1 Engine equivalence and parallel sharding} *)
+
+(* The Copy and Delta engines probe the same crash-state sets in the
+   same order; only the work done per state differs. Reports must agree
+   on everything except the dedup counter (Copy never memoizes). *)
+let test_engines_equivalent () =
+  let cfg k =
+    { F.default_cfg with seed = 5; iters = 10; op_budget = 6;
+      buggy_rate = 0.25; engine = k }
+  in
+  let rc = F.run (cfg Crashcheck.Harness.Copy)
+  and rd = F.run (cfg Crashcheck.Harness.Delta) in
+  let strip r =
+    { r with
+      F.r_harness =
+        { r.F.r_harness with Crashcheck.Harness.states_deduped = 0 } }
+  in
+  Alcotest.(check bool) "identical modulo dedup counter" true
+    (strip rc = strip rd);
+  Alcotest.(check int) "Copy engine never dedups" 0
+    rc.F.r_harness.Crashcheck.Harness.states_deduped;
+  (* A 10-iteration run revisits plenty of recovered states: the Delta
+     engine's memo table must actually fire. *)
+  Alcotest.(check bool) "Delta engine dedups" true
+    (rd.F.r_harness.Crashcheck.Harness.states_deduped > 0)
+
+(* Sharding the seed space across domains is invisible in the merged,
+   canonicalized report: -j 3 == -j 1, bit for bit. *)
+let test_parallel_matches_sequential () =
+  let cfg =
+    { F.default_cfg with seed = 13; iters = 9; op_budget = 6; buggy_rate = 0.3 }
+  in
+  let r1 = F.Parallel.canonicalize (F.Parallel.run ~jobs:1 cfg) in
+  let r3 = F.Parallel.canonicalize (F.Parallel.run ~jobs:3 cfg) in
+  Alcotest.(check int) "same iters" r1.F.r_iters r3.F.r_iters;
+  Alcotest.(check (list int)) "same found iterations"
+    (List.map (fun f -> f.F.fd_iter) r1.F.r_found)
+    (List.map (fun f -> f.F.fd_iter) r3.F.r_found);
+  Alcotest.(check bool) "same shrunk reproducers" true
+    (List.map (fun f -> f.F.fd_min) r1.F.r_found
+    = List.map (fun f -> f.F.fd_min) r3.F.r_found);
+  let counters r =
+    Crashcheck.Harness.
+      ( r.F.r_harness.crash_states,
+        r.F.r_harness.media_states,
+        r.F.r_harness.states_deduped,
+        List.length r.F.r_harness.violations )
+  in
+  Alcotest.(check bool) "same merged counters" true (counters r1 = counters r3);
+  Alcotest.(check int) "same sim time" r1.F.r_sim_ns r3.F.r_sim_ns
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -309,5 +360,12 @@ let () =
           Alcotest.test_case "generator" `Quick test_generator_deterministic;
           Alcotest.test_case "media faults deterministic" `Quick
             test_fuzzer_with_media_faults;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "Copy == Delta modulo dedup" `Slow
+            test_engines_equivalent;
+          Alcotest.test_case "-j 3 == -j 1 canonicalized" `Slow
+            test_parallel_matches_sequential;
         ] );
     ]

@@ -243,6 +243,39 @@ let test_sampling_cap () =
   Alcotest.(check bool) "latest extreme included" true
     (List.exists (Bytes.equal (Device.image_latest dev)) images)
 
+let test_sampling_distinct () =
+  let dev = mk ~size:1024 () in
+  (* 7 independent words -> 128 images > max_images=8: the sampler must
+     top up to 8 *distinct* states (RNG collisions with each other or
+     with the two extremes must not shrink coverage). *)
+  for i = 0 to 6 do
+    Device.store_u64 dev (i * 64) (i + 1)
+  done;
+  let images = Device.crash_images ~max_images:8 dev in
+  Alcotest.(check int) "exactly max_images" 8 (List.length images);
+  let distinct =
+    List.sort_uniq compare (List.map Bytes.to_string images) |> List.length
+  in
+  Alcotest.(check int) "all distinct" 8 distinct
+
+let test_enumeration_sorted () =
+  let dev = mk () in
+  (* Stores issued high-line-first: enumeration must still be by
+     ascending line index (first odometer coordinate = lowest line), not
+     by pending-table insertion/hash order. The odometer emits results
+     newest-combination-first, so with one record per line the result is
+     [(both); (high only); (low only); (none)]. *)
+  Device.store_u64 dev 512 0xBB;
+  Device.store_u64 dev 64 0xAA;
+  let images = Device.crash_images dev in
+  Alcotest.(check int) "2x2 states" 4 (List.length images);
+  let v img off = Int64.to_int (Bytes.get_int64_le img off) in
+  let nth n = List.nth images n in
+  Alcotest.(check (pair int int)) "images[1] = high line only" (0, 0xBB)
+    (v (nth 1) 64, v (nth 1) 512);
+  Alcotest.(check (pair int int)) "images[2] = low line only" (0xAA, 0)
+    (v (nth 2) 64, v (nth 2) 512)
+
 (* Property tests *)
 
 let prop_persist_all_makes_durable =
@@ -319,6 +352,8 @@ let unit_tests =
     ("bounds checked", `Quick, test_bounds_checked);
     ("quiescent crash count", `Quick, test_crash_image_count_quiescent);
     ("sampling cap", `Quick, test_sampling_cap);
+    ("sampling distinct", `Quick, test_sampling_distinct);
+    ("enumeration sorted by line", `Quick, test_enumeration_sorted);
   ]
 
 let prop_tests =
