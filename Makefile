@@ -38,9 +38,13 @@ bench: build
 	dune exec bench/main.exe
 
 # States/sec perf trajectory, machine-readable: legacy-copy vs delta-view
-# engines plus the -j sharding determinism check, written to
-# BENCH_fuzz.json. The full variant runs on the 32 MB volume; the quick
-# variant (part of `make check`) on a small one.
+# engines plus the -j scaling section (work-stealing scheduler; iteration
+# count scales with the job count; reports speedup, parallel_efficiency =
+# speedup/jobs, host_cores, and per-shard iter/chunk/wall stats), written
+# to BENCH_fuzz.json. Both variants warn loudly when -j N is slower than
+# -j 1 on the same work; the full variant additionally exits non-zero —
+# but only on hosts with >1 core, where a speedup is physically possible.
+# The quick variant is part of `make check`.
 bench-json: build
 	dune exec bench/main.exe -- fuzz-json
 

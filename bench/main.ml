@@ -593,6 +593,7 @@ type fuzz_measure = {
   fm_sim_ns : int;
   fm_wall : float;
   fm_report : Fuzzer.report;
+  fm_shards : Fuzzer.Parallel.shard_stat list;
 }
 
 let fuzz_cfg ?(seed = 7) ?(buggy_rate = 0.) ~engine ~mb ~iters ~op_budget () =
@@ -610,7 +611,7 @@ let fuzz_cfg ?(seed = 7) ?(buggy_rate = 0.) ~engine ~mb ~iters ~op_budget () =
 
 let measure_fuzz ?(jobs = 1) cfg =
   let t0 = Unix.gettimeofday () in
-  let r = Fuzzer.Parallel.run ~jobs cfg in
+  let r, shards = Fuzzer.Parallel.run_stats ~jobs cfg in
   let wall = Unix.gettimeofday () -. t0 in
   let h = r.Fuzzer.r_harness in
   {
@@ -620,6 +621,7 @@ let measure_fuzz ?(jobs = 1) cfg =
     fm_sim_ns = r.Fuzzer.r_sim_ns;
     fm_wall = wall;
     fm_report = r;
+    fm_shards = shards;
   }
 
 let states_per_wall m =
@@ -693,7 +695,7 @@ let fuzz () =
    [fuzz-json-quick] (small volume, wired into `make check`) write the
    same JSON shape so CI can track states/sec from PR to PR. *)
 
-let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs () =
+let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
   section
     (Printf.sprintf "BENCH_fuzz.json (%s: %d MB volume, %d iters, -j %d)" mode
        mb iters jobs);
@@ -704,12 +706,18 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs () =
     measure_fuzz (fuzz_cfg ~engine:Crashcheck.Harness.Delta ~mb ~iters ~op_budget ())
   in
   let engines_equiv = fuzz_reports_equivalent copy.fm_report delta.fm_report in
-  (* Sharding check on the default volume with mutants on: -j N must
-     reproduce the -j 1 report (canonicalized) exactly. *)
+  (* Scaling check on the default volume with mutants on: -j N must
+     reproduce the -j 1 report (both canonicalized by [run_stats])
+     bit-for-bit, and its wall clock is compared against -j 1 over the
+     SAME total iteration count. The count scales with the job count
+     ([jiters_per_job] iterations per requested job) so every domain has
+     real work — a fixed count smaller than [jobs] would spawn idle
+     domains and bill their spawn/join cost to the parallel run. *)
+  let jiters = jiters_per_job * jobs in
   let jcfg =
     {
       (fuzz_cfg ~seed:1 ~buggy_rate:0.15 ~engine:Crashcheck.Harness.Delta ~mb:0
-         ~iters:10 ~op_budget:6 ())
+         ~iters:jiters ~op_budget:6 ())
       with
       Fuzzer.device_size = Fuzzer.default_cfg.Fuzzer.device_size;
       shrink = true;
@@ -717,7 +725,10 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs () =
   in
   let j1 = measure_fuzz ~jobs:1 jcfg in
   let jn = measure_fuzz ~jobs jcfg in
-  let jobs_equiv = fuzz_reports_equivalent j1.fm_report jn.fm_report in
+  let jobs_equiv = j1.fm_report = jn.fm_report in
+  let host_cores = Domain.recommended_domain_count () in
+  let speedup = if jn.fm_wall > 0. then j1.fm_wall /. jn.fm_wall else 0. in
+  let parallel_efficiency = speedup /. float_of_int jobs in
   let states_per_sim m =
     if m.fm_sim_ns > 0 then
       float_of_int m.fm_states *. 1e9 /. float_of_int m.fm_sim_ns
@@ -735,6 +746,17 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs () =
       m.fm_states m.fm_deduped (dedup_ratio m) m.fm_wall (states_per_wall m)
       (states_per_sim m)
   in
+  let shards_json =
+    String.concat ",\n"
+      (List.map
+         (fun (s : Fuzzer.Parallel.shard_stat) ->
+           Printf.sprintf
+             "    { \"shard\": %d, \"iters\": %d, \"chunks\": %d, \
+              \"wall_s\": %.4f }"
+             s.Fuzzer.Parallel.ss_shard s.Fuzzer.Parallel.ss_iters
+             s.Fuzzer.Parallel.ss_chunks s.Fuzzer.Parallel.ss_wall_s)
+         jn.fm_shards)
+  in
   let json =
     Printf.sprintf
       "{\n\
@@ -746,12 +768,22 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs () =
       \  \"delta\": %s,\n\
       \  \"speedup_delta_over_copy\": %.2f,\n\
       \  \"engines_equivalent\": %b,\n\
-      \  \"jobs\": { \"n\": %d, \"j1_wall_s\": %.4f, \"jn_wall_s\": %.4f, \
-       \"identical_reports\": %b }\n\
+      \  \"jobs\": {\n\
+      \    \"n\": %d,\n\
+      \    \"host_cores\": %d,\n\
+      \    \"iters\": %d,\n\
+      \    \"j1_wall_s\": %.4f,\n\
+      \    \"jn_wall_s\": %.4f,\n\
+      \    \"speedup\": %.3f,\n\
+      \    \"parallel_efficiency\": %.3f,\n\
+      \    \"identical_reports\": %b,\n\
+      \    \"shards\": [\n%s\n    ]\n\
+      \  }\n\
        }\n"
       mode mb iters op_budget (engine_json copy) (engine_json delta)
       (states_per_wall delta /. states_per_wall copy)
-      engines_equiv jobs j1.fm_wall jn.fm_wall jobs_equiv
+      engines_equiv jobs host_cores jiters j1.fm_wall jn.fm_wall speedup
+      parallel_efficiency jobs_equiv shards_json
   in
   let oc = open_out "BENCH_fuzz.json" in
   output_string oc json;
@@ -761,13 +793,33 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs () =
   if not (engines_equiv && jobs_equiv) then begin
     Printf.printf "BENCH_fuzz: ENGINE OR SHARDING MISMATCH\n";
     exit 2
+  end;
+  (* Scaling gate: -j N slower than -j 1 on the same work is the
+     regression this section exists to catch. On a single-core host the
+     comparison cannot show a speedup (domains time-slice one CPU), so
+     the gate only fails the build when the host actually has the cores
+     to scale with. *)
+  if jn.fm_wall > j1.fm_wall then begin
+    Printf.printf
+      "BENCH_fuzz: WARNING: -j %d wall (%.3fs) exceeds -j 1 wall (%.3fs)%s\n"
+      jobs jn.fm_wall j1.fm_wall
+      (if host_cores <= 1 then
+         Printf.sprintf " [host has %d core: parallel speedup impossible]"
+           host_cores
+       else "");
+    if mode = "full" && host_cores > 1 then begin
+      Printf.printf "BENCH_fuzz: PARALLEL SCALING REGRESSION\n";
+      exit 3
+    end
   end
 
 let fuzz_json () =
-  fuzz_json_common ~mode:"full" ~mb:32 ~iters:2 ~op_budget:5 ~jobs:4 ()
+  fuzz_json_common ~mode:"full" ~mb:32 ~iters:2 ~op_budget:5 ~jobs:4
+    ~jiters_per_job:6 ()
 
 let fuzz_json_quick () =
-  fuzz_json_common ~mode:"quick" ~mb:2 ~iters:2 ~op_budget:4 ~jobs:4 ()
+  fuzz_json_common ~mode:"quick" ~mb:2 ~iters:2 ~op_budget:4 ~jobs:4
+    ~jiters_per_job:2 ()
 
 let sections =
   [

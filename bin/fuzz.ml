@@ -64,8 +64,17 @@ let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_s
           engine;
         }
       in
-      let r = Fuzzer.Parallel.run ~jobs cfg in
+      let cores = Domain.recommended_domain_count () in
+      if jobs > cores then
+        Printf.eprintf
+          "fuzz: warning: -j %d exceeds the %d core(s) this host offers; \
+           domains will time-slice\n\
+           %!"
+          jobs cores;
+      let r, shards = Fuzzer.Parallel.run_stats ~jobs cfg in
       Format.printf "%a@." Fuzzer.pp_report r;
+      if jobs > 1 then
+        Format.printf "%a@." Fuzzer.Parallel.pp_shard_stats shards;
       if expect_buggy then begin
         (* acceptance: every mutant re-discovered, every reproducer small *)
         let kinds = Fuzzer.kinds_found r in
@@ -132,9 +141,10 @@ let () =
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
-            "Shard iterations across N domains; the merged report is \
-             bit-identical to -j 1 (found reproducers canonicalized by \
-             iteration)")
+            "Run iterations on N domains via a chunked work-stealing \
+             scheduler (clamped to the iteration count); the merged report \
+             is bit-identical to -j 1 after canonicalization, and per-shard \
+             iteration/chunk/wall stats are printed")
   in
   let engine =
     Arg.(

@@ -113,6 +113,22 @@ let live_objects fs =
   walk "/";
   List.rev !out
 
+(* Cross-workload verdict memos. The content-determined part of a crash
+   state's verdict depends only on the image bytes, and the full-content
+   view hash is canonical across devices of the same size — so carrying
+   the tables across the workloads of a suite (all run at one
+   [device_size]) is sound and skips re-checking states that recur from
+   workload to workload (empty-tree and single-file states recur
+   constantly). The [states_deduped] counter stays per-workload (see
+   [check_image]), so reports are independent of memo lifetime. *)
+type memo = {
+  m_states : (int64, string list * Logical.t option) Hashtbl.t;
+  m_media : (int64, string list) Hashtbl.t;
+}
+
+let memo_create () =
+  { m_states = Hashtbl.create 1024; m_media = Hashtbl.create 256 }
+
 (* Deterministically pick [k] distinct elements (partial Fisher-Yates). *)
 let pick_k rng k xs =
   let arr = Array.of_list xs in
@@ -128,7 +144,7 @@ let pick_k rng k xs =
 
 let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
     ?(media_images_per_fence = 4) ?(compare_data = false)
-    ?(faults = Faults.none) ?(engine = Delta) ops =
+    ?(faults = Faults.none) ?(engine = Delta) ?memo ops =
   let faulty = not (Faults.is_none faults) in
   (* Media faults only make sense on a volume that can detect them:
      fault runs format with checksummed metadata records. *)
@@ -234,9 +250,16 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
     in
     (List.rev !bad, cap)
   in
-  let memo : (int64, string list * Logical.t option) Hashtbl.t =
-    Hashtbl.create 512
+  (* Verdict caches: caller-carried when a [?memo] is shared across
+     workloads, local otherwise. The [seen] tables are always local to
+     this workload — [states_deduped] counts duplicates within one
+     workload only, so the report does not depend on memo lifetime. *)
+  let memo, memo_media =
+    match memo with
+    | Some m -> (m.m_states, m.m_media)
+    | None -> (Hashtbl.create 512, Hashtbl.create 128)
   in
+  let seen = Hashtbl.create 256 and seen_media = Hashtbl.create 64 in
   let check_image v ~legal =
     incr states;
     if Sys.getenv_opt "CRASHCHECK_DEBUG" <> None then Printf.eprintf "  image %d (op %d)\n%!" !states !cur_op;
@@ -245,10 +268,9 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
       | Copy -> check_state v
       | Delta -> (
           let h = Device.view_hash dev v in
+          if Hashtbl.mem seen h then incr deduped else Hashtbl.replace seen h ();
           match Hashtbl.find_opt memo h with
-          | Some verdict ->
-              incr deduped;
-              verdict
+          | Some verdict -> verdict
           | None ->
               let verdict = check_state v in
               Hashtbl.replace memo h verdict;
@@ -285,7 +307,6 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
         | exception e ->
             [ "media crash image: fsck raised " ^ Printexc.to_string e ])
   in
-  let memo_media : (int64, string list) Hashtbl.t = Hashtbl.create 128 in
   let check_media_image v =
     incr media_states;
     let bads =
@@ -293,10 +314,10 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
       | Copy -> check_media_state v
       | Delta -> (
           let h = Device.view_hash dev v in
+          if Hashtbl.mem seen_media h then incr deduped
+          else Hashtbl.replace seen_media h ();
           match Hashtbl.find_opt memo_media h with
-          | Some verdict ->
-              incr deduped;
-              verdict
+          | Some verdict -> verdict
           | None ->
               let verdict = check_media_state v in
               Hashtbl.replace memo_media h verdict;
@@ -436,13 +457,16 @@ let run_workload ?(device_size = 512 * 1024) ?(max_images_per_fence = 12)
 let run_suite ?device_size ?max_images_per_fence ?media_images_per_fence
     ?compare_data ?faults ?engine ?progress workloads =
   let total = List.length workloads in
+  (* One verdict memo for the whole suite: every workload runs at the
+     same device size, so content-determined verdicts carry over. *)
+  let memo = memo_create () in
   List.fold_left
     (fun (i, acc) w ->
       (match progress with Some f -> f i total | None -> ());
       ( i + 1,
         merge acc
           (run_workload ?device_size ?max_images_per_fence
-             ?media_images_per_fence ?compare_data ?faults ?engine w) ))
+             ?media_images_per_fence ?compare_data ?faults ?engine ~memo w) ))
     (0, empty) workloads
   |> snd
 

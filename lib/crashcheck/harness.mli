@@ -75,6 +75,17 @@ type engine = Copy | Delta
     state sets (same views, same RNG consumption) and report identical
     violations; only the work done per state differs. *)
 
+type memo
+(** Cross-workload cache of content-determined crash-state verdicts,
+    keyed by full-content view hash ([Delta] engine only). Sound to
+    share across any runs that use the same [device_size] (the hash is
+    canonical across same-size devices); sharing never changes a report —
+    [states_deduped] stays per-workload — it only skips recomputation of
+    states that recur between workloads. Single-domain state: never
+    share a memo across domains. *)
+
+val memo_create : unit -> memo
+
 val run_workload :
   ?device_size:int ->
   ?max_images_per_fence:int ->
@@ -82,11 +93,13 @@ val run_workload :
   ?compare_data:bool ->
   ?faults:Faults.Plan.t ->
   ?engine:engine ->
+  ?memo:memo ->
   Workload.op list ->
   report
 (** Defaults: 512 KiB device, 12 images per fence, 4 media images per
     fence, [faults = Faults.none] (in which case the run is bit-identical
-    to the pre-fault-subsystem harness), [engine = Delta]. [compare_data]
+    to the pre-fault-subsystem harness), [engine = Delta], no shared
+    [?memo] (verdicts cached within the workload only). [compare_data]
     (default false) additionally compares file contents against the
     oracle — only meaningful for workloads whose data writes are all
     [Write_atomic], since regular data writes are not crash-atomic (in
@@ -102,6 +115,9 @@ val run_suite :
   ?progress:(int -> int -> unit) ->
   Workload.op list list ->
   report
+(** Folds {!run_workload} over the suite with {!merge}, sharing one
+    {!memo} across all workloads (they run at one device size, so
+    verdicts for recurring states carry over). *)
 
 val empty : report
 val merge : report -> report -> report

@@ -55,19 +55,21 @@ type report = {
   r_found : found list;
 }
 
-let exec cfg ops =
+let exec ?pool cfg ops =
   Exec.run ~device_size:cfg.device_size ~max_images_per_fence:cfg.max_images
     ~media_images_per_fence:cfg.media_images ~faults:cfg.faults ?latency:cfg.latency
-    ~engine:cfg.engine ops
+    ~engine:cfg.engine ?pool ops
 
-(* [iter_offset]/[iter_stride] shard the iteration space for the
-   domain-parallel runner: the shard owns iterations
-   {iter_offset, iter_offset + iter_stride, ...} < cfg.iters. Each
-   iteration reseeds from (0x5EED, seed, iter) regardless of which shard
-   runs it, so the union of all shards' work — and therefore the merged
-   report — is the (1, 0)-shard run, independent of the sharding. *)
-let run ?progress ?(iter_offset = 0) ?(iter_stride = 1) cfg =
-  if iter_stride < 1 then invalid_arg "Fuzzer.run: iter_stride < 1";
+(* Scheduler-driven core: [next] hands out iteration indexes (a plain
+   counter for the sequential [run] below, chunks claimed from a shared
+   atomic cursor in [Parallel]); every iteration still reseeds from
+   (0x5EED, seed, iter), so the set of indexes [next] yields — never who
+   yields them or in what order — determines the report. Each call owns
+   one {!Exec.Pool}: the device, scratch engine and fsck-verdict memos
+   are reused across every iteration (and shrinker re-execution) this
+   call runs, which is what makes handing out small chunks cheap. *)
+let run_sched ?on_iter_start ?on_iter_done ~next cfg =
+  let pool = Exec.Pool.create () in
   let harness = ref H.empty in
   let divergences = ref 0 and sim_ns = ref 0 and shrink_runs = ref 0 in
   let found = ref [] in
@@ -78,19 +80,20 @@ let run ?progress ?(iter_offset = 0) ?(iter_stride = 1) cfg =
   in
   (* shrinker re-executions accounted like any other run *)
   let exec_acc ops =
-    let o = exec cfg ops in
+    let o = exec ~pool cfg ops in
     account o;
     o
   in
-  let next_iter = ref iter_offset in
-  while !next_iter < cfg.iters do
-    let iter = !next_iter in
-    next_iter := iter + iter_stride;
-    (match progress with Some f -> f iter cfg.iters | None -> ());
+  let continue = ref true in
+  while !continue do
+   match next () with
+   | None -> continue := false
+   | Some iter ->
+    (match on_iter_start with Some f -> f iter | None -> ());
     let rng = Random.State.make [| 0x5EED; cfg.seed; iter |] in
     let ops = Gen.sequence rng { Gen.op_budget = cfg.op_budget; buggy_rate = cfg.buggy_rate } in
     let res = exec_acc ops in
-    match res.Exec.o_fail with
+    (match res.Exec.o_fail with
     | None -> ()
     | Some (cp, detail) ->
         let min_ops, det, mcp, sruns =
@@ -121,7 +124,8 @@ let run ?progress ?(iter_offset = 0) ?(iter_stride = 1) cfg =
             fd_detail = det;
             fd_shrink_runs = sruns;
           }
-          :: !found
+          :: !found);
+    (match on_iter_done with Some f -> f iter | None -> ())
   done;
   {
     r_seed = cfg.seed;
@@ -133,6 +137,28 @@ let run ?progress ?(iter_offset = 0) ?(iter_stride = 1) cfg =
     r_sim_ns = !sim_ns;
     r_found = List.rev !found;
   }
+
+(* [iter_offset]/[iter_stride] statically shard the iteration space:
+   the shard owns iterations {iter_offset, iter_offset + iter_stride,
+   ...} < cfg.iters. Kept as the simple sequential entry point (and for
+   static-sharding comparisons); the domain-parallel runner schedules
+   through [run_sched] directly. [progress] keeps its historical
+   pre-iteration (iter, total) semantics. *)
+let run ?progress ?(iter_offset = 0) ?(iter_stride = 1) cfg =
+  if iter_stride < 1 then invalid_arg "Fuzzer.run: iter_stride < 1";
+  let next_iter = ref iter_offset in
+  let next () =
+    if !next_iter < cfg.iters then begin
+      let v = !next_iter in
+      next_iter := v + iter_stride;
+      Some v
+    end
+    else None
+  in
+  run_sched
+    ?on_iter_start:
+      (Option.map (fun f -> fun iter -> f iter cfg.iters) progress)
+    ~next cfg
 
 (* {2 Buggy-mutant accounting: the fuzzer's own acceptance test} *)
 

@@ -99,9 +99,72 @@ let apply_sq (ctx : Sq.Fsctx.t) (op : W.op) : (unit, Errno.t) result =
                 | () -> Ok ()
                 | exception Failure _ -> Error Errno.ENOSPC)))
 
+(* {2 Per-domain resource pool}
+
+   Fresh-device fuzzing pays a large constant per iteration: allocate two
+   device-sized buffers, simulate mkfs store by store, then (Delta
+   engine) copy the device again into a new scratch. A pool amortizes
+   all of it across the iterations of one driver/shard: the first
+   acquisition formats a device once and snapshots the post-mkfs durable
+   image as a template; every later acquisition blits the template back
+   over the same buffers ({!Device.reset}), reusing the attached scratch
+   too. The pool also carries the fsck-verdict memo tables across
+   iterations: verdicts are content-determined (keyed by full-content
+   view hash), so a state revisited in a later iteration skips the
+   remount + fsck entirely. The [states_deduped] counter stays run-local
+   (see [check_image]), so reports are independent of pooling.
+
+   A pool is single-domain state: share one per domain, never across. *)
+module Pool = struct
+  type entry = {
+    e_dev : Device.t;
+    e_tmpl : Bytes.t;  (* post-mkfs durable image *)
+    mutable e_hash : (int64 array * int64) option;  (* lazy template hash *)
+  }
+
+  type key = { k_size : int; k_csum : bool; k_latency : Pmem.Latency.t option }
+
+  type t = {
+    mutable slot : (key * entry) option;
+    memo : (int64, (Logical.t, string) result) Hashtbl.t;
+    memo_media : (int64, string option) Hashtbl.t;
+  }
+
+  let create () =
+    { slot = None; memo = Hashtbl.create 1024; memo_media = Hashtbl.create 256 }
+
+  (* A ready-to-mount formatted device: template-blit on reuse, real mkfs
+     only on first acquisition (or when the configuration changes, which
+     also invalidates the content-hash-keyed memos). *)
+  let acquire p ~size ~csum ~latency =
+    let key = { k_size = size; k_csum = csum; k_latency = latency } in
+    match p.slot with
+    | Some (k, e) when k = key ->
+        let hash =
+          match e.e_hash with
+          | Some h -> h
+          | None ->
+              let h = Device.image_hash_state e.e_tmpl in
+              e.e_hash <- Some h;
+              h
+        in
+        Device.reset ~hash e.e_dev ~image:e.e_tmpl;
+        e.e_dev
+    | Some _ | None ->
+        if p.slot <> None then begin
+          Hashtbl.reset p.memo;
+          Hashtbl.reset p.memo_media
+        end;
+        let dev = Device.create ?latency ~size () in
+        Sq.Mount.mkfs ~csum dev;
+        p.slot <-
+          Some (key, { e_dev = dev; e_tmpl = Device.image_durable dev; e_hash = None });
+        dev
+end
+
 let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
     ?(media_images_per_fence = 4) ?(faults = Faults.none) ?latency
-    ?(engine = H.Delta) ops =
+    ?(engine = H.Delta) ?pool ops =
   let faulty = not (Faults.is_none faults) in
   let media =
     faulty
@@ -110,8 +173,18 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
   let csum = faulty in
   let n = List.length ops in
   let opsa = Array.of_list ops in
-  let dev = Device.create ?latency ~size:device_size () in
-  Sq.Mount.mkfs ~csum dev;
+  let dev =
+    match pool with
+    | Some p -> Pool.acquire p ~size:device_size ~csum ~latency
+    | None ->
+        let dev = Device.create ?latency ~size:device_size () in
+        Sq.Mount.mkfs ~csum dev;
+        dev
+  in
+  (* Simulated time is charged from the post-mkfs baseline (0 on a pooled
+     reset), so [o_sim_ns] covers the workload only and is identical
+     whether or not the device came from a pool. *)
+  let sim_base = Device.now_ns dev in
   let fs =
     match Sq.mount dev with
     | Ok fs -> fs
@@ -139,10 +212,16 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
        shrinker minimizes, so stop exploring this sequence *)
     raise Abort
   in
-  (* Delta engine: one scratch buffer for the whole run, views patched in
-     place and mounted zero-copy; Copy engine: legacy materialize +
+  (* Delta engine: one scratch buffer for the whole run (reusing the
+     pooled device's attached scratch when there is one), views patched
+     in place and mounted zero-copy; Copy engine: legacy materialize +
      of_image per state. *)
-  let scr = lazy (Device.scratch dev) in
+  let scr =
+    lazy
+      (match Device.attached_scratch dev with
+      | Some s -> s
+      | None -> Device.scratch dev)
+  in
   let mount_view v =
     match engine with
     | H.Delta ->
@@ -181,7 +260,17 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
                       | exception Failure msg -> Error ("capture: " ^ msg)
                       | got -> Ok got))))
   in
-  let memo = Hashtbl.create 512 in
+  (* Verdict caches: pool-carried when pooled (so states revisited across
+     iterations skip the recheck), run-local otherwise. The [seen] tables
+     are always run-local — [states_deduped] counts duplicates *within*
+     this run only, which keeps reports independent of pooling and of how
+     iterations are partitioned across domains. *)
+  let memo, memo_media =
+    match pool with
+    | Some p -> (p.Pool.memo, p.Pool.memo_media)
+    | None -> (Hashtbl.create 512, Hashtbl.create 128)
+  in
+  let seen = Hashtbl.create 256 and seen_media = Hashtbl.create 64 in
   let check_image ~image v =
     incr states;
     let verdict =
@@ -189,10 +278,9 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
       | H.Copy -> check_state v
       | H.Delta -> (
           let h = Device.view_hash dev v in
+          if Hashtbl.mem seen h then incr deduped else Hashtbl.replace seen h ();
           match Hashtbl.find_opt memo h with
-          | Some verdict ->
-              incr deduped;
-              verdict
+          | Some verdict -> verdict
           | None ->
               let verdict = check_state v in
               Hashtbl.replace memo h verdict;
@@ -223,7 +311,6 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
         | exception e ->
             Some ("media crash image: fsck raised " ^ Printexc.to_string e))
   in
-  let memo_media = Hashtbl.create 128 in
   let check_media_image ~image v =
     incr media_states;
     let verdict =
@@ -231,10 +318,10 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
       | H.Copy -> check_media_state v
       | H.Delta -> (
           let h = Device.view_hash dev v in
+          if Hashtbl.mem seen_media h then incr deduped
+          else Hashtbl.replace seen_media h ();
           match Hashtbl.find_opt memo_media h with
-          | Some verdict ->
-              incr deduped;
-              verdict
+          | Some verdict -> verdict
           | None ->
               let verdict = check_media_state v in
               Hashtbl.replace memo_media h verdict;
@@ -315,5 +402,5 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
       };
     o_fail = !fail;
     o_divergences = !divergences;
-    o_sim_ns = Device.now_ns dev;
+    o_sim_ns = Device.now_ns dev - sim_base;
   }

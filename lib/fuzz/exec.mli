@@ -19,8 +19,24 @@ type outcome = {
   o_divergences : int;
       (** benign capacity divergences (SquirrelFS [ENOSPC]/[EMLINK] where
           the unlimited model succeeded; the model is rolled back) *)
-  o_sim_ns : int;  (** simulated ns consumed on the main device *)
+  o_sim_ns : int;
+      (** simulated ns consumed on the main device by the workload itself
+          (charged from the post-mkfs baseline, so the value is identical
+          whether the device was fresh or pooled) *)
 }
+
+(** Per-domain resource pool: one formatted device (template-blit reset
+    between runs instead of allocate + mkfs), its scratch engine, and the
+    content-hash-keyed fsck-verdict memo tables, all carried across the
+    runs that share the pool. Pooling is invisible in outcomes: reports,
+    [states_deduped] and [o_sim_ns] are bit-identical with and without a
+    pool. A pool is single-domain state — share one per domain/shard,
+    never across domains. *)
+module Pool : sig
+  type t
+
+  val create : unit -> t
+end
 
 val apply_sq : Squirrelfs.Fsctx.t -> Crashcheck.Workload.op -> (unit, Vfs.Errno.t) result
 (** Apply one op to a live SquirrelFS, [Buggy_*] variants included (guarded
@@ -35,10 +51,12 @@ val run :
   ?faults:Faults.Plan.t ->
   ?latency:Pmem.Latency.t ->
   ?engine:Crashcheck.Harness.engine ->
+  ?pool:Pool.t ->
   Crashcheck.Workload.op list ->
   outcome
 (** Defaults: 256 KiB device, 8 crash images per fence, 4 media images
-    per fence, [Faults.none], zero latency, [engine = Delta]. With a
+    per fence, [Faults.none], zero latency, [engine = Delta], no pool
+    (fresh device + mkfs per call). With a
     non-trivial [?faults] plan the volume is formatted [~csum:true], the
     plan is installed, and torn/stuck media images (from
     [crash_views_faulty]) get the graceful-handling check on top of the

@@ -1,16 +1,32 @@
-(* Domain-parallel fuzzing.
+(* Domain-parallel fuzzing with a chunked work-stealing scheduler.
 
-   The iteration space is sharded across OCaml 5 domains: shard [k] of
-   [jobs] runs iterations {k, k + jobs, k + 2*jobs, ...} through the
-   ordinary single-threaded [Driver] on its own private device. Every
-   iteration reseeds from (0x5EED, seed, iter) — never from domain
-   identity or scheduling — so the union of the shards' work is exactly
-   the [-j 1] run, and the merged report is bit-identical to it modulo
-   ordering (found reproducers are canonicalized by sorting on their
-   iteration index; harness violation lists keep shard order).
+   Why not static striding: shard [k] running {k, k+jobs, ...} divides
+   the *indexes* evenly but not the *work* — iterations that find a
+   violation pay for shrinking (dozens of re-executions), so one unlucky
+   shard can run several times longer than the rest while they sit idle,
+   and with fewer iterations than jobs some shards are spawned with
+   nothing to do at all. Here the iteration space is a shared atomic
+   cursor instead: every domain claims the next [chunk] iterations with
+   one [fetch_and_add] ("stealing" from the common pool), runs them
+   through the ordinary single-threaded [Driver.run_sched] on its own
+   private {!Exec.Pool} (pooled device + scratch + fsck memos, reused
+   across all iterations the domain ends up running), and comes back for
+   more. [jobs] is clamped to the number of iterations, so no domain is
+   ever spawned idle.
 
-   The only cross-domain state in the whole stack is [Mount.last_stats],
-   which is domain-local (Domain.DLS), so shards share nothing. *)
+   Determinism: every iteration reseeds from (0x5EED, seed, iter) —
+   never from domain identity or claim order — so the union of the
+   domains' work is exactly the [-j 1] run whatever the interleaving,
+   and [merge] (associative, commutative counters) + [canonicalize]
+   (total order on found reproducers and violations) make the merged
+   report bit-identical to the canonicalized [-j 1] report. The memo
+   tables a domain carries across its iterations only skip recomputation
+   of content-determined verdicts; the dedup *counter* is run-local in
+   [Exec], so no counter depends on how iterations were partitioned.
+
+   The only cross-domain mutable state in the stack is [Mount.last_stats]
+   (Domain.DLS, domain-local) plus the scheduler's own cursor/progress
+   atomics — shards share no file-system state. *)
 
 module H = Crashcheck.Harness
 
@@ -31,19 +47,95 @@ let canonicalize (r : Driver.report) : Driver.report =
       List.sort
         (fun a b -> compare a.Driver.fd_iter b.Driver.fd_iter)
         r.Driver.r_found;
+    r_harness =
+      {
+        r.Driver.r_harness with
+        H.violations = List.sort compare r.Driver.r_harness.H.violations;
+      };
   }
 
-let run ?(jobs = 1) ?progress cfg =
+type shard_stat = {
+  ss_shard : int;
+  ss_iters : int;
+  ss_chunks : int;
+  ss_wall_s : float;
+}
+
+let pp_shard_stats ppf stats =
+  Format.fprintf ppf "shard  iters  chunks   wall_s";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@.%5d  %5d  %6d  %7.3f" s.ss_shard s.ss_iters
+        s.ss_chunks s.ss_wall_s)
+    stats
+
+let run_stats ?(jobs = 1) ?(chunk = 1) ?progress cfg =
   if jobs < 1 then invalid_arg "Fuzzer.Parallel.run: jobs < 1";
-  if jobs = 1 then Driver.run ?progress cfg
-  else begin
-    (* Progress only from shard 0 (reporting from other domains would
-       interleave); shard 0 runs on the spawning domain. *)
-    let others =
-      List.init (jobs - 1) (fun k ->
-          Domain.spawn (fun () ->
-              Driver.run ~iter_offset:(k + 1) ~iter_stride:jobs cfg))
+  if chunk < 1 then invalid_arg "Fuzzer.Parallel.run: chunk < 1";
+  let total = cfg.Driver.iters in
+  (* Clamp to available work: spawning a domain that can never claim an
+     iteration charges its spawn/join cost for nothing. *)
+  let jobs = min jobs (max 1 total) in
+  let cursor = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let progress_mutex = Mutex.create () in
+  (* Global progress: an atomic completed-iteration counter shared by all
+     domains, reported after every iteration (serialized by a mutex so a
+     non-reentrant callback is safe). Each count 1..total is reported
+     exactly once. *)
+  let iter_done _iter =
+    let c = Atomic.fetch_and_add completed 1 + 1 in
+    match progress with
+    | Some f ->
+        Mutex.lock progress_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock progress_mutex)
+          (fun () -> f c total)
+    | None -> ()
+  in
+  let worker shard =
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 and chunks = ref 0 in
+    let lo = ref 0 and hi = ref 0 in
+    let next () =
+      if !lo < !hi then begin
+        let v = !lo in
+        lo := v + 1;
+        incr iters;
+        Some v
+      end
+      else
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= total then None
+        else begin
+          incr chunks;
+          lo := start + 1;
+          hi := min total (start + chunk);
+          incr iters;
+          Some start
+        end
     in
-    let r0 = Driver.run ?progress ~iter_offset:0 ~iter_stride:jobs cfg in
-    canonicalize (List.fold_left merge r0 (List.map Domain.join others))
+    let r = Driver.run_sched ~on_iter_done:iter_done ~next cfg in
+    ( r,
+      {
+        ss_shard = shard;
+        ss_iters = !iters;
+        ss_chunks = !chunks;
+        ss_wall_s = Unix.gettimeofday () -. t0;
+      } )
+  in
+  if jobs = 1 then begin
+    let r, st = worker 0 in
+    (canonicalize r, [ st ])
   end
+  else begin
+    let others =
+      List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    let r0, st0 = worker 0 in
+    let rest = List.map Domain.join others in
+    let report = List.fold_left (fun acc (r, _) -> merge acc r) r0 rest in
+    (canonicalize report, st0 :: List.map snd rest)
+  end
+
+let run ?jobs ?chunk ?progress cfg = fst (run_stats ?jobs ?chunk ?progress cfg)

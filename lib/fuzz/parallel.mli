@@ -1,6 +1,10 @@
-(** Domain-parallel fuzzing: shard the iteration space across OCaml 5
-    domains, each running the deterministic single-threaded {!Driver} on
-    a private device, and merge the per-shard reports. *)
+(** Domain-parallel fuzzing: a chunked work-stealing scheduler over the
+    iteration space. Domains claim chunks of iterations from a shared
+    atomic cursor (no static striding, so shrinking-heavy iterations
+    cannot strand the other domains idle), run them through the
+    deterministic single-threaded {!Driver} on a private pooled device,
+    and the per-shard reports merge into a report bit-identical to the
+    canonicalized [-j 1] run. *)
 
 val merge : Driver.report -> Driver.report -> Driver.report
 (** Associative merge of shard reports: harness counters through
@@ -8,13 +12,48 @@ val merge : Driver.report -> Driver.report -> Driver.report
     found lists concatenated. *)
 
 val canonicalize : Driver.report -> Driver.report
-(** Sort found reproducers by iteration index — the order the [-j 1] run
-    discovers them in. *)
+(** Scheduling-independent normal form: found reproducers sorted by
+    iteration index, harness violations sorted by a total (structural)
+    order. Two runs over the same iteration set canonicalize to equal
+    reports regardless of how the iterations were partitioned. *)
 
-val run : ?jobs:int -> ?progress:(int -> int -> unit) -> Driver.cfg -> Driver.report
-(** [run ~jobs cfg]: shard [k] of [jobs] runs iterations
-    [{k, k+jobs, ...}] (each reseeded from [(0x5EED, seed, iter)], never
-    from domain identity), so the merged, canonicalized report is
-    bit-identical to [Driver.run cfg] up to the ordering of the harness
-    violation list. [jobs = 1] (the default) is exactly [Driver.run].
-    [progress] reports only shard 0's iterations. *)
+type shard_stat = {
+  ss_shard : int;  (** 0 = the spawning domain *)
+  ss_iters : int;  (** iterations this domain executed *)
+  ss_chunks : int;  (** chunks it claimed from the shared cursor *)
+  ss_wall_s : float;  (** wall-clock seconds of its scheduling loop *)
+}
+
+val pp_shard_stats : Format.formatter -> shard_stat list -> unit
+
+val run_stats :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?progress:(int -> int -> unit) ->
+  Driver.cfg ->
+  Driver.report * shard_stat list
+(** [run_stats ~jobs ~chunk cfg]: work-stealing run plus per-shard
+    scheduling counters (side-band wall-clock observability; the report
+    itself never depends on timing). [jobs] is clamped to [cfg.iters] —
+    no domain is spawned without work — so the returned list has
+    [min jobs (max 1 cfg.iters)] entries. [chunk] (default 1) is the
+    number of iterations claimed per cursor fetch; iterations are
+    expensive (each explores hundreds of crash states), so fine-grained
+    claiming costs nothing and balances best. [progress] is invoked
+    after every completed iteration with [(completed, total)] routed
+    through a shared atomic counter — global progress, whichever domain
+    finished the iteration — serialized by a mutex; each completed count
+    [1..total] is reported exactly once, in no particular domain order. *)
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?progress:(int -> int -> unit) ->
+  Driver.cfg ->
+  Driver.report
+(** [run ~jobs cfg]: every iteration reseeds from [(0x5EED, seed, iter)],
+    never from domain identity or claim order, so the merged,
+    canonicalized report is bit-identical to
+    [canonicalize (Driver.run cfg)] — counters, sim-time, dedup counts,
+    violations and shrunk reproducers included. [jobs = 1] (the default)
+    runs on the calling domain. *)

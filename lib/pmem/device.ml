@@ -747,6 +747,64 @@ let revert_view s =
 
 let scratch_image s = Bytes.copy s.s_buf
 
+let attached_scratch t = t.attached
+
+(* {1 Pooled reuse}
+
+   [reset] rewinds a device to the state of a fresh [of_image image]
+   device without reallocating its buffers: the two full-device blits
+   replace the allocation + zeroing of [create] and the simulated mkfs
+   that produced [image] in the first place. Everything observable —
+   stats, clock, pending stores, fault machinery, hooks — is restored to
+   the fresh state, so a pooled device is indistinguishable from a new
+   one. The content-hash state is the one exception by default (it is
+   dropped and lazily re-enabled, exactly like a fresh device); callers
+   that reset to the same template many times pass [?hash] — computed
+   once with [image_hash_state] — to skip the O(device) rehash. *)
+
+let image_hash_state image =
+  let n = (Bytes.length image + line_size - 1) / line_size in
+  let lh =
+    Array.init n (fun idx ->
+        let off = idx * line_size in
+        let len = min line_size (Bytes.length image - off) in
+        fnv_bytes (fnv_int fnv_offset idx) image ~off ~len)
+  in
+  (lh, Array.fold_left Int64.logxor 0L lh)
+
+let reset ?hash t ~image =
+  if Bytes.length image <> t.size then
+    invalid_arg "Pmem.Device.reset: image size mismatch";
+  Bytes.blit image 0 t.durable 0 t.size;
+  Bytes.blit image 0 t.latest 0 t.size;
+  Hashtbl.reset t.lines;
+  Stats.reset t.stats;
+  t.now_ns <- 0;
+  t.fence_hook <- None;
+  t.in_fence <- false;
+  t.faults <- None;
+  t.ecc <- [||];
+  t.gen <- t.gen + 1;
+  t.taint <- None;
+  (match hash with
+  | Some (lh, base) ->
+      if Array.length lh <> line_count t then
+        invalid_arg "Pmem.Device.reset: hash state size mismatch";
+      if Array.length t.line_hash = 0 then t.line_hash <- Array.copy lh
+      else Array.blit lh 0 t.line_hash 0 (Array.length lh);
+      t.base_hash <- base
+  | None ->
+      t.line_hash <- [||];
+      t.base_hash <- 0L);
+  (* Keep the attached scratch (if any) mirroring the new base, so a
+     pooled device's scratch survives resets without reallocation. *)
+  match t.attached with
+  | Some s ->
+      scratch_forget s;
+      Bytes.blit t.durable 0 s.s_buf 0 t.size;
+      s.s_gen <- t.gen
+  | None -> ()
+
 let of_view ?(latency = Latency.zero) s =
   (* Borrowed device: [latest] and [durable] alias the scratch buffer
      (zero copies), and every mutation records its line in the taint

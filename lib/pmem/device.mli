@@ -211,6 +211,37 @@ val revert_view : scratch -> unit
 val scratch_image : scratch -> Bytes.t
 (** Copy of the scratch buffer's current contents (tests/debugging). *)
 
+val attached_scratch : t -> scratch option
+(** The scratch currently attached to the device (the one {!scratch}
+    created last and fences keep in sync), if any. Lets pooled callers
+    reuse one scratch across many runs instead of re-copying the device
+    each time; {!apply_view} self-heals if it has fallen out of sync. *)
+
+(** {2 Pooled reuse} *)
+
+val reset : ?hash:int64 array * int64 -> t -> image:Bytes.t -> unit
+(** [reset t ~image] rewinds the device in place to the state of a fresh
+    [of_image image] device, without reallocating: durable and visible
+    contents are blitted from [image] (which must match the device
+    size), pending stores, stats, the simulated clock, the fence hook,
+    any fault plan/ECC state and outstanding view/borrow bookkeeping are
+    all cleared. An attached scratch is kept attached and re-blitted to
+    the new base. Device-pool contract: after [reset], every observable
+    behaviour — stats, clock, crash-state enumeration, {!durable_hash} —
+    is identical to a fresh device with the same contents.
+
+    By default the content-hash state is dropped and lazily re-enabled
+    like on a fresh device (an O(device) pass on first use). Callers
+    resetting to the same template repeatedly should precompute
+    [?hash = image_hash_state image] once and pass it to make [reset]
+    O(device-blit) with no rehash. Not meaningful on borrowed
+    ({!of_view}) devices. *)
+
+val image_hash_state : Bytes.t -> int64 array * int64
+(** Per-line content-hash state of an image, as consumed by
+    [reset ~hash]: equals the [(line_hash, base_hash)] a device whose
+    durable image is [image] would maintain. *)
+
 val of_view : ?latency:Latency.t -> scratch -> t
 (** Zero-copy mount of the scratch's current contents: the returned
     device's visible and durable storage {e alias the scratch buffer} —

@@ -322,6 +322,93 @@ let test_parallel_matches_sequential () =
   Alcotest.(check bool) "same merged counters" true (counters r1 = counters r3);
   Alcotest.(check int) "same sim time" r1.F.r_sim_ns r3.F.r_sim_ns
 
+(* {1 Work-stealing scheduler} *)
+
+(* jobs is clamped to the iteration count: -j 8 over 3 iterations must
+   run exactly 3 shards (no domain spawned idle), execute every iteration
+   once, and still produce the canonicalized -j 1 report. *)
+let test_jobs_clamped_to_work () =
+  let cfg =
+    { F.default_cfg with seed = 17; iters = 3; op_budget = 5; buggy_rate = 0.2 }
+  in
+  let r8, stats = F.Parallel.run_stats ~jobs:8 cfg in
+  Alcotest.(check int) "shards spawned" 3 (List.length stats);
+  Alcotest.(check int) "every iteration ran exactly once" 3
+    (List.fold_left (fun acc s -> acc + s.F.Parallel.ss_iters) 0 stats);
+  let r1, stats1 = F.Parallel.run_stats ~jobs:1 cfg in
+  Alcotest.(check int) "-j 1 is one shard" 1 (List.length stats1);
+  Alcotest.(check bool) "report == -j 1" true (r8 = r1)
+
+(* -j N == -j 1 (both post-canonicalize) across seeds, engines and a
+   media-fault plan: the work-stealing partition, the per-shard device
+   pools and the carried memo tables are all invisible in the report. *)
+let test_parallel_determinism_matrix () =
+  let base seed engine =
+    { F.default_cfg with seed; iters = 6; op_budget = 5; buggy_rate = 0.25; engine }
+  in
+  let cfgs =
+    [
+      ("delta seed 2", base 2 Crashcheck.Harness.Delta);
+      ("delta seed 11", base 11 Crashcheck.Harness.Delta);
+      ("copy seed 2", base 2 Crashcheck.Harness.Copy);
+      ( "delta media faults",
+        {
+          (base 7 Crashcheck.Harness.Delta) with
+          F.buggy_rate = 0.;
+          faults =
+            Faults.Plan.make ~seed:7 ~torn_line_rate:0.25 ~stuck_line_rate:0.1 ();
+        } );
+    ]
+  in
+  List.iter
+    (fun (name, cfg) ->
+      let r1 = F.Parallel.run ~jobs:1 cfg in
+      let rn = F.Parallel.run ~jobs:4 cfg in
+      if r1 <> rn then Alcotest.failf "%s: -j 4 diverged from -j 1" name)
+    cfgs
+
+(* ?progress is global: the shared atomic counter reports every completed
+   count 1..iters exactly once with total = iters, whichever domain
+   finished the iteration (the old striding scheduler only reported
+   shard 0's slice). The callback is serialized by the scheduler's mutex,
+   so appending to a plain ref is safe. *)
+let test_global_progress () =
+  let cfg =
+    { F.default_cfg with seed = 9; iters = 7; op_budget = 4; buggy_rate = 0.1 }
+  in
+  let seen = ref [] in
+  let progress c total = seen := (c, total) :: !seen in
+  ignore (F.Parallel.run ~jobs:3 ~progress cfg);
+  Alcotest.(check (list int))
+    "each completed count reported exactly once"
+    (List.init cfg.F.iters (fun i -> i + 1))
+    (List.sort compare (List.map fst !seen));
+  Alcotest.(check bool) "total is always cfg.iters" true
+    (List.for_all (fun (_, t) -> t = cfg.F.iters) !seen)
+
+(* Pooling is invisible in outcomes: a warm pooled run (the device was
+   dirtied by a previous workload, then template-reset; memo tables
+   carried over) is bit-identical — report, dedup counter, o_sim_ns —
+   to a fresh-device run of the same workload. *)
+let test_pool_transparent () =
+  let ops1 =
+    W.
+      [
+        Mkdir "/d";
+        Create "/d/a";
+        Write ("/d/a", 0, String.make 600 'x');
+        Rename ("/d/a", "/b");
+      ]
+  in
+  let ops2 = W.[ Create "/a"; Link ("/a", "/h"); Buggy_unlink "/a" ] in
+  let pool = F.Exec.Pool.create () in
+  ignore (F.Exec.run ~pool ops1 : F.Exec.outcome);
+  let warm = F.Exec.run ~pool ops2 in
+  let fresh = F.Exec.run ops2 in
+  Alcotest.(check bool) "warm pooled run == fresh run" true (warm = fresh);
+  Alcotest.(check bool) "workload found its violation" true
+    (warm.F.Exec.o_fail <> None)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -367,5 +454,16 @@ let () =
             test_engines_equivalent;
           Alcotest.test_case "-j 3 == -j 1 canonicalized" `Slow
             test_parallel_matches_sequential;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "jobs clamped to iteration count" `Quick
+            test_jobs_clamped_to_work;
+          Alcotest.test_case "-j 4 == -j 1 across seeds/engines/faults" `Slow
+            test_parallel_determinism_matrix;
+          Alcotest.test_case "global progress counter" `Quick
+            test_global_progress;
+          Alcotest.test_case "device pool transparent" `Quick
+            test_pool_transparent;
         ] );
     ]

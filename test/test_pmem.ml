@@ -276,6 +276,44 @@ let test_enumeration_sorted () =
   Alcotest.(check (pair int int)) "images[2] = low line only" (0xAA, 0)
     (v (nth 2) 64, v (nth 2) 512)
 
+(* Device.reset — the pool contract: a device dirtied by one workload
+   and then template-reset must be indistinguishable from a fresh
+   [of_image] of the same template — same stats, clock, durable hash and
+   crash-state enumeration — when the same op sequence runs on both. *)
+let test_reset_indistinguishable_from_fresh () =
+  let template =
+    let d = Device.create ~size:4096 () in
+    Device.store d ~off:0 "template";
+    Device.persist d ~off:0 ~len:8;
+    Device.image_durable d
+  in
+  let ops dev =
+    Device.store_u64 dev 128 0xAB;
+    Device.persist dev ~off:128 ~len:8;
+    Device.store dev ~off:256 "pending";
+    (* left pending: both devices must enumerate the same crash states *)
+    Device.store_u64 dev 320 0xCD
+  in
+  let pooled = Device.of_image ~latency:Latency.optane template in
+  Device.store pooled ~off:512 "garbage";
+  Device.persist pooled ~off:512 ~len:7;
+  Device.store pooled ~off:1024 "dangling";
+  Device.charge pooled 999;
+  let hash = Device.image_hash_state template in
+  Device.reset ~hash pooled ~image:template;
+  ops pooled;
+  let fresh = Device.of_image ~latency:Latency.optane template in
+  ops fresh;
+  Alcotest.(check bool) "stats equal" true
+    (Device.stats pooled = Device.stats fresh);
+  Alcotest.(check int) "clock equal" (Device.now_ns fresh)
+    (Device.now_ns pooled);
+  Alcotest.(check bool) "durable hash equal" true
+    (Device.durable_hash pooled = Device.durable_hash fresh);
+  let imgs d = List.map Bytes.to_string (Device.crash_images d) in
+  Alcotest.(check (list string)) "same crash-state enumeration" (imgs fresh)
+    (imgs pooled)
+
 (* Property tests *)
 
 let prop_persist_all_makes_durable =
@@ -354,6 +392,9 @@ let unit_tests =
     ("sampling cap", `Quick, test_sampling_cap);
     ("sampling distinct", `Quick, test_sampling_distinct);
     ("enumeration sorted by line", `Quick, test_enumeration_sorted);
+    ( "reset indistinguishable from fresh",
+      `Quick,
+      test_reset_indistinguishable_from_fresh );
   ]
 
 let prop_tests =
