@@ -821,6 +821,33 @@ let fuzz_json_quick () =
   fuzz_json_common ~mode:"quick" ~mb:2 ~iters:2 ~op_budget:4 ~jobs:4
     ~jiters_per_job:2 ()
 
+(* {1 Trace section: chrome://tracing dump of a small fixed workload} *)
+
+let trace_file = ref "BENCH_trace.json"
+
+let trace_section () =
+  section "trace: create/write/fsync/rename persist stream";
+  let dev = Device.create ~latency:Latency.optane ~size:(1024 * 1024) () in
+  Squirrelfs.mkfs dev;
+  match Squirrelfs.mount dev with
+  | Error e -> failwith ("trace: mount: " ^ Vfs.Errno.to_string e)
+  | Ok fs ->
+      let r = Obs.Recorder.create () in
+      Squirrelfs.Tracing.attach fs r;
+      ok (Squirrelfs.create fs "/a");
+      ignore (ok (Squirrelfs.write fs "/a" ~off:0 "hello, tracing"));
+      ok (Squirrelfs.fsync fs "/a");
+      ok (Squirrelfs.rename fs "/a" "/b");
+      Squirrelfs.Tracing.detach fs;
+      Squirrelfs.unmount fs;
+      let events = Obs.Recorder.to_list r in
+      Obs.Chrome.to_file !trace_file events;
+      Printf.printf "trace: %d events -> %s (%s)\n" (List.length events)
+        !trace_file
+        (match Obs.Ssu.check events with
+        | Ok () -> "SSU checker: clean"
+        | Error v -> Format.asprintf "SSU checker: %a" Obs.Ssu.pp_violation v)
+
 let sections =
   [
     ("fig5a", fig5a);
@@ -839,17 +866,28 @@ let sections =
     ("fuzz", fuzz);
     ("fuzz-json", fuzz_json);
     ("fuzz-json-quick", fuzz_json_quick);
+    ("trace", trace_section);
     ("bechamel", bechamel);
   ]
 
 let () =
+  (* [--trace FILE] selects the trace section and redirects its output *)
+  let rec parse_trace acc = function
+    | "--trace" :: file :: rest ->
+        trace_file := file;
+        parse_trace ("trace" :: acc) rest
+    | x :: rest -> parse_trace (x :: acc) rest
+    | [] -> List.rev acc
+  in
   let args =
-    match Array.to_list Sys.argv with
+    match parse_trace [] (Array.to_list Sys.argv) with
     | _ :: [] | [ _; "all" ] ->
         (* the fuzz-json* sections are CI artifacts (and fuzz-json repeats
-           the engine comparison fuzz already runs): explicit-only *)
+           the engine comparison fuzz already runs); trace writes a file:
+           all of them are explicit-only, keeping default output stable *)
         List.filter
-          (fun n -> not (String.starts_with ~prefix:"fuzz-json" n))
+          (fun n ->
+            (not (String.starts_with ~prefix:"fuzz-json" n)) && n <> "trace")
           (List.map fst sections)
     | _ :: rest -> rest
     | [] -> []

@@ -18,17 +18,40 @@ let engine_of = function
       prerr_endline ("fuzz: unknown engine " ^ s ^ " (want copy|delta)");
       exit 1
 
-let replay_cmd line images device_kib optane engine =
+(* Re-execute [ops] with a recorder attached and return the event list
+   alongside the outcome. Used for --trace and the --expect-buggy
+   trace-checker leg; tracing never perturbs the outcome, so the re-run
+   reproduces exactly what the fuzzing run saw. *)
+let traced_run ?(faults = Faults.none) ~device_kib ~images ~optane ~engine ops =
+  let r = Obs.Recorder.create () in
+  let out =
+    Fuzzer.Exec.run ~device_size:(device_kib * 1024) ~max_images_per_fence:images
+      ~faults ?latency:(latency_of optane) ~engine ~trace:r ops
+  in
+  (out, Obs.Recorder.to_list r)
+
+let dump_trace file events =
+  Obs.Chrome.to_file file events;
+  Printf.printf "trace: %d events -> %s (chrome://tracing)\n" (List.length events) file;
+  match Obs.Ssu.check events with
+  | Ok () -> print_endline "trace-checker: clean"
+  | Error v ->
+      Format.printf "trace-checker: %a@." Obs.Ssu.pp_violation v;
+      (match List.nth_opt events v.Obs.Ssu.v_index with
+      | Some e -> Format.printf "  offending event: %a@." Obs.Event.pp e
+      | None -> ())
+
+let replay_cmd line images device_kib optane engine trace =
   match Fuzzer.Repro.of_cli line with
   | Error msg ->
       prerr_endline ("replay: " ^ msg);
       exit 1
   | Ok ops -> (
-      let res =
-        Fuzzer.Exec.run ~device_size:(device_kib * 1024) ~max_images_per_fence:images
-          ?latency:(latency_of optane) ~engine ops
+      let res, events =
+        traced_run ~device_kib ~images ~optane ~engine ops
       in
       Format.printf "%a@." Crashcheck.Harness.pp_report res.Fuzzer.Exec.o_report;
+      (match trace with Some file -> dump_trace file events | None -> ());
       match res.Fuzzer.Exec.o_fail with
       | Some (cp, detail) ->
           Printf.printf "FAIL at op %d / fence %d / image %d: %s\n" cp.Fuzzer.Exec.cp_op
@@ -39,10 +62,10 @@ let replay_cmd line images device_kib optane engine =
           exit 0)
 
 let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_shrink
-    jobs engine replay expect_buggy =
+    jobs engine replay expect_buggy trace metrics =
   let engine = engine_of engine in
   match replay with
-  | Some line -> replay_cmd line images device_kib optane engine
+  | Some line -> replay_cmd line images device_kib optane engine trace
   | None ->
       let faults =
         if torn > 0. || stuck > 0. then
@@ -62,6 +85,7 @@ let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_s
           latency = latency_of optane;
           shrink = not no_shrink;
           engine;
+          collect_metrics = metrics;
         }
       in
       let cores = Domain.recommended_domain_count () in
@@ -75,6 +99,22 @@ let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_s
       Format.printf "%a@." Fuzzer.pp_report r;
       if jobs > 1 then
         Format.printf "%a@." Fuzzer.Parallel.pp_shard_stats shards;
+      (match trace with
+      | None -> ()
+      | Some file ->
+          (* Trace a failing iteration if the run found one (the shrunk
+             reproducer), otherwise iteration 0 of this seed. *)
+          let ops =
+            match r.Fuzzer.r_found with
+            | f :: _ -> f.Fuzzer.fd_min
+            | [] ->
+                let rng = Random.State.make [| 0x5EED; seed; 0 |] in
+                Fuzzer.Gen.sequence rng { Fuzzer.Gen.op_budget; buggy_rate }
+          in
+          let _, events =
+            traced_run ~faults ~device_kib ~images ~optane ~engine ops
+          in
+          dump_trace file events);
       if expect_buggy then begin
         (* acceptance: every mutant re-discovered, every reproducer small *)
         let kinds = Fuzzer.kinds_found r in
@@ -94,6 +134,41 @@ let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_s
                 (List.length f.Fuzzer.fd_min)
             end)
           r.Fuzzer.r_found;
+        (* Second, independent leg: the trace-driven SSU checker must flag
+           every mutant from the recorded store/flush/fence stream alone —
+           no oracle, no crash images, just the persist ordering. Shrunk
+           reproducers carry exactly the buggy ops that caused the
+           violation, so a flagged trace is credited to those kinds. *)
+        let flagged = ref [] in
+        List.iter
+          (fun f ->
+            let kinds = List.filter_map Fuzzer.buggy_kind_of_op f.Fuzzer.fd_min in
+            let fresh = List.filter (fun k -> not (List.mem k !flagged)) kinds in
+            if fresh <> [] then begin
+              let _, events =
+                traced_run ~device_kib ~images ~optane ~engine f.Fuzzer.fd_min
+              in
+              match Obs.Ssu.check events with
+              | Error v ->
+                  flagged := fresh @ !flagged;
+                  List.iter
+                    (fun k ->
+                      Format.printf "trace-checker flags buggy-%s: %a@."
+                        (Fuzzer.buggy_kind_name k) Obs.Ssu.pp_violation v;
+                      match List.nth_opt events v.Obs.Ssu.v_index with
+                      | Some e -> Format.printf "  offending event: %a@." Obs.Event.pp e
+                      | None -> ())
+                    fresh
+              | Ok () -> ()
+            end)
+          r.Fuzzer.r_found;
+        List.iter
+          (fun k ->
+            if not (List.mem k !flagged) then begin
+              ok := false;
+              Printf.printf "trace-checker missed buggy-%s\n" (Fuzzer.buggy_kind_name k)
+            end)
+          Fuzzer.all_buggy_kinds;
         exit (if !ok then 0 else 2)
       end
       else if buggy_rate = 0. then
@@ -165,7 +240,26 @@ let () =
     Arg.(
       value & flag
       & info [ "expect-buggy" ]
-          ~doc:"Fail unless all Buggy_* mutants are re-discovered with <= 6-op reproducers")
+          ~doc:
+            "Fail unless all Buggy_* mutants are re-discovered with <= 6-op \
+             reproducers AND the trace-driven SSU checker independently flags \
+             each of them from its recorded persist stream")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Re-run one iteration (the first failing reproducer, or iteration \
+             0 if clean; with --replay, the replayed ops) with structured \
+             tracing and write a chrome://tracing JSON trace to FILE")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect and print an op-latency/device-traffic metrics registry")
   in
   exit
     (Cmd.eval
@@ -173,4 +267,5 @@ let () =
           (Cmd.info "fuzz" ~doc:"Crash-state fuzzing of SquirrelFS with a differential oracle")
           Term.(
             const run $ seed $ iters $ op_budget $ images $ buggy_rate $ device_kib
-            $ torn $ stuck $ optane $ no_shrink $ jobs $ engine $ replay $ expect_buggy)))
+            $ torn $ stuck $ optane $ no_shrink $ jobs $ engine $ replay $ expect_buggy
+            $ trace $ metrics)))

@@ -30,15 +30,28 @@ let save_image img dev =
   output_bytes oc (Device.image_durable dev);
   close_out oc
 
-let with_fs img f =
+(* [trace]: record the command's persist stream (preceded by a durable-state
+   snapshot preamble) and write chrome://tracing JSON when done. The
+   recorder stays attached through unmount so its stores are captured too. *)
+let with_fs ?trace img f =
   let dev = load_image img in
   match Squirrelfs.mount dev with
   | Error e ->
       Printf.eprintf "mount %s: %s\n" img (Vfs.Errno.to_string e);
       exit 1
   | Ok fs ->
+      let rec_ = Option.map (fun _ -> Obs.Recorder.create ()) trace in
+      (match rec_ with Some r -> Squirrelfs.Tracing.attach fs r | None -> ());
       let r = f dev fs in
       Squirrelfs.unmount fs;
+      (match (trace, rec_) with
+      | Some file, Some rc ->
+          Squirrelfs.Tracing.detach fs;
+          let events = Obs.Recorder.to_list rc in
+          Obs.Chrome.to_file file events;
+          Printf.eprintf "trace: %d events -> %s (chrome://tracing)\n"
+            (List.length events) file
+      | _ -> ());
       save_image img dev;
       r
 
@@ -51,6 +64,15 @@ let or_die what = function
 (* arguments *)
 let img = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE")
 let path n = Arg.(required & pos n (some string) None & info [] ~docv:"PATH")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the command's structured persist trace (stores, flushes, \
+           fences, op spans) and write chrome://tracing JSON to FILE")
 
 let cmd_mkfs =
   let size_mb =
@@ -66,8 +88,8 @@ let cmd_mkfs =
     Term.(const run $ img $ size_mb)
 
 let cmd_info =
-  let run img =
-    with_fs img (fun dev fs ->
+  let run img trace =
+    with_fs ?trace img (fun dev fs ->
         let geo = fs.Squirrelfs.Fsctx.geo in
         let st = Squirrelfs.Mount.last_stats () in
         Printf.printf "device        %d bytes\n" (Device.size dev);
@@ -89,11 +111,11 @@ let cmd_info =
         else Printf.printf "recovery      not needed (clean unmount)\n")
   in
   Cmd.v (Cmd.info "info" ~doc:"Volume geometry and utilization")
-    Term.(const run $ img)
+    Term.(const run $ img $ trace_arg)
 
 let cmd_fsck =
-  let run img =
-    with_fs img (fun _dev fs ->
+  let run img trace =
+    with_fs ?trace img (fun _dev fs ->
         match Squirrelfs.Fsck.check fs with
         | [] -> Printf.printf "consistent\n"
         | errs ->
@@ -101,11 +123,11 @@ let cmd_fsck =
             exit 2)
   in
   Cmd.v (Cmd.info "fsck" ~doc:"Check all consistency invariants")
-    Term.(const run $ img)
+    Term.(const run $ img $ trace_arg)
 
 let cmd_tree =
-  let run img =
-    with_fs img (fun _dev fs ->
+  let run img trace =
+    with_fs ?trace img (fun _dev fs ->
         let rec walk indent path =
           match Squirrelfs.readdir fs path with
           | Error _ -> ()
@@ -126,11 +148,12 @@ let cmd_tree =
         Printf.printf "/\n";
         walk "  " "/")
   in
-  Cmd.v (Cmd.info "tree" ~doc:"Print the whole tree") Term.(const run $ img)
+  Cmd.v (Cmd.info "tree" ~doc:"Print the whole tree")
+    Term.(const run $ img $ trace_arg)
 
 let simple name doc f =
-  let run img p = with_fs img (fun _dev fs -> f fs p) in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ img $ path 1)
+  let run img p trace = with_fs ?trace img (fun _dev fs -> f fs p) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ img $ path 1 $ trace_arg)
 
 let cmd_ls =
   simple "ls" "List a directory" (fun fs p ->
@@ -170,8 +193,8 @@ let cmd_write =
   let append =
     Arg.(value & flag & info [ "a"; "append" ] ~doc:"Append instead of overwrite")
   in
-  let run img p data append =
-    with_fs img (fun _dev fs ->
+  let run img p data append trace =
+    with_fs ?trace img (fun _dev fs ->
         (match Squirrelfs.stat fs p with
         | Error Vfs.Errno.ENOENT -> or_die p (Squirrelfs.create fs p)
         | Error e -> or_die p (Error e)
@@ -183,21 +206,21 @@ let cmd_write =
         Printf.printf "wrote %d bytes at offset %d\n" n off)
   in
   Cmd.v (Cmd.info "write" ~doc:"Write data to a file (creates it)")
-    Term.(const run $ img $ path 1 $ data $ append)
+    Term.(const run $ img $ path 1 $ data $ append $ trace_arg)
 
 let cmd_mv =
-  let run img src dst =
-    with_fs img (fun _dev fs -> or_die src (Squirrelfs.rename fs src dst))
+  let run img src dst trace =
+    with_fs ?trace img (fun _dev fs -> or_die src (Squirrelfs.rename fs src dst))
   in
   Cmd.v (Cmd.info "mv" ~doc:"Atomic rename")
-    Term.(const run $ img $ path 1 $ path 2)
+    Term.(const run $ img $ path 1 $ path 2 $ trace_arg)
 
 let cmd_ln =
-  let run img target link =
-    with_fs img (fun _dev fs -> or_die link (Squirrelfs.link fs target link))
+  let run img target link trace =
+    with_fs ?trace img (fun _dev fs -> or_die link (Squirrelfs.link fs target link))
   in
   Cmd.v (Cmd.info "ln" ~doc:"Hard link")
-    Term.(const run $ img $ path 1 $ path 2)
+    Term.(const run $ img $ path 1 $ path 2 $ trace_arg)
 
 let () =
   let doc = "SquirrelFS volumes in host image files" in

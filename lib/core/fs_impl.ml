@@ -31,6 +31,25 @@ let device (ctx : Fsctx.t) = ctx.Fsctx.dev
 let charge_op (ctx : Fsctx.t) parts =
   Device.charge ctx.dev (vfs_base_ns + (component_ns * List.length parts))
 
+(* Observability wrapper: bracket an operation with trace spans and record
+   its simulated latency in the metrics registry. With neither attached
+   (the default) the only cost is one branch per VFS call. *)
+let observed (ctx : Fsctx.t) name f =
+  let dev = ctx.Fsctx.dev in
+  match (Device.tracer dev, Device.metrics dev) with
+  | None, None -> f ()
+  | tr, m ->
+      let t0 = Device.now_ns dev in
+      if tr <> None then Device.emit dev (Obs.Event.Span_begin name);
+      Fun.protect
+        ~finally:(fun () ->
+          if tr <> None then Device.emit dev (Obs.Event.Span_end name);
+          match m with
+          | Some m ->
+              Obs.Metrics.observe m ("op." ^ name) (Device.now_ns dev - t0)
+          | None -> ())
+        f
+
 (* Quarantined objects (metadata corrupt, degraded mount) surface as a
    clean [EIO] at resolution time, never as an exception. *)
 let quarantined (ctx : Fsctx.t) ino =
@@ -86,6 +105,7 @@ let parent_chain (ctx : Fsctx.t) path =
   go Geometry.root_ino [] parents
 
 let create (ctx : t) path =
+  observed ctx "create" @@ fun () ->
   let* dir, name = resolve_parent ctx path in
   match Index.lookup ctx.index ~dir name with
   | Some _ -> Error Errno.EEXIST
@@ -94,6 +114,7 @@ let create (ctx : t) path =
       Ok ()
 
 let mkdir (ctx : t) path =
+  observed ctx "mkdir" @@ fun () ->
   let* dir, name = resolve_parent ctx path in
   match Index.lookup ctx.index ~dir name with
   | Some _ -> Error Errno.EEXIST
@@ -102,6 +123,7 @@ let mkdir (ctx : t) path =
       Ok ()
 
 let symlink (ctx : t) target path =
+  observed ctx "symlink" @@ fun () ->
   let* dir, name = resolve_parent ctx path in
   match Index.lookup ctx.index ~dir name with
   | Some _ -> Error Errno.EEXIST
@@ -110,6 +132,7 @@ let symlink (ctx : t) target path =
       Ok ()
 
 let link (ctx : t) existing path =
+  observed ctx "link" @@ fun () ->
   let* target_ino = resolve_any ctx existing in
   if Index.is_dir ctx.index target_ino then Error Errno.EPERM
   else
@@ -119,6 +142,7 @@ let link (ctx : t) existing path =
     | None -> Ops.link ctx ~dir ~name ~target_ino
 
 let unlink (ctx : t) path =
+  observed ctx "unlink" @@ fun () ->
   let* dir, name = resolve_parent ctx path in
   match Index.lookup ctx.index ~dir name with
   | None -> Error Errno.ENOENT
@@ -128,6 +152,7 @@ let unlink (ctx : t) path =
       else Ops.unlink ctx ~dir ~name
 
 let rmdir (ctx : t) path =
+  observed ctx "rmdir" @@ fun () ->
   let* parts = Vfs.Path.split path in
   if parts = [] then Error Errno.EINVAL
   else
@@ -140,6 +165,7 @@ let rmdir (ctx : t) path =
         else Ops.rmdir ctx ~parent ~name
 
 let rename (ctx : t) src dst =
+  observed ctx "rename" @@ fun () ->
   let* src_dir, src_name = resolve_parent ctx src in
   match Index.lookup ctx.index ~dir:src_dir src_name with
   | None -> Error Errno.ENOENT
@@ -182,6 +208,7 @@ let kind_of (ctx : t) ino =
 (* Data-plane calls address regular files only: a symlink cannot be
    opened for I/O (the VFS would have followed it). *)
 let write (ctx : t) path ~off data =
+  observed ctx "write" @@ fun () ->
   let* ino = resolve_any ctx path in
   match kind_of ctx ino with
   | R.Kind.Dir -> Error Errno.EISDIR
@@ -189,6 +216,7 @@ let write (ctx : t) path ~off data =
   | R.Kind.File -> Ops.write ctx ~ino ~off data
 
 let read (ctx : t) path ~off ~len =
+  observed ctx "read" @@ fun () ->
   let* ino = resolve_any ctx path in
   match kind_of ctx ino with
   | R.Kind.Dir -> Error Errno.EISDIR
@@ -196,6 +224,7 @@ let read (ctx : t) path ~off ~len =
   | R.Kind.File -> Ops.read ctx ~ino ~off ~len
 
 let truncate (ctx : t) path len =
+  observed ctx "truncate" @@ fun () ->
   let* ino = resolve_any ctx path in
   match kind_of ctx ino with
   | R.Kind.Dir -> Error Errno.EISDIR
@@ -203,12 +232,14 @@ let truncate (ctx : t) path len =
   | R.Kind.File -> Ops.truncate ctx ~ino len
 
 let readlink (ctx : t) path =
+  observed ctx "readlink" @@ fun () ->
   let* ino = resolve_any ctx path in
   match kind_of ctx ino with
   | R.Kind.Symlink -> Ops.readlink ctx ~ino
   | R.Kind.File | R.Kind.Dir -> Error Errno.EINVAL
 
 let stat (ctx : t) path =
+  observed ctx "stat" @@ fun () ->
   let* ino = resolve_any ctx path in
   let base = Geometry.inode_off ctx.geo ~ino in
   match R.Inode.decode ctx.dev ~base with
@@ -239,11 +270,13 @@ let block_offset (ctx : t) path i =
   | None -> Error Errno.EINVAL
 
 let readdir (ctx : t) path =
+  observed ctx "readdir" @@ fun () ->
   let* ino = resolve_any ctx path in
   if not (Index.is_dir ctx.index ino) then Error Errno.ENOTDIR
   else Ok (List.map fst (Index.dentries ctx.index ~dir:ino))
 
 (* All operations are synchronous: everything is already durable. *)
 let fsync (ctx : t) path =
+  observed ctx "fsync" @@ fun () ->
   let* _ino = resolve_any ctx path in
   Ok ()

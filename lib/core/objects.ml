@@ -31,6 +31,18 @@ let consume_rf ev =
   if ev.rf_used then failwith "Objects: range_freed evidence reused";
   ev.rf_used <- true
 
+(* Mirror a typestate [in_flight -> clean] transition into the trace (if
+   one is attached), so the trace-driven checker can re-verify the claim
+   dynamically: every covered line must actually be drained. *)
+let claim (ctx : Fsctx.t) what ranges =
+  match Device.tracer ctx.Fsctx.dev with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun (off, len) ->
+          Device.emit ctx.Fsctx.dev (Obs.Event.Claim_clean { what; off; len }))
+        ranges
+
 (* NOTE on typing: transition functions rebuild the handle record from
    scratch ([remake]) rather than using [{ h with ... }], because a record
    update would unify the result's phantom parameters with the input's.
@@ -151,13 +163,23 @@ module Prange = struct
       h.r_pages;
     remake h (Token.flushed_at ctx.reg h.tok)
 
+  let claim_ranges (ctx : Fsctx.t) h =
+    List.map
+      (fun (page, _) ->
+        (Geometry.desc_off ctx.Fsctx.geo ~page, Geometry.desc_size))
+      h.r_pages
+
   let fence (ctx : Fsctx.t) h =
     Fsctx.fence ctx;
-    remake h (Token.assert_fenced ctx.reg h.tok)
+    let tok = Token.assert_fenced ctx.reg h.tok in
+    claim ctx "prange" (claim_ranges ctx h);
+    remake h tok
 
   let after_fence (ctx : Fsctx.t) h =
     if not ctx.share_fences then Fsctx.fence ctx;
-    remake h (Token.assert_fenced ctx.reg h.tok)
+    let tok = Token.assert_fenced ctx.reg h.tok in
+    claim ctx "prange" (claim_ranges ctx h);
+    remake h tok
 
   let owned_evidence (ctx : Fsctx.t) h =
     let h' = remake h (Token.use ctx.reg h.tok) in
@@ -353,11 +375,15 @@ module Inode = struct
 
   let fence (ctx : Fsctx.t) h =
     Fsctx.fence ctx;
-    remake h (Token.assert_fenced ctx.reg h.tok)
+    let tok = Token.assert_fenced ctx.reg h.tok in
+    claim ctx "inode" [ (base ctx h, Geometry.inode_size) ];
+    remake h tok
 
   let after_fence (ctx : Fsctx.t) h =
     if not ctx.share_fences then Fsctx.fence ctx;
-    remake h (Token.assert_fenced ctx.reg h.tok)
+    let tok = Token.assert_fenced ctx.reg h.tok in
+    claim ctx "inode" [ (base ctx h, Geometry.inode_size) ];
+    remake h tok
 end
 
 module Dentry = struct
@@ -562,11 +588,15 @@ module Dentry = struct
 
   let fence (ctx : Fsctx.t) h =
     Fsctx.fence ctx;
-    remake h (Token.assert_fenced ctx.reg h.tok)
+    let tok = Token.assert_fenced ctx.reg h.tok in
+    claim ctx "dentry" [ (byte_off ctx h.d_loc, Geometry.dentry_size) ];
+    remake h tok
 
   let after_fence (ctx : Fsctx.t) h =
     if not ctx.share_fences then Fsctx.fence ctx;
-    remake h (Token.assert_fenced ctx.reg h.tok)
+    let tok = Token.assert_fenced ctx.reg h.tok in
+    claim ctx "dentry" [ (byte_off ctx h.d_loc, Geometry.dentry_size) ];
+    remake h tok
 end
 
 module Preplace = struct
@@ -665,11 +695,21 @@ module Preplace = struct
       ~len:Geometry.desc_size;
     remake h (Token.flushed_at ctx.reg h.tok)
 
+  let claim_ranges (ctx : Fsctx.t) h =
+    [
+      (Geometry.desc_off ctx.Fsctx.geo ~page:h.newp, Geometry.desc_size);
+      (Geometry.desc_off ctx.Fsctx.geo ~page:h.oldp, Geometry.desc_size);
+    ]
+
   let fence (ctx : Fsctx.t) h =
     Fsctx.fence ctx;
-    remake h (Token.assert_fenced ctx.reg h.tok)
+    let tok = Token.assert_fenced ctx.reg h.tok in
+    claim ctx "preplace" (claim_ranges ctx h);
+    remake h tok
 
   let after_fence (ctx : Fsctx.t) h =
     if not ctx.share_fences then Fsctx.fence ctx;
-    remake h (Token.assert_fenced ctx.reg h.tok)
+    let tok = Token.assert_fenced ctx.reg h.tok in
+    claim ctx "preplace" (claim_ranges ctx h);
+    remake h tok
 end

@@ -9,6 +9,18 @@ type 'a r = ('a, Vfs.Errno.t) result
 
 let ( let* ) = Result.bind
 let ps = Geometry.page_size
+
+(* Inner trace spans: nest the core persistence phase of an operation
+   under its VFS span. No-op (one branch) when the device is untraced. *)
+let span (ctx : Fsctx.t) name f =
+  match Device.tracer ctx.Fsctx.dev with
+  | None -> f ()
+  | Some _ ->
+      Device.emit ctx.Fsctx.dev (Obs.Event.Span_begin name);
+      Fun.protect
+        ~finally:(fun () ->
+          Device.emit ctx.Fsctx.dev (Obs.Event.Span_end name))
+        f
 let default_mode_file = 0o644
 let default_mode_dir = 0o755
 
@@ -20,6 +32,7 @@ let check_name name =
 (* {1 Creation} *)
 
 let create_file (ctx : Fsctx.t) ~dir ~name =
+  span ctx "core.create" @@ fun () ->
   let* () = check_name name in
   let* ih = Inode.alloc ctx in
   let ino = Inode.ino ih in
@@ -47,6 +60,7 @@ let create_file (ctx : Fsctx.t) ~dir ~name =
       Ok ino
 
 let mkdir (ctx : Fsctx.t) ~dir ~name =
+  span ctx "core.mkdir" @@ fun () ->
   let* () = check_name name in
   let* ih = Inode.alloc ctx in
   let ino = Inode.ino ih in
@@ -73,6 +87,7 @@ let mkdir (ctx : Fsctx.t) ~dir ~name =
       Ok ino
 
 let symlink (ctx : Fsctx.t) ~dir ~name ~target =
+  span ctx "core.symlink" @@ fun () ->
   let* () = check_name name in
   if String.length target > ps then Error Vfs.Errno.ENAMETOOLONG
   else
@@ -118,6 +133,7 @@ let symlink (ctx : Fsctx.t) ~dir ~name ~target =
             Ok ino)
 
 let link (ctx : Fsctx.t) ~dir ~name ~target_ino =
+  span ctx "core.link" @@ fun () ->
   let* () = check_name name in
   let* dh = Dentry.alloc ctx ~dir in
   let dh = Dentry.set_name ctx dh name in
@@ -137,6 +153,7 @@ let link (ctx : Fsctx.t) ~dir ~name ~target_ino =
    links. Deallocation order (soft-updates rule 2): backpointers cleared
    and fenced, descriptors zeroed and fenced, then the inode zeroed. *)
 let dealloc_file_chain (ctx : Fsctx.t) ih =
+  span ctx "core.dealloc-file" @@ fun () ->
   let ino = Inode.ino ih in
   let pages = Index.file_pages ctx.index ~ino in
   let freed_ev, freed_pages =
@@ -161,6 +178,7 @@ let dealloc_file_chain (ctx : Fsctx.t) ih =
   List.iter (fun p -> Alloc.free_page ctx.alloc p) freed_pages
 
 let unlink (ctx : Fsctx.t) ~dir ~name =
+  span ctx "core.unlink" @@ fun () ->
   let* dh = Dentry.get ctx ~dir ~name in
   let ino = Dentry.target_ino ctx dh in
   (* Group 1: invalidate the dentry. *)
@@ -186,6 +204,7 @@ let unlink (ctx : Fsctx.t) ~dir ~name =
 
 (* Free a directory's dir pages and zero its inode. *)
 let dealloc_dir_chain (ctx : Fsctx.t) ~dino ~cleared_ev =
+  span ctx "core.dealloc-dir" @@ fun () ->
   let dih = Inode.get ctx dino in
   let pages = Index.dir_pages ctx.index ~dir:dino in
   let freed_ev =
@@ -208,6 +227,7 @@ let dealloc_dir_chain (ctx : Fsctx.t) ~dino ~cleared_ev =
   List.iter (fun p -> Alloc.free_page ctx.alloc p) pages
 
 let rmdir (ctx : Fsctx.t) ~parent ~name =
+  span ctx "core.rmdir" @@ fun () ->
   let* dh = Dentry.get ctx ~dir:parent ~name in
   let dino = Dentry.target_ino ctx dh in
   if Index.dentry_count ctx.index ~dir:dino > 0 then Error Vfs.Errno.ENOTEMPTY
@@ -234,6 +254,7 @@ let rmdir (ctx : Fsctx.t) ~parent ~name =
 (* {1 Rename (fig. 2)} *)
 
 let rename (ctx : Fsctx.t) ~src_dir ~src_name ~dst_dir ~dst_name =
+  span ctx "core.rename" @@ fun () ->
   let* () = check_name dst_name in
   let* sdh = Dentry.get ctx ~dir:src_dir ~name:src_name in
   let sino = Dentry.target_ino ctx sdh in
@@ -412,6 +433,7 @@ let fresh_page_content ~off ~data o =
   else String.make (lo - pstart) '\000' ^ String.sub data (lo - off) (hi - lo)
 
 let write ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
+  span ctx "core.write" @@ fun () ->
   if off < 0 then Error Vfs.Errno.EINVAL
   else if quarantined ctx ino then Error Vfs.Errno.EIO
   else if String.length data = 0 then Ok 0
@@ -496,6 +518,7 @@ let write ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
   end
 
 let truncate ?(cpu = 0) (ctx : Fsctx.t) ~ino new_size =
+  span ctx "core.truncate" @@ fun () ->
   ignore cpu;
   if new_size < 0 then Error Vfs.Errno.EINVAL
   else if quarantined ctx ino then Error Vfs.Errno.EIO

@@ -11,5 +11,6 @@ module Objects = Objects
 module Ops = Ops
 module Mount = Mount
 module Fsck = Fsck
+module Tracing = Tracing
 
 include Fs_impl

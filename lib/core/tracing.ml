@@ -1,0 +1,86 @@
+(* Bridge between a mounted file system and the observability layer.
+
+   [attach] starts a recording on the context's device and emits the
+   preamble the trace-driven SSU checker needs: a [Meta] event carrying
+   the volume geometry, followed by [Snap_*] events describing all
+   durable state that predates the recording (a trace normally begins on
+   a mounted volume, so at least the root inode and its directory page
+   were persisted before the first recorded store).
+
+   The snapshot uses [Device.peek] — no stats, no simulated latency, no
+   fault injection — so attaching a tracer leaves the observed run
+   bit-identical to an untraced one. *)
+
+module Device = Pmem.Device
+module Geometry = Layout.Geometry
+module R = Layout.Records
+
+let meta_of_geo (geo : Geometry.t) =
+  Obs.Event.Meta
+    [
+      ("inode_table_off", geo.inode_table_off);
+      ("inode_count", geo.inode_count);
+      ("page_desc_off", geo.page_desc_off);
+      ("page_count", geo.page_count);
+      ("data_off", geo.data_off);
+      ("root_ino", Geometry.root_ino);
+      ("inode_size", Geometry.inode_size);
+      ("desc_size", Geometry.desc_size);
+      ("page_size", Geometry.page_size);
+      ("dentry_size", Geometry.dentry_size);
+    ]
+
+(* Describe the durable image to [r] (geometry + allocated inodes, owned
+   pages, live dentries), timestamped "now" on the device clock. *)
+let snapshot ?(r : Obs.Recorder.t option) dev (geo : Geometry.t) =
+  let emit k =
+    match r with
+    | Some r -> Obs.Recorder.emit r ~ts:(Device.now_ns dev) k
+    | None -> Device.emit dev k
+  in
+  emit (meta_of_geo geo);
+  for ino = 1 to geo.inode_count do
+    let base = Geometry.inode_off geo ~ino in
+    if Device.peek_u64 dev (base + R.Inode.f_ino) <> 0 then
+      emit
+        (Obs.Event.Snap_inode
+           {
+             ino;
+             kind = Device.peek_u64 dev (base + R.Inode.f_kind);
+             links = Device.peek_u64 dev (base + R.Inode.f_links);
+             size = Device.peek_u64 dev (base + R.Inode.f_size);
+           })
+  done;
+  for page = 0 to geo.page_count - 1 do
+    let d = Geometry.desc_off geo ~page in
+    let ino = Device.peek_u64 dev (d + R.Desc.f_ino) in
+    let kind = Device.peek_u64 dev (d + R.Desc.f_kind) in
+    if ino <> 0 || kind <> 0 then begin
+      emit
+        (Obs.Event.Snap_page
+           { page; ino; kind; offset = Device.peek_u64 dev (d + R.Desc.f_offset) });
+      if kind = R.Desc.kind_to_int R.Desc.Dirpage then
+        for slot = 0 to Geometry.dentries_per_page - 1 do
+          let dbase = Geometry.dentry_off geo ~page ~slot in
+          let dino = Device.peek_u64 dev (dbase + R.Dentry.f_ino) in
+          if dino <> 0 then
+            emit (Obs.Event.Snap_dentry { page; slot; ino = dino })
+        done
+    end
+  done
+
+(* Attach [r] to a mounted context's device and emit the checker
+   preamble. Returns nothing to detach beyond [detach]. *)
+let attach (ctx : Fsctx.t) r =
+  snapshot ~r ctx.Fsctx.dev ctx.Fsctx.geo;
+  Device.set_tracer ctx.Fsctx.dev (Some r)
+
+let detach (ctx : Fsctx.t) = Device.set_tracer ctx.Fsctx.dev None
+
+(* Record [f ctx] into a fresh recorder and return its events alongside
+   the result; detaches even if [f] raises. *)
+let record (ctx : Fsctx.t) f =
+  let r = Obs.Recorder.create () in
+  attach ctx r;
+  let res = Fun.protect ~finally:(fun () -> detach ctx) (fun () -> f ctx) in
+  (res, Obs.Recorder.to_list r)

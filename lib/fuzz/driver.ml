@@ -18,6 +18,10 @@ type cfg = {
   latency : Pmem.Latency.t option;
   shrink : bool;
   engine : H.engine;  (** crash-state engine; [Delta] unless benchmarking *)
+  collect_metrics : bool;
+      (** collect an {!Obs.Metrics.t} registry (op latencies, device and
+          token traffic) across the run; off by default — reports are
+          bit-identical either way, metrics ride alongside *)
 }
 
 let default_cfg =
@@ -33,6 +37,7 @@ let default_cfg =
     latency = None;
     shrink = true;
     engine = H.Delta;
+    collect_metrics = false;
   }
 
 type found = {
@@ -53,12 +58,14 @@ type report = {
   r_shrink_runs : int;
   r_sim_ns : int;
   r_found : found list;
+  r_metrics : Obs.Metrics.t option;
+      (** present iff [cfg.collect_metrics]; shards merge associatively *)
 }
 
-let exec ?pool cfg ops =
+let exec ?pool ?metrics cfg ops =
   Exec.run ~device_size:cfg.device_size ~max_images_per_fence:cfg.max_images
     ~media_images_per_fence:cfg.media_images ~faults:cfg.faults ?latency:cfg.latency
-    ~engine:cfg.engine ?pool ops
+    ~engine:cfg.engine ?pool ?metrics ops
 
 (* Scheduler-driven core: [next] hands out iteration indexes (a plain
    counter for the sequential [run] below, chunks claimed from a shared
@@ -70,6 +77,7 @@ let exec ?pool cfg ops =
    call runs, which is what makes handing out small chunks cheap. *)
 let run_sched ?on_iter_start ?on_iter_done ~next cfg =
   let pool = Exec.Pool.create () in
+  let metrics = if cfg.collect_metrics then Some (Obs.Metrics.create ()) else None in
   let harness = ref H.empty in
   let divergences = ref 0 and sim_ns = ref 0 and shrink_runs = ref 0 in
   let found = ref [] in
@@ -80,7 +88,7 @@ let run_sched ?on_iter_start ?on_iter_done ~next cfg =
   in
   (* shrinker re-executions accounted like any other run *)
   let exec_acc ops =
-    let o = exec ~pool cfg ops in
+    let o = exec ~pool ?metrics cfg ops in
     account o;
     o
   in
@@ -136,6 +144,7 @@ let run_sched ?on_iter_start ?on_iter_done ~next cfg =
     r_shrink_runs = !shrink_runs;
     r_sim_ns = !sim_ns;
     r_found = List.rev !found;
+    r_metrics = metrics;
   }
 
 (* [iter_offset]/[iter_stride] statically shard the iteration space:
@@ -205,6 +214,9 @@ let pp_report ppf r =
         f.fd_iter (List.length f.fd_ops) (List.length f.fd_min) f.fd_crash.Exec.cp_op
         f.fd_crash.Exec.cp_fence f.fd_crash.Exec.cp_image f.fd_shrink_runs f.fd_detail
         W.pp f.fd_min (Repro.to_ocaml f.fd_min) (Repro.to_cli f.fd_min))
-    r.r_found
+    r.r_found;
+  match r.r_metrics with
+  | None -> ()
+  | Some m -> Format.fprintf ppf "@.metrics:@.%a" Obs.Metrics.pp m
 
 let report_to_string r = Format.asprintf "%a" pp_report r

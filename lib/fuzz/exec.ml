@@ -164,7 +164,7 @@ end
 
 let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
     ?(media_images_per_fence = 4) ?(faults = Faults.none) ?latency
-    ?(engine = H.Delta) ?pool ops =
+    ?(engine = H.Delta) ?pool ?trace ?metrics ops =
   let faulty = not (Faults.is_none faults) in
   let media =
     faulty
@@ -190,6 +190,17 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
     | Ok fs -> fs
     | Error e -> failwith ("Fuzzer.Exec.run: mount: " ^ Errno.to_string e)
   in
+  (* Observability attaches after mount, so the trace opens with the
+     post-mkfs durable snapshot the SSU checker needs; borrowed crash-view
+     devices never inherit the tracer, so fsck probing stays untraced.
+     Neither hook charges time or reads RNGs: the outcome (report, sim-ns,
+     divergences) is bit-identical to an unobserved run. *)
+  (match trace with Some r -> Sq.Tracing.attach fs r | None -> ());
+  (match metrics with
+  | Some m ->
+      Device.set_metrics dev (Some m);
+      Typestate.Token.set_metrics fs.Sq.Fsctx.reg (Some m)
+  | None -> ());
   if faulty then Device.set_fault_plan dev faults;
   let cur_op = ref 0 and cur_fence = ref 0 in
   let fences = ref 0 and states = ref 0 and media_states = ref 0 in
@@ -382,6 +393,11 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
      | [] -> ()
      | errs -> violate ~image:(-1) ("live fsck after sequence: " ^ String.concat " | " errs)
    with Abort -> Device.set_fence_hook dev None);
+  if trace <> None then Device.set_tracer dev None;
+  if metrics <> None then begin
+    Device.set_metrics dev None;
+    Typestate.Token.set_metrics fs.Sq.Fsctx.reg None
+  end;
   let dstats = Device.stats dev in
   {
     o_report =

@@ -52,11 +52,17 @@ val run :
   ?latency:Pmem.Latency.t ->
   ?engine:Crashcheck.Harness.engine ->
   ?pool:Pool.t ->
+  ?trace:Obs.Recorder.t ->
+  ?metrics:Obs.Metrics.t ->
   Crashcheck.Workload.op list ->
   outcome
 (** Defaults: 256 KiB device, 8 crash images per fence, 4 media images
     per fence, [Faults.none], zero latency, [engine = Delta], no pool
-    (fresh device + mkfs per call). With a
+    (fresh device + mkfs per call). [?trace] records the workload's
+    store/flush/fence stream (opened with a geometry + durable-state
+    preamble, see {!Squirrelfs.Tracing}); [?metrics] counts device and
+    token traffic and op latencies. Neither perturbs the outcome: a traced
+    run is bit-identical to an untraced one. With a
     non-trivial [?faults] plan the volume is formatted [~csum:true], the
     plan is installed, and torn/stuck media images (from
     [crash_views_faulty]) get the graceful-handling check on top of the

@@ -38,6 +38,11 @@ let merge (a : Driver.report) (b : Driver.report) : Driver.report =
     r_shrink_runs = a.Driver.r_shrink_runs + b.Driver.r_shrink_runs;
     r_sim_ns = a.Driver.r_sim_ns + b.Driver.r_sim_ns;
     r_found = a.Driver.r_found @ b.Driver.r_found;
+    r_metrics =
+      (match (a.Driver.r_metrics, b.Driver.r_metrics) with
+      | Some ma, Some mb -> Some (Obs.Metrics.merge ma mb)
+      | (Some _ as m), None | None, (Some _ as m) -> m
+      | None, None -> None);
   }
 
 let canonicalize (r : Driver.report) : Driver.report =

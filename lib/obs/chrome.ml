@@ -1,0 +1,83 @@
+(* chrome://tracing (Trace Event Format) exporter.
+
+   Spans become B/E duration events; device-level events become instant
+   events ("i" phase).  Simulated nanoseconds are exported as fractional
+   microseconds, which is what the chrome timeline expects.  Load the
+   output at chrome://tracing or https://ui.perfetto.dev. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us_of_ns ns = Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let event_json (e : Event.t) =
+  let ts = us_of_ns e.Event.ts in
+  let dur name ph =
+    Some
+      (Printf.sprintf {|{"name":"%s","ph":"%s","ts":%s,"pid":1,"tid":1}|}
+         (escape name) ph ts)
+  in
+  let inst name args =
+    let args =
+      match args with
+      | [] -> ""
+      | kvs ->
+          let fields =
+            List.map (fun (k, v) -> Printf.sprintf {|"%s":%d|} (escape k) v) kvs
+          in
+          Printf.sprintf {|,"args":{%s}|} (String.concat "," fields)
+  in
+    Some
+      (Printf.sprintf
+         {|{"name":"%s","ph":"i","s":"t","ts":%s,"pid":1,"tid":1%s}|}
+         (escape name) ts args)
+  in
+  match e.Event.k with
+  | Event.Span_begin n -> dur n "B"
+  | Event.Span_end n -> dur n "E"
+  | Event.Store { off; data; nt; coarse } ->
+      inst
+        (if coarse then "store.coarse" else if nt then "store.nt" else "store")
+        [ ("off", off); ("len", String.length data) ]
+  | Event.Flush { off; len } -> inst "flush" [ ("off", off); ("len", len) ]
+  | Event.Fence -> inst "fence" []
+  | Event.Flip { off; bit } -> inst "flip" [ ("off", off); ("bit", bit) ]
+  | Event.Claim_clean { what; off; len } ->
+      inst ("clean:" ^ what) [ ("off", off); ("len", len) ]
+  | Event.Meta kvs -> inst "meta" kvs
+  | Event.Snap_inode _ | Event.Snap_page _ | Event.Snap_dentry _ ->
+      (* snapshot preamble is for the checker, not the timeline *)
+      None
+
+let to_string events =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      match event_json e with
+      | None -> ()
+      | Some j ->
+          if not !first then Buffer.add_string b ",\n";
+          first := false;
+          Buffer.add_string b j)
+    events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents b
+
+let to_file path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string events))

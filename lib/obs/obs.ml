@@ -1,0 +1,13 @@
+(** Observability: structured persistence tracing, a metrics registry, and
+    a trace-driven SSU ordering checker.
+
+    Zero dependencies, zero cost when disabled: components hold a
+    [Recorder.t option] / [Metrics.t option] and branch once per event,
+    never touching clocks or RNGs, so every report and benchmark number is
+    bit-identical with observability off. *)
+
+module Event = Event
+module Recorder = Recorder
+module Metrics = Metrics
+module Chrome = Chrome
+module Ssu = Ssu

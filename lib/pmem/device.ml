@@ -31,6 +31,12 @@ type t = {
   mutable taint : (int, unit) Hashtbl.t option;
       (* line indexes mutated through this device; only on borrowed
          ([of_view]) devices, so the owning scratch can revert them *)
+  mutable tracer : Obs.Recorder.t option;
+      (* when set, every store/flush/fence is mirrored as a structured
+         event at the current simulated timestamp.  Emission never reads
+         clocks or RNGs and charges nothing, so a traced run is
+         bit-identical to an untraced one. *)
+  mutable metrics : Obs.Metrics.t option;
 }
 
 and scratch = {
@@ -59,6 +65,8 @@ let create ?(latency = Latency.zero) ~size () =
     base_hash = 0L;
     attached = None;
     taint = None;
+    tracer = None;
+    metrics = None;
   }
 
 let of_image ?(latency = Latency.zero) image =
@@ -79,6 +87,8 @@ let of_image ?(latency = Latency.zero) image =
     base_hash = 0L;
     attached = None;
     taint = None;
+    tracer = None;
+    metrics = None;
   }
 
 let size t = t.size
@@ -86,6 +96,24 @@ let stats t = t.stats
 let now_ns t = t.now_ns
 let charge t ns = t.now_ns <- t.now_ns + ns
 let set_fence_hook t hook = t.fence_hook <- hook
+
+(* {1 Observability}
+
+   Both hooks are off by default; when off the only overhead is one
+   [option] branch per device call. *)
+
+let set_tracer t r = t.tracer <- r
+let tracer t = t.tracer
+let set_metrics t m = t.metrics <- m
+let metrics t = t.metrics
+
+let emit t k =
+  match t.tracer with
+  | None -> ()
+  | Some r -> Obs.Recorder.emit r ~ts:t.now_ns k
+
+let count t name =
+  match t.metrics with None -> () | Some m -> Obs.Metrics.incr m name 1
 
 let check_range t off len =
   if off < 0 || len < 0 || off + len > t.size then
@@ -192,6 +220,7 @@ let taint_line t idx =
 let flip_bit t ~off ~bit =
   check_range t off 1;
   if bit < 0 || bit > 7 then invalid_arg "Pmem.Device.flip_bit: bad bit";
+  emit t (Obs.Event.Flip { off; bit });
   let mask = 1 lsl bit in
   let flip buf = Bytes.set buf off (Char.chr (Char.code (Bytes.get buf off) lxor mask)) in
   flip t.durable;
@@ -302,6 +331,17 @@ let read_byte t off =
   charge t t.latency.read_meta_ns;
   Char.code (Bytes.get t.latest off)
 
+(* Observability peeks at the *durable* image: free of charge (no stats,
+   no simulated latency, no fault injection), so a tracer can snapshot
+   pre-existing durable state without perturbing the run it observes. *)
+let peek t ~off ~len =
+  check_range t off len;
+  Bytes.sub t.durable off len
+
+let peek_u64 t off =
+  check_range t off 8;
+  Int64.to_int (Bytes.get_int64_le t.durable off)
+
 (* {1 Stores} *)
 
 let get_line t idx =
@@ -334,11 +374,16 @@ let store_aux t ~cost_ns ~off data =
     pos := !pos + chunk
   done
 
-let store t ~off data = store_aux t ~cost_ns:t.latency.store_ns ~off data
+let store t ~off data =
+  emit t (Obs.Event.Store { off; data; nt = false; coarse = false });
+  count t "pm.stores";
+  store_aux t ~cost_ns:t.latency.store_ns ~off data
 
 let flush t ~off ~len =
   check_range t off len;
   if len > 0 then begin
+    emit t (Obs.Event.Flush { off; len });
+    count t "pm.flushes";
     let first = off / line_size and last = (off + len - 1) / line_size in
     for idx = first to last do
       match Hashtbl.find_opt t.lines idx with
@@ -355,6 +400,8 @@ let flush t ~off ~len =
    content is acceptable. Keeps the pending-store log small. *)
 let store_coarse t ~off data =
   check_range t off (String.length data);
+  emit t (Obs.Event.Store { off; data; nt = true; coarse = true });
+  count t "pm.stores";
   let len = String.length data in
   let pos = ref 0 in
   while !pos < len do
@@ -367,6 +414,8 @@ let store_coarse t ~off data =
   flush t ~off ~len
 
 let store_nt t ~off data =
+  emit t (Obs.Event.Store { off; data; nt = true; coarse = false });
+  count t "pm.stores";
   store_aux t ~cost_ns:t.latency.nt_store_ns ~off data;
   flush t ~off ~len:(String.length data)
 
@@ -437,6 +486,8 @@ let apply_record durable { off; data } =
   Bytes.blit_string data 0 durable off (String.length data)
 
 let fence t =
+  emit t Obs.Event.Fence;
+  count t "pm.fences";
   (match t.fence_hook with
   | Some hook when not t.in_fence ->
       t.in_fence <- true;
@@ -786,6 +837,8 @@ let reset ?hash t ~image =
   t.ecc <- [||];
   t.gen <- t.gen + 1;
   t.taint <- None;
+  t.tracer <- None;
+  t.metrics <- None;
   (match hash with
   | Some (lh, base) ->
       if Array.length lh <> line_count t then
@@ -842,6 +895,8 @@ let of_view ?(latency = Latency.zero) s =
       base_hash = 0L;
       attached = None;
       taint = Some (Hashtbl.create 64);
+      tracer = None;
+      metrics = None;
     }
   in
   s.s_borrow <- Some d;

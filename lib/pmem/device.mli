@@ -72,6 +72,14 @@ val read_u64 : t -> int -> int
 val read_u32 : t -> int -> int
 val read_byte : t -> int -> int
 
+val peek : t -> off:int -> len:int -> Bytes.t
+(** Observability read of the {e durable} image: no stats, no simulated
+    latency, no fault injection. Used to snapshot durable state for a
+    trace preamble without perturbing the run. *)
+
+val peek_u64 : t -> int -> int
+(** Like {!peek}, for one little-endian 8-byte word. *)
+
 val store : t -> off:int -> string -> unit
 (** Regular store: visible immediately, durable only after flush + fence.
     Split into 8-byte atomic units. *)
@@ -115,6 +123,29 @@ val set_fence_hook : t -> (t -> unit) option -> unit
 (** Hook invoked at every [fence], before it takes effect; used by the
     crash-consistency harness to probe crash images at persist
     boundaries. *)
+
+(** {1 Observability}
+
+    Both hooks are [None] by default. When off, the only overhead is one
+    branch per device call; when on, emission reads no clocks or RNGs and
+    charges nothing, so traced and untraced runs are bit-identical. Both
+    are cleared by {!reset} and never inherited by {!of_view} devices. *)
+
+val set_tracer : t -> Obs.Recorder.t option -> unit
+(** Mirror every store/flush/fence/bit-flip as a structured {!Obs.Event}
+    stamped with the current simulated time. *)
+
+val tracer : t -> Obs.Recorder.t option
+
+val emit : t -> Obs.Event.kind -> unit
+(** Emit an event on the attached tracer (no-op when untraced): used by
+    higher layers to interleave spans and typestate claims with the
+    device's own persistence stream. *)
+
+val set_metrics : t -> Obs.Metrics.t option -> unit
+(** Count stores/flushes/fences into a metrics registry. *)
+
+val metrics : t -> Obs.Metrics.t option
 
 (** {1 Crash states} *)
 

@@ -4,17 +4,29 @@ type registry = {
   gens : (int, int) Hashtbl.t;
   flush_epochs : (int, int) Hashtbl.t;
   mutable epoch : int;
+  mutable obs : Obs.Metrics.t option;
 }
 
 type t = { oid : int; gen : int }
 
 let create_registry () =
-  { gens = Hashtbl.create 64; flush_epochs = Hashtbl.create 64; epoch = 1 }
+  {
+    gens = Hashtbl.create 64;
+    flush_epochs = Hashtbl.create 64;
+    epoch = 1;
+    obs = None;
+  }
+
+let set_metrics reg m = reg.obs <- m
+
+let tick reg name =
+  match reg.obs with None -> () | Some m -> Obs.Metrics.incr m name 1
 
 let current reg oid =
   match Hashtbl.find_opt reg.gens oid with Some g -> g | None -> 0
 
 let mint reg ~id =
+  tick reg "token.mints";
   let g = current reg id + 1 in
   Hashtbl.replace reg.gens id g;
   { oid = id; gen = g }
@@ -28,19 +40,24 @@ let validate reg t =
             t.gen (current reg t.oid)))
 
 let use reg t =
+  tick reg "token.uses";
   validate reg t;
   mint reg ~id:t.oid
 
 let check reg t = validate reg t
 
 let release reg t =
+  tick reg "token.releases";
   validate reg t;
   ignore (mint reg ~id:t.oid)
 
 let id t = t.oid
 
 let epoch reg = reg.epoch
-let bump_epoch reg = reg.epoch <- reg.epoch + 1
+
+let bump_epoch reg =
+  tick reg "token.fence_epochs";
+  reg.epoch <- reg.epoch + 1
 
 let flushed_at reg t =
   let t' = use reg t in

@@ -22,6 +22,11 @@ type t
 
 val create_registry : unit -> registry
 
+val set_metrics : registry -> Obs.Metrics.t option -> unit
+(** Attach a metrics registry counting token traffic (mints, uses,
+    releases, fence epochs). [None] (the default) makes every transition
+    cost a single extra branch. *)
+
 val mint : registry -> id:int -> t
 (** Start a handle chain for object [id]: invalidates any outstanding
     token for [id] and returns a fresh one. *)

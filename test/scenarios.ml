@@ -1,0 +1,307 @@
+(* Shared xfstests-style scenario corpus: small scripted edge-case op
+   sequences consumed by test_generic (SquirrelFS vs the reference model
+   plus the crash oracle) and test_baselines (each baseline simulator vs
+   the reference model). Scenarios use only correct ops — no [Buggy_*] —
+   so any differential mismatch is a file-system bug, modulo capacity:
+   the reference model is unlimited, so an ENOSPC/EMLINK refusal where
+   the model succeeded rolls the model back instead of failing (the same
+   exemption the fuzzer's executor applies). *)
+
+module W = Crashcheck.Workload
+
+type t = {
+  sc_name : string;
+  sc_ops : W.op list;
+  sc_size : int;  (** device bytes; small sizes make ENOSPC reachable *)
+}
+
+let sc ?(size = 512 * 1024) name ops = { sc_name = name; sc_ops = ops; sc_size = size }
+
+(* {1 The original generic table} *)
+
+let deep = "/p1/p2/p3/p4/p5/p6/p7/p8"
+
+let rec mkdirs prefix = function
+  | [] -> []
+  | c :: rest ->
+      let p = prefix ^ "/" ^ c in
+      W.Mkdir p :: mkdirs p rest
+
+let table =
+  [
+    sc "rename over existing file"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, "aaaa");
+          Create "/b";
+          Write ("/b", 0, "bb");
+          Rename ("/a", "/b");
+          Unlink "/b";
+        ];
+    sc "rename over hardlink of itself is a no-op"
+      W.[ Create "/a"; Link ("/a", "/b"); Rename ("/a", "/b"); Unlink "/a"; Unlink "/b" ];
+    sc "rename directory over empty directory"
+      W.[ Mkdir "/d1"; Mkdir "/d2"; Create "/d1/f"; Rename ("/d1", "/d2") ];
+    sc "rename directory over non-empty directory refused"
+      W.[ Mkdir "/d1"; Mkdir "/d2"; Create "/d2/f"; Rename ("/d1", "/d2") ];
+    sc "rename directory into own subtree refused"
+      W.[ Mkdir "/d"; Mkdir "/d/sub"; Rename ("/d", "/d/sub/x"); Rename ("/d", "/d") ];
+    sc "rename file over directory / directory over file refused"
+      W.[ Create "/f"; Mkdir "/d"; Rename ("/f", "/d"); Rename ("/d", "/f") ];
+    sc "rename source equals destination"
+      W.[ Create "/a"; Rename ("/a", "/a"); Unlink "/a" ];
+    sc "unlink: missing, directory, then last link"
+      W.
+        [
+          Unlink "/gone";
+          Mkdir "/d";
+          Unlink "/d";
+          Create "/a";
+          Link ("/a", "/b");
+          Unlink "/a";
+          Unlink "/b";
+          Unlink "/b";
+        ];
+    sc "rmdir: root, non-empty, file, then success"
+      W.
+        [
+          Rmdir "/";
+          Mkdir "/d";
+          Create "/d/f";
+          Rmdir "/d";
+          Rmdir "/d/f";
+          Unlink "/d/f";
+          Rmdir "/d";
+          Rmdir "/d";
+        ];
+    sc "deep paths: create down 8 levels"
+      (mkdirs "" [ "p1"; "p2"; "p3"; "p4"; "p5"; "p6"; "p7"; "p8" ]
+      @ W.[ Create (deep ^ "/leaf"); Write (deep ^ "/leaf", 0, "deep") ]);
+    sc "deep paths: rename across depths"
+      (mkdirs "" [ "p1"; "p2"; "p3" ]
+      @ W.
+          [
+            Create "/p1/p2/p3/f";
+            Rename ("/p1/p2/p3/f", "/top");
+            Rename ("/top", "/p1/back");
+          ]);
+    sc "path component is a file (ENOTDIR)"
+      W.[ Create "/f"; Create "/f/x"; Mkdir "/f/d"; Unlink "/f/x"; Rename ("/f/x", "/y") ];
+    sc "hardlinks: links shared, data shared, EPERM on dirs"
+      W.
+        [
+          Create "/a";
+          Link ("/a", "/b");
+          Link ("/b", "/c");
+          Write ("/b", 0, "shared");
+          Mkdir "/d";
+          Link ("/d", "/dlink");
+          Link ("/a", "/b");
+          Unlink "/a";
+        ];
+    sc "symlinks: no follow on data ops, target kept verbatim"
+      W.
+        [
+          Create "/t";
+          Symlink ("/t", "/s");
+          Write ("/s", 0, "x");
+          Truncate ("/s", 4);
+          Symlink ("/t", "/s");
+          Unlink "/s";
+        ];
+    sc "names: max length ok, over-long refused"
+      W.
+        [
+          Create ("/" ^ String.make Layout.Geometry.name_max 'n');
+          Create ("/" ^ String.make (Layout.Geometry.name_max + 1) 'n');
+          Mkdir ("/" ^ String.make (Layout.Geometry.name_max + 1) 'd');
+        ];
+    sc "write: sparse hole then overwrite, truncate up and down"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 5000, String.make 100 'x');
+          Write ("/a", 0, "start");
+          Truncate ("/a", 12000);
+          Truncate ("/a", 3);
+          Write ("/a", 0, "");
+          Truncate ("/a", -1);
+          Write ("/a", -1, "x");
+        ];
+    sc "write_atomic: COW overwrite mid-file"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, String.make 9000 'o');
+          Write_atomic ("/a", 4000, String.make 2000 'n');
+          Write_atomic ("/a", 0, "head");
+        ];
+    sc "create/EEXIST precedence over name checks"
+      W.[ Mkdir "/d"; Create "/d"; Mkdir "/d"; Symlink ("/x", "/d") ];
+  ]
+
+(* {1 New scenarios riding with the observability PR} *)
+
+let extra =
+  [
+    sc "hardlink chain: write through the last link, unlink backwards"
+      W.
+        [
+          Create "/a";
+          Link ("/a", "/b");
+          Link ("/b", "/c");
+          Link ("/c", "/d");
+          Write ("/d", 0, "chain");
+          Unlink "/a";
+          Unlink "/b";
+          Write ("/c", 5, " still");
+          Unlink "/c";
+          Unlink "/d";
+        ];
+    sc "hardlink count round-trip: link, unlink, relink same name"
+      W.
+        [
+          Create "/a";
+          Link ("/a", "/b");
+          Unlink "/b";
+          Link ("/a", "/b");
+          Unlink "/a";
+          Unlink "/b";
+        ];
+    sc "rename onto a populated directory after emptying it"
+      W.
+        [
+          Mkdir "/src";
+          Mkdir "/dst";
+          Create "/dst/f";
+          Rename ("/src", "/dst");
+          Unlink "/dst/f";
+          Rename ("/src", "/dst");
+          Rmdir "/dst";
+        ];
+    sc "rename rotation of three directories"
+      W.
+        [
+          Mkdir "/a";
+          Mkdir "/b";
+          Mkdir "/c";
+          Create "/a/f";
+          Rename ("/a", "/spare");
+          Rename ("/b", "/a");
+          Rename ("/c", "/b");
+          Rename ("/spare", "/c");
+          Unlink "/c/f";
+        ];
+    sc ~size:(128 * 1024) "ENOSPC then remove then retry"
+      W.
+        [
+          Create "/big";
+          Write ("/big", 0, String.make 60000 'x');
+          Write ("/big", 60000, String.make 60000 'x');
+          Unlink "/big";
+          Create "/retry";
+          Write ("/retry", 0, String.make 30000 'y');
+        ];
+    sc "truncate to zero then sparse regrow"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, String.make 8000 'x');
+          Truncate ("/a", 0);
+          Write ("/a", 6000, "tail");
+          Truncate ("/a", 2000);
+        ];
+    sc "dangling symlink replaced by a real file"
+      W.
+        [
+          Symlink ("/nowhere", "/s");
+          Unlink "/s";
+          Create "/s";
+          Write ("/s", 0, "real");
+          Unlink "/s";
+        ];
+    sc "write_atomic spanning a page boundary past EOF"
+      W.
+        [
+          Create "/a";
+          Write_atomic ("/a", 0, "head");
+          Write_atomic ("/a", 4090, "span");
+          Truncate ("/a", 4094);
+        ];
+    sc "dentries spill into a second directory page"
+      (List.init 40 (fun i -> W.Create (Printf.sprintf "/f%02d" i))
+      @ List.init 20 (fun i -> W.Unlink (Printf.sprintf "/f%02d" (2 * i))));
+    sc "rmdir parent immediately after moving last child out"
+      W.[ Mkdir "/d"; Create "/d/f"; Rename ("/d/f", "/f"); Rmdir "/d"; Unlink "/f" ];
+    sc "link then rename one name over the other"
+      W.
+        [
+          Create "/a";
+          Link ("/a", "/b");
+          Rename ("/b", "/c");
+          Unlink "/a";
+          Write ("/c", 0, "z");
+          Unlink "/c";
+        ];
+  ]
+
+let all = table @ extra
+
+(* {1 Generic differential runner} *)
+
+let apply_fs (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) (op : W.op) :
+    (unit, Vfs.Errno.t) result =
+  match op with
+  | W.Create p -> F.create fs p
+  | W.Mkdir p -> F.mkdir fs p
+  | W.Unlink p -> F.unlink fs p
+  | W.Rmdir p -> F.rmdir fs p
+  | W.Rename (a, b) -> F.rename fs a b
+  | W.Link (a, b) -> F.link fs a b
+  | W.Symlink (a, b) -> F.symlink fs a b
+  | W.Write (p, off, data) | W.Write_atomic (p, off, data) ->
+      Result.map (fun (_ : int) -> ()) (F.write fs p ~off data)
+  | W.Truncate (p, n) -> F.truncate fs p n
+  | W.Buggy_create _ | W.Buggy_unlink _ | W.Buggy_write _ ->
+      invalid_arg "scenario corpus has no buggy ops"
+
+let show_r = function
+  | Ok () -> "ok"
+  | Error e -> Vfs.Errno.to_string e
+
+(* Run [sc] against [F] on a fresh device and against the unlimited
+   reference model in lockstep: identical return values op by op (modulo
+   the capacity exemption), then identical final trees, data included.
+   [fail] receives a message on the first mismatch. *)
+let run_differential (type a) (module F : Vfs.Fs.S with type t = a) ?size
+    ~(fail : string -> unit) scn =
+  let size = Option.value size ~default:scn.sc_size in
+  let dev = Pmem.Device.create ~size () in
+  F.mkfs dev;
+  match F.mount dev with
+  | Error e -> fail (Printf.sprintf "mount: %s" (Vfs.Errno.to_string e))
+  | Ok fs ->
+      let model = ref Fuzzer.Ref_fs.empty in
+      List.iteri
+        (fun i op ->
+          let m, rm = Fuzzer.Ref_fs.apply !model op in
+          let rf = apply_fs (module F) fs op in
+          match (rm, rf) with
+          | Ok (), Ok () -> model := m
+          | Error a, Error b when a = b -> ()
+          | Ok (), Error (Vfs.Errno.ENOSPC | Vfs.Errno.EMLINK) ->
+              (* capacity divergence: the model op is rolled back *)
+              ()
+          | _ ->
+              fail
+                (Printf.sprintf "op %d %s: model %s, %s %s" i
+                   (Format.asprintf "%a" W.pp_op op)
+                   (show_r rm) F.flavor (show_r rf)))
+        scn.sc_ops;
+      let got = Vfs.Logical.capture (module F) fs in
+      let want = Fuzzer.Ref_fs.capture !model in
+      if not (Vfs.Logical.equal ~compare_data:true got want) then
+        fail
+          (Format.asprintf "final trees differ:@.%s %a@.model %a" F.flavor
+             Vfs.Logical.pp got Vfs.Logical.pp want)

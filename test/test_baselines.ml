@@ -104,6 +104,26 @@ let extra =
     ("indirect blocks", `Quick, test_big_file_indirect_blocks);
   ]
 
+(* {1 Differential scenario corpus}
+
+   Every shared {!Scenarios} script run against each baseline simulator
+   vs the fuzzer's reference model: identical return values op by op and
+   identical final trees. Baselines get at least 1 MiB regardless of the
+   scenario's (SquirrelFS-sized) device so journal overhead never turns a
+   conformance scenario into a capacity one; ENOSPC that does occur falls
+   under the runner's capacity exemption. *)
+let corpus_suite (module F : Vfs.Fs.S) =
+  ( F.flavor ^ " vs model",
+    List.map
+      (fun s ->
+        Alcotest.test_case s.Scenarios.sc_name `Quick (fun () ->
+            Scenarios.run_differential
+              (module F)
+              ~size:(max s.Scenarios.sc_size (1024 * 1024))
+              ~fail:(fun msg -> Alcotest.failf "%s: %s" s.Scenarios.sc_name msg)
+              s))
+      Scenarios.all )
+
 let () =
   Alcotest.run "baselines"
     [
@@ -111,4 +131,7 @@ let () =
       suite_for (module B.Nova_sim);
       suite_for (module B.Winefs_sim);
       ("journaling", extra);
+      corpus_suite (module B.Ext4_dax_sim);
+      corpus_suite (module B.Nova_sim);
+      corpus_suite (module B.Winefs_sim);
     ]

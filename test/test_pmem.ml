@@ -314,6 +314,56 @@ let test_reset_indistinguishable_from_fresh () =
   Alcotest.(check (list string)) "same crash-state enumeration" (imgs fresh)
     (imgs pooled)
 
+(* The fence/flush odometer after [reset] must match [of_image]'s: both
+   start from a zeroed stats record, and the reset itself performs no
+   stores, flushes or fences — pinned explicitly (zero, not "equal to
+   something") because the fuzzer's per-iteration accounting subtracts a
+   post-mkfs baseline, and any skew here would silently bias every
+   pooled-device report. The same contract covers observability: reset
+   must drop an attached tracer and metrics registry so a pooled device
+   never leaks one iteration's observation into the next. *)
+let test_reset_stats_pinned_and_observers_dropped () =
+  let template =
+    let d = Device.create ~size:4096 () in
+    Device.store d ~off:0 "template";
+    Device.persist d ~off:0 ~len:8;
+    Device.image_durable d
+  in
+  let pooled = Device.of_image ~latency:Latency.optane template in
+  let r = Obs.Recorder.create () and m = Obs.Metrics.create () in
+  Device.set_tracer pooled (Some r);
+  Device.set_metrics pooled (Some m);
+  Device.store_u64 pooled 128 0xAB;
+  Device.persist pooled ~off:128 ~len:8;
+  let st = Device.stats pooled in
+  Alcotest.(check bool) "workload counted" true
+    (st.Pmem.Stats.fences > 0 && st.Pmem.Stats.flushes > 0);
+  let traced = Obs.Recorder.length r in
+  Alcotest.(check bool) "workload traced" true (traced > 0);
+  Alcotest.(check bool) "workload metered" true
+    (Obs.Metrics.counter m "pm.fences" > 0);
+  let hash = Device.image_hash_state template in
+  Device.reset ~hash pooled ~image:template;
+  let st = Device.stats pooled in
+  Alcotest.(check int) "stores zeroed" 0 st.Pmem.Stats.stores;
+  Alcotest.(check int) "flushes zeroed" 0 st.Pmem.Stats.flushes;
+  Alcotest.(check int) "fences zeroed" 0 st.Pmem.Stats.fences;
+  Alcotest.(check int) "lines_drained zeroed" 0 st.Pmem.Stats.lines_drained;
+  let fresh = Device.of_image ~latency:Latency.optane template in
+  Alcotest.(check bool) "reset stats = of_image stats" true
+    (Device.stats pooled = Device.stats fresh);
+  Alcotest.(check bool) "tracer dropped" true (Device.tracer pooled = None);
+  Alcotest.(check bool) "metrics dropped" true (Device.metrics pooled = None);
+  (* post-reset traffic must not reach the detached observers *)
+  Device.store_u64 pooled 128 0xCD;
+  Device.persist pooled ~off:128 ~len:8;
+  Alcotest.(check int) "no events after reset" traced (Obs.Recorder.length r);
+  (* and an identical workload on both counts identically from there *)
+  Device.store_u64 fresh 128 0xCD;
+  Device.persist fresh ~off:128 ~len:8;
+  Alcotest.(check bool) "stats equal after same workload" true
+    (Device.stats pooled = Device.stats fresh)
+
 (* Property tests *)
 
 let prop_persist_all_makes_durable =
@@ -395,6 +445,9 @@ let unit_tests =
     ( "reset indistinguishable from fresh",
       `Quick,
       test_reset_indistinguishable_from_fresh );
+    ( "reset stats pinned, observers dropped",
+      `Quick,
+      test_reset_stats_pinned_and_observers_dropped );
   ]
 
 let prop_tests =
