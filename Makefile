@@ -1,4 +1,4 @@
-.PHONY: all build check test faultcheck-smoke fuzz-smoke crashcheck bench bench-json bench-json-quick clean
+.PHONY: all build check test faultcheck-smoke fuzz-smoke serve-smoke crashcheck bench bench-json bench-json-quick serve-json serve-json-quick clean
 
 all: build
 
@@ -7,7 +7,9 @@ all: build
 check:
 	dune build && dune runtest
 	$(MAKE) fuzz-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-json-quick
+	$(MAKE) serve-json-quick
 
 build:
 	dune build
@@ -25,6 +27,20 @@ fuzz-smoke: build
 	done
 	@echo "== fuzz --expect-buggy =="
 	dune exec bin/fuzz.exe -- --seed 1 --iters 40 --op-budget 6 --expect-buggy
+
+# Concurrent-path smoke: a short Zipf client load through the request
+# frontend (multi-domain, exercising the sharded lock table and the
+# whole-FS fallback), then an interleaved 2-op fuzz batch — every
+# lock-respecting schedule crash-checked clean, and all three Buggy_*
+# mutants flagged by both the oracle and the SSU trace checker.
+# Nonzero exit on any violation.
+serve-smoke: build
+	@echo "== serve: 200 clients x 20 ops, -j 2 =="
+	dune exec bin/serve.exe -- --clients 200 --ops 20 -j 2 --seed 7 --quiet
+	@echo "== fuzz --interleaved (clean) =="
+	dune exec bin/fuzz.exe -- --interleaved --seed 1 --pairs 25
+	@echo "== fuzz --interleaved --expect-buggy =="
+	dune exec bin/fuzz.exe -- --interleaved --expect-buggy
 
 # Fast end-to-end exercise of the media-fault pipeline: checksummed
 # volume, seeded bit flips, scrub, degraded remount, EIO checks.
@@ -50,6 +66,16 @@ bench-json: build
 
 bench-json-quick: build
 	dune exec bench/main.exe -- fuzz-json-quick
+
+# Multi-client serving trajectory, machine-readable: ops/sec, per-op
+# latency quantiles, fairness, lock retries/fallbacks, and the -j 1
+# determinism cross-check (exit 2 on mismatch), written to
+# BENCH_serve.json. Same host_cores > 1 gating as bench-json.
+serve-json: build
+	dune exec bench/main.exe -- serve-json
+
+serve-json-quick: build
+	dune exec bench/main.exe -- serve-json-quick
 
 clean:
 	dune clean

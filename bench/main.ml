@@ -821,6 +821,116 @@ let fuzz_json_quick () =
   fuzz_json_common ~mode:"quick" ~mb:2 ~iters:2 ~op_budget:4 ~jobs:4
     ~jiters_per_job:2 ()
 
+(* {1 BENCH_serve.json: request-frontend throughput and latency}
+
+   [serve-json] (full) and [serve-json-quick] (wired into `make check`)
+   replay the Zipf session load through the concurrent server and write
+   ops/sec, per-op latency quantiles, lock-protocol stats and the -j 1
+   determinism witness. The -j N leg reruns the same traffic on worker
+   domains; like BENCH_fuzz, the scaling gate only fails on hosts that
+   actually have the cores to scale with (PR 5's 1-CPU-container
+   caveat, see EXPERIMENTS.md). *)
+
+let serve_json_common ~mode ~clients ~ops ~jobs () =
+  section
+    (Printf.sprintf "BENCH_serve.json (%s: %d clients x %d ops, -j %d)" mode
+       clients ops jobs);
+  let cfg j =
+    {
+      Serve.Loadgen.default with
+      Serve.Loadgen.clients;
+      ops_per_client = ops;
+      jobs = j;
+      seed = 1;
+    }
+  in
+  let j1 = Serve.Loadgen.run (cfg 1) in
+  let j1b = Serve.Loadgen.run (cfg 1) in
+  let deterministic =
+    j1.Serve.Loadgen.r_durable_hash = j1b.Serve.Loadgen.r_durable_hash
+    && j1.Serve.Loadgen.r_oks = j1b.Serve.Loadgen.r_oks
+    && j1.Serve.Loadgen.r_errs = j1b.Serve.Loadgen.r_errs
+    && Obs.Metrics.equal j1.Serve.Loadgen.r_metrics j1b.Serve.Loadgen.r_metrics
+  in
+  let jn = Serve.Loadgen.run (cfg jobs) in
+  let host_cores = Domain.recommended_domain_count () in
+  let speedup =
+    if j1.Serve.Loadgen.r_ops_per_sec > 0. then
+      jn.Serve.Loadgen.r_ops_per_sec /. j1.Serve.Loadgen.r_ops_per_sec
+    else 0.
+  in
+  let lat (r : Serve.Loadgen.report) name =
+    match Obs.Metrics.hist r.Serve.Loadgen.r_metrics ("srv." ^ name) with
+    | Some h ->
+        Printf.sprintf
+          "{ \"p50_ns\": %d, \"p99_ns\": %d }"
+          (Obs.Metrics.quantile h 0.5)
+          (Obs.Metrics.quantile h 0.99)
+    | None -> "null"
+  in
+  let leg (r : Serve.Loadgen.report) =
+    Printf.sprintf
+      "{ \"jobs\": %d, \"ops\": %d, \"oks\": %d, \"wall_s\": %.4f, \
+       \"ops_per_sec\": %.1f, \"sim_ms\": %d, \"retries\": %d, \
+       \"fallbacks\": %d, \"fair_min\": %d, \"fair_max\": %d,\n\
+      \    \"lat\": { \"write\": %s, \"read\": %s, \"stat\": %s, \
+       \"create\": %s, \"rename\": %s } }"
+      r.Serve.Loadgen.r_cfg.Serve.Loadgen.jobs r.Serve.Loadgen.r_ops
+      r.Serve.Loadgen.r_oks r.Serve.Loadgen.r_wall_s
+      r.Serve.Loadgen.r_ops_per_sec
+      (r.Serve.Loadgen.r_sim_ns / 1_000_000)
+      r.Serve.Loadgen.r_retries r.Serve.Loadgen.r_fallbacks
+      r.Serve.Loadgen.r_fair_min r.Serve.Loadgen.r_fair_max (lat r "write")
+      (lat r "read") (lat r "stat") (lat r "create") (lat r "rename")
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"mode\": \"%s\",\n\
+      \  \"clients\": %d,\n\
+      \  \"ops_per_client\": %d,\n\
+      \  \"host_cores\": %d,\n\
+      \  \"j1_deterministic\": %b,\n\
+      \  \"j1_durable_hash\": \"%Lx\",\n\
+      \  \"j1\": %s,\n\
+      \  \"jn\": %s,\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"parallel_efficiency\": %.3f\n\
+       }\n"
+      mode clients ops host_cores deterministic
+      j1.Serve.Loadgen.r_durable_hash (leg j1) (leg jn) speedup
+      (speedup /. float_of_int jobs)
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  Printf.printf "wrote BENCH_serve.json\n";
+  if not deterministic then begin
+    Printf.printf "BENCH_serve: -j 1 NON-DETERMINISTIC\n";
+    exit 2
+  end;
+  if speedup < 1.0 then begin
+    Printf.printf
+      "BENCH_serve: WARNING: -j %d throughput (%.0f ops/s) below -j 1 \
+       (%.0f ops/s)%s\n"
+      jobs jn.Serve.Loadgen.r_ops_per_sec j1.Serve.Loadgen.r_ops_per_sec
+      (if host_cores <= 1 then
+         Printf.sprintf " [host has %d core: parallel speedup impossible]"
+           host_cores
+       else "");
+    if mode = "full" && host_cores > 1 then begin
+      Printf.printf "BENCH_serve: PARALLEL SCALING REGRESSION\n";
+      exit 3
+    end
+  end
+
+let serve_json () =
+  serve_json_common ~mode:"full" ~clients:1000 ~ops:50 ~jobs:4 ()
+
+let serve_json_quick () =
+  serve_json_common ~mode:"quick" ~clients:100 ~ops:20 ~jobs:2 ()
+
 (* {1 Trace section: chrome://tracing dump of a small fixed workload} *)
 
 let trace_file = ref "BENCH_trace.json"
@@ -866,6 +976,8 @@ let sections =
     ("fuzz", fuzz);
     ("fuzz-json", fuzz_json);
     ("fuzz-json-quick", fuzz_json_quick);
+    ("serve-json", serve_json);
+    ("serve-json-quick", serve_json_quick);
     ("trace", trace_section);
     ("bechamel", bechamel);
   ]
@@ -887,7 +999,9 @@ let () =
            all of them are explicit-only, keeping default output stable *)
         List.filter
           (fun n ->
-            (not (String.starts_with ~prefix:"fuzz-json" n)) && n <> "trace")
+            (not (String.starts_with ~prefix:"fuzz-json" n))
+            && (not (String.starts_with ~prefix:"serve-json" n))
+            && n <> "trace")
           (List.map fst sections)
     | _ :: rest -> rest
     | [] -> []

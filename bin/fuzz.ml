@@ -61,9 +61,54 @@ let replay_cmd line images device_kib optane engine trace =
           print_endline "clean";
           exit 0)
 
+(* --interleaved: 2-op pairs, every lock-respecting interleaving run
+   through the crash oracle and the SSU trace checker (see
+   [Fuzzer.Interleave]). Clean pairs must be quiet; with --expect-buggy,
+   three fixed mutant pairs must each be flagged by BOTH checkers. *)
+let interleaved_cmd seed pairs max_inter expect_buggy =
+  if expect_buggy then begin
+    let results = Fuzzer.Interleave.run_buggy ~max_interleavings:max_inter () in
+    let ok = ref true in
+    List.iter
+      (fun b ->
+        let hit = b.Fuzzer.Interleave.b_oracle and ssu = b.Fuzzer.Interleave.b_ssu in
+        if not (hit && ssu) then ok := false;
+        Printf.printf "interleaved buggy-%s: oracle=%s trace-checker=%s\n"
+          b.Fuzzer.Interleave.b_name
+          (if hit then "flagged" else "MISSED")
+          (if ssu then "flagged" else "MISSED"))
+      results;
+    exit (if !ok then 0 else 2)
+  end
+  else begin
+    let r = Fuzzer.Interleave.run ~seed ~pairs ~max_interleavings:max_inter () in
+    Printf.printf
+      "interleaved: %d pairs (%d disjoint, %d overlapping), %d schedules \
+       (%d past cap skipped), %d crash states (%d deduped)\n"
+      r.Fuzzer.Interleave.i_pairs r.Fuzzer.Interleave.i_disjoint
+      r.Fuzzer.Interleave.i_overlapping r.Fuzzer.Interleave.i_schedules
+      r.Fuzzer.Interleave.i_skipped r.Fuzzer.Interleave.i_states
+      r.Fuzzer.Interleave.i_deduped;
+    List.iter
+      (fun p ->
+        Format.printf "FAIL pair %d: %a || %a@."
+          p.Fuzzer.Interleave.pr_index Crashcheck.Workload.pp_op
+          p.Fuzzer.Interleave.pr_a Crashcheck.Workload.pp_op
+          p.Fuzzer.Interleave.pr_b;
+        (match p.Fuzzer.Interleave.pr_oracle_fail with
+        | Some d -> Printf.printf "  oracle: %s\n" d
+        | None -> ());
+        match p.Fuzzer.Interleave.pr_ssu_fail with
+        | Some d -> Printf.printf "  trace-checker: %s\n" d
+        | None -> ())
+      r.Fuzzer.Interleave.i_failures;
+    exit (if r.Fuzzer.Interleave.i_failures = [] then 0 else 2)
+  end
+
 let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_shrink
-    jobs engine replay expect_buggy trace metrics =
+    jobs engine replay expect_buggy trace metrics interleaved pairs max_inter =
   let engine = engine_of engine in
+  if interleaved then interleaved_cmd seed pairs max_inter expect_buggy;
   match replay with
   | Some line -> replay_cmd line images device_kib optane engine trace
   | None ->
@@ -261,6 +306,30 @@ let () =
       & info [ "metrics" ]
           ~doc:"Collect and print an op-latency/device-traffic metrics registry")
   in
+  let interleaved =
+    Arg.(
+      value & flag
+      & info [ "interleaved" ]
+          ~doc:
+            "Concurrent mode: generate 2-op pairs, deterministically \
+             enumerate every interleaving the sharded lock table permits \
+             (disjoint pairs interleave at persist points, overlapping pairs \
+             serialize), and run the crash oracle plus the SSU trace checker \
+             over each schedule")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 50
+      & info [ "pairs" ] ~docv:"N" ~doc:"Op pairs to generate (with --interleaved)")
+  in
+  let max_inter =
+    Arg.(
+      value & opt int 64
+      & info [ "max-interleavings" ] ~docv:"N"
+          ~doc:
+            "Cap on enumerated schedules per pair (skips are counted and \
+             reported, never silent)")
+  in
   exit
     (Cmd.eval
        (Cmd.v
@@ -268,4 +337,4 @@ let () =
           Term.(
             const run $ seed $ iters $ op_budget $ images $ buggy_rate $ device_kib
             $ torn $ stuck $ optane $ no_shrink $ jobs $ engine $ replay $ expect_buggy
-            $ trace $ metrics)))
+            $ trace $ metrics $ interleaved $ pairs $ max_inter)))

@@ -5,6 +5,7 @@ type t = {
   page_pools : int list array; (* per-CPU free lists *)
   pool_sizes : int array;
   mutable next_cpu : int; (* round-robin for frees without a cpu hint *)
+  lock : Mutex.t; (* guards everything above; see the wrappers below *)
 }
 
 let create ~cpus (_g : Layout.Geometry.t) =
@@ -15,6 +16,7 @@ let create ~cpus (_g : Layout.Geometry.t) =
     page_pools = Array.make cpus [];
     pool_sizes = Array.make cpus 0;
     next_cpu = 0;
+    lock = Mutex.create ();
   }
 
 let cpus t = t.cpus
@@ -91,3 +93,28 @@ let alloc_pages ?(cpu = 0) t n =
     match go [] n with
     | Some pages -> Some (List.rev pages)
     | None -> None
+
+(* {1 Concurrency}
+
+   The inode free list and the per-CPU page pools are shared by every
+   domain executing ops under the [Serve] engine (stealing crosses the
+   pools, so per-pool locks would not be enough). Each public entry
+   point takes one short critical section on the instance's own lock;
+   the wrappers shadow the lock-free bodies above, which keep calling
+   each other directly ([alloc_pages] -> [alloc_page] stays on the
+   unlocked bodies, so a plain [Mutex] is enough), and independent
+   mounts never contend. *)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add_free_inode t ino = locked t (fun () -> add_free_inode t ino)
+let add_free_page t page = locked t (fun () -> add_free_page t page)
+let alloc_inode t = locked t (fun () -> alloc_inode t)
+let free_inode t ino = locked t (fun () -> free_inode t ino)
+let alloc_page ?cpu t = locked t (fun () -> alloc_page ?cpu t)
+let free_page ?cpu t page = locked t (fun () -> free_page ?cpu t page)
+let free_page_count t = locked t (fun () -> free_page_count t)
+let free_inode_count t = locked t (fun () -> free_inode_count t)
+let alloc_pages ?cpu t n = locked t (fun () -> alloc_pages ?cpu t n)

@@ -4,10 +4,11 @@ type t = {
   reg : Typestate.Token.registry;
   alloc : Alloc.t;
   index : Index.t;
-  mutable next_range_id : int;
+  next_range_id : int Atomic.t;
   mutable share_fences : bool;
   csum : bool;
   quar : Faults.Quarantine.t;
+  mutable on_fence : (unit -> unit) option;
 }
 
 let make ?(csum = false) ~dev ~geo ~cpus () =
@@ -17,15 +18,17 @@ let make ?(csum = false) ~dev ~geo ~cpus () =
     reg = Typestate.Token.create_registry ();
     alloc = Alloc.create ~cpus geo;
     index = Index.create ();
-    next_range_id = 0;
+    next_range_id = Atomic.make 0;
     share_fences = true;
     csum;
     quar = Faults.Quarantine.create ();
+    on_fence = None;
   }
 
 let fence t =
   Pmem.Device.fence t.dev;
-  Typestate.Token.bump_epoch t.reg
+  Typestate.Token.bump_epoch t.reg;
+  match t.on_fence with None -> () | Some f -> f ()
 
 let now t = Pmem.Device.now_ns t.dev + 1_000_000_000
 
@@ -36,6 +39,4 @@ let dentry_oid (geo : Layout.Geometry.t) ~page ~slot =
   ((((page * Layout.Geometry.dentries_per_page) + slot) * 4) + 1)
   + (geo.inode_count * 4)
 
-let range_oid t =
-  t.next_range_id <- t.next_range_id + 1;
-  (t.next_range_id * 4) + 2
+let range_oid t = (Atomic.fetch_and_add t.next_range_id 1 + 1) * 4 + 2

@@ -8,8 +8,9 @@ type t = {
   reg : Typestate.Token.registry;
   alloc : Alloc.t;
   index : Index.t;
-  mutable next_range_id : int;
-      (** ids for page-range handles in the token registry *)
+  next_range_id : int Atomic.t;
+      (** ids for page-range handles in the token registry (atomic:
+          handed out from concurrent server domains) *)
   mutable share_fences : bool;
       (** when false, [after_fence] transitions issue their own [sfence]
           instead of reusing a shared one — the ablation of the paper's
@@ -18,6 +19,14 @@ type t = {
       (** volume has checksummed metadata records (superblock flag) *)
   quar : Faults.Quarantine.t;
       (** objects quarantined for media corruption; non-empty = degraded *)
+  mutable on_fence : (unit -> unit) option;
+      (** post-fence hook, run after the device drain and the token-epoch
+          bump. The interleaved fuzzer parks its coroutine scheduler here
+          (each op yields control at its persist points); unlike the
+          device-level fence hook this one fires when [Device.in_fence]
+          is already clear, so a suspended op resumed later may fence
+          again and still be probed. [None] (the default) costs one
+          branch per fence. Single-domain use only. *)
 }
 
 val make :
@@ -26,7 +35,7 @@ val make :
 val fence : t -> unit
 (** Issue an [sfence] and advance the fence epoch used by shared-fence
     witnesses. Every object-level [fence]/[after_fence] transition checks
-    against this epoch. *)
+    against this epoch. Runs [on_fence] last. *)
 
 val now : t -> int
 (** Timestamp source (the device's simulated clock, so runs are

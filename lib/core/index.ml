@@ -9,6 +9,7 @@ type t = {
   dirs : (int, dir_index) Hashtbl.t;
   files : (int, (int, int) Hashtbl.t) Hashtbl.t; (* ino -> offset -> page *)
   used_slots : (int * int, unit) Hashtbl.t; (* (page, slot) *)
+  lock : Mutex.t; (* guards the three tables; see the wrappers below *)
 }
 
 let create () =
@@ -16,6 +17,7 @@ let create () =
     dirs = Hashtbl.create 64;
     files = Hashtbl.create 64;
     used_slots = Hashtbl.create 256;
+    lock = Mutex.create ();
   }
 
 let dir_exn t ino =
@@ -122,3 +124,46 @@ let footprint_bytes t =
       t.dirs 0
   in
   file_bytes + dir_bytes
+
+
+(* {1 Concurrency}
+
+   The index is shared by every domain executing ops under the [Serve]
+   engine: the per-inode shard locks serialize ops that touch the same
+   directory or file, but ops on disjoint inodes still land concurrent
+   [Hashtbl] calls on the shared [dirs]/[files]/[used_slots] tables,
+   which is unsafe (resizes race). Each public entry point therefore
+   takes one short critical section on the instance's own lock; an
+   uncontended lock/unlock is a few tens of nanoseconds, invisible next
+   to the simulated-device work around it, and independent mounts (e.g.
+   parallel fuzzer shards) never contend. The wrappers shadow the
+   lock-free bodies above, which keep calling each other directly (no
+   nesting, so a plain [Mutex] is enough). *)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add_dir t ino = locked t (fun () -> add_dir t ino)
+let add_dir_page t ~dir page = locked t (fun () -> add_dir_page t ~dir page)
+let remove_dir_page t ~dir page = locked t (fun () -> remove_dir_page t ~dir page)
+let dir_pages t ~dir = locked t (fun () -> dir_pages t ~dir)
+let insert_dentry t ~dir name ~ino loc = locked t (fun () -> insert_dentry t ~dir name ~ino loc)
+let remove_dentry t ~dir name = locked t (fun () -> remove_dentry t ~dir name)
+let lookup t ~dir name = locked t (fun () -> lookup t ~dir name)
+let dentries t ~dir = locked t (fun () -> dentries t ~dir)
+let dentry_count t ~dir = locked t (fun () -> dentry_count t ~dir)
+let is_dir t ino = locked t (fun () -> is_dir t ino)
+let mark_slot_used t loc = locked t (fun () -> mark_slot_used t loc)
+let mark_slot_free t loc = locked t (fun () -> mark_slot_free t loc)
+let slot_used t loc = locked t (fun () -> slot_used t loc)
+let free_slot t ~dir = locked t (fun () -> free_slot t ~dir)
+let remove_dir t ino = locked t (fun () -> remove_dir t ino)
+let add_file t ino = locked t (fun () -> add_file t ino)
+let add_file_page t ~ino ~offset page = locked t (fun () -> add_file_page t ~ino ~offset page)
+let remove_file_page t ~ino ~offset = locked t (fun () -> remove_file_page t ~ino ~offset)
+let file_page t ~ino ~offset = locked t (fun () -> file_page t ~ino ~offset)
+let file_pages t ~ino = locked t (fun () -> file_pages t ~ino)
+let remove_file t ino = locked t (fun () -> remove_file t ino)
+let is_file t ino = locked t (fun () -> is_file t ino)
+let footprint_bytes t = locked t (fun () -> footprint_bytes t)

@@ -5,6 +5,7 @@
     benchmarks and tools. *)
 
 module Fsctx = Fsctx
+module Locks = Locks
 module Alloc = Alloc
 module Index = Index
 module Objects = Objects

@@ -10,4 +10,5 @@ module Exec = Exec
 module Shrink = Shrink
 module Repro = Repro
 module Parallel = Parallel
+module Interleave = Interleave
 include Driver

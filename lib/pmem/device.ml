@@ -12,6 +12,20 @@ type line = {
 
 exception Media_error of { off : int; len : int }
 
+(* Minimal reentrant lock for [shared] mode. Public entry points nest
+   ([persist] -> [flush] + [fence], [store_coarse] -> [flush], ...), and
+   OCaml's [Mutex] is not reentrant, so the lock tracks its owning domain
+   and a nesting depth. Reading [rl_owner] from a non-owner domain is a
+   benign race: the field is a word (no tearing), and only the owner ever
+   sees its own id there. *)
+type rlock = {
+  rl_m : Mutex.t;
+  mutable rl_owner : int; (* (Domain.id :> int); -1 = free *)
+  mutable rl_depth : int;
+}
+
+let rlock_create () = { rl_m = Mutex.create (); rl_owner = -1; rl_depth = 0 }
+
 type t = {
   size : int;
   latest : Bytes.t;
@@ -37,6 +51,9 @@ type t = {
          clocks or RNGs and charges nothing, so a traced run is
          bit-identical to an untraced one. *)
   mutable metrics : Obs.Metrics.t option;
+  rl : rlock;
+  mutable shared : bool;
+      (* serialize public access through [rl]: multi-domain (server) mode *)
 }
 
 and scratch = {
@@ -67,6 +84,8 @@ let create ?(latency = Latency.zero) ~size () =
     taint = None;
     tracer = None;
     metrics = None;
+    rl = rlock_create ();
+    shared = false;
   }
 
 let of_image ?(latency = Latency.zero) image =
@@ -89,6 +108,8 @@ let of_image ?(latency = Latency.zero) image =
     taint = None;
     tracer = None;
     metrics = None;
+    rl = rlock_create ();
+    shared = false;
   }
 
 let size t = t.size
@@ -897,7 +918,62 @@ let of_view ?(latency = Latency.zero) s =
       taint = Some (Hashtbl.create 64);
       tracer = None;
       metrics = None;
+      rl = rlock_create ();
+      shared = false;
     }
   in
   s.s_borrow <- Some d;
   d
+
+(* {1 Shared (multi-domain) mode}
+
+   Off by default: every binding above runs lock-free and all existing
+   behaviour (fuzzer determinism, crash-view enumeration, simulated
+   timings) is untouched. The server layer flips [set_shared] after
+   mount, and from then on the public entry points below — every call
+   that mutates or reads the line table, the clock or the stats — run
+   under the device's reentrant lock, so independent operations on
+   separate domains can share one device. Fence hooks and crash-view
+   enumeration are NOT supported in shared mode (the crash probers are
+   single-domain by design); the server installs neither. *)
+
+let with_lock t f =
+  if not t.shared then f ()
+  else begin
+    let me = (Domain.self () :> int) in
+    if t.rl.rl_owner = me then begin
+      t.rl.rl_depth <- t.rl.rl_depth + 1;
+      Fun.protect ~finally:(fun () -> t.rl.rl_depth <- t.rl.rl_depth - 1) f
+    end
+    else begin
+      Mutex.lock t.rl.rl_m;
+      t.rl.rl_owner <- me;
+      t.rl.rl_depth <- 1;
+      Fun.protect
+        ~finally:(fun () ->
+          t.rl.rl_depth <- 0;
+          t.rl.rl_owner <- -1;
+          Mutex.unlock t.rl.rl_m)
+        f
+    end
+  end
+
+let set_shared t b = t.shared <- b
+let shared t = t.shared
+let store t ~off data = with_lock t (fun () -> store t ~off data)
+let store_u64 t off v = with_lock t (fun () -> store_u64 t off v)
+let store_u32 t off v = with_lock t (fun () -> store_u32 t off v)
+let store_byte t off v = with_lock t (fun () -> store_byte t off v)
+let store_nt t ~off data = with_lock t (fun () -> store_nt t ~off data)
+let store_coarse t ~off data = with_lock t (fun () -> store_coarse t ~off data)
+let zero t ~off ~len = with_lock t (fun () -> zero t ~off ~len)
+let flush t ~off ~len = with_lock t (fun () -> flush t ~off ~len)
+let fence t = with_lock t (fun () -> fence t)
+let persist t ~off ~len = with_lock t (fun () -> persist t ~off ~len)
+let charge t ns = with_lock t (fun () -> charge t ns)
+let read t ~off ~len = with_lock t (fun () -> read t ~off ~len)
+let read_meta t ~off ~len = with_lock t (fun () -> read_meta t ~off ~len)
+let read_u64 t off = with_lock t (fun () -> read_u64 t off)
+let read_u32 t off = with_lock t (fun () -> read_u32 t off)
+let read_byte t off = with_lock t (fun () -> read_byte t off)
+let durable_hash t = with_lock t (fun () -> durable_hash t)

@@ -38,6 +38,18 @@ val of_image : ?latency:Latency.t -> Bytes.t -> t
     zero-copy {!of_view} when probing many crash states. *)
 
 val size : t -> int
+
+val set_shared : t -> bool -> unit
+(** Shared (multi-domain) mode, off by default. When on, every public
+    store/flush/fence/read/charge entry point runs under an internal
+    reentrant lock, so independent operations on separate OCaml domains
+    can target one device (the [Serve] engine's configuration). When off
+    there is no locking and behaviour is bit-identical to before the
+    mode existed. Fence hooks, crash-view enumeration and tracers are
+    single-domain machinery and must not be combined with shared mode. *)
+
+val shared : t -> bool
+
 val line_size : int
 (** Cache-line size in bytes (64): the granularity of flush, of crash-time
     line effects, and of the device ECC table. *)

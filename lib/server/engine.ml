@@ -1,0 +1,196 @@
+(** Request dispatch over the sharded per-inode lock table.
+
+    Lock protocol (see DESIGN.md, "Concurrent serving"):
+
+    + {e resolve} — without holding any shard, walk the volatile index
+      to collect the inode numbers the request touches (each [Index]
+      call is individually atomic, so the walk reads consistent entries
+      that may nonetheless be stale by the time locks are taken);
+    + {e lock} — take the shards those keys map to, in ascending shard
+      order ({!Squirrelfs.Locks.with_keys} — deadlock-free by the total
+      order);
+    + {e revalidate} — re-run the resolution under the locks; if the
+      fresh key set still maps inside the held shard set, the index
+      entries the op depends on cannot change until release, so execute;
+      otherwise drop the shards and retry with the new keys;
+    + after [max_retries] failed validations, fall back to
+      {!Squirrelfs.Locks.with_all} (the whole-FS lock), which trivially
+      validates.
+
+    Directory renames go straight to [with_all]: the
+    into-own-subtree check walks the destination's whole ancestor
+    chain, which per-inode keys cannot name in advance (the VFS
+    [s_vfs_rename_mutex] analogue).
+
+    Shared-fence soundness under domains: the simulated device's
+    [sfence] drains {e all} pending lines device-wide (unlike a real
+    CPU's per-core store buffer), so a fence issued by any domain
+    covers stores from every domain and the token registry's global
+    fence epoch remains a sound witness. *)
+
+module Sq = Squirrelfs
+module Errno = Vfs.Errno
+
+type t = {
+  ctx : Sq.Fsctx.t;
+  locks : Sq.Locks.t;
+  stamp : int Atomic.t;  (** next reply stamp *)
+  retries : int Atomic.t;  (** revalidation misses (observability) *)
+  fallbacks : int Atomic.t;  (** whole-FS-lock fallbacks *)
+}
+
+let max_retries = 3
+
+let create ?shards (ctx : Sq.Fsctx.t) =
+  {
+    ctx;
+    locks = Sq.Locks.create ?shards ();
+    stamp = Atomic.make 0;
+    retries = Atomic.make 0;
+    fallbacks = Atomic.make 0;
+  }
+
+let stamps_issued t = Atomic.get t.stamp
+let retry_count t = Atomic.get t.retries
+let fallback_count t = Atomic.get t.fallbacks
+
+(* {2 Lock-key resolution}
+
+   Best-effort: resolution failure (dangling component, invalid path)
+   yields the keys of whatever prefix resolved — the op itself will
+   return the proper errno under those locks. Missing final components
+   are fine: creation only mutates the parent, and the parent is
+   keyed. *)
+
+let walk (t : t) parts =
+  let index = t.ctx.Sq.Fsctx.index in
+  let rec go dir = function
+    | [] -> Some dir
+    | c :: rest -> (
+        match Sq.Index.lookup index ~dir c with
+        | Some (ino, _) when Sq.Index.is_dir index ino -> go ino rest
+        | Some _ | None -> None)
+  in
+  go Layout.Geometry.root_ino parts
+
+(* (parent ino if the walk got there, target ino if it exists, lock
+   keys). Only the final parent and the target are keyed — like the
+   VFS, which locks the last component's parent, not the whole walked
+   prefix. Intermediate directories are merely read (each [Index] call
+   is atomic); a prefix going stale between resolution and execution is
+   exactly what revalidation catches, and an op that needs prefix
+   stability (directory rename) takes the whole-FS lock instead. *)
+let resolve t path =
+  match Vfs.Path.parent_base path with
+  | Error _ ->
+      (* invalid path: the op will fail without reading the index *)
+      (None, None, ([], true))
+  | Ok (parents, name) -> (
+      match walk t parents with
+      | None -> (None, None, ([], false))
+      | Some dir -> (
+          match Sq.Index.lookup t.ctx.Sq.Fsctx.index ~dir name with
+          | Some (ino, _) -> (Some dir, Some ino, ([ dir; ino ], true))
+          | None -> (Some dir, None, ([ dir ], true))))
+
+let resolve_keys t path =
+  let _, _, kc = resolve t path in
+  kc
+
+let merge (k1, c1) (k2, c2) = (k1 @ k2, c1 && c2)
+
+(* Keys a request depends on, plus whether resolution was [complete]
+   (every named path's parent directory reached). An incomplete
+   resolution cannot be validated — the dangling component could appear
+   concurrently after we decide not to lock it — so completeness is part
+   of the revalidation check, and persistently incomplete requests fall
+   back to the whole-FS lock, where they fail with the right errno
+   race-free. A missing {e final} component is fine: the op only needs
+   its (keyed) parent. *)
+let lock_keys t (r : Req.req) : int list * bool =
+  match r with
+  | Req.Create p | Req.Mkdir p | Req.Symlink (_, p) -> resolve_keys t p
+  | Req.Unlink p | Req.Rmdir p | Req.Truncate (p, _) | Req.Readlink p
+  | Req.Stat p | Req.Readdir p | Req.Fsync p | Req.Write (p, _, _)
+  | Req.Read (p, _, _) ->
+      resolve_keys t p
+  | Req.Link (existing, newpath) ->
+      merge (resolve_keys t existing) (resolve_keys t newpath)
+  | Req.Rename (src, dst) -> merge (resolve_keys t src) (resolve_keys t dst)
+
+(* Directory renames take the whole-FS lock (ancestor-chain check). *)
+let needs_global t (r : Req.req) =
+  match r with
+  | Req.Rename (src, _) -> (
+      let _, target, _ = resolve t src in
+      match target with
+      | Some ino -> Sq.Index.is_dir t.ctx.Sq.Fsctx.index ino
+      | None -> false (* will fail ENOENT; per-inode keys suffice *))
+  | _ -> false
+
+(* {2 Execution} *)
+
+let exec (t : t) (r : Req.req) : (Req.payload, Errno.t) result =
+  let ctx = t.ctx in
+  let unit_ = Result.map (fun () -> Req.Unit) in
+  match r with
+  | Req.Create p -> unit_ (Sq.create ctx p)
+  | Req.Mkdir p -> unit_ (Sq.mkdir ctx p)
+  | Req.Symlink (target, p) -> unit_ (Sq.symlink ctx target p)
+  | Req.Link (existing, p) -> unit_ (Sq.link ctx existing p)
+  | Req.Unlink p -> unit_ (Sq.unlink ctx p)
+  | Req.Rmdir p -> unit_ (Sq.rmdir ctx p)
+  | Req.Rename (src, dst) -> unit_ (Sq.rename ctx src dst)
+  | Req.Write (p, off, data) ->
+      Result.map (fun n -> Req.Wrote n) (Sq.write ctx p ~off data)
+  | Req.Read (p, off, len) ->
+      Result.map (fun s -> Req.Data s) (Sq.read ctx p ~off ~len)
+  | Req.Truncate (p, n) -> unit_ (Sq.truncate ctx p n)
+  | Req.Readlink p -> Result.map (fun s -> Req.Data s) (Sq.readlink ctx p)
+  | Req.Stat p -> Result.map (fun st -> Req.Attr st) (Sq.stat ctx p)
+  | Req.Readdir p -> Result.map (fun l -> Req.Names l) (Sq.readdir ctx p)
+  | Req.Fsync p -> unit_ (Sq.fsync ctx p)
+
+let subset need held = List.for_all (fun s -> List.mem s held) need
+
+(* Run [f] with the request's locks held, per the protocol above. *)
+let with_op_locks t r f =
+  if needs_global t r then begin
+    Atomic.incr t.fallbacks;
+    Sq.Locks.with_all t.locks f
+  end
+  else
+    let rec attempt n (keys, _) =
+      if n >= max_retries then begin
+        Atomic.incr t.fallbacks;
+        Sq.Locks.with_all t.locks f
+      end
+      else
+        let held = Sq.Locks.shard_set t.locks keys in
+        let outcome =
+          Sq.Locks.with_shards t.locks held (fun () ->
+              let need, complete = lock_keys t r in
+              let need = Sq.Locks.shard_set t.locks need in
+              if complete && subset need held then Some (f ()) else None)
+        in
+        match outcome with
+        | Some v -> v
+        | None ->
+            Atomic.incr t.retries;
+            attempt (n + 1) (lock_keys t r)
+    in
+    attempt 0 (lock_keys t r)
+
+let submit t ~client ~seq (r : Req.req) : Req.reply =
+  with_op_locks t r (fun () ->
+      let rp_result = exec t r in
+      (* stamped before release: stamp order is consistent with the
+         per-inode linearization (header comment in req.ml) *)
+      let rp_stamp = Atomic.fetch_and_add t.stamp 1 in
+      { Req.rp_client = client; rp_seq = seq; rp_stamp; rp_result })
+
+(* Batched submission: one client's pipelined requests, executed in
+   order. Locks are per-request — a batch is a queue, not a
+   transaction. *)
+let submit_batch t ~client ~seq0 (rs : Req.req list) : Req.reply list =
+  List.mapi (fun i r -> submit t ~client ~seq:(seq0 + i) r) rs

@@ -1,0 +1,82 @@
+(** Typed requests and replies: the wire format of the [Serve]
+    frontend, covering the full {!Vfs.Fs.S} operation surface.
+
+    A request names everything by path, like 9P's [Twalk]+op or NFSv3's
+    name-based procedures; the server resolves paths under its lock
+    protocol. Replies carry the issuing client, the client's own
+    sequence number (so a session can match its pipelined requests) and
+    a server-wide monotone stamp assigned while the operation's locks
+    are still held — stamps are therefore consistent with the
+    per-inode linearization order: if two ops touch a common inode, the
+    one stamped first happened first. *)
+
+type req =
+  | Create of string
+  | Mkdir of string
+  | Symlink of string * string  (** [Symlink (target, linkpath)] *)
+  | Link of string * string  (** [Link (existing, newpath)] *)
+  | Unlink of string
+  | Rmdir of string
+  | Rename of string * string
+  | Write of string * int * string  (** path, offset, data *)
+  | Read of string * int * int  (** path, offset, length *)
+  | Truncate of string * int
+  | Readlink of string
+  | Stat of string
+  | Readdir of string
+  | Fsync of string
+
+type payload =
+  | Unit
+  | Wrote of int  (** bytes written *)
+  | Data of string  (** file or symlink contents *)
+  | Names of string list  (** directory listing *)
+  | Attr of Vfs.Fs.stat
+
+type reply = {
+  rp_client : int;
+  rp_seq : int;  (** client-local request sequence number *)
+  rp_stamp : int;  (** server-wide monotone stamp (see above) *)
+  rp_result : (payload, Vfs.Errno.t) result;
+}
+
+(* Metric/trace label for a request kind. *)
+let name = function
+  | Create _ -> "create"
+  | Mkdir _ -> "mkdir"
+  | Symlink _ -> "symlink"
+  | Link _ -> "link"
+  | Unlink _ -> "unlink"
+  | Rmdir _ -> "rmdir"
+  | Rename _ -> "rename"
+  | Write _ -> "write"
+  | Read _ -> "read"
+  | Truncate _ -> "truncate"
+  | Readlink _ -> "readlink"
+  | Stat _ -> "stat"
+  | Readdir _ -> "readdir"
+  | Fsync _ -> "fsync"
+
+let pp_req ppf r =
+  match r with
+  | Create p | Mkdir p | Unlink p | Rmdir p | Readlink p | Stat p
+  | Readdir p | Fsync p ->
+      Fmt.pf ppf "%s %s" (name r) p
+  | Symlink (a, b) | Link (a, b) | Rename (a, b) ->
+      Fmt.pf ppf "%s %s %s" (name r) a b
+  | Write (p, off, data) ->
+      Fmt.pf ppf "write %s off=%d len=%d" p off (String.length data)
+  | Read (p, off, len) -> Fmt.pf ppf "read %s off=%d len=%d" p off len
+  | Truncate (p, n) -> Fmt.pf ppf "truncate %s %d" p n
+
+let pp_payload ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Wrote n -> Fmt.pf ppf "wrote %d" n
+  | Data s -> Fmt.pf ppf "data[%d]" (String.length s)
+  | Names l -> Fmt.pf ppf "names[%d]" (List.length l)
+  | Attr st -> Fmt.pf ppf "attr ino=%d" st.Vfs.Fs.ino
+
+let pp_reply ppf r =
+  Fmt.pf ppf "c%d#%d @%d %a" r.rp_client r.rp_seq r.rp_stamp
+    (Fmt.result ~ok:pp_payload ~error:Vfs.Errno.pp)
+    r.rp_result

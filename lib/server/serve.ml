@@ -1,0 +1,20 @@
+(** Serve: a 9P/NFS-style request frontend over domain-parallel
+    SquirrelFS operations.
+
+    - {!Req}: typed request/reply structs covering the full [Fs_impl]
+      op surface, with monotonically stamped replies;
+    - {!Engine}: dispatch over the sharded per-inode lock table
+      ([Squirrelfs.Locks]) so independent ops execute on separate OCaml
+      domains against one shared [Pmem.Device];
+    - {!Session}: per-client request generators with Zipf-distributed
+      hot paths;
+    - {!Loadgen}: the synthetic traffic driver behind [bin/serve.exe]
+      and the [serve] bench section.
+
+    See DESIGN.md ("Concurrent serving") for the lock protocol and its
+    deadlock-freedom argument. *)
+
+module Req = Req
+module Engine = Engine
+module Session = Session
+module Loadgen = Loadgen

@@ -1,0 +1,78 @@
+(** Simulated client sessions.
+
+    A session is a deterministic request generator: its RNG is seeded
+    from [(0x5EED, seed, client id)] only, so a session produces the
+    same request stream regardless of which worker domain replays it or
+    how sessions interleave — the foundation of the load generator's
+    [-j 1] determinism witness.
+
+    File targets follow a Zipf distribution over a fixed universe of
+    paths [/d<i>/f<k>] (hot files get most of the traffic, as in YCSB);
+    the op mix is write-heavy with a long tail of namespace
+    operations. *)
+
+type cfg = {
+  dirs : int;  (** directory universe [/d0 .. /d<dirs-1>] *)
+  files : int;  (** file universe size across all dirs *)
+  theta : float;  (** Zipf skew (0.99 = YCSB default) *)
+  seed : int;
+}
+
+type t = {
+  id : int;
+  cfg : cfg;
+  rng : Random.State.t;
+  zipf : Workloads.Zipf.t;
+  mutable seq : int;  (** next request's client-local sequence number *)
+}
+
+let create (cfg : cfg) ~id =
+  let rng = Random.State.make [| 0x5EED; cfg.seed; id |] in
+  { id; cfg; rng; zipf = Workloads.Zipf.create ~theta:cfg.theta ~n:cfg.files rng; seq = 0 }
+
+let id t = t.id
+let seq t = t.seq
+
+(* The k-th file of the universe. Round-robin across directories so the
+   Zipf head is spread over parents (directory inodes would otherwise
+   serialize every hot op on one shard). *)
+let dir_of (cfg : cfg) k = k mod cfg.dirs
+let path_of_dir i = Printf.sprintf "/d%d" i
+let path_of_file (cfg : cfg) k = Printf.sprintf "/d%d/f%d" (dir_of cfg k) k
+
+(* Scratch names used by rename/link/symlink traffic, kept per-client so
+   two clients never collide on them (collisions are still legal — they
+   just produce EEXIST/ENOENT replies). *)
+let scratch t tag k = Printf.sprintf "/d%d/c%d_%s%d" (dir_of t.cfg k) t.id tag k
+
+let payload t =
+  let n = 64 + Random.State.int t.rng 192 in
+  String.init n (fun i ->
+      Char.chr (97 + ((i + Random.State.int t.rng 26) mod 26)))
+
+(* Weighted op mix (out of 100): dominated by data ops on Zipf-hot
+   files, with enough namespace churn to exercise every lock shape. *)
+let next t : Req.req =
+  t.seq <- t.seq + 1;
+  let k = Workloads.Zipf.next t.zipf in
+  let file = path_of_file t.cfg k in
+  let roll = Random.State.int t.rng 100 in
+  if roll < 34 then
+    Req.Write (file, Random.State.int t.rng 8192, payload t)
+  else if roll < 56 then Req.Read (file, 0, 4096)
+  else if roll < 68 then Req.Stat file
+  else if roll < 76 then Req.Create (scratch t "n" t.seq)
+  else if roll < 82 then Req.Unlink (scratch t "n" (t.seq - Random.State.int t.rng 8))
+  else if roll < 86 then
+    (* renames shuffle this client's scratch files so the Zipf universe
+       itself stays intact for the data ops *)
+    Req.Rename (scratch t "n" (t.seq - Random.State.int t.rng 8), scratch t "r" t.seq)
+  else if roll < 89 then Req.Link (file, scratch t "l" t.seq)
+  else if roll < 92 then Req.Truncate (file, Random.State.int t.rng 4096)
+  else if roll < 95 then Req.Readdir (path_of_dir (dir_of t.cfg k))
+  else if roll < 97 then Req.Fsync file
+  else if roll < 99 then
+    Req.Symlink (file, scratch t "s" t.seq)
+  else Req.Readlink (scratch t "s" (t.seq - Random.State.int t.rng 8))
+
+let next_batch t n = List.init n (fun _ -> next t)

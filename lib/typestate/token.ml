@@ -5,6 +5,7 @@ type registry = {
   flush_epochs : (int, int) Hashtbl.t;
   mutable epoch : int;
   mutable obs : Obs.Metrics.t option;
+  lock : Mutex.t; (* guards the tables and the epoch; wrappers below *)
 }
 
 type t = { oid : int; gen : int }
@@ -15,6 +16,7 @@ let create_registry () =
     flush_epochs = Hashtbl.create 64;
     epoch = 1;
     obs = None;
+    lock = Mutex.create ();
   }
 
 let set_metrics reg m = reg.obs <- m
@@ -79,3 +81,29 @@ let assert_fenced reg t =
                 "object %d: no fence since flush (flush epoch %d, current %d)"
                 t.oid fe reg.epoch)));
   use reg t
+
+(* {1 Concurrency}
+
+   One registry serves every domain executing ops under the [Serve]
+   engine. Object ids are disjoint across concurrently running ops (the
+   shard locks see to that), but the generation and flush-epoch tables
+   themselves are shared [Hashtbl]s, and [bump_epoch] races with every
+   in-flight transition. Each public entry point below takes one short
+   critical section on the registry's own lock, shadowing the lock-free
+   bodies above (which keep calling each other directly — [use] ->
+   [validate] + [mint] stays on the unlocked bodies, so a plain [Mutex]
+   is enough). Independent registries (parallel fuzzer shards) never
+   contend. *)
+
+let locked reg f =
+  Mutex.lock reg.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.lock) f
+
+let mint reg ~id = locked reg (fun () -> mint reg ~id)
+let use reg t = locked reg (fun () -> use reg t)
+let check reg t = locked reg (fun () -> check reg t)
+let release reg t = locked reg (fun () -> release reg t)
+let epoch reg = locked reg (fun () -> epoch reg)
+let bump_epoch reg = locked reg (fun () -> bump_epoch reg)
+let flushed_at reg t = locked reg (fun () -> flushed_at reg t)
+let assert_fenced reg t = locked reg (fun () -> assert_fenced reg t)

@@ -138,6 +138,32 @@ let test_zipf_skew () =
   Alcotest.(check bool) "all keys in range" true
     (Array.for_all (fun c -> c >= 0) counts)
 
+(* The memoized [zeta] (cache hit, incremental extension, smaller-n
+   rescan) must be bit-identical to the uncached O(n) scan, and a
+   generator built from a warm cache must emit the same key sequence as
+   one built cold. *)
+let test_zipf_zeta_memoized () =
+  let check_n n theta =
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "zeta %d %.2f" n theta)
+      (W.Zipf.zeta_uncached n theta)
+      (W.Zipf.zeta n theta)
+  in
+  (* ascending: incremental prefix-sum extension *)
+  List.iter (fun n -> check_n n 0.99) [ 2; 10; 64; 100; 1000; 1001 ];
+  (* descending + repeats: exact-table hits and fresh rescans *)
+  List.iter (fun n -> check_n n 0.99) [ 1000; 500; 64; 2; 500 ];
+  (* a second theta gets its own cache *)
+  List.iter (fun n -> check_n n 0.7) [ 100; 50; 200 ];
+  let seq seed =
+    let rng = Random.State.make [| seed |] in
+    let z = W.Zipf.create ~n:300 rng in
+    List.init 500 (fun _ -> W.Zipf.next z)
+  in
+  let cold = seq 11 in
+  let warm = seq 11 in
+  Alcotest.(check (list int)) "warm-cache generator identical" cold warm
+
 let sq_device () = device ()
 
 let test_micro_runs () =
@@ -225,7 +251,11 @@ let () =
           ("random order + overwrite", `Quick, test_btree_random_order_and_overwrite);
           ("persists across reopen", `Quick, test_btree_persists_across_reopen);
         ] );
-      ("zipf", [ ("skew", `Quick, test_zipf_skew) ]);
+      ( "zipf",
+        [
+          ("skew", `Quick, test_zipf_skew);
+          ("zeta memoization exact", `Quick, test_zipf_zeta_memoized);
+        ] );
       ( "drivers",
         [
           ("micro", `Quick, test_micro_runs);
