@@ -1,4 +1,4 @@
-.PHONY: all build check test faultcheck-smoke fuzz-smoke serve-smoke crashcheck bench bench-json bench-json-quick serve-json serve-json-quick clean
+.PHONY: all build check test faultcheck-smoke fuzz-smoke serve-smoke enum-smoke crashcheck bench bench-json bench-json-quick serve-json serve-json-quick clean
 
 all: build
 
@@ -7,6 +7,7 @@ all: build
 check:
 	dune build && dune runtest
 	$(MAKE) fuzz-smoke
+	$(MAKE) enum-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) bench-json-quick
 	$(MAKE) serve-json-quick
@@ -27,6 +28,18 @@ fuzz-smoke: build
 	done
 	@echo "== fuzz --expect-buggy =="
 	dune exec bin/fuzz.exe -- --seed 1 --iters 40 --op-budget 6 --expect-buggy
+
+# Bounded-enumeration smoke: the complete clean seq-2 sweep over the
+# canonical universe (must be quiet through both the crash oracle and
+# the SSU trace checker, with exactly-reconciling coverage accounting;
+# writes the machine-readable coverage record for CI), then the mutant
+# leg: with the Buggy_* alphabet extension every mutant kind must be
+# flagged by BOTH checkers with a <= 3-op shrunk reproducer.
+enum-smoke: build
+	@echo "== fuzz --enum (clean seq-2 sweep) =="
+	dune exec bin/fuzz.exe -- --enum --coverage-out ENUM_coverage.json
+	@echo "== fuzz --enum --expect-buggy =="
+	dune exec bin/fuzz.exe -- --enum --expect-buggy
 
 # Concurrent-path smoke: a short Zipf client load through the request
 # frontend (multi-domain, exercising the sharded lock table and the

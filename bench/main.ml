@@ -757,6 +757,39 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
              s.Fuzzer.Parallel.ss_chunks s.Fuzzer.Parallel.ss_wall_s)
          jn.fm_shards)
   in
+  (* Bounded enumeration throughput: the full clean seq-2 sweep (it is
+     small by construction — |alphabet|² sequences — so even "quick"
+     runs the whole tier and the numbers are comparable across modes,
+     modulo the crash-image cap). *)
+  let ecfg =
+    {
+      Fuzzer.Enum.default_cfg with
+      Fuzzer.Enum.max_images = (if mode = "full" then 8 else 4);
+    }
+  in
+  let et0 = Unix.gettimeofday () in
+  let er = Fuzzer.Enum.run ecfg in
+  let e_wall = Unix.gettimeofday () -. et0 in
+  let e_states = er.Fuzzer.Enum.e_harness.Crashcheck.Harness.crash_states in
+  let enum_json =
+    Printf.sprintf
+      "{ \"alphabet\": %d, \"depth\": %d, \"total\": %d, \"skipped\": %d, \
+       \"enumerated\": %d, \"executed\": %d, \"distinct_state_traces\": %d, \
+       \"deduped_sequences\": %d, \"crash_states\": %d, \"wall_s\": %.4f, \
+       \"states_per_wall_s\": %.1f, \"reconciles\": %b, \"quiet\": %b }"
+      er.Fuzzer.Enum.e_alphabet er.Fuzzer.Enum.e_depth er.Fuzzer.Enum.e_total
+      er.Fuzzer.Enum.e_skipped er.Fuzzer.Enum.e_enumerated
+      er.Fuzzer.Enum.e_executed er.Fuzzer.Enum.e_distinct
+      er.Fuzzer.Enum.e_deduped e_states e_wall
+      (if e_wall > 0. then float_of_int e_states /. e_wall else 0.)
+      (Fuzzer.Enum.reconciles er)
+      (er.Fuzzer.Enum.e_found = [] && er.Fuzzer.Enum.e_ssu_found = [])
+  in
+  let enum_ok =
+    Fuzzer.Enum.reconciles er
+    && er.Fuzzer.Enum.e_found = []
+    && er.Fuzzer.Enum.e_ssu_found = []
+  in
   let json =
     Printf.sprintf
       "{\n\
@@ -768,6 +801,7 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
       \  \"delta\": %s,\n\
       \  \"speedup_delta_over_copy\": %.2f,\n\
       \  \"engines_equivalent\": %b,\n\
+      \  \"enum\": %s,\n\
       \  \"jobs\": {\n\
       \    \"n\": %d,\n\
       \    \"host_cores\": %d,\n\
@@ -782,8 +816,8 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
        }\n"
       mode mb iters op_budget (engine_json copy) (engine_json delta)
       (states_per_wall delta /. states_per_wall copy)
-      engines_equiv jobs host_cores jiters j1.fm_wall jn.fm_wall speedup
-      parallel_efficiency jobs_equiv shards_json
+      engines_equiv enum_json jobs host_cores jiters j1.fm_wall jn.fm_wall
+      speedup parallel_efficiency jobs_equiv shards_json
   in
   let oc = open_out "BENCH_fuzz.json" in
   output_string oc json;
@@ -792,6 +826,10 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
   Printf.printf "wrote BENCH_fuzz.json\n";
   if not (engines_equiv && jobs_equiv) then begin
     Printf.printf "BENCH_fuzz: ENGINE OR SHARDING MISMATCH\n";
+    exit 2
+  end;
+  if not enum_ok then begin
+    Printf.printf "BENCH_fuzz: ENUMERATION NOT CLEAN OR NOT RECONCILING\n";
     exit 2
   end;
   (* Scaling gate: -j N slower than -j 1 on the same work is the

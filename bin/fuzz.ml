@@ -105,9 +105,77 @@ let interleaved_cmd seed pairs max_inter expect_buggy =
     exit (if r.Fuzzer.Interleave.i_failures = [] then 0 else 2)
   end
 
+(* --enum: deterministic bounded enumeration (Fuzzer.Enum). Clean runs
+   must be quiet and the coverage arithmetic must reconcile exactly; with
+   --expect-buggy the alphabet is widened with the three Buggy_* mutants
+   and each must be flagged by BOTH the crash oracle (with a <= 3-op
+   shrunk reproducer) and the SSU trace checker. *)
+let enum_cmd jobs images device_kib no_shrink depth coverage_out expect_buggy =
+  let cfg =
+    {
+      Fuzzer.Enum.default_cfg with
+      Fuzzer.Enum.depth;
+      buggy = expect_buggy;
+      max_images = images;
+      device_size = device_kib * 1024;
+      shrink = not no_shrink;
+    }
+  in
+  let r = Fuzzer.Enum.run ~jobs cfg in
+  Format.printf "%a@." Fuzzer.Enum.pp_report r;
+  (match coverage_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Fuzzer.Enum.coverage_json r);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "coverage -> %s\n" file);
+  let ok = ref true in
+  if not (Fuzzer.Enum.reconciles r) then begin
+    ok := false;
+    print_endline "enum: coverage accounting does NOT reconcile"
+  end;
+  if expect_buggy then begin
+    let okinds = Fuzzer.Enum.kinds_found r in
+    let skinds = Fuzzer.Enum.ssu_kinds_found r in
+    List.iter
+      (fun k ->
+        let o = List.mem k okinds and s = List.mem k skinds in
+        if not (o && s) then ok := false;
+        Printf.printf "enum buggy-%s: oracle=%s trace-checker=%s\n"
+          (Fuzzer.buggy_kind_name k)
+          (if o then "flagged" else "MISSED")
+          (if s then "flagged" else "MISSED"))
+      Fuzzer.all_buggy_kinds;
+    List.iter
+      (fun f ->
+        if List.length f.Fuzzer.Enum.fd_min > 3 then begin
+          ok := false;
+          Printf.printf "enum reproducer of %d ops exceeds the 3-op bound\n"
+            (List.length f.Fuzzer.Enum.fd_min)
+        end;
+        if
+          not
+            (List.exists (fun op -> Fuzzer.buggy_kind_of_op op <> None) f.Fuzzer.Enum.fd_min)
+        then begin
+          ok := false;
+          Printf.printf "enum: mutant-free sequence failed the oracle: %s\n"
+            f.Fuzzer.Enum.fd_detail
+        end)
+      r.Fuzzer.Enum.e_found
+  end
+  else if r.Fuzzer.Enum.e_found <> [] || r.Fuzzer.Enum.e_ssu_found <> [] then begin
+    ok := false;
+    print_endline "enum: clean sweep reported failures (see above)"
+  end;
+  exit (if !ok then 0 else 2)
+
 let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_shrink
-    jobs engine replay expect_buggy trace metrics interleaved pairs max_inter =
+    jobs engine replay expect_buggy trace metrics interleaved pairs max_inter enum depth
+    coverage_out =
   let engine = engine_of engine in
+  if enum then enum_cmd jobs images device_kib no_shrink depth coverage_out expect_buggy;
   if interleaved then interleaved_cmd seed pairs max_inter expect_buggy;
   match replay with
   | Some line -> replay_cmd line images device_kib optane engine trace
@@ -330,6 +398,32 @@ let () =
             "Cap on enumerated schedules per pair (skips are counted and \
              reported, never silent)")
   in
+  let enum =
+    Arg.(
+      value & flag
+      & info [ "enum" ]
+          ~doc:
+            "Bounded black-box enumeration: deterministically run every \
+             bounded op sequence over the canonical universe (seq-2 \
+             complete, seq-3 behind a relatedness frontier with --depth 3) \
+             through the crash oracle and the SSU trace checker, and print \
+             an exactly-reconciling coverage account. With --expect-buggy \
+             the alphabet gains the Buggy_* mutants and each must be \
+             flagged by both checkers")
+  in
+  let depth =
+    Arg.(
+      value & opt int 2
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Enumeration depth (with --enum): 2, or 3 for the frontier tier")
+  in
+  let coverage_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coverage-out" ] ~docv:"FILE"
+          ~doc:"Write the enumeration coverage record as JSON to FILE (with --enum)")
+  in
   exit
     (Cmd.eval
        (Cmd.v
@@ -337,4 +431,5 @@ let () =
           Term.(
             const run $ seed $ iters $ op_budget $ images $ buggy_rate $ device_kib
             $ torn $ stuck $ optane $ no_shrink $ jobs $ engine $ replay $ expect_buggy
-            $ trace $ metrics $ interleaved $ pairs $ max_inter)))
+            $ trace $ metrics $ interleaved $ pairs $ max_inter $ enum $ depth
+            $ coverage_out)))

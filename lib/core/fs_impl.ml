@@ -280,3 +280,29 @@ let fsync (ctx : t) path =
   observed ctx "fsync" @@ fun () ->
   let* _ino = resolve_any ctx path in
   Ok ()
+
+let fdatasync (ctx : t) path =
+  observed ctx "fdatasync" @@ fun () ->
+  let* _ino = resolve_any ctx path in
+  Ok ()
+
+let tmpfile (ctx : t) tag =
+  observed ctx "tmpfile" @@ fun () ->
+  if Hashtbl.mem ctx.Fsctx.anon tag then Error Errno.EEXIST
+  else
+    let* ino = Ops.tmpfile ctx in
+    Hashtbl.replace ctx.Fsctx.anon tag ino;
+    Ok ()
+
+let linkat (ctx : t) tag path =
+  observed ctx "linkat" @@ fun () ->
+  match Hashtbl.find_opt ctx.Fsctx.anon tag with
+  | None -> Error Errno.ENOENT
+  | Some ino -> (
+      let* dir, name = resolve_parent ctx path in
+      match Index.lookup ctx.index ~dir name with
+      | Some _ -> Error Errno.EEXIST
+      | None ->
+          let* () = Ops.linkat ctx ~dir ~name ~ino in
+          Hashtbl.remove ctx.Fsctx.anon tag;
+          Ok ())

@@ -198,12 +198,18 @@ let check (ctx : Fsctx.t) =
   done;
   (* In degraded mode reachability and link counts are unreliable: a
      quarantined directory hides its subtree and its dentries no longer
-     count, so only report these on healthy volumes. *)
+     count, so only report these on healthy volumes. Anonymous tmpfile
+     inodes are unreachable by design while their volatile tag is live:
+     the registry only ever holds them in the current mount (it is
+     rebuilt empty on every mount, so post-crash orphans are still
+     reported — and reclaimed by recovery before this check runs). *)
+  let anon_live = Hashtbl.create 8 in
+  Hashtbl.iter (fun _ ino -> Hashtbl.replace anon_live ino ()) ctx.anon;
   if not degraded then
     Hashtbl.iter
       (fun ino _ ->
-        if not (Hashtbl.mem reachable ino) then
-          err "inode %d: allocated but unreachable from root" ino)
+        if not (Hashtbl.mem reachable ino) && not (Hashtbl.mem anon_live ino)
+        then err "inode %d: allocated but unreachable from root" ino)
       inodes;
 
   (* Link counts. *)

@@ -8,6 +8,7 @@ type t = {
   mutable share_fences : bool;
   csum : bool;
   quar : Faults.Quarantine.t;
+  anon : (string, int) Hashtbl.t;
   mutable on_fence : (unit -> unit) option;
 }
 
@@ -22,6 +23,7 @@ let make ?(csum = false) ~dev ~geo ~cpus () =
     share_fences = true;
     csum;
     quar = Faults.Quarantine.create ();
+    anon = Hashtbl.create 8;
     on_fence = None;
   }
 

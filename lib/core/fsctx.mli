@@ -19,6 +19,11 @@ type t = {
       (** volume has checksummed metadata records (superblock flag) *)
   quar : Faults.Quarantine.t;
       (** objects quarantined for media corruption; non-empty = degraded *)
+  anon : (string, int) Hashtbl.t;
+      (** volatile tag → inode registry for [O_TMPFILE]-style anonymous
+          files awaiting [linkat]. Rebuilt empty on every mount: after a
+          crash the tags are gone and the orphaned inodes are reclaimed
+          by recovery, exactly like kernel tmpfiles whose fd died. *)
   mutable on_fence : (unit -> unit) option;
       (** post-fence hook, run after the device drain and the token-epoch
           bump. The interleaved fuzzer parks its coroutine scheduler here

@@ -224,6 +224,12 @@ module Inode = struct
       failwith (Printf.sprintf "Inode.get: inode %d is free" ino);
     { i_ino = ino; tok = Token.mint ctx.reg ~id:(Fsctx.inode_oid ino) }
 
+  let get_init (ctx : Fsctx.t) ino =
+    let b = Geometry.inode_off ctx.geo ~ino in
+    if Device.read_u64 ctx.dev (b + R.Inode.f_ino) = 0 then
+      failwith (Printf.sprintf "Inode.get_init: inode %d is free" ino);
+    { i_ino = ino; tok = Token.mint ctx.reg ~id:(Fsctx.inode_oid ino) }
+
   let init_common (ctx : Fsctx.t) h ~kind ~links ~mode ~uid ~gid =
     let tok = Token.use ctx.reg h.tok in
     let t = Fsctx.now ctx in

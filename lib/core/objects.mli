@@ -116,6 +116,15 @@ module Inode : sig
   (** Handle on a live inode (the VFS-lock analogue; invalidates any
       previous handle on the same inode). *)
 
+  val get_init : Fsctx.t -> int -> (clean, init) t
+  (** Handle on a durably {e initialized but never committed} inode: an
+      [O_TMPFILE]-style anonymous file whose init group was fenced in an
+      earlier operation and which no dentry references yet. This is
+      exactly the handle shape {!Dentry.commit} demands, so [linkat]
+      materialization re-uses the create commit unchanged. Callers must
+      only pass inode numbers from the mount context's anonymous-file
+      registry ([Fsctx.anon]) — committed inodes go through {!get}. *)
+
   val init_file :
     Fsctx.t -> (clean, free) t -> mode:int -> uid:int -> gid:int -> (dirty, init) t
 

@@ -147,6 +147,44 @@ let link (ctx : Fsctx.t) ~dir ~name ~target_ino =
   Index.insert_dentry ctx.index ~dir name ~ino:target_ino (Dentry.loc dh);
   Ok ()
 
+(* {1 Anonymous files (O_TMPFILE / linkat)} *)
+
+let tmpfile (ctx : Fsctx.t) =
+  span ctx "core.tmpfile" @@ fun () ->
+  let* ih = Inode.alloc ctx in
+  let ino = Inode.ino ih in
+  (* One group: initialize the anonymous inode and make it durable. No
+     dentry is ever written, so every crash state either has a free
+     inode or an orphan that recovery reclaims (unreachable ⇒ freed). *)
+  let ih = Inode.init_file ctx ih ~mode:default_mode_file ~uid:0 ~gid:0 in
+  let _ih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx ih) in
+  Index.add_file ctx.index ino;
+  Ok ino
+
+let linkat (ctx : Fsctx.t) ~dir ~name ~ino =
+  span ctx "core.linkat" @@ fun () ->
+  let* () = check_name name in
+  let* dh = Dentry.alloc ctx ~dir in
+  (* Group 1: dentry name + parent times — one fence. The inode's init
+     group was already fenced by [tmpfile]. *)
+  let dh = Dentry.set_name ctx dh name in
+  let now = Fsctx.now ctx in
+  let ph = Inode.get ctx dir in
+  let ph = Inode.set_times ctx ph ~mtime:now ~ctime:now () in
+  let ph = Inode.flush ctx ph in
+  let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+  let _ph : (_, _) Inode.t = Inode.after_fence ctx ph in
+  (* Group 2: the commit, against a re-opened handle on the durably
+     initialized anonymous inode — the same (clean, init) shape the
+     create commit consumes, so the SSU rules carry over unchanged.
+     Links stay at 1 (set by init): the materialized file has exactly
+     one name. *)
+  let ih = Inode.get_init ctx ino in
+  let dh, _ih = Dentry.commit ctx dh ~inode:ih in
+  let dh = Dentry.fence ctx (Dentry.flush ctx dh) in
+  Index.insert_dentry ctx.index ~dir name ~ino (Dentry.loc dh);
+  Ok ()
+
 (* {1 Deletion} *)
 
 (* Free every data page of [ino] and zero its inode. [ih] must carry zero

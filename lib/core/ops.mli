@@ -22,6 +22,20 @@ val mkdir : Fsctx.t -> dir:int -> name:string -> int r
 
 val symlink : Fsctx.t -> dir:int -> name:string -> target:string -> int r
 val link : Fsctx.t -> dir:int -> name:string -> target_ino:int -> unit r
+
+val tmpfile : Fsctx.t -> int r
+(** Allocate and durably initialize an anonymous ([O_TMPFILE]-style)
+    file inode: init group, flush, fence — no dentry. Returns the inode
+    number; the caller records it in the volatile tag registry
+    ([Fsctx.anon]). A crash leaves an unreachable inode that mount-time
+    recovery frees. *)
+
+val linkat : Fsctx.t -> dir:int -> name:string -> ino:int -> unit r
+(** Materialize the anonymous inode [ino] (durably initialized by
+    {!tmpfile}, never yet committed) at [dir]/[name]: dentry name +
+    parent-times group, fence; dentry commit against the re-opened
+    [(clean, init)] inode handle, fence. Link count stays 1. *)
+
 val unlink : Fsctx.t -> dir:int -> name:string -> unit r
 val rmdir : Fsctx.t -> parent:int -> name:string -> unit r
 

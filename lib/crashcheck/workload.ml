@@ -9,6 +9,10 @@ type op =
   | Write of string * int * string
   | Write_atomic of string * int * string
   | Truncate of string * int
+  | Fsync of string
+  | Fdatasync of string
+  | Tmpfile of string
+  | Linkat of string * string
   | Buggy_create of string
   | Buggy_unlink of string
   | Buggy_write of string * string
@@ -26,6 +30,10 @@ let pp_op ppf = function
   | Write_atomic (p, off, data) ->
       Format.fprintf ppf "write-atomic(%s,%d,%dB)" p off (String.length data)
   | Truncate (p, n) -> Format.fprintf ppf "truncate(%s,%d)" p n
+  | Fsync p -> Format.fprintf ppf "fsync(%s)" p
+  | Fdatasync p -> Format.fprintf ppf "fdatasync(%s)" p
+  | Tmpfile tag -> Format.fprintf ppf "tmpfile(%s)" tag
+  | Linkat (tag, p) -> Format.fprintf ppf "linkat(%s,%s)" tag p
   | Buggy_create p -> Format.fprintf ppf "BUGGY-create(%s)" p
   | Buggy_unlink p -> Format.fprintf ppf "BUGGY-unlink(%s)" p
   | Buggy_write (p, d) ->
@@ -59,10 +67,24 @@ let apply (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) op =
           ign (F.write fs p ~off data)
       | Error _ -> ())
   | Truncate (p, n) -> ign (F.truncate fs p n)
+  | Fsync p -> ign (F.fsync fs p)
+  | Fdatasync p -> ign (F.fdatasync fs p)
+  | Tmpfile tag -> ign (F.tmpfile fs tag)
+  | Linkat (tag, p) -> ign (F.linkat fs tag p)
 
 let setup =
   [ Mkdir "/D"; Create "/A"; Write ("/A", 0, String.make 2000 'a') ]
 
+(* Canonical B3-style enumeration universe: 2 directories (/D live, /E
+   fresh), 2 files (/A live with 2000 bytes, /B fresh), one symlink
+   target (/S), one anonymous-file tag ("t0"), all over the fixed
+   [setup] prefix. This is the single source of truth for systematic
+   workload generation: [systematic_pairs] below and [Fuzzer.Enum]'s
+   bounded seq-2/seq-3 sweeps both draw from this alphabet. The first
+   14 entries are the pre-enumeration alphabet, pinned by a subset test
+   in [test_enum]; the tail widens the op surface with the distinct
+   persistence points (fsync/fdatasync), the anonymous-file lifecycle
+   (tmpfile/linkat) and a truncate on the fresh file. *)
 let alphabet =
   [
     Create "/B";
@@ -79,6 +101,12 @@ let alphabet =
     Write ("/B", 0, String.make 50 'y');
     Truncate ("/A", 10);
     Truncate ("/A", 9000);
+    (* op-surface push *)
+    Fsync "/A";
+    Fdatasync "/A";
+    Tmpfile "t0";
+    Linkat ("t0", "/B");
+    Truncate ("/B", 0);
   ]
 
 let systematic_pairs () =

@@ -13,6 +13,13 @@ type op =
   | Write_atomic of string * int * string
       (** COW data write (the §3.4 extension): crash-atomic per page *)
   | Truncate of string * int
+  | Fsync of string
+  | Fdatasync of string
+      (** distinct persistence points: no-ops on a synchronous PM file
+          system, but enumerated as separate sequence elements so an
+          implementation whose sync path skipped a fence would diverge *)
+  | Tmpfile of string  (** tag: O_TMPFILE-style anonymous file *)
+  | Linkat of string * string  (** tag, path: materialize the tmpfile *)
   | Buggy_create of string
       (** deliberately mis-ordered variants, §4.2 bug reinjection *)
   | Buggy_unlink of string
@@ -31,11 +38,15 @@ val setup : op list
 (** Common prefix establishing a small namespace. *)
 
 val alphabet : op list
-(** Template ops over the setup namespace. *)
+(** The canonical B3-style enumeration universe over the [setup]
+    namespace: 2 dirs × 2 files × 1 symlink target × 1 anonymous-file
+    tag. Single source of truth for [systematic_pairs] and
+    [Fuzzer.Enum]'s bounded sweeps. *)
 
 val systematic_pairs : unit -> op list list
 (** Every ordered pair from [alphabet], each prefixed with [setup]:
-    |alphabet|² workloads. *)
+    |alphabet|² workloads — i.e. [Fuzzer.Enum]'s seq-2 tier, expressed
+    as concrete workloads. *)
 
 val random : seed:int -> ops_per_workload:int -> count:int -> op list list
 (** Seeded random workloads over a wider namespace (the fuzzing

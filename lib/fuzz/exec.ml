@@ -28,7 +28,16 @@ type outcome = {
   o_fail : (crash_point * string) option;
   o_divergences : int;
   o_sim_ns : int;
+  o_state_sig : int64;
 }
+
+(* FNV-1a-style fold of the per-image content hashes, in probe order:
+   a deterministic fingerprint of the whole crash-state trace of one
+   sequence. Depends only on (ops, config) — never on pooling, memo
+   contents or domain placement — so the enumerator can count duplicate
+   sequences across shards order-independently. *)
+let sig_empty = 0xcbf29ce484222325L
+let sig_add acc h = Int64.mul (Int64.logxor acc h) 0x100000001b3L
 
 exception Abort
 
@@ -54,6 +63,10 @@ let apply_sq (ctx : Sq.Fsctx.t) (op : W.op) : (unit, Errno.t) result =
   | W.Symlink (target, p) -> Sq.symlink ctx target p
   | W.Write (p, off, d) -> unit_r (Sq.write ctx p ~off d)
   | W.Truncate (p, n) -> Sq.truncate ctx p n
+  | W.Fsync p -> Sq.fsync ctx p
+  | W.Fdatasync p -> Sq.fdatasync ctx p
+  | W.Tmpfile tag -> Sq.tmpfile ctx tag
+  | W.Linkat (tag, p) -> Sq.linkat ctx tag p
   | W.Write_atomic (p, off, d) -> (
       match Sq.stat ctx p with
       | Error e -> Error e
@@ -282,6 +295,7 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
     | None -> (Hashtbl.create 512, Hashtbl.create 128)
   in
   let seen = Hashtbl.create 256 and seen_media = Hashtbl.create 64 in
+  let state_sig = ref sig_empty in
   let check_image ~image v =
     incr states;
     let verdict =
@@ -289,6 +303,7 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
       | H.Copy -> check_state v
       | H.Delta -> (
           let h = Device.view_hash dev v in
+          state_sig := sig_add !state_sig h;
           if Hashtbl.mem seen h then incr deduped else Hashtbl.replace seen h ();
           match Hashtbl.find_opt memo h with
           | Some verdict -> verdict
@@ -329,6 +344,7 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
       | H.Copy -> check_media_state v
       | H.Delta -> (
           let h = Device.view_hash dev v in
+          state_sig := sig_add !state_sig h;
           if Hashtbl.mem seen_media h then incr deduped
           else Hashtbl.replace seen_media h ();
           match Hashtbl.find_opt memo_media h with
@@ -419,4 +435,5 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
     o_fail = !fail;
     o_divergences = !divergences;
     o_sim_ns = Device.now_ns dev - sim_base;
+    o_state_sig = !state_sig;
   }

@@ -23,6 +23,13 @@ type outcome = {
       (** simulated ns consumed on the main device by the workload itself
           (charged from the post-mkfs baseline, so the value is identical
           whether the device was fresh or pooled) *)
+  o_state_sig : int64;
+      (** deterministic fingerprint of the sequence's full crash-state
+          trace: an FNV-1a-style fold of every probed crash image's
+          content hash, in order. A function of (ops, config) only —
+          independent of pooling, memo state and domain placement — so
+          {!Enum} counts duplicate sequences with it order-independently
+          across [-j] shards. [Delta] engine only; 0-fold under [Copy]. *)
 }
 
 (** Per-domain resource pool: one formatted device (template-blit reset

@@ -11,4 +11,5 @@ module Shrink = Shrink
 module Repro = Repro
 module Parallel = Parallel
 module Interleave = Interleave
+module Enum = Enum
 include Driver

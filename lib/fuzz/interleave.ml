@@ -58,6 +58,13 @@ let targets (op : W.op) =
   | W.Buggy_unlink p | W.Buggy_write (p, _) | W.Symlink (_, p) ->
       [ p ]
   | W.Rename (a, b) | W.Link (a, b) -> [ a; b ]
+  | W.Fsync p | W.Fdatasync p -> [ p ]
+  (* The fd-registry tag is modelled as a pseudo-path: two ops sharing a
+     tag (tmpfile then linkat) must stay ordered. Its "parent" resolves
+     to "/", which conservatively serializes tag ops against root-level
+     namespace ops. *)
+  | W.Tmpfile tag -> [ "tag:" ^ tag ]
+  | W.Linkat (tag, p) -> [ "tag:" ^ tag; p ]
 
 let touched op = targets op @ List.map parent (targets op)
 

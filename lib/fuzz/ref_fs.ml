@@ -18,10 +18,22 @@ type obj =
   | Dir of { entries : int SMap.t }
   | Symlink of { target : string }
 
-type t = { objs : obj IMap.t; next : int }
+type t = { objs : obj IMap.t; tmps : int SMap.t; next : int }
+(** [tmps]: volatile O_TMPFILE tag → object id for anonymous files
+    awaiting [linkat]. These objects live in [objs] but are reachable
+    from no directory; [capture] walks from the root, so they are
+    invisible to state comparison — exactly matching SquirrelFS, where a
+    crash drops the volatile tag registry and recovery reclaims the
+    orphaned inode. *)
 
 let root = 0
-let empty = { objs = IMap.singleton root (Dir { entries = SMap.empty }); next = 1 }
+
+let empty =
+  {
+    objs = IMap.singleton root (Dir { entries = SMap.empty });
+    tmps = SMap.empty;
+    next = 1;
+  }
 let ( let* ) = Result.bind
 let obj t id = IMap.find id t.objs
 
@@ -88,7 +100,7 @@ let gc t id = if id <> root && refs t id = 0 then { t with objs = IMap.remove id
 
 let new_obj t o =
   let id = t.next in
-  (id, { objs = IMap.add id o t.objs; next = id + 1 })
+  (id, { t with objs = IMap.add id o t.objs; next = id + 1 })
 
 let create_kind t path o =
   let* dir, name = resolve_parent t path in
@@ -213,6 +225,34 @@ let truncate t path n =
   with_file t path (fun f ->
       if n < 0 then Error Errno.EINVAL else Ok { size = n; data = pad f.data n })
 
+(* Persistence points: everything is already durable on the synchronous
+   side, so these only mirror the resolution errno. *)
+let fsync t path =
+  let* _id = resolve_any t path in
+  Ok t
+
+let fdatasync t path = fsync t path
+
+(* Same precedence as [Fs_impl.tmpfile]/[Fs_impl.linkat]: duplicate tag
+   first, then path resolution, then destination-exists, then name. *)
+let tmpfile t tag =
+  if SMap.mem tag t.tmps then Error Errno.EEXIST
+  else
+    let id, t = new_obj t (File { size = 0; data = "" }) in
+    Ok { t with tmps = SMap.add tag id t.tmps }
+
+let linkat t tag path =
+  match SMap.find_opt tag t.tmps with
+  | None -> Error Errno.ENOENT
+  | Some id -> (
+      let* dir, name = resolve_parent t path in
+      match SMap.find_opt name (entries_of t dir) with
+      | Some _ -> Error Errno.EEXIST
+      | None ->
+          let* () = check_name name in
+          let t = add_entry t dir name id in
+          Ok { t with tmps = SMap.remove tag t.tmps })
+
 (* Correct-semantics counterpart of [Crashcheck.Buggy.write_append]: a
    page-aligned append (same placement arithmetic as the mutant and as
    [Crashcheck.Workload.apply]'s oracle path). *)
@@ -241,6 +281,10 @@ let apply t (op : Crashcheck.Workload.op) =
   | Symlink (target, p) -> r (symlink t target p)
   | Write (p, off, d) | Write_atomic (p, off, d) -> r (write t p ~off d)
   | Truncate (p, n) -> r (truncate t p n)
+  | Fsync p -> r (fsync t p)
+  | Fdatasync p -> r (fdatasync t p)
+  | Tmpfile tag -> r (tmpfile t tag)
+  | Linkat (tag, p) -> r (linkat t tag p)
   | Buggy_write (p, d) -> r (buggy_append t p d)
 
 (* Same canonicalization as [Vfs.Logical.capture]: canonical inode

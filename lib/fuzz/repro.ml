@@ -20,6 +20,10 @@ let op_to_cli = function
   | W.Write_atomic (p, off, d) ->
       Printf.sprintf "write-atomic %s %d %d" p off (String.length d)
   | W.Truncate (p, n) -> Printf.sprintf "truncate %s %d" p n
+  | W.Fsync p -> Printf.sprintf "fsync %s" p
+  | W.Fdatasync p -> Printf.sprintf "fdatasync %s" p
+  | W.Tmpfile tag -> Printf.sprintf "tmpfile %s" tag
+  | W.Linkat (tag, p) -> Printf.sprintf "linkat %s %s" tag p
   | W.Buggy_create p -> Printf.sprintf "buggy-create %s" p
   | W.Buggy_unlink p -> Printf.sprintf "buggy-unlink %s" p
   | W.Buggy_write (p, d) -> Printf.sprintf "buggy-write %s %d" p (String.length d)
@@ -39,6 +43,10 @@ let op_to_ocaml = function
   | W.Write_atomic (p, off, d) ->
       Printf.sprintf "Write_atomic (%S, %d, String.make %d 'z')" p off (String.length d)
   | W.Truncate (p, n) -> Printf.sprintf "Truncate (%S, %d)" p n
+  | W.Fsync p -> Printf.sprintf "Fsync %S" p
+  | W.Fdatasync p -> Printf.sprintf "Fdatasync %S" p
+  | W.Tmpfile tag -> Printf.sprintf "Tmpfile %S" tag
+  | W.Linkat (tag, p) -> Printf.sprintf "Linkat (%S, %S)" tag p
   | W.Buggy_create p -> Printf.sprintf "Buggy_create %S" p
   | W.Buggy_unlink p -> Printf.sprintf "Buggy_unlink %S" p
   | W.Buggy_write (p, d) ->
@@ -69,6 +77,10 @@ let op_of_tokens toks =
       match int n with
       | Some n -> Ok (W.Truncate (p, n))
       | None -> Error "truncate: expected integer length")
+  | [ "fsync"; p ] -> Ok (W.Fsync p)
+  | [ "fdatasync"; p ] -> Ok (W.Fdatasync p)
+  | [ "tmpfile"; tag ] -> Ok (W.Tmpfile tag)
+  | [ "linkat"; tag; p ] -> Ok (W.Linkat (tag, p))
   | [ "buggy-create"; p ] -> Ok (W.Buggy_create p)
   | [ "buggy-unlink"; p ] -> Ok (W.Buggy_unlink p)
   | [ "buggy-write"; p; len ] -> (

@@ -72,6 +72,26 @@ module type S = sig
   val stat : t -> string -> stat r
   val readdir : t -> string -> string list r
   val fsync : t -> string -> unit r
+
+  val fdatasync : t -> string -> unit r
+  (** Data-only persistence point. On the synchronous PM file systems
+      here it is observably equivalent to [fsync] (everything is durable
+      at return), but it is a distinct entry point so crash enumeration
+      can treat the two persistence ops as distinct sequence elements —
+      a file system whose fdatasync skipped a metadata fence would
+      diverge here and nowhere else. *)
+
+  val tmpfile : t -> string -> unit r
+  (** [tmpfile t tag] creates an [O_TMPFILE]-style anonymous file:
+      an initialized, durable inode with no directory entry, registered
+      under the volatile handle [tag] (the stand-in for an open fd).
+      [EEXIST] if [tag] is already registered. A crash before [linkat]
+      leaves an orphan that recovery reclaims. *)
+
+  val linkat : t -> string -> string -> unit r
+  (** [linkat t tag path] materializes the anonymous file registered
+      under [tag] at [path] (the [linkat(fd, AT_EMPTY_PATH)] analogue)
+      and consumes the tag. [ENOENT] if [tag] is not registered. *)
 end
 
 type fs = (module S)

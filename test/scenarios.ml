@@ -246,7 +246,83 @@ let extra =
         ];
   ]
 
-let all = table @ extra
+(* {1 Op-surface push: persistence points, anonymous files, truncate} *)
+
+let op_surface =
+  [
+    sc "fsync vs fdatasync: distinct persistence points, same errnos"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, "data");
+          Fsync "/a";
+          Fdatasync "/a";
+          Fsync "/missing";
+          Fdatasync "/missing";
+          Mkdir "/d";
+          Fsync "/d";
+          Fdatasync "/d";
+          Fsync "/";
+          Unlink "/a";
+          Fdatasync "/a";
+        ];
+    sc "tmpfile then linkat materializes at exactly one name"
+      W.
+        [
+          Tmpfile "t0";
+          Linkat ("t0", "/staged");
+          Write ("/staged", 0, "published");
+          Linkat ("t0", "/again");
+          Unlink "/staged";
+        ];
+    sc "tmpfile: duplicate tag, linkat onto existing name, dangling tag"
+      W.
+        [
+          Tmpfile "t0";
+          Tmpfile "t0";
+          Create "/busy";
+          Linkat ("t0", "/busy");
+          Linkat ("missing", "/x");
+          Mkdir "/d";
+          Linkat ("t0", "/d/ok");
+          Unlink "/d/ok";
+        ];
+    sc "tmpfile never materialized stays invisible"
+      W.
+        [
+          Tmpfile "orphan";
+          Create "/a";
+          Write ("/a", 0, "visible");
+          Tmpfile "second";
+          Linkat ("second", "/b");
+          Unlink "/b";
+        ];
+    sc "linkat into a renamed-away parent fails cleanly"
+      W.
+        [
+          Mkdir "/d";
+          Tmpfile "t0";
+          Rename ("/d", "/e");
+          Linkat ("t0", "/d/f");
+          Linkat ("t0", "/e/f");
+          Fsync "/e/f";
+        ];
+    sc "truncate up then down across page boundaries"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, String.make 2000 'a');
+          Truncate ("/a", 9000);
+          Fdatasync "/a";
+          Write ("/a", 8000, "tail");
+          Truncate ("/a", 10);
+          Truncate ("/a", 0);
+          Truncate ("/a", 4096);
+          Fsync "/a";
+        ];
+  ]
+
+let all = table @ extra @ op_surface
 
 (* {1 Generic differential runner} *)
 
@@ -263,6 +339,10 @@ let apply_fs (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) (op : W.op)
   | W.Write (p, off, data) | W.Write_atomic (p, off, data) ->
       Result.map (fun (_ : int) -> ()) (F.write fs p ~off data)
   | W.Truncate (p, n) -> F.truncate fs p n
+  | W.Fsync p -> F.fsync fs p
+  | W.Fdatasync p -> F.fdatasync fs p
+  | W.Tmpfile tag -> F.tmpfile fs tag
+  | W.Linkat (tag, p) -> F.linkat fs tag p
   | W.Buggy_create _ | W.Buggy_unlink _ | W.Buggy_write _ ->
       invalid_arg "scenario corpus has no buggy ops"
 
