@@ -1,4 +1,4 @@
-.PHONY: all build check test faultcheck-smoke fuzz-smoke serve-smoke enum-smoke crashcheck bench bench-json bench-json-quick serve-json serve-json-quick clean
+.PHONY: all build check test faultcheck-smoke fuzz-smoke serve-smoke enum-smoke datapath-smoke crashcheck bench bench-json bench-json-quick serve-json serve-json-quick clean
 
 all: build
 
@@ -9,6 +9,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) enum-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) datapath-smoke
 	$(MAKE) bench-json-quick
 	$(MAKE) serve-json-quick
 
@@ -54,6 +55,14 @@ serve-smoke: build
 	dune exec bin/fuzz.exe -- --interleaved --seed 1 --pairs 25
 	@echo "== fuzz --interleaved --expect-buggy =="
 	dune exec bin/fuzz.exe -- --interleaved --expect-buggy
+
+# Split-data-path smoke: exact fence counts for the coalesced write
+# schedule (in-place = 1 sfence, extending append = 2, against the
+# legacy 2/3 ablation) and open-handle vs path-resolving throughput.
+# Exits non-zero on any regression (see the `datapath` bench section).
+datapath-smoke: build
+	@echo "== bench datapath (fence schedule + handle throughput) =="
+	dune exec bench/main.exe -- datapath
 
 # Fast end-to-end exercise of the media-fault pipeline: checksummed
 # volume, seeded bit flips, scrub, degraded remount, EIO checks.

@@ -435,6 +435,137 @@ let ablate () =
     plain cow
     ((cow -. plain) /. plain *. 100.)
 
+(* {1 Split data path: fence schedule and open-handle throughput}
+
+   Measures the two halves of the SplitFS-style datapath work: the
+   coalesced fence schedule (in-place write = 1 sfence, extending
+   append = 2, against the legacy 2/3 with [coalesce] off) and the
+   open-handle ops against their path-resolving equivalents on a deep
+   path. Everything is simulated time and exact fence counts, so the
+   numbers are deterministic and gate-able. *)
+
+type datapath = {
+  dp_inplace : float;  (** fences per in-place 4K overwrite, coalesced *)
+  dp_extend : float;  (** fences per one-page extending append, coalesced *)
+  dp_inplace_legacy : float;
+  dp_extend_legacy : float;
+  dp_append_path : float;  (** path-resolving appends per simulated sec *)
+  dp_append_h : float;  (** handle appends per simulated sec *)
+  dp_read_path : float;
+  dp_read_h : float;
+}
+
+let measure_datapath () =
+  let fences_per_op ~coalesce ~inplace =
+    let dev = device ~mb:8 () in
+    Squirrelfs.mkfs dev;
+    let fs = ok (Squirrelfs.mount dev) in
+    fs.Squirrelfs.Fsctx.coalesce <- coalesce;
+    ok (Squirrelfs.create fs "/f");
+    let page = String.make 4096 'p' in
+    ignore (ok (Squirrelfs.write fs "/f" ~off:0 page));
+    let n = 50 in
+    let f0 = (Device.stats dev).Pmem.Stats.fences in
+    for i = 1 to n do
+      let off = if inplace then 0 else i * 4096 in
+      ignore (ok (Squirrelfs.write fs "/f" ~off page))
+    done;
+    float_of_int ((Device.stats dev).Pmem.Stats.fences - f0)
+    /. float_of_int n
+  in
+  (* handle vs path ops on a deep path: the handle pays neither the
+     per-component resolution charge nor per-page index queries *)
+  let ops_per_sim_sec () =
+    let dev = device ~mb:8 () in
+    Squirrelfs.mkfs dev;
+    let fs = ok (Squirrelfs.mount dev) in
+    ok (Squirrelfs.mkdir fs "/d1");
+    ok (Squirrelfs.mkdir fs "/d1/d2");
+    ok (Squirrelfs.mkdir fs "/d1/d2/d3");
+    let p = "/d1/d2/d3/f" in
+    ok (Squirrelfs.create fs p);
+    ignore (ok (Squirrelfs.write fs p ~off:0 (String.make 4096 'w')));
+    ok (Squirrelfs.open_file fs "h" p);
+    let n = 200 in
+    let rate f =
+      let t0 = Device.now_ns dev in
+      for i = 1 to n do
+        f i
+      done;
+      float_of_int n *. 1e9 /. float_of_int (Device.now_ns dev - t0)
+    in
+    let data = String.make 1024 'd' in
+    let append_path =
+      rate (fun _ -> ignore (ok (Squirrelfs.write fs p ~off:0 data)))
+    in
+    let append_h =
+      rate (fun _ -> ignore (ok (Squirrelfs.write_h fs "h" ~off:0 data)))
+    in
+    let read_path =
+      rate (fun _ -> ignore (ok (Squirrelfs.read fs p ~off:0 ~len:1024)))
+    in
+    let read_h =
+      rate (fun _ -> ignore (ok (Squirrelfs.read_h fs "h" ~off:0 ~len:1024)))
+    in
+    (append_path, append_h, read_path, read_h)
+  in
+  let dp_append_path, dp_append_h, dp_read_path, dp_read_h =
+    ops_per_sim_sec ()
+  in
+  {
+    dp_inplace = fences_per_op ~coalesce:true ~inplace:true;
+    dp_extend = fences_per_op ~coalesce:true ~inplace:false;
+    dp_inplace_legacy = fences_per_op ~coalesce:false ~inplace:true;
+    dp_extend_legacy = fences_per_op ~coalesce:false ~inplace:false;
+    dp_append_path;
+    dp_append_h;
+    dp_read_path;
+    dp_read_h;
+  }
+
+(* The acceptance bar: coalesced in-place = exactly 1 fence, extending
+   append within 2; never worse than the legacy schedule; handle ops at
+   least match their path equivalents. *)
+let datapath_ok d =
+  d.dp_inplace = 1.0
+  && d.dp_extend <= 2.0
+  && d.dp_inplace <= d.dp_inplace_legacy
+  && d.dp_extend <= d.dp_extend_legacy
+  && d.dp_append_h >= d.dp_append_path
+  && d.dp_read_h >= d.dp_read_path
+
+let datapath_json d =
+  Printf.sprintf
+    "{ \"inplace_fences_per_op\": %.2f, \"extend_fences_per_op\": %.2f, \
+     \"legacy_inplace_fences_per_op\": %.2f, \
+     \"legacy_extend_fences_per_op\": %.2f, \
+     \"appends_per_sim_s_path\": %.1f, \"appends_per_sim_s_handle\": %.1f, \
+     \"reads_per_sim_s_path\": %.1f, \"reads_per_sim_s_handle\": %.1f, \
+     \"handle_append_speedup\": %.3f, \"handle_read_speedup\": %.3f, \
+     \"ok\": %b }"
+    d.dp_inplace d.dp_extend d.dp_inplace_legacy d.dp_extend_legacy
+    d.dp_append_path d.dp_append_h d.dp_read_path d.dp_read_h
+    (d.dp_append_h /. d.dp_append_path)
+    (d.dp_read_h /. d.dp_read_path)
+    (datapath_ok d)
+
+let datapath () =
+  section "Split data path: fence schedule and open-handle throughput";
+  let d = measure_datapath () in
+  Printf.printf "fences/op:   in-place %.2f (legacy %.2f), extend %.2f (legacy %.2f)\n"
+    d.dp_inplace d.dp_inplace_legacy d.dp_extend d.dp_extend_legacy;
+  Printf.printf
+    "appends/sim-s: path %.0f, handle %.0f (%.2fx); reads/sim-s: path %.0f, \
+     handle %.0f (%.2fx)\n"
+    d.dp_append_path d.dp_append_h
+    (d.dp_append_h /. d.dp_append_path)
+    d.dp_read_path d.dp_read_h
+    (d.dp_read_h /. d.dp_read_path);
+  if not (datapath_ok d) then begin
+    Printf.printf "DATAPATH REGRESSION\n";
+    exit 2
+  end
+
 (* {1 Fault subsystem: checksum overhead, scrub throughput, detection} *)
 
 let faults () =
@@ -790,6 +921,9 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
     && er.Fuzzer.Enum.e_found = []
     && er.Fuzzer.Enum.e_ssu_found = []
   in
+  (* Split-data-path gauges: exact fence counts and handle-vs-path
+     throughput, gated below like the engine/enum invariants. *)
+  let dp = measure_datapath () in
   let json =
     Printf.sprintf
       "{\n\
@@ -802,6 +936,7 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
       \  \"speedup_delta_over_copy\": %.2f,\n\
       \  \"engines_equivalent\": %b,\n\
       \  \"enum\": %s,\n\
+      \  \"datapath\": %s,\n\
       \  \"jobs\": {\n\
       \    \"n\": %d,\n\
       \    \"host_cores\": %d,\n\
@@ -816,8 +951,8 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
        }\n"
       mode mb iters op_budget (engine_json copy) (engine_json delta)
       (states_per_wall delta /. states_per_wall copy)
-      engines_equiv enum_json jobs host_cores jiters j1.fm_wall jn.fm_wall
-      speedup parallel_efficiency jobs_equiv shards_json
+      engines_equiv enum_json (datapath_json dp) jobs host_cores jiters
+      j1.fm_wall jn.fm_wall speedup parallel_efficiency jobs_equiv shards_json
   in
   let oc = open_out "BENCH_fuzz.json" in
   output_string oc json;
@@ -830,6 +965,10 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
   end;
   if not enum_ok then begin
     Printf.printf "BENCH_fuzz: ENUMERATION NOT CLEAN OR NOT RECONCILING\n";
+    exit 2
+  end;
+  if not (datapath_ok dp) then begin
+    Printf.printf "BENCH_fuzz: DATAPATH REGRESSION\n";
     exit 2
   end;
   (* Scaling gate: -j N slower than -j 1 on the same work is the
@@ -1010,6 +1149,7 @@ let sections =
     ("bugs", bugs);
     ("mem", mem);
     ("ablate", ablate);
+    ("datapath", datapath);
     ("faults", faults);
     ("fuzz", fuzz);
     ("fuzz-json", fuzz_json);

@@ -32,6 +32,11 @@ struct
     dblocks : (int, int list ref) Hashtbl.t; (* dir -> data blocks in order *)
     free_slots : (int, int list ref) Hashtbl.t; (* dir -> free slot offsets *)
     anon : (string, int) Hashtbl.t; (* volatile O_TMPFILE tag -> ino *)
+    oft : (string, int * int) Hashtbl.t;
+        (* open-handle tag -> (ino, free-generation at open) *)
+    freed : (int, int) Hashtbl.t;
+        (* ino -> #times freed; detects a stale handle even when the
+           inode number has been reused by a new file *)
     tx : Txn.t;
   }
 
@@ -213,11 +218,15 @@ struct
         Txn.touch_inode t.tx ino;
         Ok ino
 
+  let free_gen t ino =
+    match Hashtbl.find_opt t.freed ino with Some g -> g | None -> 0
+
   let free_inode t ino =
     let off, byte = Bitmap.set t.ibm (ino - 1) false in
     Txn.stage t.tx ~off byte;
     Txn.stage t.tx ~off:(ioff t ino) (String.make L.inode_size '\000');
-    Device.store t.dev ~off:(ioff t ino) (String.make L.inode_size '\000')
+    Device.store t.dev ~off:(ioff t ino) (String.make L.inode_size '\000');
+    Hashtbl.replace t.freed ino (free_gen t ino + 1)
 
   let stage_field t ino f v =
     Txn.stage_u64 t.tx ~off:(ioff t ino + f) v;
@@ -389,6 +398,8 @@ struct
           dblocks = Hashtbl.create 64;
           free_slots = Hashtbl.create 64;
           anon = Hashtbl.create 8;
+          oft = Hashtbl.create 8;
+          freed = Hashtbl.create 8;
           tx = Txn.create dev lay prof ~seq:(seq + 1);
         }
       in
@@ -667,8 +678,7 @@ struct
     else if k = kind_symlink then Error Errno.EINVAL
     else Ok ino
 
-  let write t path ~off data =
-    let* ino = kind_check_file t path in
+  let write_ino t ino ~off data =
     if off < 0 then Error Errno.EINVAL
     else if String.length data = 0 then Ok 0
     else begin
@@ -744,8 +754,11 @@ struct
       end
     end
 
-  let read t path ~off ~len =
+  let write t path ~off data =
     let* ino = kind_check_file t path in
+    write_ino t ino ~off data
+
+  let read_ino t ino ~off ~len =
     if off < 0 || len < 0 then Error Errno.EINVAL
     else begin
       let size = isize t ino in
@@ -778,6 +791,10 @@ struct
         Ok (Buffer.contents buf)
       end
     end
+
+  let read t path ~off ~len =
+    let* ino = kind_check_file t path in
+    read_ino t ino ~off ~len
 
   let truncate t path new_size =
     let* ino = kind_check_file t path in
@@ -900,6 +917,52 @@ struct
       Txn.commit t.tx;
       Hashtbl.replace t.anon tag ino;
       Ok ()
+
+  (* {1 Open handles}
+
+     Tag-keyed handles with the semantics pinned by the [Vfs.Fs.S]
+     contract: follow the inode, go stale (EBADF) when the file is
+     destroyed. The free-generation counter catches destruction even
+     when the inode number is reused; the baselines have no extent
+     cache, so a handle here only saves path resolution. *)
+
+  (* Same errno precedence as [Squirrelfs.Fs_impl.open_file]: resolution
+     errors, then kind checks, then the duplicate-tag check. *)
+  let open_file t tag path =
+    let* ino = resolve_any t path in
+    let k = ikind t ino in
+    if k = kind_dir then Error Errno.EISDIR
+    else if k = kind_symlink then Error Errno.EINVAL
+    else if Hashtbl.mem t.oft tag then Error Errno.EEXIST
+    else begin
+      Hashtbl.replace t.oft tag (ino, free_gen t ino);
+      Ok ()
+    end
+
+  let close_file t tag =
+    if Hashtbl.mem t.oft tag then begin
+      Hashtbl.remove t.oft tag;
+      Ok ()
+    end
+    else Error Errno.EBADF
+
+  (* A stale handle stays bound until [close_file] (the tag is busy,
+     like a POSIX fd); it just answers EBADF. *)
+  let handle_ino t tag =
+    match Hashtbl.find_opt t.oft tag with
+    | None -> Error Errno.EBADF
+    | Some (ino, gen) ->
+        if free_gen t ino <> gen then Error Errno.EBADF else Ok ino
+
+  let read_h t tag ~off ~len =
+    let* ino = handle_ino t tag in
+    Device.charge t.dev prof.Profile.op_base_ns;
+    read_ino t ino ~off ~len
+
+  let write_h t tag ~off data =
+    let* ino = handle_ino t tag in
+    Device.charge t.dev prof.Profile.op_base_ns;
+    write_ino t ino ~off data
 
   let linkat t tag path =
     match Hashtbl.find_opt t.anon tag with

@@ -40,13 +40,22 @@ let observed (ctx : Fsctx.t) name f =
   | None, None -> f ()
   | tr, m ->
       let t0 = Device.now_ns dev in
+      let st = Device.stats dev in
+      let fences0 = st.Pmem.Stats.fences and bytes0 = st.Pmem.Stats.bytes_stored in
       if tr <> None then Device.emit dev (Obs.Event.Span_begin name);
       Fun.protect
         ~finally:(fun () ->
           if tr <> None then Device.emit dev (Obs.Event.Span_end name);
           match m with
           | Some m ->
-              Obs.Metrics.observe m ("op." ^ name) (Device.now_ns dev - t0)
+              Obs.Metrics.observe m ("op." ^ name) (Device.now_ns dev - t0);
+              (* per-op persistence traffic: the [fences.*]/[bytes.*]
+                 series feed the {!Obs.Metrics.fences_per_op} and
+                 {!Obs.Metrics.bytes_per_fence} derived gauges *)
+              Obs.Metrics.observe m ("fences." ^ name)
+                (st.Pmem.Stats.fences - fences0);
+              Obs.Metrics.observe m ("bytes." ^ name)
+                (st.Pmem.Stats.bytes_stored - bytes0)
           | None -> ())
         f
 
@@ -293,6 +302,35 @@ let tmpfile (ctx : t) tag =
     let* ino = Ops.tmpfile ctx in
     Hashtbl.replace ctx.Fsctx.anon tag ino;
     Ok ()
+
+(* {1 Split data path}
+
+   [open_file] pays path resolution once; the handle ops charge only the
+   VFS base cost — no per-component lookup charge, which is the point of
+   the split data path. *)
+
+let open_file (ctx : t) tag path =
+  observed ctx "open" @@ fun () ->
+  let* ino = resolve_any ctx path in
+  match kind_of ctx ino with
+  | R.Kind.Dir -> Error Errno.EISDIR
+  | R.Kind.Symlink -> Error Errno.EINVAL
+  | R.Kind.File -> Fsctx.oft_open ctx tag ino
+
+let close_file (ctx : t) tag =
+  observed ctx "close" @@ fun () ->
+  Device.charge ctx.dev vfs_base_ns;
+  Fsctx.oft_close ctx tag
+
+let read_h (ctx : t) tag ~off ~len =
+  observed ctx "read_h" @@ fun () ->
+  Device.charge ctx.dev vfs_base_ns;
+  Ops.read_h ctx ~tag ~off ~len
+
+let write_h (ctx : t) tag ~off data =
+  observed ctx "write_h" @@ fun () ->
+  Device.charge ctx.dev vfs_base_ns;
+  Ops.write_h ctx ~tag ~off data
 
 let linkat (ctx : t) tag path =
   observed ctx "linkat" @@ fun () ->

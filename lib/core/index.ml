@@ -9,7 +9,9 @@ type t = {
   dirs : (int, dir_index) Hashtbl.t;
   files : (int, (int, int) Hashtbl.t) Hashtbl.t; (* ino -> offset -> page *)
   used_slots : (int * int, unit) Hashtbl.t; (* (page, slot) *)
-  lock : Mutex.t; (* guards the three tables; see the wrappers below *)
+  versions : (int, int) Hashtbl.t; (* ino -> extent-map version *)
+  deaths : (int, int) Hashtbl.t; (* ino -> #times removed as a file *)
+  lock : Mutex.t; (* guards the tables; see the wrappers below *)
 }
 
 let create () =
@@ -17,6 +19,8 @@ let create () =
     dirs = Hashtbl.create 64;
     files = Hashtbl.create 64;
     used_slots = Hashtbl.create 256;
+    versions = Hashtbl.create 64;
+    deaths = Hashtbl.create 64;
     lock = Mutex.create ();
   }
 
@@ -93,10 +97,26 @@ let add_file t ino =
   if not (Hashtbl.mem t.files ino) then
     Hashtbl.replace t.files ino (Hashtbl.create 8)
 
-let add_file_page t ~ino ~offset page =
-  Hashtbl.replace (file_exn t ino) offset page
+(* Extent-map version: bumped on every change to a file's offset->page
+   map (and on the file's removal), so open handles can validate a
+   cached extent snapshot with one volatile read instead of a per-page
+   query. Versions start at 0 for never-indexed inos and never reset —
+   inode numbers are reused, so a handle holding a version from a dead
+   file's lifetime must still see a mismatch against the new file. *)
+let bump_version t ino =
+  Hashtbl.replace t.versions ino
+    (1 + (match Hashtbl.find_opt t.versions ino with Some v -> v | None -> 0))
 
-let remove_file_page t ~ino ~offset = Hashtbl.remove (file_exn t ino) offset
+let file_version t ino =
+  match Hashtbl.find_opt t.versions ino with Some v -> v | None -> 0
+
+let add_file_page t ~ino ~offset page =
+  Hashtbl.replace (file_exn t ino) offset page;
+  bump_version t ino
+
+let remove_file_page t ~ino ~offset =
+  Hashtbl.remove (file_exn t ino) offset;
+  bump_version t ino
 
 let file_page t ~ino ~offset =
   match Hashtbl.find_opt t.files ino with
@@ -108,7 +128,18 @@ let file_pages t ~ino =
   | None -> []
   | Some f -> Hashtbl.fold (fun off page acc -> (off, page) :: acc) f []
 
-let remove_file t ino = Hashtbl.remove t.files ino
+(* Death counter: how many times [ino] has stopped being a file. Open
+   handles capture it at open time; inode numbers are reused, so
+   [is_file] alone cannot tell "the file I opened" from "a new file on
+   the same number" — a changed death count can. *)
+let file_deaths t ino =
+  match Hashtbl.find_opt t.deaths ino with Some n -> n | None -> 0
+
+let remove_file t ino =
+  Hashtbl.remove t.files ino;
+  Hashtbl.replace t.deaths ino (1 + file_deaths t ino);
+  bump_version t ino
+
 let is_file t ino = Hashtbl.mem t.files ino
 
 let footprint_bytes t =
@@ -166,4 +197,6 @@ let file_page t ~ino ~offset = locked t (fun () -> file_page t ~ino ~offset)
 let file_pages t ~ino = locked t (fun () -> file_pages t ~ino)
 let remove_file t ino = locked t (fun () -> remove_file t ino)
 let is_file t ino = locked t (fun () -> is_file t ino)
+let file_version t ino = locked t (fun () -> file_version t ino)
+let file_deaths t ino = locked t (fun () -> file_deaths t ino)
 let footprint_bytes t = locked t (fun () -> footprint_bytes t)

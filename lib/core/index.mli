@@ -52,6 +52,19 @@ val file_pages : t -> ino:int -> (int * int) list
 val remove_file : t -> int -> unit
 val is_file : t -> int -> bool
 
+val file_version : t -> int -> int
+(** Monotone version of a file's extent map: bumped by every
+    {!add_file_page}/{!remove_file_page}/{!remove_file}. Open handles
+    compare it against the version captured when they snapshotted the
+    map; a mismatch means the snapshot must be rebuilt. 0 for inos never
+    indexed; never resets across inode reuse. *)
+
+val file_deaths : t -> int -> int
+(** How many times [ino] has been removed as a file ({!remove_file}).
+    Open handles capture it at open: a changed count means the opened
+    file was destroyed, even if the inode number has since been reused
+    by a new file ([is_file] alone cannot tell the two apart). *)
+
 (** {1 Memory accounting (paper §5.6)} *)
 
 val footprint_bytes : t -> int

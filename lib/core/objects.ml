@@ -89,6 +89,14 @@ module Prange = struct
             tok = Token.mint ctx.reg ~id:rid;
           }
 
+  (* Handle on pages taken from the allocator earlier (an open handle's
+     pre-allocated staging reserve): device-side they are identical to
+     freshly allocated pages — descriptor fully zero — so the handle
+     starts in the same [free] state [alloc] produces. *)
+  let adopt (ctx : Fsctx.t) ~ino ~kind ~pages =
+    let rid = Fsctx.range_oid ctx in
+    { rid; r_ino = ino; kind; r_pages = pages; tok = Token.mint ctx.reg ~id:rid }
+
   let fill (ctx : Fsctx.t) h ~contents =
     let tok = Token.use ctx.reg h.tok in
     List.iteri
@@ -109,6 +117,27 @@ module Prange = struct
     remake h tok
 
   let set_backptrs (ctx : Fsctx.t) h =
+    let tok = Token.use ctx.reg h.tok in
+    List.iter
+      (fun (page, _) ->
+        let d = Geometry.desc_off ctx.geo ~page in
+        Device.store_u64 ctx.dev (d + R.Desc.f_ino) h.r_ino)
+      h.r_pages;
+    remake h tok
+
+  (* SplitFS-style relink commit: set the backpointers while the fill's
+     descriptor stores are still dirty, so one flush+fence group makes
+     fill and ownership durable together. Crash-safe because each 64-byte
+     descriptor is one cache line and the device persists a line's stores
+     in order: if a crash image shows [f_ino] (stored last), the kind and
+     offset stored before it on the same line are present too — a page
+     can never be reachable with a torn descriptor. A crash before the
+     fence leaves at worst dataful-but-unowned descriptors, which
+     recovery reclaims as garbage. The SSU store rules permit this: no
+     rule orders descriptor fields against each other at store time, and
+     the [owned] evidence that gates the size store is still only
+     mintable from the post-fence [clean] handle. *)
+  let relink (ctx : Fsctx.t) h =
     let tok = Token.use ctx.reg h.tok in
     List.iter
       (fun (page, _) ->

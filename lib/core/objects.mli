@@ -73,9 +73,31 @@ module Prange : sig
       descriptor's kind and offset fields. The descriptor's ino field — the
       commit point — is {e not} written. *)
 
+  val adopt :
+    Fsctx.t ->
+    ino:int ->
+    kind:Layout.Records.Desc.page_kind ->
+    pages:(int * int) list ->
+    (clean, free) t
+  (** Handle on pages already taken from the volatile allocator (an open
+      handle's pre-allocated staging reserve). Device-side they are
+      indistinguishable from pages [alloc] just returned — descriptors
+      fully zero — so the handle starts in the same state. *)
+
   val set_backptrs : Fsctx.t -> (clean, dataful) t -> (dirty, owned) t
   (** The 8-byte atomic commits: each page's descriptor ino is set,
       making the page reachable by the mount scan. *)
+
+  val relink : Fsctx.t -> (dirty, dataful) t -> (dirty, owned) t
+  (** SplitFS-style staged-append commit: set the backpointers {e in the
+      same flush+fence group as the fill}, straight from the dirty
+      dataful state — the fill itself needs zero fences. Crash-safe
+      because a descriptor is a single cache line persisted in store
+      order, so a crash can expose [f_ino] only together with the kind
+      and offset stored before it; an image taken before the group's
+      fence shows unowned dataful descriptors, which recovery reclaims.
+      The size store is still gated on {!owned_evidence}, mintable only
+      after the fence — the irreducible ordering point. *)
 
   val get_owned :
     ?kind:Layout.Records.Desc.page_kind ->

@@ -470,6 +470,24 @@ let fresh_page_content ~off ~data o =
   if hi <= lo then ""
   else String.make (lo - pstart) '\000' ^ String.sub data (lo - off) (hi - lo)
 
+(* Commit a freshly filled range: make the pages durably owned and mint
+   the evidence that unlocks the size store. Coalesced (the default),
+   this is the SplitFS-style relink — backpointers set in the same
+   flush+fence group as the fill, one fence total (see {!Prange.relink}
+   for the crash argument). With [ctx.coalesce] off it keeps the legacy
+   fill-fence / backptr-fence schedule, the before side of the datapath
+   ablation. *)
+let commit_fresh (ctx : Fsctx.t) rng =
+  if ctx.Fsctx.coalesce then
+    let rng = Prange.relink ctx rng in
+    let rng = Prange.fence ctx (Prange.flush ctx rng) in
+    Prange.owned_evidence ctx rng
+  else
+    let rng = Prange.fence ctx (Prange.flush ctx rng) in
+    let rng = Prange.set_backptrs ctx rng in
+    let rng = Prange.fence ctx (Prange.flush ctx rng) in
+    Prange.owned_evidence ctx rng
+
 let write ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
   span ctx "core.write" @@ fun () ->
   if off < 0 then Error Vfs.Errno.EINVAL
@@ -516,12 +534,15 @@ let write ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
             Device.store_coarse ctx.dev ~off:doff
               (String.sub data (lo - off) (hi - lo))
       done;
-      (* Fresh pages: fill, fence, own, fence. *)
+      (* Fresh pages: fill and commit ({!commit_fresh}). Coalesced, an
+         in-place write has no fence before the final inode group (the
+         coarse data stores drain there) and an extending write has
+         exactly one. *)
       let owned_ev, new_pages =
         match missing with
         | [] ->
-            (* data-only durability point *)
-            Fsctx.fence ctx;
+            (* legacy data-only durability point *)
+            if not ctx.Fsctx.coalesce then Fsctx.fence ctx;
             (None, [])
         | _ :: _ -> (
             match
@@ -529,15 +550,13 @@ let write ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
             with
             | Error _ -> failwith "Ops.write: allocator raced"
             | Ok rng ->
+                let marr = Array.of_list missing in
                 let rng =
                   Prange.fill ctx rng
                     ~contents:(fun i ->
-                      fresh_page_content ~off ~data (List.nth missing i))
+                      fresh_page_content ~off ~data marr.(i))
                 in
-                let rng = Prange.fence ctx (Prange.flush ctx rng) in
-                let rng = Prange.set_backptrs ctx rng in
-                let rng = Prange.fence ctx (Prange.flush ctx rng) in
-                let rng, ev = Prange.owned_evidence ctx rng in
+                let rng, ev = commit_fresh ctx rng in
                 (Some ev, Prange.pages rng))
       in
       (* Size/mtime update, fenced last. *)
@@ -722,14 +741,12 @@ let write_atomic ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
                 with
                 | Error _ -> failwith "Ops.write_atomic: allocator raced"
                 | Ok rng ->
+                    let marr = Array.of_list missing in
                     let rng =
                       Prange.fill ctx rng ~contents:(fun i ->
-                          fresh_page_content ~off ~data (List.nth missing i))
+                          fresh_page_content ~off ~data marr.(i))
                     in
-                    let rng = Prange.fence ctx (Prange.flush ctx rng) in
-                    let rng = Prange.set_backptrs ctx rng in
-                    let rng = Prange.fence ctx (Prange.flush ctx rng) in
-                    let rng, ev = Prange.owned_evidence ctx rng in
+                    let rng, ev = commit_fresh ctx rng in
                     (Some ev, Prange.pages rng))
           in
           let now = Fsctx.now ctx in
@@ -745,3 +762,168 @@ let write_atomic ?(cpu = 0) (ctx : Fsctx.t) ~ino ~off data =
           Ok len
     end
   end
+
+(* {1 Split data path (open handles)}
+
+   The SplitFS-style fast path: an open handle carries a dense extent
+   snapshot ({!Fsctx.oft_entry}), so reads and writes do straight device
+   copies with no path resolution and no per-page index queries, and
+   appends land in the handle's pre-allocated staging reserve and commit
+   via the relink group. The snapshot is kept coherent by the index's
+   per-ino version counter; the staging reserve is volatile (descriptors
+   zero), so a crash simply returns it through the allocator rebuild. *)
+
+(* Allocator cost charged when the reserve has to be topped up (same
+   constant {!Prange.alloc} charges); steady-state appends skip it. *)
+let stage_alloc_ns = 150
+let reserve_batch = 8
+
+(* Pop [n] staging pages from the handle's reserve, topping it up from
+   the volatile allocator in batches of [reserve_batch] so steady-state
+   appends never touch the allocator. [None] = ENOSPC (nothing taken). *)
+let stage_pages ?(cpu = 0) (ctx : Fsctx.t) (e : Fsctx.oft_entry) n =
+  if n = 0 then Some []
+  else begin
+    let have = List.length e.Fsctx.oh_reserve in
+    let ok =
+      have >= n
+      || begin
+           Device.charge ctx.dev stage_alloc_ns;
+           match Alloc.alloc_pages ~cpu ctx.alloc (n - have + reserve_batch) with
+           | Some pl ->
+               e.Fsctx.oh_reserve <- e.Fsctx.oh_reserve @ pl;
+               true
+           | None -> (
+               (* batch won't fit; take exactly what this write needs *)
+               match Alloc.alloc_pages ~cpu ctx.alloc (n - have) with
+               | Some pl ->
+                   e.Fsctx.oh_reserve <- e.Fsctx.oh_reserve @ pl;
+                   true
+               | None -> false)
+         end
+    in
+    if not ok then None
+    else begin
+      let rec take k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> assert false
+          | p :: tl -> take (k - 1) (p :: acc) tl
+      in
+      let taken, rest = take n [] e.Fsctx.oh_reserve in
+      e.Fsctx.oh_reserve <- rest;
+      Some taken
+    end
+  end
+
+let read_h (ctx : Fsctx.t) ~tag ~off ~len =
+  if off < 0 || len < 0 then Error Vfs.Errno.EINVAL
+  else
+    let* e = Fsctx.oft_entry ctx tag in
+    let ino = e.Fsctx.oh_ino in
+    if quarantined ctx ino then Error Vfs.Errno.EIO
+    else begin
+      let ih = Inode.get ctx ino in
+      let size = Inode.size ctx ih in
+      if off >= size then Ok ""
+      else begin
+        let len = min len (size - off) in
+        let ext = e.Fsctx.oh_extents in
+        let nall = Array.length ext in
+        let buf = Buffer.create len in
+        try
+          let pos = ref off in
+          while !pos < off + len do
+            let page_idx = !pos / ps in
+            let in_page = !pos mod ps in
+            let chunk = min (ps - in_page) (off + len - !pos) in
+            let page = if page_idx < nall then ext.(page_idx) else -1 in
+            (if page >= 0 then
+               let doff = Geometry.page_off ctx.geo ~page + in_page in
+               Buffer.add_bytes buf (read_retry ctx.dev ~off:doff ~len:chunk)
+             else Buffer.add_string buf (String.make chunk '\000'));
+            pos := !pos + chunk
+          done;
+          Ok (Buffer.contents buf)
+        with Media_eio -> Error Vfs.Errno.EIO
+      end
+    end
+
+let write_h ?(cpu = 0) (ctx : Fsctx.t) ~tag ~off data =
+  span ctx "core.write_h" @@ fun () ->
+  if off < 0 then Error Vfs.Errno.EINVAL
+  else
+    let* e = Fsctx.oft_entry ctx tag in
+    let ino = e.Fsctx.oh_ino in
+    if quarantined ctx ino then Error Vfs.Errno.EIO
+    else if String.length data = 0 then Ok 0
+    else begin
+      let len = String.length data in
+      let ih = Inode.get ctx ino in
+      let cur_size = Inode.size ctx ih in
+      let new_size = max cur_size (off + len) in
+      let ext = e.Fsctx.oh_extents in
+      let nall = Array.length ext in
+      let epage o = if o < nall then ext.(o) else -1 in
+      let first = off / ps and last = (off + len - 1) / ps in
+      let scan_from = min first (page_units cur_size) in
+      let missing = ref [] in
+      for o = last downto scan_from do
+        if epage o < 0 then missing := o :: !missing
+      done;
+      let missing = !missing in
+      match stage_pages ~cpu ctx e (List.length missing) with
+      | None -> Error Vfs.Errno.ENOSPC
+      | Some fresh ->
+          (* Stale tail of the old boundary page (see [write]). *)
+          (if off > cur_size && cur_size mod ps <> 0 then
+             let page = epage (cur_size / ps) in
+             if page >= 0 then begin
+               let in_page = cur_size mod ps in
+               let zlen = min (ps - in_page) (off - cur_size) in
+               Device.zero ctx.dev
+                 ~off:(Geometry.page_off ctx.geo ~page + in_page)
+                 ~len:zlen
+             end);
+          (* In-place stores straight from the extent snapshot. *)
+          for o = first to last do
+            let page = epage o in
+            if page >= 0 then begin
+              let pstart = o * ps in
+              let lo = max pstart off and hi = min (pstart + ps) (off + len) in
+              let doff = Geometry.page_off ctx.geo ~page + (lo - pstart) in
+              Device.store_coarse ctx.dev ~off:doff
+                (String.sub data (lo - off) (hi - lo))
+            end
+          done;
+          (* Staged append: adopt reserve pages and relink-commit them. *)
+          let owned_ev, new_pages =
+            match missing with
+            | [] ->
+                if not ctx.Fsctx.coalesce then Fsctx.fence ctx;
+                (None, [])
+            | _ :: _ ->
+                let marr = Array.of_list missing in
+                let pairs = List.combine fresh missing in
+                let rng = Prange.adopt ctx ~ino ~kind:R.Desc.Data ~pages:pairs in
+                let rng =
+                  Prange.fill ctx rng
+                    ~contents:(fun i -> fresh_page_content ~off ~data marr.(i))
+                in
+                let rng, ev = commit_fresh ctx rng in
+                (Some ev, Prange.pages rng)
+          in
+          let now = Fsctx.now ctx in
+          let ih =
+            if new_size > cur_size || owned_ev <> None then
+              Inode.set_size ctx ih ~size:new_size ~mtime:now ~owned:owned_ev ()
+            else Inode.set_times ctx ih ~mtime:now ()
+          in
+          let _ih : (_, _) Inode.t = Inode.fence ctx (Inode.flush ctx ih) in
+          List.iter
+            (fun (page, o) -> Index.add_file_page ctx.index ~ino ~offset:o page)
+            new_pages;
+          if new_pages <> [] then Fsctx.oft_resync ctx e;
+          Ok len
+    end

@@ -47,6 +47,13 @@ val rename :
     directory moves with their link-count updates. *)
 
 val write : ?cpu:int -> Fsctx.t -> ino:int -> off:int -> string -> int r
+(** Fence schedule (coalesced, the default): in-place writes issue one
+    fence (the coarse data stores drain in the final inode group);
+    extending writes issue two (relink group — fill and backpointers
+    flushed and fenced together — then the size group gated on the
+    post-fence ownership evidence). With [Fsctx.coalesce] off, the
+    legacy schedule is kept: a data-only fence for in-place writes and
+    separate fill / backpointer fences for extensions (2 and 3). *)
 
 val write_atomic : ?cpu:int -> Fsctx.t -> ino:int -> off:int -> string -> int r
 (** Copy-on-write data write (the paper's §3.4 extension): overwrites of
@@ -58,3 +65,19 @@ val write_atomic : ?cpu:int -> Fsctx.t -> ino:int -> off:int -> string -> int r
 val read : Fsctx.t -> ino:int -> off:int -> len:int -> string r
 val readlink : Fsctx.t -> ino:int -> string r
 val truncate : ?cpu:int -> Fsctx.t -> ino:int -> int -> unit r
+
+(** {1 Split data path (open handles)}
+
+    SplitFS-style fast path over the open-file table ({!Fsctx.oft_open}):
+    reads resolve pages through the handle's dense extent snapshot (no
+    index queries), and appends land in the handle's pre-allocated
+    staging reserve and commit via the single-fence relink group. Both
+    return [EBADF] for an unbound tag or a handle whose file has been
+    destroyed. *)
+
+val read_h : Fsctx.t -> tag:string -> off:int -> len:int -> string r
+
+val write_h : ?cpu:int -> Fsctx.t -> tag:string -> off:int -> string -> int r
+(** Same fence schedule and durability contract as {!write}; fresh pages
+    come from the handle's staging reserve (topped up from the volatile
+    allocator in batches) instead of a per-call allocation. *)

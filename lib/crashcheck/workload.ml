@@ -13,6 +13,10 @@ type op =
   | Fdatasync of string
   | Tmpfile of string
   | Linkat of string * string
+  | Open of string * string (* tag, path *)
+  | Close of string
+  | Write_h of string * int * string (* tag, off, data *)
+  | Read_h of string * int * int (* tag, off, len *)
   | Buggy_create of string
   | Buggy_unlink of string
   | Buggy_write of string * string
@@ -34,6 +38,11 @@ let pp_op ppf = function
   | Fdatasync p -> Format.fprintf ppf "fdatasync(%s)" p
   | Tmpfile tag -> Format.fprintf ppf "tmpfile(%s)" tag
   | Linkat (tag, p) -> Format.fprintf ppf "linkat(%s,%s)" tag p
+  | Open (tag, p) -> Format.fprintf ppf "open(%s,%s)" tag p
+  | Close tag -> Format.fprintf ppf "close(%s)" tag
+  | Write_h (tag, off, data) ->
+      Format.fprintf ppf "write-h(%s,%d,%dB)" tag off (String.length data)
+  | Read_h (tag, off, len) -> Format.fprintf ppf "read-h(%s,%d,%d)" tag off len
   | Buggy_create p -> Format.fprintf ppf "BUGGY-create(%s)" p
   | Buggy_unlink p -> Format.fprintf ppf "BUGGY-unlink(%s)" p
   | Buggy_write (p, d) ->
@@ -71,6 +80,10 @@ let apply (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) op =
   | Fdatasync p -> ign (F.fdatasync fs p)
   | Tmpfile tag -> ign (F.tmpfile fs tag)
   | Linkat (tag, p) -> ign (F.linkat fs tag p)
+  | Open (tag, p) -> ign (F.open_file fs tag p)
+  | Close tag -> ign (F.close_file fs tag)
+  | Write_h (tag, off, data) -> ign (F.write_h fs tag ~off data)
+  | Read_h (tag, off, len) -> ign (F.read_h fs tag ~off ~len)
 
 let setup =
   [ Mkdir "/D"; Create "/A"; Write ("/A", 0, String.make 2000 'a') ]
@@ -107,6 +120,14 @@ let alphabet =
     Tmpfile "t0";
     Linkat ("t0", "/B");
     Truncate ("/B", 0);
+    (* split data path: open-handle lifecycle over the live file. The
+       in-place write stays under the handle's snapshot; the appends
+       exercise the staged relink commit (one lands past the current
+       size, extending /A by fresh pages). *)
+    Open ("h0", "/A");
+    Write_h ("h0", 0, String.make 100 'H');
+    Write_h ("h0", 8100, String.make 200 'I');
+    Close "h0";
   ]
 
 let systematic_pairs () =

@@ -20,6 +20,11 @@ type op =
           implementation whose sync path skipped a fence would diverge *)
   | Tmpfile of string  (** tag: O_TMPFILE-style anonymous file *)
   | Linkat of string * string  (** tag, path: materialize the tmpfile *)
+  | Open of string * string
+      (** tag, path: bind an open handle (SplitFS-style split data path) *)
+  | Close of string
+  | Write_h of string * int * string  (** tag, offset, data — via handle *)
+  | Read_h of string * int * int  (** tag, offset, len — via handle *)
   | Buggy_create of string
       (** deliberately mis-ordered variants, §4.2 bug reinjection *)
   | Buggy_unlink of string

@@ -217,6 +217,8 @@ let pp_report ppf r =
     r.r_found;
   match r.r_metrics with
   | None -> ()
-  | Some m -> Format.fprintf ppf "@.metrics:@.%a" Obs.Metrics.pp m
+  | Some m ->
+      Format.fprintf ppf "@.metrics:@.%a@.%a" Obs.Metrics.pp m
+        Obs.Metrics.pp_datapath m
 
 let report_to_string r = Format.asprintf "%a" pp_report r

@@ -67,6 +67,10 @@ let apply_sq (ctx : Sq.Fsctx.t) (op : W.op) : (unit, Errno.t) result =
   | W.Fdatasync p -> Sq.fdatasync ctx p
   | W.Tmpfile tag -> Sq.tmpfile ctx tag
   | W.Linkat (tag, p) -> Sq.linkat ctx tag p
+  | W.Open (tag, p) -> Sq.open_file ctx tag p
+  | W.Close tag -> Sq.close_file ctx tag
+  | W.Write_h (tag, off, d) -> unit_r (Sq.write_h ctx tag ~off d)
+  | W.Read_h (tag, off, len) -> unit_r (Sq.read_h ctx tag ~off ~len)
   | W.Write_atomic (p, off, d) -> (
       match Sq.stat ctx p with
       | Error e -> Error e

@@ -16,6 +16,11 @@ let dir_pool = [ "/d"; "/e"; "/d/sub" ]
 let file_pool = [ "/a"; "/b"; "/c"; "/d/f"; "/d/g"; "/e/h"; "/d/sub/i" ]
 let dst_pool = file_pool @ dir_pool @ [ "/moved"; "/d/moved"; "/e/moved" ]
 
+(* Two shared handle tags: collisions (dup open, EBADF after the file
+   dies, close of an unbound tag) are exactly the handle states worth
+   crash-testing, so the pool is deliberately tiny. *)
+let tag_pool = [ "g0"; "g1" ]
+
 let pick rng l = List.nth l (Random.State.int rng (List.length l))
 
 let files_of m =
@@ -76,8 +81,15 @@ let gen_correct rng m =
   else if w < 82 then W.Link (efile (), pick rng dst_pool)
   else if w < 87 then W.Truncate (efile (), Random.State.int rng 9000)
   else if w < 91 then W.Symlink (pick rng file_pool, pick rng dst_pool)
-  else if w < 95 then W.Write_atomic (efile (), Random.State.int rng 4096, data rng 2000)
-  else W.Write (efile (), Random.State.int rng 6000, data rng 2000)
+  else if w < 93 then W.Write_atomic (efile (), Random.State.int rng 4096, data rng 2000)
+  else if w < 95 then W.Write (efile (), Random.State.int rng 6000, data rng 2000)
+  else if w < 96 then W.Open (pick rng tag_pool, efile ())
+  else if w < 98 then
+    (* sparse offsets reach the staged fresh-page commit; small ones the
+       in-place path — both under whatever handle state the prefix left *)
+    W.Write_h (pick rng tag_pool, Random.State.int rng 9000, data rng 2000)
+  else if w < 99 then W.Read_h (pick rng tag_pool, Random.State.int rng 9000, 512)
+  else W.Close (pick rng tag_pool)
 
 (* Every sequence starts from the same small namespace (the B3 "standard
    initial image"): without it most pool ops fail at resolution and the

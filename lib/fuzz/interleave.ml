@@ -65,6 +65,15 @@ let targets (op : W.op) =
      namespace ops. *)
   | W.Tmpfile tag -> [ "tag:" ^ tag ]
   | W.Linkat (tag, p) -> [ "tag:" ^ tag; p ]
+  (* Open-handle ops: the open names its path (it resolves it) and all
+     four name the tag pseudo-path, so an open/write-h/close chain on
+     one tag stays ordered, and the open serializes against namespace
+     ops on the same file. Handle reads/writes after the open contend
+     only via the tag — exactly the split-data-path contract (path ops
+     invalidate via version counters, not locks). *)
+  | W.Open (tag, p) -> [ "tag:" ^ tag; p ]
+  | W.Close tag | W.Write_h (tag, _, _) | W.Read_h (tag, _, _) ->
+      [ "tag:" ^ tag ]
 
 let touched op = targets op @ List.map parent (targets op)
 

@@ -18,13 +18,18 @@ type obj =
   | Dir of { entries : int SMap.t }
   | Symlink of { target : string }
 
-type t = { objs : obj IMap.t; tmps : int SMap.t; next : int }
+type t = { objs : obj IMap.t; tmps : int SMap.t; ofds : int SMap.t; next : int }
 (** [tmps]: volatile O_TMPFILE tag → object id for anonymous files
     awaiting [linkat]. These objects live in [objs] but are reachable
     from no directory; [capture] walks from the root, so they are
     invisible to state comparison — exactly matching SquirrelFS, where a
     crash drops the volatile tag registry and recovery reclaims the
-    orphaned inode. *)
+    orphaned inode.
+
+    [ofds]: volatile open-handle tag → object id. Object ids are never
+    reused, so a handle is stale exactly when its id has left [objs] —
+    the model-side mirror of the implementations' death/free-generation
+    counters. Stale handles stay bound (tag busy) until [close_file]. *)
 
 let root = 0
 
@@ -32,6 +37,7 @@ let empty =
   {
     objs = IMap.singleton root (Dir { entries = SMap.empty });
     tmps = SMap.empty;
+    ofds = SMap.empty;
     next = 1;
   }
 let ( let* ) = Result.bind
@@ -253,6 +259,52 @@ let linkat t tag path =
           let t = add_entry t dir name id in
           Ok { t with tmps = SMap.remove tag t.tmps })
 
+(* Open handles: same errno precedence as [Fs_impl.open_file]
+   (resolution, then kind, then duplicate tag). *)
+let open_file t tag path =
+  let* id = resolve_any t path in
+  match obj t id with
+  | Dir _ -> Error Errno.EISDIR
+  | Symlink _ -> Error Errno.EINVAL
+  | File _ ->
+      if SMap.mem tag t.ofds then Error Errno.EEXIST
+      else Ok { t with ofds = SMap.add tag id t.ofds }
+
+let close_file t tag =
+  if SMap.mem tag t.ofds then Ok { t with ofds = SMap.remove tag t.ofds }
+  else Error Errno.EBADF
+
+(* The object behind a handle, [EBADF] when unbound or destroyed (ids
+   are never reused, so membership in [objs] is exact staleness). *)
+let handle_id t tag =
+  match SMap.find_opt tag t.ofds with
+  | None -> Error Errno.EBADF
+  | Some id -> if IMap.mem id t.objs then Ok id else Error Errno.EBADF
+
+let write_h t tag ~off data =
+  let* id = handle_id t tag in
+  match obj t id with
+  | Dir _ | Symlink _ -> assert false (* only files are ever opened *)
+  | File f ->
+      if off < 0 then Error Errno.EINVAL
+      else if String.length data = 0 then Ok t
+      else begin
+        let len = String.length data in
+        let size = max f.size (off + len) in
+        let b = Bytes.of_string (pad f.data size) in
+        Bytes.blit_string data 0 b off len;
+        Ok { t with objs = IMap.add id (File { size; data = Bytes.to_string b }) t.objs }
+      end
+
+let read_h t tag ~off ~len =
+  let* id = handle_id t tag in
+  match obj t id with
+  | Dir _ | Symlink _ -> assert false
+  | File f ->
+      if off < 0 || len < 0 then Error Errno.EINVAL
+      else if off >= f.size then Ok ""
+      else Ok (String.sub f.data off (min len (f.size - off)))
+
 (* Correct-semantics counterpart of [Crashcheck.Buggy.write_append]: a
    page-aligned append (same placement arithmetic as the mutant and as
    [Crashcheck.Workload.apply]'s oracle path). *)
@@ -285,6 +337,13 @@ let apply t (op : Crashcheck.Workload.op) =
   | Fdatasync p -> r (fdatasync t p)
   | Tmpfile tag -> r (tmpfile t tag)
   | Linkat (tag, p) -> r (linkat t tag p)
+  | Open (tag, p) -> r (open_file t tag p)
+  | Close tag -> r (close_file t tag)
+  | Write_h (tag, off, d) -> r (write_h t tag ~off d)
+  | Read_h (tag, off, len) -> (
+      match read_h t tag ~off ~len with
+      | Ok _ -> (t, Ok ())
+      | Error e -> (t, Error e))
   | Buggy_write (p, d) -> r (buggy_append t p d)
 
 (* Same canonicalization as [Vfs.Logical.capture]: canonical inode

@@ -24,6 +24,11 @@ let op_to_cli = function
   | W.Fdatasync p -> Printf.sprintf "fdatasync %s" p
   | W.Tmpfile tag -> Printf.sprintf "tmpfile %s" tag
   | W.Linkat (tag, p) -> Printf.sprintf "linkat %s %s" tag p
+  | W.Open (tag, p) -> Printf.sprintf "open %s %s" tag p
+  | W.Close tag -> Printf.sprintf "close %s" tag
+  | W.Write_h (tag, off, d) ->
+      Printf.sprintf "write-h %s %d %d" tag off (String.length d)
+  | W.Read_h (tag, off, len) -> Printf.sprintf "read-h %s %d %d" tag off len
   | W.Buggy_create p -> Printf.sprintf "buggy-create %s" p
   | W.Buggy_unlink p -> Printf.sprintf "buggy-unlink %s" p
   | W.Buggy_write (p, d) -> Printf.sprintf "buggy-write %s %d" p (String.length d)
@@ -47,6 +52,12 @@ let op_to_ocaml = function
   | W.Fdatasync p -> Printf.sprintf "Fdatasync %S" p
   | W.Tmpfile tag -> Printf.sprintf "Tmpfile %S" tag
   | W.Linkat (tag, p) -> Printf.sprintf "Linkat (%S, %S)" tag p
+  | W.Open (tag, p) -> Printf.sprintf "Open (%S, %S)" tag p
+  | W.Close tag -> Printf.sprintf "Close %S" tag
+  | W.Write_h (tag, off, d) ->
+      Printf.sprintf "Write_h (%S, %d, String.make %d 'z')" tag off
+        (String.length d)
+  | W.Read_h (tag, off, len) -> Printf.sprintf "Read_h (%S, %d, %d)" tag off len
   | W.Buggy_create p -> Printf.sprintf "Buggy_create %S" p
   | W.Buggy_unlink p -> Printf.sprintf "Buggy_unlink %S" p
   | W.Buggy_write (p, d) ->
@@ -81,6 +92,16 @@ let op_of_tokens toks =
   | [ "fdatasync"; p ] -> Ok (W.Fdatasync p)
   | [ "tmpfile"; tag ] -> Ok (W.Tmpfile tag)
   | [ "linkat"; tag; p ] -> Ok (W.Linkat (tag, p))
+  | [ "open"; tag; p ] -> Ok (W.Open (tag, p))
+  | [ "close"; tag ] -> Ok (W.Close tag)
+  | [ "write-h"; tag; off; len ] -> (
+      match (int off, int len) with
+      | Some off, Some len when len >= 0 -> Ok (W.Write_h (tag, off, fill len))
+      | _ -> Error "write-h: expected integer offset and length")
+  | [ "read-h"; tag; off; len ] -> (
+      match (int off, int len) with
+      | Some off, Some len -> Ok (W.Read_h (tag, off, len))
+      | _ -> Error "read-h: expected integer offset and length")
   | [ "buggy-create"; p ] -> Ok (W.Buggy_create p)
   | [ "buggy-unlink"; p ] -> Ok (W.Buggy_unlink p)
   | [ "buggy-write"; p; len ] -> (

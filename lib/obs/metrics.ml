@@ -122,6 +122,51 @@ let quantile h q =
     min !res h.h_max
   end
 
+(* {2 Derived datapath gauges}
+
+   The file-system layer records one [op.<name>] latency observation per
+   VFS call and, alongside it, [fences.<name>] and [bytes.<name>]
+   observations carrying that call's sfence count and stored-byte count.
+   The gauges below are pure ratios over those series — nothing extra is
+   recorded, so shard merges keep them exact. *)
+
+let hist_totals t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> (0, 0)
+  | Some h -> (h.h_count, h.h_sum)
+
+(* Mean sfences issued per <op> call, [None] if the op never ran. *)
+let fences_per_op t op =
+  let count, sum = hist_totals t ("fences." ^ op) in
+  if count = 0 then None else Some (float_of_int sum /. float_of_int count)
+
+(* Mean bytes stored per sfence within <op> calls, [None] if the op
+   never fenced (e.g. reads). *)
+let bytes_per_fence t op =
+  let _, fences = hist_totals t ("fences." ^ op) in
+  let _, bytes = hist_totals t ("bytes." ^ op) in
+  if fences = 0 then None else Some (float_of_int bytes /. float_of_int fences)
+
+(* Every op kind with a recorded [fences.*] series, sorted. *)
+let datapath_ops t =
+  Hashtbl.fold
+    (fun k _ acc ->
+      match String.index_opt k '.' with
+      | Some i when String.sub k 0 i = "fences" ->
+          String.sub k (i + 1) (String.length k - i - 1) :: acc
+      | _ -> acc)
+    t.hists []
+  |> List.sort compare
+
+let pp_datapath ppf t =
+  List.iter
+    (fun op ->
+      let fpo = Option.value ~default:0. (fences_per_op t op) in
+      let bpf = Option.value ~default:0. (bytes_per_fence t op) in
+      Format.fprintf ppf "datapath %-24s fences/op=%.3f bytes/fence=%.1f@." op
+        fpo bpf)
+    (datapath_ops t)
+
 let pp ppf t =
   List.iter
     (fun (k, v) -> Format.fprintf ppf "counter %-32s %d@." k v)

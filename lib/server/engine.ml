@@ -117,6 +117,18 @@ let lock_keys t (r : Req.req) : int list * bool =
   | Req.Link (existing, newpath) ->
       merge (resolve_keys t existing) (resolve_keys t newpath)
   | Req.Rename (src, dst) -> merge (resolve_keys t src) (resolve_keys t dst)
+  (* Handle ops skip path resolution by design (the split data path):
+     the lock key is the bound inode, read from the open-file table.
+     The binding is immutable for the tag's lifetime (only close drops
+     it, and tags are client-namespaced), so the key cannot go stale
+     between resolution and revalidation; an unbound tag needs no inode
+     lock — the op fails EBADF against the OFT's own lock. *)
+  | Req.Open (_, p) -> resolve_keys t p
+  | Req.Close _ -> ([], true)
+  | Req.Write_h (tag, _, _) | Req.Read_h (tag, _, _) -> (
+      match Sq.Fsctx.oft_ino t.ctx tag with
+      | Some ino -> ([ ino ], true)
+      | None -> ([], true))
 
 (* Directory renames take the whole-FS lock (ancestor-chain check). *)
 let needs_global t (r : Req.req) =
@@ -150,6 +162,12 @@ let exec (t : t) (r : Req.req) : (Req.payload, Errno.t) result =
   | Req.Stat p -> Result.map (fun st -> Req.Attr st) (Sq.stat ctx p)
   | Req.Readdir p -> Result.map (fun l -> Req.Names l) (Sq.readdir ctx p)
   | Req.Fsync p -> unit_ (Sq.fsync ctx p)
+  | Req.Open (tag, p) -> unit_ (Sq.open_file ctx tag p)
+  | Req.Close tag -> unit_ (Sq.close_file ctx tag)
+  | Req.Write_h (tag, off, data) ->
+      Result.map (fun n -> Req.Wrote n) (Sq.write_h ctx tag ~off data)
+  | Req.Read_h (tag, off, len) ->
+      Result.map (fun s -> Req.Data s) (Sq.read_h ctx tag ~off ~len)
 
 let subset need held = List.for_all (fun s -> List.mem s held) need
 

@@ -25,6 +25,10 @@ type req =
   | Stat of string
   | Readdir of string
   | Fsync of string
+  | Open of string * string  (** tag, path: bind an open handle *)
+  | Close of string
+  | Write_h of string * int * string  (** tag, offset, data *)
+  | Read_h of string * int * int  (** tag, offset, length *)
 
 type payload =
   | Unit
@@ -56,6 +60,10 @@ let name = function
   | Stat _ -> "stat"
   | Readdir _ -> "readdir"
   | Fsync _ -> "fsync"
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Write_h _ -> "write-h"
+  | Read_h _ -> "read-h"
 
 let pp_req ppf r =
   match r with
@@ -68,6 +76,11 @@ let pp_req ppf r =
       Fmt.pf ppf "write %s off=%d len=%d" p off (String.length data)
   | Read (p, off, len) -> Fmt.pf ppf "read %s off=%d len=%d" p off len
   | Truncate (p, n) -> Fmt.pf ppf "truncate %s %d" p n
+  | Open (tag, p) -> Fmt.pf ppf "open %s %s" tag p
+  | Close tag -> Fmt.pf ppf "close %s" tag
+  | Write_h (tag, off, data) ->
+      Fmt.pf ppf "write-h %s off=%d len=%d" tag off (String.length data)
+  | Read_h (tag, off, len) -> Fmt.pf ppf "read-h %s off=%d len=%d" tag off len
 
 let pp_payload ppf = function
   | Unit -> Fmt.string ppf "()"

@@ -24,11 +24,15 @@ type t = {
   rng : Random.State.t;
   zipf : Workloads.Zipf.t;
   mutable seq : int;  (** next request's client-local sequence number *)
+  handles : (int, string) Hashtbl.t;
+      (** file index -> open-handle tag (client-namespaced): data ops on
+          a file with a handle go through the split data path *)
 }
 
 let create (cfg : cfg) ~id =
   let rng = Random.State.make [| 0x5EED; cfg.seed; id |] in
-  { id; cfg; rng; zipf = Workloads.Zipf.create ~theta:cfg.theta ~n:cfg.files rng; seq = 0 }
+  { id; cfg; rng; zipf = Workloads.Zipf.create ~theta:cfg.theta ~n:cfg.files rng; seq = 0;
+    handles = Hashtbl.create 8 }
 
 let id t = t.id
 let seq t = t.seq
@@ -50,16 +54,39 @@ let payload t =
   String.init n (fun i ->
       Char.chr (97 + ((i + Random.State.int t.rng 26) mod 26)))
 
+(* Open-handle tags are client-namespaced (like scratch names), so two
+   clients never race on a tag — they race on the underlying inode,
+   which is the interesting contention. *)
+let handle_tag t k = Printf.sprintf "h%d_%d" t.id k
+
 (* Weighted op mix (out of 100): dominated by data ops on Zipf-hot
-   files, with enough namespace churn to exercise every lock shape. *)
+   files, with enough namespace churn to exercise every lock shape.
+   The Zipf head (k < 4) is accessed through open handles — the first
+   data op on a hot file opens one, later data ops use it — so the
+   server exercises the split data path exactly where SplitFS would:
+   on the files that absorb most of the traffic. Handle state is
+   session-local and advances deterministically with the RNG stream. *)
 let next t : Req.req =
   t.seq <- t.seq + 1;
   let k = Workloads.Zipf.next t.zipf in
   let file = path_of_file t.cfg k in
   let roll = Random.State.int t.rng 100 in
-  if roll < 34 then
-    Req.Write (file, Random.State.int t.rng 8192, payload t)
-  else if roll < 56 then Req.Read (file, 0, 4096)
+  if roll < 34 then begin
+    match Hashtbl.find_opt t.handles k with
+    | Some tag -> Req.Write_h (tag, Random.State.int t.rng 8192, payload t)
+    | None ->
+        if k < 4 then begin
+          let tag = handle_tag t k in
+          Hashtbl.replace t.handles k tag;
+          Req.Open (tag, file)
+        end
+        else Req.Write (file, Random.State.int t.rng 8192, payload t)
+  end
+  else if roll < 56 then begin
+    match Hashtbl.find_opt t.handles k with
+    | Some tag -> Req.Read_h (tag, 0, 4096)
+    | None -> Req.Read (file, 0, 4096)
+  end
   else if roll < 68 then Req.Stat file
   else if roll < 76 then Req.Create (scratch t "n" t.seq)
   else if roll < 82 then Req.Unlink (scratch t "n" (t.seq - Random.State.int t.rng 8))
@@ -69,10 +96,23 @@ let next t : Req.req =
     Req.Rename (scratch t "n" (t.seq - Random.State.int t.rng 8), scratch t "r" t.seq)
   else if roll < 89 then Req.Link (file, scratch t "l" t.seq)
   else if roll < 92 then Req.Truncate (file, Random.State.int t.rng 4096)
-  else if roll < 95 then Req.Readdir (path_of_dir (dir_of t.cfg k))
-  else if roll < 97 then Req.Fsync file
-  else if roll < 99 then
-    Req.Symlink (file, scratch t "s" t.seq)
-  else Req.Readlink (scratch t "s" (t.seq - Random.State.int t.rng 8))
+  else if roll < 94 then Req.Readdir (path_of_dir (dir_of t.cfg k))
+  else if roll < 96 then Req.Fsync file
+  else if roll < 97 then Req.Symlink (file, scratch t "s" t.seq)
+  else if roll < 98 then
+    Req.Readlink (scratch t "s" (t.seq - Random.State.int t.rng 8))
+  else begin
+    (* churn one open handle closed (lowest k, deterministically); the
+       next hot data op reopens it, covering the close/reopen path *)
+    match Hashtbl.fold (fun k _ acc ->
+        match acc with Some m -> Some (min m k) | None -> Some k)
+        t.handles None
+    with
+    | Some kmin ->
+        let tag = handle_tag t kmin in
+        Hashtbl.remove t.handles kmin;
+        Req.Close tag
+    | None -> Req.Stat file
+  end
 
 let next_batch t n = List.init n (fun _ -> next t)

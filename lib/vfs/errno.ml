@@ -11,6 +11,7 @@ type t =
   | EMLINK
   | EPERM
   | EIO
+  | EBADF
 
 let to_string = function
   | ENOENT -> "ENOENT"
@@ -25,6 +26,7 @@ let to_string = function
   | EMLINK -> "EMLINK"
   | EPERM -> "EPERM"
   | EIO -> "EIO"
+  | EBADF -> "EBADF"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 let equal = ( = )

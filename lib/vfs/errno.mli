@@ -13,6 +13,7 @@ type t =
   | EMLINK
   | EPERM
   | EIO
+  | EBADF
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -92,6 +92,37 @@ module type S = sig
   (** [linkat t tag path] materializes the anonymous file registered
       under [tag] at [path] (the [linkat(fd, AT_EMPTY_PATH)] analogue)
       and consumes the tag. [ENOENT] if [tag] is not registered. *)
+
+  (* Open-handle data path (SplitFS-style split data path). A handle is
+     a volatile tag bound to a regular file's identity: the path is
+     resolved once at [open_file] and never again, so handle reads and
+     writes skip resolution entirely (and, on SquirrelFS, hit a cached
+     extent map instead of per-page index queries). Handles follow the
+     inode, not the name: a rename leaves them valid, and an unlink that
+     leaves other links does too. When the file's last link goes away
+     and it is destroyed, the handle goes stale and answers [EBADF] —
+     a deliberate deviation from POSIX's keep-alive-while-open, chosen
+     so crash states need no orphan-retention machinery (documented in
+     DESIGN.md; every file system here and the reference model agree on
+     it, so the differential oracle is unaffected). Handles are volatile
+     (like [tmpfile] tags): a crash forgets them. *)
+
+  val open_file : t -> string -> string -> unit r
+  (** [open_file t tag path] binds the volatile handle [tag] to the
+      regular file at [path]. [EEXIST] if [tag] is already bound,
+      [EISDIR] on a directory, [EINVAL] on a symlink. *)
+
+  val close_file : t -> string -> unit r
+  (** Releases [tag]. [EBADF] if it is not bound. *)
+
+  val read_h : t -> string -> off:int -> len:int -> string r
+  (** Handle read: like {!read} but through the handle's cached file
+      identity. [EBADF] if the tag is unbound or stale. *)
+
+  val write_h : t -> string -> off:int -> string -> int r
+  (** Handle write: like {!write} but resolution-free; extending writes
+      take the staged-append relink path on SquirrelFS. Durable when it
+      returns, like every other operation. [EBADF] if unbound/stale. *)
 end
 
 type fs = (module S)

@@ -13,7 +13,10 @@ type result = {
   max_ns : int;
 }
 
-let ops = [ "append-1k"; "append-16k"; "read-1k"; "read-16k"; "create"; "mkdir"; "rename-dir"; "unlink-16k" ]
+let ops =
+  [ "append-1k"; "append-16k"; "append-64k"; "read-1k"; "read-16k"; "create";
+    "mkdir"; "rename-dir"; "unlink-16k"; "append-1k-h"; "append-16k-h";
+    "read-1k-h" ]
 
 let ok = function
   | Ok v -> v
@@ -27,6 +30,7 @@ let measure (type a) (module F : Vfs.Fs.S with type t = a) ~device ~reps op =
   let fs = ok (F.mount dev) in
   let data1k = String.make 1024 'd' in
   let data16k = String.make 16384 'D' in
+  let data64k = String.make 65536 'E' in
   (* setup outside the timed region *)
   let prepare, run =
     match op with
@@ -66,6 +70,39 @@ let measure (type a) (module F : Vfs.Fs.S with type t = a) ~device ~reps op =
             ok (F.create fs (Printf.sprintf "/f%d" i));
             ignore (ok (F.write fs (Printf.sprintf "/f%d" i) ~off:0 data16k))),
           fun i -> ok (F.unlink fs (Printf.sprintf "/f%d" i)) )
+    (* many-page append: 16 fresh pages per op — the case the old
+       O(pages²) fill made quadratic and the staged relink commits with
+       a bounded fence count *)
+    | "append-64k" ->
+        ( (fun i -> ok (F.create fs (Printf.sprintf "/f%d" i))),
+          fun i ->
+            ignore
+              (ok (F.write fs (Printf.sprintf "/f%d" i) ~off:0 data64k)) )
+    (* split-data-path variants: same data ops through a pre-opened
+       handle, so the timed region skips path resolution and per-page
+       index queries *)
+    | "append-1k-h" ->
+        ( (fun i ->
+            ok (F.create fs (Printf.sprintf "/f%d" i));
+            ok (F.open_file fs (Printf.sprintf "h%d" i) (Printf.sprintf "/f%d" i))),
+          fun i ->
+            ignore
+              (ok (F.write_h fs (Printf.sprintf "h%d" i) ~off:0 data1k)) )
+    | "append-16k-h" ->
+        ( (fun i ->
+            ok (F.create fs (Printf.sprintf "/f%d" i));
+            ok (F.open_file fs (Printf.sprintf "h%d" i) (Printf.sprintf "/f%d" i))),
+          fun i ->
+            ignore
+              (ok (F.write_h fs (Printf.sprintf "h%d" i) ~off:0 data16k)) )
+    | "read-1k-h" ->
+        ( (fun i ->
+            ok (F.create fs (Printf.sprintf "/f%d" i));
+            ignore (ok (F.write fs (Printf.sprintf "/f%d" i) ~off:0 data1k));
+            ok (F.open_file fs (Printf.sprintf "h%d" i) (Printf.sprintf "/f%d" i))),
+          fun i ->
+            ignore
+              (ok (F.read_h fs (Printf.sprintf "h%d" i) ~off:0 ~len:1024)) )
     | s -> invalid_arg ("Micro.measure: unknown op " ^ s)
   in
   (* ensure the root has a warm directory page before measuring *)

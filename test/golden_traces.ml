@@ -62,9 +62,6 @@ let write : string list =
     "flush off=40965 len=4091";
     "store off=6472 len=8 data=0100000000000000";
     "store off=6480 len=8 data=0000000000000000";
-    "flush off=6464 len=64";
-    "fence";
-    "claim-clean prange off=6464 len=64";
     "store off=6464 len=8 data=0200000000000000";
     "flush off=6464 len=64";
     "fence";

@@ -322,7 +322,109 @@ let op_surface =
         ];
   ]
 
-let all = table @ extra @ op_surface
+(* {1 Split data path: open-handle coherence}
+
+   The handle semantics pinned by the [Vfs.Fs.S] contract: a handle
+   follows the inode (not the name), survives rename and
+   unlink-with-remaining-links, goes stale (EBADF) when the file is
+   destroyed, and keeps its tag busy until [close] even when stale.
+   Every scenario mixes handle ops with path ops on the same file so a
+   stale extent snapshot, a missed invalidation, or a divergent errno
+   shows up differentially. *)
+
+let split_path =
+  [
+    sc "handle: in-place write, staged append, read-back coherence"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, String.make 2000 'a');
+          Open ("h", "/a");
+          Write_h ("h", 100, String.make 64 'X');
+          Read_h ("h", 0, 256);
+          Write_h ("h", 1900, String.make 300 'Y');
+          (* sparse append past EOF: two fresh pages via the staged
+             relink commit, then read back through the same handle *)
+          Write_h ("h", 8100, String.make 200 'Z');
+          Read_h ("h", 8000, 400);
+          Read_h ("h", 2200, 100);
+          Fsync "/a";
+          Close "h";
+        ];
+    sc "handle follows the inode across rename"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, "orig");
+          Open ("h", "/a");
+          Rename ("/a", "/b");
+          Write_h ("h", 0, "renamed");
+          Read_h ("h", 0, 16);
+          Close "h";
+          Unlink "/b";
+        ];
+    sc "path truncate invalidates the snapshot, not the handle"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, String.make 5000 'a');
+          Open ("h", "/a");
+          Read_h ("h", 4000, 100);
+          Truncate ("/a", 10);
+          Read_h ("h", 0, 100);
+          Write_h ("h", 4090, "tail");
+          Truncate ("/a", 0);
+          Read_h ("h", 0, 10);
+          Close "h";
+        ];
+    sc "unlink destroys the file: handle stale, tag busy until close"
+      W.
+        [
+          Create "/a";
+          Open ("h", "/a");
+          Unlink "/a";
+          Write_h ("h", 0, "dead");
+          Read_h ("h", 0, 4);
+          Create "/b";
+          Open ("h", "/b");
+          Close "h";
+          Open ("h", "/b");
+          Write_h ("h", 0, "alive");
+          Close "h";
+        ];
+    sc "handle stays valid while any hardlink remains"
+      W.
+        [
+          Create "/a";
+          Link ("/a", "/b");
+          Open ("h", "/a");
+          Unlink "/a";
+          Write_h ("h", 0, "via-b");
+          Read_h ("h", 0, 8);
+          Unlink "/b";
+          Read_h ("h", 0, 8);
+          Close "h";
+        ];
+    sc "handle errnos: EISDIR, EINVAL, ENOENT, EEXIST, EBADF"
+      W.
+        [
+          Mkdir "/d";
+          Open ("h", "/d");
+          Create "/a";
+          Symlink ("/a", "/s");
+          Open ("h", "/s");
+          Open ("h", "/missing");
+          Open ("h", "/a");
+          Open ("h", "/a");
+          Write_h ("x", 0, "nope");
+          Read_h ("x", 0, 4);
+          Close "x";
+          Close "h";
+          Close "h";
+        ];
+  ]
+
+let all = table @ extra @ op_surface @ split_path
 
 (* {1 Generic differential runner} *)
 
@@ -343,6 +445,12 @@ let apply_fs (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) (op : W.op)
   | W.Fdatasync p -> F.fdatasync fs p
   | W.Tmpfile tag -> F.tmpfile fs tag
   | W.Linkat (tag, p) -> F.linkat fs tag p
+  | W.Open (tag, p) -> F.open_file fs tag p
+  | W.Close tag -> F.close_file fs tag
+  | W.Write_h (tag, off, data) ->
+      Result.map (fun (_ : int) -> ()) (F.write_h fs tag ~off data)
+  | W.Read_h (tag, off, len) ->
+      Result.map (fun (_ : string) -> ()) (F.read_h fs tag ~off ~len)
   | W.Buggy_create _ | W.Buggy_unlink _ | W.Buggy_write _ ->
       invalid_arg "scenario corpus has no buggy ops"
 

@@ -109,6 +109,55 @@ let test_clean_sequences_pass () =
         Rmdir "/d";
       ]
 
+(* {2 Split data path: staged appends probed at every fence point}
+
+   Handle appends land in staging pages and commit via a single relink
+   flip. [Exec.run] probes every enumerated crash image at every fence
+   the sequence issues, so a clean outcome here means each fence point
+   of the staged commit (pre-fill, post-fill, post-relink, post-size)
+   recovers to a state the oracle accepts; the traced variant feeds the
+   same run's persist stream through the trace-driven SSU checker. *)
+
+let staged_append_ops =
+  W.
+    [
+      Create "/a";
+      Write ("/a", 0, String.make 2000 'a');
+      Open ("h", "/a");
+      Write_h ("h", 0, String.make 100 'H');
+      Write_h ("h", 1900, String.make 300 'Y');
+      Write_h ("h", 8100, String.make 200 'I');
+      Write_h ("h", 16000, String.make 9000 'J');
+      Read_h ("h", 0, 256);
+      Close "h";
+      Truncate ("/a", 10);
+      Unlink "/a";
+    ]
+
+let test_staged_append_crash_consistent () =
+  let o = run staged_append_ops in
+  (match o.F.Exec.o_fail with
+  | None -> ()
+  | Some (cp, detail) ->
+      Alcotest.failf "staged append: violation at op %d fence %d: %s"
+        cp.F.Exec.cp_op cp.F.Exec.cp_fence detail);
+  Alcotest.(check bool)
+    "probed crash states" true
+    (o.F.Exec.o_report.Crashcheck.Harness.crash_states > 0)
+
+let test_staged_append_ssu_clean () =
+  let r = Obs.Recorder.create () in
+  let o = F.Exec.run ~trace:r staged_append_ops in
+  (match o.F.Exec.o_fail with
+  | None -> ()
+  | Some (_, d) -> Alcotest.failf "oracle: %s" d);
+  match Obs.Ssu.check (Obs.Recorder.to_list r) with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "SSU rejected the staged-append trace: %a"
+        (fun ppf -> Obs.Ssu.pp_violation ppf)
+        v
+
 let test_buggy_create_fails () = check_fails "buggy create" W.[ Mkdir "/d"; Buggy_create "/x" ]
 
 let test_buggy_unlink_fails () =
@@ -421,6 +470,10 @@ let () =
       ( "oracle",
         [
           Alcotest.test_case "clean sequences pass" `Quick test_clean_sequences_pass;
+          Alcotest.test_case "staged append crash-consistent" `Quick
+            test_staged_append_crash_consistent;
+          Alcotest.test_case "staged append passes SSU" `Quick
+            test_staged_append_ssu_clean;
           Alcotest.test_case "buggy create caught" `Quick test_buggy_create_fails;
           Alcotest.test_case "buggy unlink caught" `Quick test_buggy_unlink_fails;
           Alcotest.test_case "buggy write caught" `Quick test_buggy_write_fails;

@@ -107,21 +107,35 @@ let test_mkdir_uses_two_fences () =
   ignore (ok "mkdir" (Sq.Ops.mkdir ctx ~dir:1 ~name:"d"));
   Alcotest.(check int) "mkdir = 2 fences" 2 (fences dev - before)
 
-let test_append_small_uses_two_fences () =
+let test_append_small_uses_one_fence () =
   let dev, ctx = fresh () in
   let ino = ok "create" (Sq.Ops.create_file ctx ~dir:1 ~name:"x") in
   ignore (ok "w0" (Sq.Ops.write ctx ~ino ~off:0 "seed"));
   let before = fences dev in
   ignore (ok "append" (Sq.Ops.write ctx ~ino ~off:4 "more"));
-  (* non-allocating write: data fence + inode fence *)
-  Alcotest.(check int) "small append = 2 fences" 2 (fences dev - before)
+  (* coalesced in-place write: data and inode drain under one fence *)
+  Alcotest.(check int) "small append = 1 fence" 1 (fences dev - before);
+  (* legacy schedule (the ablation baseline): data fence + inode fence *)
+  ctx.Sq.Fsctx.coalesce <- false;
+  let before = fences dev in
+  ignore (ok "append2" (Sq.Ops.write ctx ~ino ~off:8 "more"));
+  Alcotest.(check int) "legacy small append = 2 fences" 2 (fences dev - before)
 
-let test_allocating_write_uses_three_fences () =
+let test_allocating_write_uses_two_fences () =
   let dev, ctx = fresh () in
   let ino = ok "create" (Sq.Ops.create_file ctx ~dir:1 ~name:"x") in
   let before = fences dev in
   ignore (ok "write" (Sq.Ops.write ctx ~ino ~off:0 (String.make 4096 'a')));
-  Alcotest.(check int) "allocating write = 3 fences" 3 (fences dev - before)
+  (* staged relink commit: fill+backptr flip under one fence, size under
+     the second *)
+  Alcotest.(check int) "allocating write = 2 fences" 2 (fences dev - before);
+  (* legacy schedule: fill fence, backptr fence, size fence *)
+  ctx.Sq.Fsctx.coalesce <- false;
+  let before = fences dev in
+  ignore
+    (ok "write2" (Sq.Ops.write ctx ~ino ~off:4096 (String.make 4096 'b')));
+  Alcotest.(check int) "legacy allocating write = 3 fences" 3
+    (fences dev - before)
 
 (* {1 Mount rebuild} *)
 
@@ -240,8 +254,8 @@ let squirrelfs_tests =
     ("set_size requires owned pages", `Quick, test_set_size_requires_owned_pages);
     ("create = 2 fences", `Quick, test_create_uses_two_fences);
     ("mkdir = 2 fences", `Quick, test_mkdir_uses_two_fences);
-    ("small append = 2 fences", `Quick, test_append_small_uses_two_fences);
-    ("allocating write = 3 fences", `Quick, test_allocating_write_uses_three_fences);
+    ("small append = 1 fence", `Quick, test_append_small_uses_one_fence);
+    ("allocating write = 2 fences", `Quick, test_allocating_write_uses_two_fences);
     ("mount rebuilds indexes", `Quick, test_mount_rebuilds_indexes);
     ("mount of garbage fails", `Quick, test_mount_garbage_fails);
     ("allocators rebuilt", `Quick, test_allocators_rebuilt);
