@@ -641,6 +641,126 @@ let faults () =
       Printf.printf "detection:        degraded remount failed: %s\n"
         (Vfs.Errno.to_string e))
 
+(* {1 Large sparse volumes: mkfs/mount/create scaling (the dense wall)}
+
+   A multi-GB simulated volume must cost what is *touched*, not what is
+   formatted: mkfs and an empty mount are near-constant (lazy chunk
+   backing plus the indexed run allocator, populated from geometry in
+   O(1)), a populated mount scans only backed spans, and resident
+   memory tracks touched lines rather than volume size. The section
+   times a sharded create/stat sweep on a volume above the sparse
+   threshold and gates on (a) the volume actually being sparse, (b)
+   near-constant mkfs + empty mount, and (c) residency staying a small
+   fraction of the volume. Wall-clock numbers, deliberately: the claim
+   under test is host cost, not simulated PM latency. *)
+
+type largevol = {
+  lv_size : int;
+  lv_files : int;
+  lv_sparse : bool;
+  lv_mkfs_ms : float;
+  lv_mount_empty_ms : float;
+  lv_mount_full_ms : float;  (** remount after the create sweep *)
+  lv_creates_per_sec : float;
+  lv_stats_per_sec : float;
+  lv_resident_bytes : int;
+}
+
+let measure_largevol ~size ~files () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let dev, _ = wall (fun () -> Device.create ~size ()) in
+  let (), mkfs_ms = wall (fun () -> Squirrelfs.mkfs dev) in
+  let fs, mount_empty_ms = wall (fun () -> ok (Squirrelfs.mount dev)) in
+  (* ~500 files per directory: keeps dentry pages per dir bounded so the
+     sweep measures create cost, not directory scans *)
+  let per_dir = 500 in
+  let path i = Printf.sprintf "/d%d/f%d" (i / per_dir) i in
+  let (), create_ms =
+    wall (fun () ->
+        for i = 0 to files - 1 do
+          if i mod per_dir = 0 then
+            ok (Squirrelfs.mkdir fs (Printf.sprintf "/d%d" (i / per_dir)));
+          ok (Squirrelfs.create fs (path i))
+        done)
+  in
+  let (), stat_ms =
+    wall (fun () ->
+        for i = 0 to files - 1 do
+          ignore (ok (Squirrelfs.stat fs (path i)))
+        done)
+  in
+  Squirrelfs.unmount fs;
+  let fs, mount_full_ms = wall (fun () -> ok (Squirrelfs.mount dev)) in
+  Squirrelfs.unmount fs;
+  {
+    lv_size = size;
+    lv_files = files;
+    lv_sparse = Device.is_sparse dev;
+    lv_mkfs_ms = mkfs_ms;
+    lv_mount_empty_ms = mount_empty_ms;
+    lv_mount_full_ms = mount_full_ms;
+    lv_creates_per_sec = float_of_int files /. create_ms *. 1000.;
+    lv_stats_per_sec = float_of_int files /. stat_ms *. 1000.;
+    lv_resident_bytes = Device.resident_bytes dev;
+  }
+
+(* The acceptance bar. mkfs and the empty mount must not scale with the
+   volume (generous absolute bounds — CI hosts vary), and the backing
+   must stay sparse: resident bytes under a quarter of the volume even
+   after the sweep (in practice it is a few percent). *)
+let largevol_ok l =
+  l.lv_sparse
+  && l.lv_mkfs_ms < 2000.
+  && l.lv_mount_empty_ms < 2000.
+  && l.lv_resident_bytes < l.lv_size / 4
+
+let largevol_json l =
+  Printf.sprintf
+    "{ \"volume_bytes\": %d, \"files\": %d, \"sparse\": %b, \
+     \"mkfs_ms\": %.2f, \"mount_empty_ms\": %.2f, \"mount_full_ms\": %.2f, \
+     \"creates_per_sec\": %.0f, \"stats_per_sec\": %.0f, \
+     \"resident_bytes\": %d, \"resident_fraction\": %.6f, \"ok\": %b }"
+    l.lv_size l.lv_files l.lv_sparse l.lv_mkfs_ms l.lv_mount_empty_ms
+    l.lv_mount_full_ms l.lv_creates_per_sec l.lv_stats_per_sec
+    l.lv_resident_bytes
+    (float_of_int l.lv_resident_bytes /. float_of_int l.lv_size)
+    (largevol_ok l)
+
+let largevol_report l =
+  Printf.printf "volume: %d MiB (%s), %d files\n" (l.lv_size / 1024 / 1024)
+    (if l.lv_sparse then "sparse" else "dense")
+    l.lv_files;
+  Printf.printf "mkfs %.1f ms; mount empty %.1f ms; remount full %.1f ms\n"
+    l.lv_mkfs_ms l.lv_mount_empty_ms l.lv_mount_full_ms;
+  Printf.printf "creates/s %.0f; stats/s %.0f\n" l.lv_creates_per_sec
+    l.lv_stats_per_sec;
+  Printf.printf "resident %.1f MiB (%.2f%% of volume)\n"
+    (float_of_int l.lv_resident_bytes /. 1024. /. 1024.)
+    (float_of_int l.lv_resident_bytes /. float_of_int l.lv_size *. 100.)
+
+let largevol_run ~size ~files () =
+  let l = measure_largevol ~size ~files () in
+  largevol_report l;
+  if not (largevol_ok l) then begin
+    Printf.printf "LARGEVOL REGRESSION (dense wall is back)\n";
+    exit 2
+  end
+
+(* [largevol]: the smoke gate (wired into `make largevol-smoke`).
+   [largevol-full]: the EXPERIMENTS.md headline run — 1M files on a
+   volume sized to hold them (one inode per 16.4 KiB group). *)
+let largevol () =
+  section "Large sparse volume: 4 GiB, 100k files";
+  largevol_run ~size:(4 * 1024 * 1024 * 1024) ~files:100_000 ()
+
+let largevol_full () =
+  section "Large sparse volume (full): 18 GiB, 1M files";
+  largevol_run ~size:(18 * 1024 * 1024 * 1024) ~files:1_000_000 ()
+
 (* {1 Bechamel: one wall-clock benchmark per table/figure} *)
 
 let bechamel () =
@@ -924,6 +1044,17 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
   (* Split-data-path gauges: exact fence counts and handle-vs-path
      throughput, gated below like the engine/enum invariants. *)
   let dp = measure_datapath () in
+  (* Large-volume gauges: sparse backing + indexed allocator scaling
+     (quick keeps the volume just above the sparse threshold so `make
+     check` stays fast; full runs the 4 GiB smoke configuration). *)
+  let lv =
+    if mode = "full" then
+      measure_largevol ~size:(4 * 1024 * 1024 * 1024) ~files:100_000 ()
+    else
+      (* geometry provisions one inode per ~16.4 KiB, so 256 MiB holds
+         ~16k inodes — 10k files + directories fits with headroom *)
+      measure_largevol ~size:(256 * 1024 * 1024) ~files:10_000 ()
+  in
   let json =
     Printf.sprintf
       "{\n\
@@ -937,6 +1068,7 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
       \  \"engines_equivalent\": %b,\n\
       \  \"enum\": %s,\n\
       \  \"datapath\": %s,\n\
+      \  \"large_volume\": %s,\n\
       \  \"jobs\": {\n\
       \    \"n\": %d,\n\
       \    \"host_cores\": %d,\n\
@@ -951,8 +1083,9 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
        }\n"
       mode mb iters op_budget (engine_json copy) (engine_json delta)
       (states_per_wall delta /. states_per_wall copy)
-      engines_equiv enum_json (datapath_json dp) jobs host_cores jiters
-      j1.fm_wall jn.fm_wall speedup parallel_efficiency jobs_equiv shards_json
+      engines_equiv enum_json (datapath_json dp) (largevol_json lv) jobs
+      host_cores jiters j1.fm_wall jn.fm_wall speedup parallel_efficiency
+      jobs_equiv shards_json
   in
   let oc = open_out "BENCH_fuzz.json" in
   output_string oc json;
@@ -969,6 +1102,10 @@ let fuzz_json_common ~mode ~mb ~iters ~op_budget ~jobs ~jiters_per_job () =
   end;
   if not (datapath_ok dp) then begin
     Printf.printf "BENCH_fuzz: DATAPATH REGRESSION\n";
+    exit 2
+  end;
+  if not (largevol_ok lv) then begin
+    Printf.printf "BENCH_fuzz: LARGE-VOLUME REGRESSION (dense wall is back)\n";
     exit 2
   end;
   (* Scaling gate: -j N slower than -j 1 on the same work is the
@@ -1152,6 +1289,8 @@ let sections =
     ("datapath", datapath);
     ("faults", faults);
     ("fuzz", fuzz);
+    ("largevol", largevol);
+    ("largevol-full", largevol_full);
     ("fuzz-json", fuzz_json);
     ("fuzz-json-quick", fuzz_json_quick);
     ("serve-json", serve_json);
@@ -1179,6 +1318,7 @@ let () =
           (fun n ->
             (not (String.starts_with ~prefix:"fuzz-json" n))
             && (not (String.starts_with ~prefix:"serve-json" n))
+            && (not (String.starts_with ~prefix:"largevol" n))
             && n <> "trace")
           (List.map fst sections)
     | _ :: rest -> rest

@@ -22,10 +22,12 @@ let engine_of = function
    alongside the outcome. Used for --trace and the --expect-buggy
    trace-checker leg; tracing never perturbs the outcome, so the re-run
    reproduces exactly what the fuzzing run saw. *)
-let traced_run ?(faults = Faults.none) ~device_kib ~images ~optane ~engine ops =
+let traced_run ?(faults = Faults.none) ?sparse ~device_kib ~images ~optane
+    ~engine ops =
   let r = Obs.Recorder.create () in
   let out =
-    Fuzzer.Exec.run ~device_size:(device_kib * 1024) ~max_images_per_fence:images
+    Fuzzer.Exec.run ~device_size:(device_kib * 1024) ?sparse
+      ~max_images_per_fence:images
       ~faults ?latency:(latency_of optane) ~engine ~trace:r ops
   in
   (out, Obs.Recorder.to_list r)
@@ -41,14 +43,14 @@ let dump_trace file events =
       | Some e -> Format.printf "  offending event: %a@." Obs.Event.pp e
       | None -> ())
 
-let replay_cmd line images device_kib optane engine trace =
+let replay_cmd line images device_kib sparse optane engine trace =
   match Fuzzer.Repro.of_cli line with
   | Error msg ->
       prerr_endline ("replay: " ^ msg);
       exit 1
   | Ok ops -> (
       let res, events =
-        traced_run ~device_kib ~images ~optane ~engine ops
+        traced_run ?sparse ~device_kib ~images ~optane ~engine ops
       in
       Format.printf "%a@." Crashcheck.Harness.pp_report res.Fuzzer.Exec.o_report;
       (match trace with Some file -> dump_trace file events | None -> ());
@@ -110,7 +112,8 @@ let interleaved_cmd seed pairs max_inter expect_buggy =
    --expect-buggy the alphabet is widened with the three Buggy_* mutants
    and each must be flagged by BOTH the crash oracle (with a <= 3-op
    shrunk reproducer) and the SSU trace checker. *)
-let enum_cmd jobs images device_kib no_shrink depth coverage_out expect_buggy =
+let enum_cmd jobs images device_kib sparse no_shrink depth coverage_out
+    expect_buggy =
   let cfg =
     {
       Fuzzer.Enum.default_cfg with
@@ -118,6 +121,7 @@ let enum_cmd jobs images device_kib no_shrink depth coverage_out expect_buggy =
       buggy = expect_buggy;
       max_images = images;
       device_size = device_kib * 1024;
+      sparse;
       shrink = not no_shrink;
     }
   in
@@ -171,14 +175,18 @@ let enum_cmd jobs images device_kib no_shrink depth coverage_out expect_buggy =
   end;
   exit (if !ok then 0 else 2)
 
-let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_shrink
+let run seed iters op_budget images buggy_rate device_kib sparse_flag torn stuck
+    optane no_shrink
     jobs engine replay expect_buggy trace metrics interleaved pairs max_inter enum depth
     coverage_out =
   let engine = engine_of engine in
-  if enum then enum_cmd jobs images device_kib no_shrink depth coverage_out expect_buggy;
+  let sparse = if sparse_flag then Some true else None in
+  if enum then
+    enum_cmd jobs images device_kib sparse no_shrink depth coverage_out
+      expect_buggy;
   if interleaved then interleaved_cmd seed pairs max_inter expect_buggy;
   match replay with
-  | Some line -> replay_cmd line images device_kib optane engine trace
+  | Some line -> replay_cmd line images device_kib sparse optane engine trace
   | None ->
       let faults =
         if torn > 0. || stuck > 0. then
@@ -194,6 +202,7 @@ let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_s
           buggy_rate;
           max_images = images;
           device_size = device_kib * 1024;
+          sparse;
           faults;
           latency = latency_of optane;
           shrink = not no_shrink;
@@ -225,7 +234,7 @@ let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_s
                 Fuzzer.Gen.sequence rng { Fuzzer.Gen.op_budget; buggy_rate }
           in
           let _, events =
-            traced_run ~faults ~device_kib ~images ~optane ~engine ops
+            traced_run ~faults ?sparse ~device_kib ~images ~optane ~engine ops
           in
           dump_trace file events);
       if expect_buggy then begin
@@ -259,7 +268,8 @@ let run seed iters op_budget images buggy_rate device_kib torn stuck optane no_s
             let fresh = List.filter (fun k -> not (List.mem k !flagged)) kinds in
             if fresh <> [] then begin
               let _, events =
-                traced_run ~device_kib ~images ~optane ~engine f.Fuzzer.fd_min
+                traced_run ?sparse ~device_kib ~images ~optane ~engine
+                  f.Fuzzer.fd_min
               in
               match Obs.Ssu.check events with
               | Error v ->
@@ -309,6 +319,17 @@ let () =
   in
   let device_kib =
     Arg.(value & opt int 256 & info [ "device-kib" ] ~doc:"Device size in KiB")
+  in
+  let sparse =
+    Arg.(
+      value & flag
+      & info [ "sparse" ]
+          ~doc:
+            "Force the simulated device onto the sparse (lazily backed) \
+             representation regardless of size. Coverage-equivalent to a \
+             dense run: same ops, fences, violations and unique crash \
+             states (duplicate-image counts may differ, since provably \
+             no-op zero stores are pruned)")
   in
   let torn =
     Arg.(
@@ -430,6 +451,6 @@ let () =
           (Cmd.info "fuzz" ~doc:"Crash-state fuzzing of SquirrelFS with a differential oracle")
           Term.(
             const run $ seed $ iters $ op_budget $ images $ buggy_rate $ device_kib
-            $ torn $ stuck $ optane $ no_shrink $ jobs $ engine $ replay $ expect_buggy
+            $ sparse $ torn $ stuck $ optane $ no_shrink $ jobs $ engine $ replay $ expect_buggy
             $ trace $ metrics $ interleaved $ pairs $ max_inter $ enum $ depth
             $ coverage_out)))

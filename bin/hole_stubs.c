@@ -1,0 +1,35 @@
+/* lseek(SEEK_DATA/SEEK_HOLE) for the sqfs image loader: walking a
+   host-sparse multi-GB volume file must skip its holes at the syscall
+   level — reading them back as zeroes costs the full logical size.
+
+   Both calls return the resulting offset, or -1 when there is no
+   further data (ENXIO), or -2 when the filesystem does not support
+   data/hole seeking (callers fall back to a dense scan). */
+
+#include <caml/mlvalues.h>
+#include <errno.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#ifndef SEEK_DATA
+#define SEEK_DATA 3
+#endif
+#ifndef SEEK_HOLE
+#define SEEK_HOLE 4
+#endif
+
+CAMLprim value sqfs_lseek_data(value vfd, value voff)
+{
+  off_t r = lseek(Int_val(vfd), (off_t)Long_val(voff), SEEK_DATA);
+  if (r < 0)
+    return Val_long(errno == ENXIO ? -1 : -2);
+  return Val_long((long)r);
+}
+
+CAMLprim value sqfs_lseek_hole(value vfd, value voff)
+{
+  off_t r = lseek(Int_val(vfd), (off_t)Long_val(voff), SEEK_HOLE);
+  if (r < 0)
+    return Val_long(-2);
+  return Val_long((long)r);
+}

@@ -17,17 +17,85 @@
 open Cmdliner
 module Device = Pmem.Device
 
+external lseek_data : Unix.file_descr -> int -> int = "sqfs_lseek_data"
+external lseek_hole : Unix.file_descr -> int -> int = "sqfs_lseek_hole"
+
+let rec really_read fd buf off n =
+  if n > 0 then begin
+    let r = Unix.read fd buf off n in
+    if r = 0 then raise End_of_file;
+    really_read fd buf (off + r) (n - r)
+  end
+
+(* Load only the image file's data extents (SEEK_DATA/SEEK_HOLE) and
+   hand the device their nonzero spans: a multi-GB host-sparse volume
+   loads in O(backed data) time and memory — its holes are never read,
+   never materialized, never zero-scanned. Filesystems without
+   data/hole seeking fall back to streaming the whole file, still in
+   O(backed data) memory. *)
 let load_image img =
-  let ic = open_in_bin img in
-  let len = in_channel_length ic in
-  let b = Bytes.create len in
-  really_input ic b 0 len;
-  close_in ic;
-  Device.of_image b
+  let fd = Unix.openfile img [ Unix.O_RDONLY ] 0 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  let chunk = Pmem.Sbuf.chunk_bytes in
+  let block = 64 * 1024 in
+  let buf = Bytes.create block in
+  let zero = Bytes.make block '\000' in
+  let spans = ref [] in
+  (* read [start,stop) and emit its nonzero chunk-granular spans *)
+  let scan_range start stop =
+    ignore (Unix.lseek fd start Unix.SEEK_SET);
+    let pos = ref start in
+    while !pos < stop do
+      let n = min block (stop - !pos) in
+      really_read fd buf 0 n;
+      if not (n = block && Bytes.equal buf zero) then begin
+        let sub = ref 0 in
+        while !sub < n do
+          let m = min chunk (n - !sub) in
+          if not (Bytes.equal (Bytes.sub buf !sub m) (Bytes.sub zero 0 m))
+          then spans := (!pos + !sub, Bytes.sub_string buf !sub m) :: !spans;
+          sub := !sub + m
+        done
+      end;
+      pos := !pos + n
+    done
+  in
+  let align_down x = x - (x mod chunk) in
+  let rec walk off =
+    if off < len then
+      match lseek_data fd off with
+      | -1 -> () (* no data at or after [off] *)
+      | -2 -> raise Exit (* unsupported: dense fallback *)
+      | d ->
+          let d = align_down (min d len) in
+          let h = match lseek_hole fd d with -2 -> len | h -> min h len in
+          scan_range d h;
+          walk (max h (d + 1))
+  in
+  (try walk 0 with Exit -> scan_range 0 len);
+  Unix.close fd;
+  Device.of_spans ~size:len (List.rev !spans)
 
 let save_image img dev =
   let oc = open_out_bin img in
-  output_bytes oc (Device.image_durable dev);
+  if Device.is_sparse dev then begin
+    (* Commands are synchronous, so the device is quiescent here and
+       the visible content equals the durable content. Write only the
+       backed spans and seek over the holes — the host file stays
+       sparse, like the device. *)
+    List.iter
+      (fun (off, len) ->
+        seek_out oc off;
+        output_bytes oc (Device.read dev ~off ~len))
+      (Device.backed_spans dev);
+    (* pin the file length even when the volume ends in a hole *)
+    let size = Device.size dev in
+    if out_channel_length oc < size then begin
+      seek_out oc (size - 1);
+      output_char oc '\000'
+    end
+  end
+  else output_bytes oc (Device.image_durable dev);
   close_out oc
 
 (* [trace]: record the command's persist stream (preceded by a durable-state

@@ -1,102 +1,434 @@
-type t = {
-  cpus : int;
+(* Volatile allocators (paper §3.4), in one of two representations.
+
+   [Legacy] is the historical list-based allocator: an inode free list
+   plus per-CPU page free lists filled round-robin. Small (dense)
+   volumes stay on it so every allocation-order observable — and
+   therefore every on-PM placement, durable hash and golden trace — is
+   bit-identical to what it always was.
+
+   [Indexed] is the large-volume representation: free space is a map of
+   maximal runs (start -> len) with a by-length index, per-CPU LIFO
+   stacks for recently freed singles, and the same run structure for
+   inode numbers. Population is O(1) from geometry (one run covering
+   everything), single-page alloc and reservation are O(log runs), and
+   contiguous extents — optionally alignment-constrained, WineFS-style —
+   are carved straight from the run index. Mount rebuild on a sparse
+   device starts from the fully-free state and *reserves* the allocated
+   objects it discovers, so its allocator cost is proportional to live
+   data, never to volume size. *)
+
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+let floor_mod a b = ((a mod b) + b) mod b
+
+type legacy = {
   mutable free_inodes : int list;
-  mutable free_inode_count : int;
+  mutable l_free_inode_count : int;
   page_pools : int list array; (* per-CPU free lists *)
   pool_sizes : int array;
   mutable next_cpu : int; (* round-robin for frees without a cpu hint *)
-  lock : Mutex.t; (* guards everything above; see the wrappers below *)
 }
+
+type indexed = {
+  (* inode space: freed numbers reallocate LIFO, then the untouched
+     run-set ascending — the same policy order the legacy list yields *)
+  mutable ino_stack : int list;
+  mutable ino_runs : int Imap.t; (* start -> len, never-reused inodes *)
+  mutable ino_free : int; (* stack + runs *)
+  (* page space *)
+  mutable runs : int Imap.t; (* start -> len, maximal free runs *)
+  mutable by_len : Iset.t Imap.t; (* len -> set of run starts *)
+  mutable run_pages : int;
+  stacks : int list array; (* per-CPU freed singles, LIFO *)
+  stack_sizes : int array;
+  region : int; (* pages per CPU placement region *)
+}
+
+type state = Legacy of legacy | Indexed of indexed
+type t = { cpus : int; st : state; lock : Mutex.t }
 
 let create ~cpus (_g : Layout.Geometry.t) =
   {
     cpus;
-    free_inodes = [];
-    free_inode_count = 0;
-    page_pools = Array.make cpus [];
-    pool_sizes = Array.make cpus 0;
-    next_cpu = 0;
+    st =
+      Legacy
+        {
+          free_inodes = [];
+          l_free_inode_count = 0;
+          page_pools = Array.make cpus [];
+          pool_sizes = Array.make cpus 0;
+          next_cpu = 0;
+        };
     lock = Mutex.create ();
   }
 
 let cpus t = t.cpus
+let is_indexed t = match t.st with Indexed _ -> true | Legacy _ -> false
 
-let add_free_inode t ino =
-  t.free_inodes <- ino :: t.free_inodes;
-  t.free_inode_count <- t.free_inode_count + 1
+(* {1 Run-map primitives (indexed mode)} *)
 
-let add_free_page t page =
-  let cpu = t.next_cpu in
-  t.next_cpu <- (t.next_cpu + 1) mod t.cpus;
-  t.page_pools.(cpu) <- page :: t.page_pools.(cpu);
-  t.pool_sizes.(cpu) <- t.pool_sizes.(cpu) + 1
+let by_len_add ix ~start ~len =
+  ix.by_len <-
+    Imap.update len
+      (function
+        | None -> Some (Iset.singleton start)
+        | Some s -> Some (Iset.add start s))
+      ix.by_len
+
+let by_len_remove ix ~start ~len =
+  ix.by_len <-
+    Imap.update len
+      (function
+        | None -> None
+        | Some s ->
+            let s = Iset.remove start s in
+            if Iset.is_empty s then None else Some s)
+      ix.by_len
+
+let run_insert_raw ix ~start ~len =
+  ix.runs <- Imap.add start len ix.runs;
+  by_len_add ix ~start ~len
+
+let run_remove_raw ix ~start ~len =
+  ix.runs <- Imap.remove start ix.runs;
+  by_len_remove ix ~start ~len
+
+(* Insert a free run, coalescing with physical neighbours. Only the
+   newly freed pages count toward [run_pages]; absorbed neighbours are
+   already counted. *)
+let run_insert ix ~start ~len =
+  let freed = len in
+  let start, len =
+    match Imap.find_last_opt (fun s -> s < start) ix.runs with
+    | Some (s, l) when s + l >= start ->
+        if s + l > start then
+          invalid_arg "Core.Alloc: double free (overlaps a free run)";
+        run_remove_raw ix ~start:s ~len:l;
+        (s, l + len)
+    | _ -> (start, len)
+  in
+  let len =
+    match Imap.find_opt (start + len) ix.runs with
+    | Some l2 ->
+        run_remove_raw ix ~start:(start + len) ~len:l2;
+        len + l2
+    | None -> len
+  in
+  run_insert_raw ix ~start ~len;
+  ix.run_pages <- ix.run_pages + freed
+
+(* Carve [want, want+n) out of the run starting at [start]. *)
+let run_carve ix ~start ~len ~want ~n =
+  run_remove_raw ix ~start ~len;
+  if want > start then run_insert_raw ix ~start ~len:(want - start);
+  let tail = start + len - (want + n) in
+  if tail > 0 then run_insert_raw ix ~start:(want + n) ~len:tail;
+  ix.run_pages <- ix.run_pages - n
+
+(* Remove one specific page from whatever run contains it. *)
+let run_reserve_page ix page =
+  match Imap.find_last_opt (fun s -> s <= page) ix.runs with
+  | Some (s, l) when page < s + l -> run_carve ix ~start:s ~len:l ~want:page ~n:1
+  | _ -> invalid_arg "Core.Alloc.reserve_page: page is not free"
+
+(* {1 Population} *)
+
+let add_free_inode_aux t ino =
+  match t.st with
+  | Legacy g ->
+      g.free_inodes <- ino :: g.free_inodes;
+      g.l_free_inode_count <- g.l_free_inode_count + 1
+  | Indexed ix ->
+      ix.ino_stack <- ino :: ix.ino_stack;
+      ix.ino_free <- ix.ino_free + 1
+
+let add_free_page_aux t page =
+  match t.st with
+  | Legacy g ->
+      let cpu = g.next_cpu in
+      g.next_cpu <- (g.next_cpu + 1) mod t.cpus;
+      g.page_pools.(cpu) <- page :: g.page_pools.(cpu);
+      g.pool_sizes.(cpu) <- g.pool_sizes.(cpu) + 1
+  | Indexed ix -> run_insert ix ~start:page ~len:1
 
 let populated ~cpus (g : Layout.Geometry.t) =
   let t = create ~cpus g in
   for ino = g.inode_count downto 2 do
-    add_free_inode t ino
+    add_free_inode_aux t ino
   done;
   for page = g.page_count - 1 downto 0 do
-    add_free_page t page
+    add_free_page_aux t page
   done;
   t
 
+(* Fully-free indexed allocator in O(1): one inode run [2, inode_count],
+   one page run [0, page_count). The sparse-mount rebuild starts here
+   and carves out the live objects it discovers with [reserve_*]. *)
+let indexed_populated ~cpus (g : Layout.Geometry.t) =
+  let ix =
+    {
+      ino_stack = [];
+      ino_runs =
+        (if g.inode_count >= 2 then Imap.singleton 2 (g.inode_count - 1)
+         else Imap.empty);
+      ino_free = (if g.inode_count >= 2 then g.inode_count - 1 else 0);
+      runs = Imap.empty;
+      by_len = Imap.empty;
+      run_pages = 0;
+      stacks = Array.make cpus [];
+      stack_sizes = Array.make cpus 0;
+      region = (g.page_count + cpus - 1) / cpus;
+    }
+  in
+  if g.page_count > 0 then run_insert ix ~start:0 ~len:g.page_count;
+  { cpus; st = Indexed ix; lock = Mutex.create () }
+
+(* {1 Inodes} *)
+
 let alloc_inode t =
-  match t.free_inodes with
-  | [] -> None
-  | ino :: rest ->
-      t.free_inodes <- rest;
-      t.free_inode_count <- t.free_inode_count - 1;
-      Some ino
+  match t.st with
+  | Legacy g -> (
+      match g.free_inodes with
+      | [] -> None
+      | ino :: rest ->
+          g.free_inodes <- rest;
+          g.l_free_inode_count <- g.l_free_inode_count - 1;
+          Some ino)
+  | Indexed ix -> (
+      match ix.ino_stack with
+      | ino :: rest ->
+          ix.ino_stack <- rest;
+          ix.ino_free <- ix.ino_free - 1;
+          Some ino
+      | [] -> (
+          match Imap.min_binding_opt ix.ino_runs with
+          | None -> None
+          | Some (s, l) ->
+              ix.ino_runs <- Imap.remove s ix.ino_runs;
+              if l > 1 then ix.ino_runs <- Imap.add (s + 1) (l - 1) ix.ino_runs;
+              ix.ino_free <- ix.ino_free - 1;
+              Some s))
 
 let free_inode t ino =
-  t.free_inodes <- ino :: t.free_inodes;
-  t.free_inode_count <- t.free_inode_count + 1
+  match t.st with
+  | Legacy g ->
+      g.free_inodes <- ino :: g.free_inodes;
+      g.l_free_inode_count <- g.l_free_inode_count + 1
+  | Indexed ix ->
+      ix.ino_stack <- ino :: ix.ino_stack;
+      ix.ino_free <- ix.ino_free + 1
 
-let pop_pool t cpu =
-  match t.page_pools.(cpu) with
+let reserve_inode t ino =
+  match t.st with
+  | Legacy g ->
+      if not (List.mem ino g.free_inodes) then
+        invalid_arg "Core.Alloc.reserve_inode: inode is not free";
+      g.free_inodes <- List.filter (fun i -> i <> ino) g.free_inodes;
+      g.l_free_inode_count <- g.l_free_inode_count - 1
+  | Indexed ix -> (
+      match Imap.find_last_opt (fun s -> s <= ino) ix.ino_runs with
+      | Some (s, l) when ino < s + l ->
+          ix.ino_runs <- Imap.remove s ix.ino_runs;
+          if ino > s then ix.ino_runs <- Imap.add s (ino - s) ix.ino_runs;
+          if s + l - (ino + 1) > 0 then
+            ix.ino_runs <- Imap.add (ino + 1) (s + l - (ino + 1)) ix.ino_runs;
+          ix.ino_free <- ix.ino_free - 1
+      | _ ->
+          if List.mem ino ix.ino_stack then begin
+            ix.ino_stack <- List.filter (fun i -> i <> ino) ix.ino_stack;
+            ix.ino_free <- ix.ino_free - 1
+          end
+          else invalid_arg "Core.Alloc.reserve_inode: inode is not free")
+
+(* {1 Pages} *)
+
+let pop_pool g cpu =
+  match g.page_pools.(cpu) with
   | [] -> None
   | p :: rest ->
-      t.page_pools.(cpu) <- rest;
-      t.pool_sizes.(cpu) <- t.pool_sizes.(cpu) - 1;
+      g.page_pools.(cpu) <- rest;
+      g.pool_sizes.(cpu) <- g.pool_sizes.(cpu) - 1;
       Some p
 
+let pop_stack ix cpu =
+  match ix.stacks.(cpu) with
+  | [] -> None
+  | p :: rest ->
+      ix.stacks.(cpu) <- rest;
+      ix.stack_sizes.(cpu) <- ix.stack_sizes.(cpu) - 1;
+      Some p
+
+(* Carve one page from the run map, preferring the requesting CPU's
+   placement region so independent CPUs spread across the volume. *)
+let carve_single ix cpu =
+  if ix.run_pages = 0 then None
+  else begin
+    let start, len =
+      match Imap.find_first_opt (fun s -> s >= cpu * ix.region) ix.runs with
+      | Some (s, l) -> (s, l)
+      | None -> Imap.min_binding ix.runs
+    in
+    run_carve ix ~start ~len ~want:start ~n:1;
+    Some start
+  end
+
 let alloc_page ?(cpu = 0) t =
-  let cpu = cpu mod t.cpus in
-  match pop_pool t cpu with
-  | Some p -> Some p
-  | None ->
-      (* steal from the first non-empty pool *)
-      let rec steal i =
-        if i = t.cpus then None
-        else if t.pool_sizes.(i) > 0 then pop_pool t i
-        else steal (i + 1)
-      in
-      steal 0
+  let cpu = floor_mod cpu t.cpus in
+  match t.st with
+  | Legacy g -> (
+      match pop_pool g cpu with
+      | Some p -> Some p
+      | None ->
+          (* Steal, scanning from the pool after the requester and
+             rotating — not always from pool 0, which drained low-index
+             pools first and skewed per-CPU locality under load. *)
+          let rec steal k =
+            if k = t.cpus then None
+            else
+              let i = (cpu + 1 + k) mod t.cpus in
+              if g.pool_sizes.(i) > 0 then pop_pool g i else steal (k + 1)
+          in
+          steal 0)
+  | Indexed ix -> (
+      match pop_stack ix cpu with
+      | Some p -> Some p
+      | None -> (
+          match carve_single ix cpu with
+          | Some p -> Some p
+          | None ->
+              let rec steal k =
+                if k = t.cpus then None
+                else
+                  let i = (cpu + 1 + k) mod t.cpus in
+                  if ix.stack_sizes.(i) > 0 then pop_stack ix i
+                  else steal (k + 1)
+              in
+              steal 0))
 
 let free_page ?(cpu = 0) t page =
-  let cpu = cpu mod t.cpus in
-  t.page_pools.(cpu) <- page :: t.page_pools.(cpu);
-  t.pool_sizes.(cpu) <- t.pool_sizes.(cpu) + 1
+  let cpu = floor_mod cpu t.cpus in
+  match t.st with
+  | Legacy g ->
+      g.page_pools.(cpu) <- page :: g.page_pools.(cpu);
+      g.pool_sizes.(cpu) <- g.pool_sizes.(cpu) + 1
+  | Indexed ix ->
+      ix.stacks.(cpu) <- page :: ix.stacks.(cpu);
+      ix.stack_sizes.(cpu) <- ix.stack_sizes.(cpu) + 1
 
-let free_page_count t = Array.fold_left ( + ) 0 t.pool_sizes
-let free_inode_count t = t.free_inode_count
+let reserve_page t page =
+  match t.st with
+  | Legacy g ->
+      (* O(pools): only the indexed rebuild path reserves in anger. *)
+      let found = ref false in
+      for c = 0 to t.cpus - 1 do
+        if (not !found) && List.mem page g.page_pools.(c) then begin
+          g.page_pools.(c) <- List.filter (fun p -> p <> page) g.page_pools.(c);
+          g.pool_sizes.(c) <- g.pool_sizes.(c) - 1;
+          found := true
+        end
+      done;
+      if not !found then invalid_arg "Core.Alloc.reserve_page: page is not free"
+  | Indexed ix -> run_reserve_page ix page
+
+let free_page_count t =
+  match t.st with
+  | Legacy g -> Array.fold_left ( + ) 0 g.pool_sizes
+  | Indexed ix -> ix.run_pages + Array.fold_left ( + ) 0 ix.stack_sizes
+
+let free_inode_count t =
+  match t.st with
+  | Legacy g -> g.l_free_inode_count
+  | Indexed ix -> ix.ino_free
+
+(* 2 MiB of 4 KiB pages: the alignment unit for huge allocations. *)
+let hugepage_pages = 512
+
+(* Contiguous extent of [n] pages, optionally at an [align]-page
+   boundary (WineFS-style hugepage placement). Carved from the run
+   index: smallest run that fits wins, smallest start among equals.
+   [None] in legacy mode — callers fall back to page-at-a-time
+   allocation, which keeps dense volumes bit-identical — or when
+   fragmentation leaves no contiguous fit. *)
+let alloc_extent ?(align = 1) t n =
+  if n <= 0 || align <= 0 then invalid_arg "Core.Alloc.alloc_extent";
+  match t.st with
+  | Legacy _ -> None
+  | Indexed ix ->
+      let aligned_want start = (start + align - 1) / align * align in
+      let fit (start, len) =
+        let w = aligned_want start in
+        if w + n <= start + len then Some (start, len, w) else None
+      in
+      let pick need =
+        match Imap.find_first_opt (fun l -> l >= need) ix.by_len with
+        | None -> None
+        | Some (len, starts) -> fit (Iset.min_elt starts, len)
+      in
+      let choice =
+        match pick n with
+        | Some _ as c -> c
+        | None ->
+            (* alignment didn't fit the tightest run: a run of
+               n + align - 1 pages always contains an aligned window *)
+            if align > 1 then pick (n + align - 1) else None
+      in
+      (match choice with
+      | None -> None
+      | Some (start, len, want) ->
+          run_carve ix ~start ~len ~want ~n;
+          Some (want, n))
+
+let free_extent t ~start ~len =
+  if len <= 0 then invalid_arg "Core.Alloc.free_extent";
+  match t.st with
+  | Legacy g ->
+      for page = start + len - 1 downto start do
+        let cpu = g.next_cpu in
+        g.next_cpu <- (g.next_cpu + 1) mod t.cpus;
+        g.page_pools.(cpu) <- page :: g.page_pools.(cpu);
+        g.pool_sizes.(cpu) <- g.pool_sizes.(cpu) + 1
+      done
+  | Indexed ix -> run_insert ix ~start ~len
 
 let alloc_pages ?(cpu = 0) t n =
   if free_page_count t < n then None
-  else
-    let rec go acc k = if k = 0 then Some acc else
-      match alloc_page ~cpu t with
-      | Some p -> go (p :: acc) (k - 1)
-      | None -> (* cannot happen: we checked the total *) None
+  else begin
+    (* Indexed mode prefers one contiguous extent — ascending physical
+       pages, so large files lay out sequentially and the split data
+       path can relink whole extents. Hugepage-sized allocations also
+       try for a hugepage-aligned start first (WineFS-style placement).
+       Fragmented (or legacy) volumes fall back to page-at-a-time. *)
+    let extent =
+      if n >= 2 then
+        let aligned =
+          if n >= hugepage_pages then alloc_extent ~align:hugepage_pages t n
+          else None
+        in
+        match (match aligned with Some _ as e -> e | None -> alloc_extent t n)
+        with
+        | Some (start, len) -> Some (List.init len (fun i -> start + i))
+        | None -> None
+      else None
     in
-    match go [] n with
-    | Some pages -> Some (List.rev pages)
-    | None -> None
+    match extent with
+    | Some pages -> Some pages
+    | None -> (
+        let rec go acc k =
+          if k = 0 then Some acc
+          else
+            match alloc_page ~cpu t with
+            | Some p -> go (p :: acc) (k - 1)
+            | None -> (* cannot happen: we checked the total *) None
+        in
+        match go [] n with
+        | Some pages -> Some (List.rev pages)
+        | None -> None)
+  end
 
 (* {1 Concurrency}
 
-   The inode free list and the per-CPU page pools are shared by every
+   The inode free structures and the page pools/runs are shared by every
    domain executing ops under the [Serve] engine (stealing crosses the
    pools, so per-pool locks would not be enough). Each public entry
    point takes one short critical section on the instance's own lock;
@@ -109,12 +441,16 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let add_free_inode t ino = locked t (fun () -> add_free_inode t ino)
-let add_free_page t page = locked t (fun () -> add_free_page t page)
+let add_free_inode t ino = locked t (fun () -> add_free_inode_aux t ino)
+let add_free_page t page = locked t (fun () -> add_free_page_aux t page)
 let alloc_inode t = locked t (fun () -> alloc_inode t)
 let free_inode t ino = locked t (fun () -> free_inode t ino)
+let reserve_inode t ino = locked t (fun () -> reserve_inode t ino)
+let reserve_page t page = locked t (fun () -> reserve_page t page)
 let alloc_page ?cpu t = locked t (fun () -> alloc_page ?cpu t)
 let free_page ?cpu t page = locked t (fun () -> free_page ?cpu t page)
+let alloc_extent ?align t n = locked t (fun () -> alloc_extent ?align t n)
+let free_extent t ~start ~len = locked t (fun () -> free_extent t ~start ~len)
 let free_page_count t = locked t (fun () -> free_page_count t)
 let free_inode_count t = locked t (fun () -> free_inode_count t)
 let alloc_pages ?cpu t n = locked t (fun () -> alloc_pages ?cpu t n)

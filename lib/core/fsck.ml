@@ -14,17 +14,16 @@ let check (ctx : Fsctx.t) =
      their persistent metadata is known-corrupt, so nothing useful can be
      checked against it. *)
   let inodes : (int, R.Inode.t) Hashtbl.t = Hashtbl.create 64 in
-  for ino = 1 to geo.inode_count do
-    if not (Q.mem_ino quar ino) then
-      let base = Geometry.inode_off geo ~ino in
-      match R.Inode.decode dev ~base with
-      | Some r ->
-          if r.ino <> ino then err "inode %d: ino field says %d" ino r.ino
-          else Hashtbl.replace inodes ino r
-      | None ->
-          if R.Inode.is_allocated dev ~base then
-            err "inode %d: allocated but undecodable (partial init?)" ino
-  done;
+  (Scan.inodes dev geo @@ fun ino ->
+   if not (Q.mem_ino quar ino) then
+     let base = Geometry.inode_off geo ~ino in
+     match R.Inode.decode dev ~base with
+     | Some r ->
+         if r.ino <> ino then err "inode %d: ino field says %d" ino r.ino
+         else Hashtbl.replace inodes ino r
+     | None ->
+         if R.Inode.is_allocated dev ~base then
+           err "inode %d: allocated but undecodable (partial init?)" ino);
   (match Hashtbl.find_opt inodes Geometry.root_ino with
   | Some r when r.kind = R.Kind.Dir -> ()
   | Some _ -> err "root inode is not a directory"
@@ -35,12 +34,12 @@ let check (ctx : Fsctx.t) =
   let pages_of : (int, (R.Desc.page_kind * int * int) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
-  for page = 0 to geo.page_count - 1 do
-    let base = Geometry.desc_off geo ~page in
-    if Q.mem_page quar page then ()
-    else
-    match R.Desc.decode dev ~base with
-    | Some { ino; kind; offset; replaces } when ino <> 0 ->
+  (Scan.pages dev geo @@ fun page ->
+   let base = Geometry.desc_off geo ~page in
+   if Q.mem_page quar page then ()
+   else
+   match R.Desc.decode dev ~base with
+   | Some { ino; kind; offset; replaces } when ino <> 0 ->
         if replaces <> 0 then
           err "page %d: replace pointer still set (interrupted COW write)"
             page;
@@ -66,11 +65,10 @@ let check (ctx : Fsctx.t) =
               l
         in
         l := (kind, offset, page) :: !l
-    | Some _ -> err "page %d: descriptor allocated but unowned" page
-    | None ->
-        if R.Desc.is_allocated dev ~base then
-          err "page %d: descriptor allocated but undecodable" page
-  done;
+   | Some _ -> err "page %d: descriptor allocated but unowned" page
+   | None ->
+       if R.Desc.is_allocated dev ~base then
+         err "page %d: descriptor allocated but undecodable" page);
 
   (* File sizes must be fully covered by owned pages (a size made visible
      before its pages' backpointers were fenced is the §4.2 write bug). *)
@@ -255,43 +253,40 @@ let check_raw dev (geo : Geometry.t) =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   let inodes : (int, R.Inode.t) Hashtbl.t = Hashtbl.create 64 in
-  for ino = 1 to geo.inode_count do
-    match R.Inode.decode dev ~base:(Geometry.inode_off geo ~ino) with
-    | Some r when r.ino = ino -> Hashtbl.replace inodes ino r
-    | Some _ | None -> ()
-  done;
+  (Scan.inodes dev geo @@ fun ino ->
+   match R.Inode.decode dev ~base:(Geometry.inode_off geo ~ino) with
+   | Some r when r.ino = ino -> Hashtbl.replace inodes ino r
+   | Some _ | None -> ());
   let pages_of : (int, (R.Desc.page_kind * int) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
   (* committed COW replacements supersede the pages they point at *)
   let superseded : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  for page = 0 to geo.page_count - 1 do
-    match R.Desc.decode dev ~base:(Geometry.desc_off geo ~page) with
-    | Some { ino; replaces; _ }
-      when ino <> 0 && replaces <> 0 && replaces - 1 < geo.page_count ->
-        Hashtbl.replace superseded (replaces - 1) ()
-    | Some _ | None -> ()
-  done;
-  for page = 0 to geo.page_count - 1 do
-    if Hashtbl.mem superseded page then ()
-    else
-    match R.Desc.decode dev ~base:(Geometry.desc_off geo ~page) with
-    | Some { ino; kind; offset; replaces = _ } when ino <> 0 ->
-        if not (Hashtbl.mem inodes ino) then
-          err "page %d: backpointer to uninitialized inode %d" page ino
-        else begin
-          let l =
-            match Hashtbl.find_opt pages_of ino with
-            | Some l -> l
-            | None ->
-                let l = ref [] in
-                Hashtbl.replace pages_of ino l;
-                l
-          in
-          l := (kind, offset) :: !l
-        end
-    | Some _ | None -> ()
-  done;
+  (Scan.pages dev geo @@ fun page ->
+   match R.Desc.decode dev ~base:(Geometry.desc_off geo ~page) with
+   | Some { ino; replaces; _ }
+     when ino <> 0 && replaces <> 0 && replaces - 1 < geo.page_count ->
+       Hashtbl.replace superseded (replaces - 1) ()
+   | Some _ | None -> ());
+  (Scan.pages dev geo @@ fun page ->
+   if Hashtbl.mem superseded page then ()
+   else
+   match R.Desc.decode dev ~base:(Geometry.desc_off geo ~page) with
+   | Some { ino; kind; offset; replaces = _ } when ino <> 0 ->
+       if not (Hashtbl.mem inodes ino) then
+         err "page %d: backpointer to uninitialized inode %d" page ino
+       else begin
+         let l =
+           match Hashtbl.find_opt pages_of ino with
+           | Some l -> l
+           | None ->
+               let l = ref [] in
+               Hashtbl.replace pages_of ino l;
+               l
+         in
+         l := (kind, offset) :: !l
+       end
+   | Some _ | None -> ());
   (* dentries *)
   let raw = ref [] in
   Hashtbl.iter
@@ -306,27 +301,26 @@ let check_raw dev (geo : Geometry.t) =
             !l
       | Some _ | None -> ())
     pages_of;
-  for page = 0 to geo.page_count - 1 do
-    match R.Desc.decode dev ~base:(Geometry.desc_off geo ~page) with
-    | Some { ino = dir; kind = R.Desc.Dirpage; _ } when dir <> 0 ->
-        for slot = 0 to Geometry.dentries_per_page - 1 do
-          let base = Geometry.dentry_off geo ~page ~slot in
-          match R.Dentry.decode dev ~base with
-          | Some { name; ino; rename_ptr } when ino <> 0 || rename_ptr <> 0 ->
-              raw :=
-                {
-                  rw_dir = dir;
-                  rw_page = page;
-                  rw_slot = slot;
-                  rw_ino = ino;
-                  rw_rptr = rename_ptr;
-                  rw_name = name;
-                }
-                :: !raw
-          | Some _ | None -> ()
-        done
-    | Some _ | None -> ()
-  done;
+  (Scan.pages dev geo @@ fun page ->
+   match R.Desc.decode dev ~base:(Geometry.desc_off geo ~page) with
+   | Some { ino = dir; kind = R.Desc.Dirpage; _ } when dir <> 0 ->
+       for slot = 0 to Geometry.dentries_per_page - 1 do
+         let base = Geometry.dentry_off geo ~page ~slot in
+         match R.Dentry.decode dev ~base with
+         | Some { name; ino; rename_ptr } when ino <> 0 || rename_ptr <> 0 ->
+             raw :=
+               {
+                 rw_dir = dir;
+                 rw_page = page;
+                 rw_slot = slot;
+                 rw_ino = ino;
+                 rw_rptr = rename_ptr;
+                 rw_name = name;
+               }
+               :: !raw
+         | Some _ | None -> ()
+       done
+   | Some _ | None -> ());
   let raw = !raw in
   (* rename-pointer discipline: at most one pointer per target, no
      cycles; a committed destination's source is logically dead *)

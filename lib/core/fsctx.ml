@@ -38,7 +38,15 @@ let make ?(csum = false) ~dev ~geo ~cpus () =
     dev;
     geo;
     reg = Typestate.Token.create_registry ();
-    alloc = Alloc.create ~cpus geo;
+    (* Large volumes get the indexed run allocator: O(1) to populate,
+       so mount cost tracks live objects instead of volume size. The
+       choice keys on volume size, not on the backing representation —
+       forcing a small device sparse must stay observably identical to
+       the dense run, placement included. *)
+    alloc =
+      (if Pmem.Device.size dev > Pmem.Device.sparse_threshold then
+         Alloc.indexed_populated ~cpus geo
+       else Alloc.create ~cpus geo);
     index = Index.create ();
     next_range_id = Atomic.make 0;
     share_fences = true;

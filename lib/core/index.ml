@@ -9,6 +9,7 @@ type t = {
   dirs : (int, dir_index) Hashtbl.t;
   files : (int, (int, int) Hashtbl.t) Hashtbl.t; (* ino -> offset -> page *)
   used_slots : (int * int, unit) Hashtbl.t; (* (page, slot) *)
+  page_used : (int, int) Hashtbl.t; (* page -> #used slots, for free_slot *)
   versions : (int, int) Hashtbl.t; (* ino -> extent-map version *)
   deaths : (int, int) Hashtbl.t; (* ino -> #times removed as a file *)
   lock : Mutex.t; (* guards the tables; see the wrappers below *)
@@ -19,10 +20,30 @@ let create () =
     dirs = Hashtbl.create 64;
     files = Hashtbl.create 64;
     used_slots = Hashtbl.create 256;
+    page_used = Hashtbl.create 256;
     versions = Hashtbl.create 64;
     deaths = Hashtbl.create 64;
     lock = Mutex.create ();
   }
+
+(* [used_slots] maintenance goes through these so the per-page counters
+   stay in sync: [free_slot] uses them to skip full pages in O(1)
+   instead of probing every slot. *)
+let slot_add t page slot =
+  if not (Hashtbl.mem t.used_slots (page, slot)) then begin
+    Hashtbl.replace t.used_slots (page, slot) ();
+    Hashtbl.replace t.page_used page
+      (1 + (match Hashtbl.find_opt t.page_used page with Some n -> n | None -> 0))
+  end
+
+let slot_remove t page slot =
+  if Hashtbl.mem t.used_slots (page, slot) then begin
+    Hashtbl.remove t.used_slots (page, slot);
+    match Hashtbl.find_opt t.page_used page with
+    | Some 1 -> Hashtbl.remove t.page_used page
+    | Some n -> Hashtbl.replace t.page_used page (n - 1)
+    | None -> ()
+  end
 
 let dir_exn t ino =
   match Hashtbl.find_opt t.dirs ino with
@@ -45,12 +66,12 @@ let dir_pages t ~dir = (dir_exn t dir).pages
 
 let insert_dentry t ~dir name ~ino loc =
   Hashtbl.replace (dir_exn t dir).names name (ino, loc);
-  Hashtbl.replace t.used_slots (loc.page, loc.slot) ()
+  slot_add t loc.page loc.slot
 
 let remove_dentry t ~dir name =
   let d = dir_exn t dir in
   (match Hashtbl.find_opt d.names name with
-  | Some (_, loc) -> Hashtbl.remove t.used_slots (loc.page, loc.slot)
+  | Some (_, loc) -> slot_remove t loc.page loc.slot
   | None -> ());
   Hashtbl.remove d.names name
 
@@ -66,15 +87,21 @@ let dentries t ~dir =
 let dentry_count t ~dir = Hashtbl.length (dir_exn t dir).names
 let is_dir t ino = Hashtbl.mem t.dirs ino
 
-let mark_slot_used t loc = Hashtbl.replace t.used_slots (loc.page, loc.slot) ()
-let mark_slot_free t loc = Hashtbl.remove t.used_slots (loc.page, loc.slot)
+let mark_slot_used t loc = slot_add t loc.page loc.slot
+let mark_slot_free t loc = slot_remove t loc.page loc.slot
 let slot_used t loc = Hashtbl.mem t.used_slots (loc.page, loc.slot)
 
 let free_slot t ~dir =
   let d = dir_exn t dir in
   let per_page = Layout.Geometry.dentries_per_page in
+  let page_full page =
+    match Hashtbl.find_opt t.page_used page with
+    | Some n -> n >= per_page
+    | None -> false
+  in
   let rec scan_pages = function
     | [] -> None
+    | page :: rest when page_full page -> scan_pages rest
     | page :: rest ->
         let rec scan_slots slot =
           if slot = per_page then None

@@ -109,42 +109,47 @@ let rebuild (ctx : Fsctx.t) ~recover =
      it as garbage; synthesize attrs if the record no longer decodes. *)
   let attrs : (int, R.Inode.t) Hashtbl.t = Hashtbl.create 1024 in
   let garbage_inodes = ref [] in
-  for ino = 1 to geo.inode_count do
-    let base = Geometry.inode_off geo ~ino in
-    match R.Inode.decode dev ~base with
-    | Some r when r.ino = ino -> Hashtbl.replace attrs ino r
-    | (Some _ | None) when Q.mem_ino ctx.quar ino ->
-        Hashtbl.replace attrs ino
-          {
-            R.Inode.ino;
-            kind = R.Kind.File;
-            links = 1;
-            size = 0;
-            atime = 0;
-            mtime = 0;
-            ctime = 0;
-            mode = 0o644;
-            uid = 0;
-            gid = 0;
-          }
-    | Some _ | None ->
-        if R.Inode.is_allocated dev ~base then
-          garbage_inodes := ino :: !garbage_inodes
-  done;
+  (Scan.inodes dev geo @@ fun ino ->
+   let base = Geometry.inode_off geo ~ino in
+   match R.Inode.decode dev ~base with
+   | Some r when r.ino = ino -> Hashtbl.replace attrs ino r
+   | (Some _ | None) when Q.mem_ino ctx.quar ino ->
+       Hashtbl.replace attrs ino
+         {
+           R.Inode.ino;
+           kind = R.Kind.File;
+           links = 1;
+           size = 0;
+           atime = 0;
+           mtime = 0;
+           ctime = 0;
+           mode = 0o644;
+           uid = 0;
+           gid = 0;
+         }
+   | Some _ | None ->
+       if R.Inode.is_allocated dev ~base then
+         garbage_inodes := ino :: !garbage_inodes);
 
-  (* Pass 2: page descriptor table. *)
-  let desc_raw =
-    Array.init geo.page_count (fun page ->
-        R.Desc.decode dev ~base:(Geometry.desc_off geo ~page))
-  in
+  (* Pass 2: page descriptor table. Only backed pages are decoded — an
+     unbacked descriptor is durably zero (neither allocated nor
+     garbage), so skipping it changes nothing. *)
+  let desc_pages_rev = ref [] in
+  let desc_raw : (int, R.Desc.t) Hashtbl.t = Hashtbl.create 1024 in
+  (Scan.pages dev geo @@ fun page ->
+   desc_pages_rev := page :: !desc_pages_rev;
+   match R.Desc.decode dev ~base:(Geometry.desc_off geo ~page) with
+   | Some d -> Hashtbl.replace desc_raw page d
+   | None -> ());
+  let desc_pages = List.rev !desc_pages_rev in
   (* Resolve replace pointers (crash-atomic COW data writes): a committed
      replacement supersedes the page it points at; recovery frees the old
      page and clears the pointer. An uncommitted replacement (ino = 0)
      falls into the garbage path below and is rolled back. *)
   let killed_pages : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  Array.iteri
-    (fun page d ->
-      match d with
+  List.iter
+    (fun page ->
+      match Hashtbl.find_opt desc_raw page with
       | Some { R.Desc.ino; replaces; _ }
         when ino <> 0
              && replaces <> 0
@@ -162,34 +167,35 @@ let rebuild (ctx : Fsctx.t) ~recover =
             bump (fun s -> { s with orphan_pages = s.orphan_pages + 1 })
           end
       | Some _ | None -> ())
-    desc_raw;
+    desc_pages;
   let owned : (int, (R.Desc.page_kind * int * int) list ref) Hashtbl.t =
     Hashtbl.create 1024
   in
   (* owner ino -> (kind, offset, page) list *)
   let garbage_descs = ref [] in
-  for page = 0 to geo.page_count - 1 do
-    let base = Geometry.desc_off geo ~page in
-    if Q.mem_page ctx.quar page then () (* neither owned nor garbage *)
-    else
-      match desc_raw.(page) with
-      | Some { ino; kind; offset; replaces = _ }
-        when ino <> 0 && not (Hashtbl.mem killed_pages page) ->
-          let l =
-            match Hashtbl.find_opt owned ino with
-            | Some l -> l
-            | None ->
-                let l = ref [] in
-                Hashtbl.replace owned ino l;
-                l
-          in
-          l := (kind, offset, page) :: !l
-      | Some { ino; _ } when ino <> 0 -> () (* superseded by a replacer *)
-      | Some _ -> garbage_descs := page :: !garbage_descs
-      | None ->
-          if R.Desc.is_allocated dev ~base then
-            garbage_descs := page :: !garbage_descs
-  done;
+  List.iter
+    (fun page ->
+      let base = Geometry.desc_off geo ~page in
+      if Q.mem_page ctx.quar page then () (* neither owned nor garbage *)
+      else
+        match Hashtbl.find_opt desc_raw page with
+        | Some { ino; kind; offset; replaces = _ }
+          when ino <> 0 && not (Hashtbl.mem killed_pages page) ->
+            let l =
+              match Hashtbl.find_opt owned ino with
+              | Some l -> l
+              | None ->
+                  let l = ref [] in
+                  Hashtbl.replace owned ino l;
+                  l
+            in
+            l := (kind, offset, page) :: !l
+        | Some { ino; _ } when ino <> 0 -> () (* superseded by a replacer *)
+        | Some _ -> garbage_descs := page :: !garbage_descs
+        | None ->
+            if R.Desc.is_allocated dev ~base then
+              garbage_descs := page :: !garbage_descs)
+    desc_pages;
 
   (* Pass 3: directory pages -> raw dentries. *)
   let raw : raw_dentry list ref = ref [] in
@@ -513,18 +519,44 @@ let rebuild (ctx : Fsctx.t) ~recover =
     committed;
   Device.charge dev (!inserts * index_insert_ns);
 
-  (* Allocators: anything with a fully-zero record is free. *)
-  for ino = geo.inode_count downto 1 do
-    if
-      not (R.Inode.is_allocated dev ~base:(Geometry.inode_off geo ~ino))
-    then Alloc.add_free_inode ctx.alloc ino
-  done;
-  for page = geo.page_count - 1 downto 0 do
-    if not (R.Desc.is_allocated dev ~base:(Geometry.desc_off geo ~page)) then
-      Alloc.add_free_page ctx.alloc page
-  done;
-  Device.charge dev
-    ((Alloc.free_inode_count ctx.alloc + Alloc.free_page_count ctx.alloc) * 40);
+  (* Allocators: anything with a fully-zero record is free. The legacy
+     allocator starts empty and collects every free object — O(volume),
+     kept verbatim so small dense volumes stay bit-identical. The
+     indexed allocator starts fully free (one run, O(1)) and instead
+     {e reserves} the live objects the scan found, so this step — like
+     the scan passes above — costs time proportional to utilization,
+     not volume size (the paper's §5 near-constant mount). *)
+  if Alloc.is_indexed ctx.alloc then begin
+    let reserved = ref 0 in
+    (Scan.inodes dev geo @@ fun ino ->
+     if
+       ino <> Geometry.root_ino
+       && R.Inode.is_allocated dev ~base:(Geometry.inode_off geo ~ino)
+     then begin
+       Alloc.reserve_inode ctx.alloc ino;
+       incr reserved
+     end);
+    (Scan.pages dev geo @@ fun page ->
+     if R.Desc.is_allocated dev ~base:(Geometry.desc_off geo ~page) then begin
+       Alloc.reserve_page ctx.alloc page;
+       incr reserved
+     end);
+    Device.charge dev (!reserved * 40)
+  end
+  else begin
+    for ino = geo.inode_count downto 1 do
+      if
+        not (R.Inode.is_allocated dev ~base:(Geometry.inode_off geo ~ino))
+      then Alloc.add_free_inode ctx.alloc ino
+    done;
+    for page = geo.page_count - 1 downto 0 do
+      if not (R.Desc.is_allocated dev ~base:(Geometry.desc_off geo ~page))
+      then Alloc.add_free_page ctx.alloc page
+    done;
+    Device.charge dev
+      ((Alloc.free_inode_count ctx.alloc + Alloc.free_page_count ctx.alloc)
+      * 40)
+  end;
   set_stats !st
 
 (* Media pre-pass (csum volumes only): verify record checksums before
@@ -533,24 +565,24 @@ let rebuild (ctx : Fsctx.t) ~recover =
    — a repair pass working from corrupt metadata could free live data. *)
 let media_prepass (ctx : Fsctx.t) =
   let dev = ctx.dev and geo = ctx.geo in
-  (* Inode suspects: allocated records whose sealed-field CRC fails. *)
+  (* Inode suspects: allocated records whose sealed-field CRC fails.
+     Unbacked records are durably zero — unallocated — so the CRC scans
+     only walk backed spans. *)
   let suspects = ref [] in
-  for ino = 1 to geo.inode_count do
-    let base = Geometry.inode_off geo ~ino in
-    if R.Inode.is_allocated dev ~base && not (R.Inode.verify dev ~base) then
-      suspects := ino :: !suspects
-  done;
+  (Scan.inodes dev geo @@ fun ino ->
+   let base = Geometry.inode_off geo ~ino in
+   if R.Inode.is_allocated dev ~base && not (R.Inode.verify dev ~base) then
+     suspects := ino :: !suspects);
   (* Committed page descriptors with a bad CRC: kind/offset can no longer
      be trusted, so quarantine the page and the file that owns it. *)
-  for page = 0 to geo.page_count - 1 do
-    let base = Geometry.desc_off geo ~page in
-    let ino = Device.read_u64 dev (base + R.Desc.f_ino) in
-    if ino <> 0 && not (R.Desc.verify dev ~base) then begin
-      Q.add ctx.quar ~reason:"page descriptor CRC mismatch" (Q.Page page);
-      if ino >= 1 && ino <= geo.inode_count then
-        Q.add ctx.quar ~reason:"owns page with corrupt descriptor" (Q.Ino ino)
-    end
-  done;
+  (Scan.pages dev geo @@ fun page ->
+   let base = Geometry.desc_off geo ~page in
+   let ino = Device.read_u64 dev (base + R.Desc.f_ino) in
+   if ino <> 0 && not (R.Desc.verify dev ~base) then begin
+     Q.add ctx.quar ~reason:"page descriptor CRC mismatch" (Q.Page page);
+     if ino >= 1 && ino <= geo.inode_count then
+       Q.add ctx.quar ~reason:"owns page with corrupt descriptor" (Q.Ino ino)
+   end);
   (* A suspect inode is quarantined only if a committed dentry (or being
      the root) references it: an unreferenced suspect is indistinguishable
      from a half-initialized crash orphan, and the ordinary garbage path
@@ -561,24 +593,23 @@ let media_prepass (ctx : Fsctx.t) =
       let suspect = Hashtbl.create 8 in
       List.iter (fun i -> Hashtbl.replace suspect i ()) suspects;
       let referenced = Hashtbl.create 8 in
-      for page = 0 to geo.page_count - 1 do
-        let base = Geometry.desc_off geo ~page in
-        if
-          Device.read_u64 dev (base + R.Desc.f_ino) <> 0
-          && not (Q.mem_page ctx.quar page)
-        then
-          match R.Desc.decode dev ~base with
-          | Some { kind = R.Desc.Dirpage; _ } ->
-              for slot = 0 to Geometry.dentries_per_page - 1 do
-                let target =
-                  Device.read_u64 dev
-                    (dentry_base geo ~page ~slot + R.Dentry.f_ino)
-                in
-                if Hashtbl.mem suspect target then
-                  Hashtbl.replace referenced target ()
-              done
-          | Some _ | None -> ()
-      done;
+      (Scan.pages dev geo @@ fun page ->
+       let base = Geometry.desc_off geo ~page in
+       if
+         Device.read_u64 dev (base + R.Desc.f_ino) <> 0
+         && not (Q.mem_page ctx.quar page)
+       then
+         match R.Desc.decode dev ~base with
+         | Some { kind = R.Desc.Dirpage; _ } ->
+             for slot = 0 to Geometry.dentries_per_page - 1 do
+               let target =
+                 Device.read_u64 dev
+                   (dentry_base geo ~page ~slot + R.Dentry.f_ino)
+               in
+               if Hashtbl.mem suspect target then
+                 Hashtbl.replace referenced target ()
+             done
+         | Some _ | None -> ());
       List.iter
         (fun ino ->
           if ino = Geometry.root_ino || Hashtbl.mem referenced ino then

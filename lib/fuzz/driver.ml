@@ -14,6 +14,10 @@ type cfg = {
   max_images : int;
   media_images : int;
   device_size : int;
+  sparse : bool option;
+      (** force the device's backing representation; [None] is the
+          size-based default. Coverage-equivalent either way (see
+          {!Exec.run}). *)
   faults : Faults.Plan.t;
   latency : Pmem.Latency.t option;
   shrink : bool;
@@ -33,6 +37,7 @@ let default_cfg =
     max_images = 8;
     media_images = 4;
     device_size = 256 * 1024;
+    sparse = None;
     faults = Faults.none;
     latency = None;
     shrink = true;
@@ -63,7 +68,8 @@ type report = {
 }
 
 let exec ?pool ?metrics cfg ops =
-  Exec.run ~device_size:cfg.device_size ~max_images_per_fence:cfg.max_images
+  Exec.run ~device_size:cfg.device_size ?sparse:cfg.sparse
+    ~max_images_per_fence:cfg.max_images
     ~media_images_per_fence:cfg.media_images ~faults:cfg.faults ?latency:cfg.latency
     ~engine:cfg.engine ?pool ?metrics ops
 

@@ -139,7 +139,12 @@ module Pool = struct
     mutable e_hash : (int64 array * int64) option;  (* lazy template hash *)
   }
 
-  type key = { k_size : int; k_csum : bool; k_latency : Pmem.Latency.t option }
+  type key = {
+    k_size : int;
+    k_csum : bool;
+    k_latency : Pmem.Latency.t option;
+    k_sparse : bool option; (* None = Device.create's size-based default *)
+  }
 
   type t = {
     mutable slot : (key * entry) option;
@@ -153,8 +158,10 @@ module Pool = struct
   (* A ready-to-mount formatted device: template-blit on reuse, real mkfs
      only on first acquisition (or when the configuration changes, which
      also invalidates the content-hash-keyed memos). *)
-  let acquire p ~size ~csum ~latency =
-    let key = { k_size = size; k_csum = csum; k_latency = latency } in
+  let acquire p ~size ~csum ~latency ~sparse =
+    let key =
+      { k_size = size; k_csum = csum; k_latency = latency; k_sparse = sparse }
+    in
     match p.slot with
     | Some (k, e) when k = key ->
         let hash =
@@ -172,14 +179,14 @@ module Pool = struct
           Hashtbl.reset p.memo;
           Hashtbl.reset p.memo_media
         end;
-        let dev = Device.create ?latency ~size () in
+        let dev = Device.create ?latency ?sparse ~size () in
         Sq.Mount.mkfs ~csum dev;
         p.slot <-
           Some (key, { e_dev = dev; e_tmpl = Device.image_durable dev; e_hash = None });
         dev
 end
 
-let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
+let run ?(device_size = 256 * 1024) ?sparse ?(max_images_per_fence = 8)
     ?(media_images_per_fence = 4) ?(faults = Faults.none) ?latency
     ?(engine = H.Delta) ?pool ?trace ?metrics ops =
   let faulty = not (Faults.is_none faults) in
@@ -192,9 +199,9 @@ let run ?(device_size = 256 * 1024) ?(max_images_per_fence = 8)
   let opsa = Array.of_list ops in
   let dev =
     match pool with
-    | Some p -> Pool.acquire p ~size:device_size ~csum ~latency
+    | Some p -> Pool.acquire p ~size:device_size ~csum ~latency ~sparse
     | None ->
-        let dev = Device.create ?latency ~size:device_size () in
+        let dev = Device.create ?latency ?sparse ~size:device_size () in
         Sq.Mount.mkfs ~csum dev;
         dev
   in

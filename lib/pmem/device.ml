@@ -26,10 +26,20 @@ type rlock = {
 
 let rlock_create () = { rl_m = Mutex.create (); rl_owner = -1; rl_depth = 0 }
 
+(* Per-line content-hash state. Dense volumes keep the historical flat
+   array; sparse volumes keep only the lines whose hash differs from the
+   all-zero line's (absent entry = zero-line hash, computable in O(1) by
+   the FNV power identity below), so enabling hashing costs O(backed),
+   not O(volume). *)
+type hstate =
+  | H_off
+  | H_dense of int64 array
+  | H_sparse of (int, int64) Hashtbl.t
+
 type t = {
   size : int;
-  latest : Bytes.t;
-  durable : Bytes.t;
+  latest : Sbuf.t;
+  durable : Sbuf.t;
   lines : (int, line) Hashtbl.t; (* dirty lines only *)
   latency : Latency.t;
   stats : Stats.t;
@@ -39,8 +49,8 @@ type t = {
   mutable faults : Faults.State.t option;
   mutable ecc : int array; (* per-line CRC of durable content; [||] = off *)
   mutable gen : int; (* bumped whenever durable content changes *)
-  mutable line_hash : int64 array; (* per-line content hash; [||] = off *)
-  mutable base_hash : int64; (* xor of line_hash: hash of durable image *)
+  mutable hstate : hstate; (* per-line content hash; [H_off] = off *)
+  mutable base_hash : int64; (* xor of line hashes: hash of durable image *)
   mutable attached : scratch option; (* scratch kept in sync across fences *)
   mutable taint : (int, unit) Hashtbl.t option;
       (* line indexes mutated through this device; only on borrowed
@@ -58,17 +68,25 @@ type t = {
 
 and scratch = {
   s_dev : t;
-  s_buf : Bytes.t;
+  s_buf : Sbuf.t;
   mutable s_gen : int; (* device generation the buffer mirrors *)
   mutable s_patched : int list; (* line idxs patched by the current view *)
   mutable s_borrow : t option; (* outstanding [of_view] device, if any *)
 }
 
-let create ?(latency = Latency.zero) ~size () =
+(* Volumes above this threshold go sparse automatically; below it the
+   dense representation is kept so every historical observable (hashes,
+   traces, allocation walk) stays bit-identical. *)
+let sparse_threshold = 64 * 1024 * 1024
+
+let create ?(latency = Latency.zero) ?sparse ~size () =
+  let sparse =
+    match sparse with Some b -> b | None -> size > sparse_threshold
+  in
   {
     size;
-    latest = Bytes.make size '\000';
-    durable = Bytes.make size '\000';
+    latest = Sbuf.create ~sparse ~size;
+    durable = Sbuf.create ~sparse ~size;
     lines = Hashtbl.create 256;
     latency;
     stats = Stats.create ();
@@ -78,7 +96,7 @@ let create ?(latency = Latency.zero) ~size () =
     faults = None;
     ecc = [||];
     gen = 0;
-    line_hash = [||];
+    hstate = H_off;
     base_hash = 0L;
     attached = None;
     taint = None;
@@ -89,10 +107,21 @@ let create ?(latency = Latency.zero) ~size () =
   }
 
 let of_image ?(latency = Latency.zero) image =
+  (* same size policy as [create]: large images go sparse, so loading a
+     multi-GB volume file backs only its nonzero chunks *)
+  let size = Bytes.length image in
+  let load () =
+    if size > sparse_threshold then begin
+      let b = Sbuf.create ~sparse:true ~size in
+      Sbuf.load_bytes b image;
+      b
+    end
+    else Sbuf.of_bytes (Bytes.copy image)
+  in
   {
-    size = Bytes.length image;
-    latest = Bytes.copy image;
-    durable = Bytes.copy image;
+    size;
+    latest = load ();
+    durable = load ();
     lines = Hashtbl.create 256;
     latency;
     stats = Stats.create ();
@@ -102,7 +131,42 @@ let of_image ?(latency = Latency.zero) image =
     faults = None;
     ecc = [||];
     gen = 0;
-    line_hash = [||];
+    hstate = H_off;
+    base_hash = 0L;
+    attached = None;
+    taint = None;
+    tracer = None;
+    metrics = None;
+    rl = rlock_create ();
+    shared = false;
+  }
+
+(* Quiescent device from [(off, payload)] spans over an otherwise-zero
+   volume. Content-equivalent to [of_image] on the expanded image, but
+   no dense intermediate is ever materialized — loading a multi-GB
+   host-sparse volume file costs only its nonzero spans. Callers should
+   omit all-zero spans; including one merely backs chunks needlessly. *)
+let of_spans ?(latency = Latency.zero) ~size spans =
+  let sparse = size > sparse_threshold in
+  let load () =
+    let b = Sbuf.create ~sparse ~size in
+    List.iter (fun (off, s) -> Sbuf.blit_string s b off) spans;
+    b
+  in
+  {
+    size;
+    latest = load ();
+    durable = load ();
+    lines = Hashtbl.create 256;
+    latency;
+    stats = Stats.create ();
+    now_ns = 0;
+    fence_hook = None;
+    in_fence = false;
+    faults = None;
+    ecc = [||];
+    gen = 0;
+    hstate = H_off;
     base_hash = 0L;
     attached = None;
     taint = None;
@@ -117,6 +181,25 @@ let stats t = t.stats
 let now_ns t = t.now_ns
 let charge t ns = t.now_ns <- t.now_ns + ns
 let set_fence_hook t hook = t.fence_hook <- hook
+let is_sparse t = Sbuf.is_sparse t.latest
+
+let resident_bytes t =
+  Sbuf.resident_bytes t.latest + Sbuf.resident_bytes t.durable
+
+(* Merged ascending byte spans ever touched through either image. An
+   offset outside every span is durably zero AND has no in-flight
+   stores — scans (mount, fsck) may skip it wholesale. *)
+let backed_spans t =
+  let spans =
+    List.sort compare (Sbuf.backed_spans t.latest @ Sbuf.backed_spans t.durable)
+  in
+  let rec merge = function
+    | (o1, l1) :: (o2, l2) :: rest when o2 <= o1 + l1 ->
+        merge ((o1, max l1 (o2 + l2 - o1)) :: rest)
+    | s :: rest -> s :: merge rest
+    | [] -> []
+  in
+  merge spans
 
 (* {1 Observability}
 
@@ -184,23 +267,103 @@ let fnv_int h v =
 let hash_line_content idx b =
   fnv_bytes (fnv_int fnv_offset idx) b ~off:0 ~len:(Bytes.length b)
 
+(* Hashing a zero byte multiplies the accumulator by the FNV prime
+   ((h xor 0) * p = h * p), so an all-zero line's digest is the salted
+   seed times p^len — O(1) per line via this power table. That identity
+   is what lets a sparse volume's hash state skip unbacked lines. *)
+let pow_prime =
+  let a = Array.make (line_size + 1) 1L in
+  for i = 1 to line_size do
+    a.(i) <- Int64.mul a.(i - 1) fnv_prime
+  done;
+  a
+
+let zero_line_hash idx len = Int64.mul (fnv_int fnv_offset idx) pow_prime.(len)
+
+(* Base hash of an all-zero volume of a given size, memoized per size
+   (pooled fuzz devices share a handful of sizes across domains). *)
+let zero_base_memo : (int, int64) Hashtbl.t = Hashtbl.create 4
+let zero_base_mu = Mutex.create ()
+
+let zero_base ~size =
+  Mutex.lock zero_base_mu;
+  let r =
+    match Hashtbl.find_opt zero_base_memo size with
+    | Some h -> h
+    | None ->
+        let n = (size + line_size - 1) / line_size in
+        let h = ref 0L in
+        for idx = 0 to n - 1 do
+          let len = min line_size (size - (idx * line_size)) in
+          h := Int64.logxor !h (zero_line_hash idx len)
+        done;
+        Hashtbl.replace zero_base_memo size !h;
+        !h
+  in
+  Mutex.unlock zero_base_mu;
+  r
+
 let hash_line_of t buf idx =
   let off, len = line_span t idx in
-  fnv_bytes (fnv_int fnv_offset idx) buf ~off ~len
+  match Sbuf.line_view buf ~off ~len with
+  | None -> zero_line_hash idx len
+  | Some (b, boff) -> fnv_bytes (fnv_int fnv_offset idx) b ~off:boff ~len
+
+let line_hash_get t idx =
+  match t.hstate with
+  | H_off -> 0L
+  | H_dense a -> a.(idx)
+  | H_sparse tbl -> (
+      match Hashtbl.find_opt tbl idx with
+      | Some h -> h
+      | None ->
+          let _, len = line_span t idx in
+          zero_line_hash idx len)
 
 let enable_content_hash t =
-  if Array.length t.line_hash = 0 then begin
-    t.line_hash <- Array.init (line_count t) (hash_line_of t t.durable);
-    t.base_hash <- Array.fold_left Int64.logxor 0L t.line_hash
-  end
+  match t.hstate with
+  | H_dense _ | H_sparse _ -> ()
+  | H_off ->
+      if not (Sbuf.is_sparse t.durable) then begin
+        let lh = Array.init (line_count t) (hash_line_of t t.durable) in
+        t.hstate <- H_dense lh;
+        t.base_hash <- Array.fold_left Int64.logxor 0L lh
+      end
+      else begin
+        let tbl = Hashtbl.create 1024 in
+        let base = ref (zero_base ~size:t.size) in
+        List.iter
+          (fun (off, len) ->
+            let first = off / line_size
+            and last = (off + len - 1) / line_size in
+            for idx = first to last do
+              let h = hash_line_of t t.durable idx in
+              let _, llen = line_span t idx in
+              let z = zero_line_hash idx llen in
+              if not (Int64.equal h z) then begin
+                Hashtbl.replace tbl idx h;
+                base := Int64.logxor !base (Int64.logxor z h)
+              end
+            done)
+          (Sbuf.backed_spans t.durable);
+        t.hstate <- H_sparse tbl;
+        t.base_hash <- !base
+      end
 
 let refresh_line_hash t idx =
-  if Array.length t.line_hash > 0 then begin
-    let h = hash_line_of t t.durable idx in
-    t.base_hash <-
-      Int64.logxor t.base_hash (Int64.logxor t.line_hash.(idx) h);
-    t.line_hash.(idx) <- h
-  end
+  match t.hstate with
+  | H_off -> ()
+  | H_dense a ->
+      let h = hash_line_of t t.durable idx in
+      t.base_hash <- Int64.logxor t.base_hash (Int64.logxor a.(idx) h);
+      a.(idx) <- h
+  | H_sparse tbl ->
+      let old = line_hash_get t idx in
+      let h = hash_line_of t t.durable idx in
+      t.base_hash <- Int64.logxor t.base_hash (Int64.logxor old h);
+      let _, len = line_span t idx in
+      if Int64.equal h (zero_line_hash idx len) then Hashtbl.remove tbl idx
+      else Hashtbl.replace tbl idx h
 
 let durable_hash t =
   enable_content_hash t;
@@ -214,9 +377,13 @@ let durable_hash t =
    existing results stay bit-identical. [flip_bit] deliberately skips
    the ECC update — that is what lets [scrub] detect rot. *)
 
+let zero_line_bytes = Bytes.make line_size '\000'
+
 let ecc_of_line t idx =
   let off, len = line_span t idx in
-  Faults.Crc32.digest_bytes t.durable ~off ~len
+  match Sbuf.line_view t.durable ~off ~len with
+  | Some (b, boff) -> Faults.Crc32.digest_bytes b ~off:boff ~len
+  | None -> Faults.Crc32.digest_bytes zero_line_bytes ~off:0 ~len
 
 let set_fault_plan t plan =
   if Faults.Plan.is_none plan then begin
@@ -243,7 +410,9 @@ let flip_bit t ~off ~bit =
   if bit < 0 || bit > 7 then invalid_arg "Pmem.Device.flip_bit: bad bit";
   emit t (Obs.Event.Flip { off; bit });
   let mask = 1 lsl bit in
-  let flip buf = Bytes.set buf off (Char.chr (Char.code (Bytes.get buf off) lxor mask)) in
+  let flip buf =
+    Sbuf.set buf off (Char.chr (Char.code (Sbuf.get buf off) lxor mask))
+  in
   flip t.durable;
   flip t.latest;
   t.gen <- t.gen + 1;
@@ -314,7 +483,7 @@ let read t ~off ~len =
   t.stats.bytes_read <- t.stats.bytes_read + len;
   if lines > 0 then
     charge t (t.latency.read_base_ns + (lines * t.latency.read_line_ns));
-  Bytes.sub t.latest off len
+  Sbuf.sub t.latest ~off ~len
 
 (* Metadata read path used by the checksum layer: same cost and
    accounting model as a successful [read], but transient read faults are
@@ -329,39 +498,39 @@ let read_meta t ~off ~len =
   t.stats.bytes_read <- t.stats.bytes_read + len;
   if lines > 0 then
     charge t (t.latency.read_base_ns + (lines * t.latency.read_line_ns));
-  Bytes.sub t.latest off len
+  Sbuf.sub t.latest ~off ~len
 
 let read_u64 t off =
   check_range t off 8;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.bytes_read <- t.stats.bytes_read + 8;
   charge t t.latency.read_meta_ns;
-  Int64.to_int (Bytes.get_int64_le t.latest off)
+  Int64.to_int (Sbuf.get_int64_le t.latest off)
 
 let read_u32 t off =
   check_range t off 4;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.bytes_read <- t.stats.bytes_read + 4;
   charge t t.latency.read_meta_ns;
-  Int32.to_int (Bytes.get_int32_le t.latest off) land 0xFFFFFFFF
+  Int32.to_int (Sbuf.get_int32_le t.latest off) land 0xFFFFFFFF
 
 let read_byte t off =
   check_range t off 1;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.bytes_read <- t.stats.bytes_read + 1;
   charge t t.latency.read_meta_ns;
-  Char.code (Bytes.get t.latest off)
+  Char.code (Sbuf.get t.latest off)
 
 (* Observability peeks at the *durable* image: free of charge (no stats,
    no simulated latency, no fault injection), so a tracer can snapshot
    pre-existing durable state without perturbing the run it observes. *)
 let peek t ~off ~len =
   check_range t off len;
-  Bytes.sub t.durable off len
+  Sbuf.sub t.durable ~off ~len
 
 let peek_u64 t off =
   check_range t off 8;
-  Int64.to_int (Bytes.get_int64_le t.durable off)
+  Int64.to_int (Sbuf.get_int64_le t.durable off)
 
 (* {1 Stores} *)
 
@@ -374,7 +543,7 @@ let get_line t idx =
       l
 
 let add_record t ~cost_ns off data =
-  Bytes.blit_string data 0 t.latest off (String.length data);
+  Sbuf.blit_string data t.latest off;
   let l = get_line t (off / line_size) in
   l.pending <- { off; data } :: l.pending;
   taint_line t (off / line_size);
@@ -406,14 +575,25 @@ let flush t ~off ~len =
     emit t (Obs.Event.Flush { off; len });
     count t "pm.flushes";
     let first = off / line_size and last = (off + len - 1) / line_size in
-    for idx = first to last do
-      match Hashtbl.find_opt t.lines idx with
-      | None -> ()
-      | Some l ->
-          l.flushed <- List.length l.pending;
-          t.stats.flushes <- t.stats.flushes + 1;
-          charge t t.latency.flush_ns
-    done
+    let mark l =
+      l.flushed <- List.length l.pending;
+      t.stats.flushes <- t.stats.flushes + 1;
+      charge t t.latency.flush_ns
+    in
+    (* For huge ranges over a mostly-clean table (large truncate/mkfs
+       zeroing), walk the dirty-line table instead of every index in the
+       range; per-line effects are independent and commutative, so the
+       two walks are observably identical. *)
+    if last - first + 1 > 4 * (Hashtbl.length t.lines + 1) then
+      Hashtbl.iter
+        (fun idx l -> if idx >= first && idx <= last then mark l)
+        t.lines
+    else
+      for idx = first to last do
+        match Hashtbl.find_opt t.lines idx with
+        | None -> ()
+        | Some l -> mark l
+      done
   end
 
 (* Bulk store with cache-line-sized records: used only for zeroing freshly
@@ -454,8 +634,46 @@ let store_u32 t off v =
 
 let store_byte t off v = store t ~off (String.make 1 (Char.chr (v land 0xFF)))
 
+(* Shared zero-content record payloads: [zero] below never materializes
+   the full range, only line-sized (or smaller) views of this string. *)
+let zeros_line = String.make line_size '\000'
+
+(* Zero a range. Equivalent to [store_coarse] of an all-zero string —
+   same records, stats, charges, events — but O(touched lines) in
+   transient memory instead of O(len) (the historical implementation
+   built a [String.make len] up front, a multi-MB spike for a large
+   truncate). On sparse volumes, chunks unbacked in both images are
+   provably zero with no in-flight stores, so their lines need no
+   records at all and the range skips them wholesale. *)
 let zero t ~off ~len =
-  if len > 0 then store_coarse t ~off (String.make len '\000')
+  check_range t off len;
+  if len > 0 then begin
+    (match t.tracer with
+    | None -> ()
+    | Some r ->
+        Obs.Recorder.emit r ~ts:t.now_ns
+          (Obs.Event.Store
+             { off; data = String.make len '\000'; nt = true; coarse = true }));
+    count t "pm.stores";
+    let stop = off + len in
+    let pos = ref off in
+    while !pos < stop do
+      let chunk_end =
+        min stop (((!pos / Sbuf.chunk_bytes) + 1) * Sbuf.chunk_bytes)
+      in
+      if Sbuf.chunk_unbacked t.latest !pos && Sbuf.chunk_unbacked t.durable !pos
+      then pos := chunk_end
+      else
+        while !pos < chunk_end do
+          let room = line_size - (!pos mod line_size) in
+          let c = min room (chunk_end - !pos) in
+          add_record t ~cost_ns:t.latency.nt_store_ns !pos
+            (if c = line_size then zeros_line else String.sub zeros_line 0 c);
+          pos := !pos + c
+        done
+    done;
+    flush t ~off ~len
+  end
 
 (* {1 Scratch maintenance}
 
@@ -472,7 +690,7 @@ let scratch_restore_lines s idxs =
   List.iter
     (fun idx ->
       let off, len = line_span t idx in
-      Bytes.blit t.durable off s.s_buf off len)
+      Sbuf.blit ~src:t.durable ~src_off:off ~dst:s.s_buf ~dst_off:off ~len)
     idxs
 
 (* Lines the current view patched plus lines a borrowed device stored
@@ -503,8 +721,7 @@ let scratch_forget s =
 
 (* {1 Fence} *)
 
-let apply_record durable { off; data } =
-  Bytes.blit_string data 0 durable off (String.length data)
+let apply_record durable { off; data } = Sbuf.blit_string data durable off
 
 let fence t =
   emit t Obs.Event.Fence;
@@ -566,8 +783,8 @@ let persist t ~off ~len =
 let is_quiescent t = Hashtbl.length t.lines = 0
 let pending_line_count t = Hashtbl.length t.lines
 
-let image_durable t = Bytes.copy t.durable
-let image_latest t = Bytes.copy t.latest
+let image_durable t = Sbuf.to_bytes t.durable
+let image_latest t = Sbuf.to_bytes t.latest
 
 (* Dirty lines with their pending records (oldest first), sorted by line
    index so enumeration — and therefore sampled-image RNG consumption —
@@ -617,9 +834,10 @@ let patched_line_contents t v =
   List.map
     (fun (idx, recs) ->
       let off, len = line_span t idx in
-      let b = Bytes.sub t.durable off len in
+      let b = Sbuf.sub t.durable ~off ~len in
       List.iter
-        (fun r -> Bytes.blit_string r.data 0 b (r.off - off) (String.length r.data))
+        (fun r ->
+          Bytes.blit_string r.data 0 b (r.off - off) (String.length r.data))
         recs;
       (idx, b))
     (group_by_line v.v_recs)
@@ -633,7 +851,7 @@ let view_local_hash t v =
   List.fold_left
     (fun h (idx, b) ->
       let off, len = line_span t idx in
-      if Bytes.equal b (Bytes.sub t.durable off len) then h
+      if Bytes.equal b (Sbuf.sub t.durable ~off ~len) then h
       else Int64.logxor h (hash_line_content idx b))
     0L (patched_line_contents t v)
 
@@ -647,8 +865,9 @@ let view_hash t v =
   List.fold_left
     (fun h (idx, b) ->
       let hc = hash_line_content idx b in
-      if Int64.equal hc t.line_hash.(idx) then h
-      else Int64.logxor h (Int64.logxor t.line_hash.(idx) hc))
+      let lh = line_hash_get t idx in
+      if Int64.equal hc lh then h
+      else Int64.logxor h (Int64.logxor lh hc))
     t.base_hash (patched_line_contents t v)
 
 let crash_views ?rng ?(max_images = 64) t =
@@ -704,7 +923,9 @@ let crash_views ?rng ?(max_images = 64) t =
     let budget = ref (16 * max_images) in
     while !n_out < max_images && !budget > 0 do
       decr budget;
-      add (build_view lines (List.map (fun c -> Random.State.int rng (c + 1)) counts))
+      add
+        (build_view lines
+           (List.map (fun c -> Random.State.int rng (c + 1)) counts))
     done;
     List.rev !out
   end
@@ -758,7 +979,14 @@ let crash_views_faulty ?(max_images = 16) t =
                               ignore
                                 (Faults.State.record st Faults.Trace.Torn_line
                                    ~off:r.off ~bit:0);
-                              [ { r with data = String.sub r.data 0 (String.length r.data / 2) } ]
+                              [
+                                {
+                                  r with
+                                  data =
+                                    String.sub r.data 0
+                                      (String.length r.data / 2);
+                                };
+                              ]
                           | _ -> []
                         in
                         go 0 recs
@@ -770,8 +998,10 @@ let crash_views_faulty ?(max_images = 16) t =
 (* {1 Materialized crash images (legacy wrappers)} *)
 
 let materialize t (v : view) =
-  let img = Bytes.copy t.durable in
-  List.iter (fun r -> Bytes.blit_string r.data 0 img r.off (String.length r.data)) v.v_recs;
+  let img = Sbuf.to_bytes t.durable in
+  List.iter
+    (fun r -> Bytes.blit_string r.data 0 img r.off (String.length r.data))
+    v.v_recs;
   img
 
 let crash_images ?rng ?max_images t =
@@ -788,7 +1018,7 @@ let scratch t =
   let s =
     {
       s_dev = t;
-      s_buf = Bytes.copy t.durable;
+      s_buf = Sbuf.copy t.durable;
       s_gen = t.gen;
       s_patched = [];
       s_borrow = None;
@@ -799,11 +1029,11 @@ let scratch t =
 
 let apply_view s (v : view) =
   let t = s.s_dev in
-  if s.s_gen <> t.gen || Bytes.length s.s_buf <> t.size then begin
+  if s.s_gen <> t.gen || Sbuf.length s.s_buf <> t.size then begin
     (* Out of sync (e.g. the base mutated via [flip_bit], or the scratch
        was detached): rebuild wholesale. *)
     scratch_forget s;
-    Bytes.blit t.durable 0 s.s_buf 0 t.size;
+    Sbuf.sync ~src:t.durable ~dst:s.s_buf;
     s.s_gen <- t.gen
   end
   else scratch_release s;
@@ -811,20 +1041,20 @@ let apply_view s (v : view) =
     (fun r ->
       let idx = r.off / line_size in
       if not (List.mem idx s.s_patched) then s.s_patched <- idx :: s.s_patched;
-      Bytes.blit_string r.data 0 s.s_buf r.off (String.length r.data))
+      Sbuf.blit_string r.data s.s_buf r.off)
     v.v_recs
 
 let revert_view s =
   if s.s_gen = s.s_dev.gen then scratch_release s else scratch_forget s
 
-let scratch_image s = Bytes.copy s.s_buf
+let scratch_image s = Sbuf.to_bytes s.s_buf
 
 let attached_scratch t = t.attached
 
 (* {1 Pooled reuse}
 
    [reset] rewinds a device to the state of a fresh [of_image image]
-   device without reallocating its buffers: the two full-device blits
+   device without reallocating its buffers: the two full-device reloads
    replace the allocation + zeroing of [create] and the simulated mkfs
    that produced [image] in the first place. Everything observable —
    stats, clock, pending stores, fault machinery, hooks — is restored to
@@ -847,8 +1077,8 @@ let image_hash_state image =
 let reset ?hash t ~image =
   if Bytes.length image <> t.size then
     invalid_arg "Pmem.Device.reset: image size mismatch";
-  Bytes.blit image 0 t.durable 0 t.size;
-  Bytes.blit image 0 t.latest 0 t.size;
+  Sbuf.load_bytes t.durable image;
+  Sbuf.load_bytes t.latest image;
   Hashtbl.reset t.lines;
   Stats.reset t.stats;
   t.now_ns <- 0;
@@ -864,18 +1094,20 @@ let reset ?hash t ~image =
   | Some (lh, base) ->
       if Array.length lh <> line_count t then
         invalid_arg "Pmem.Device.reset: hash state size mismatch";
-      if Array.length t.line_hash = 0 then t.line_hash <- Array.copy lh
-      else Array.blit lh 0 t.line_hash 0 (Array.length lh);
+      (match t.hstate with
+      | H_dense a when Array.length a = Array.length lh ->
+          Array.blit lh 0 a 0 (Array.length lh)
+      | H_dense _ | H_sparse _ | H_off -> t.hstate <- H_dense (Array.copy lh));
       t.base_hash <- base
   | None ->
-      t.line_hash <- [||];
+      t.hstate <- H_off;
       t.base_hash <- 0L);
   (* Keep the attached scratch (if any) mirroring the new base, so a
      pooled device's scratch survives resets without reallocation. *)
   match t.attached with
   | Some s ->
       scratch_forget s;
-      Bytes.blit t.durable 0 s.s_buf 0 t.size;
+      Sbuf.sync ~src:t.durable ~dst:s.s_buf;
       s.s_gen <- t.gen
   | None -> ()
 
@@ -900,7 +1132,7 @@ let of_view ?(latency = Latency.zero) s =
   | None -> ());
   let d =
     {
-      size = Bytes.length s.s_buf;
+      size = Sbuf.length s.s_buf;
       latest = s.s_buf;
       durable = s.s_buf;
       lines = Hashtbl.create 64;
@@ -912,7 +1144,7 @@ let of_view ?(latency = Latency.zero) s =
       faults = None;
       ecc = [||];
       gen = 0;
-      line_hash = [||];
+      hstate = H_off;
       base_hash = 0L;
       attached = None;
       taint = Some (Hashtbl.create 64);

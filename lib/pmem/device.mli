@@ -23,21 +23,57 @@
 
 type t
 
+val sparse_threshold : int
+(** Device size (bytes) above which {!create} defaults to sparse
+    backing — also the "large volume" threshold callers use to pick
+    scalable volatile structures (e.g. the indexed allocator). *)
+
 exception Media_error of { off : int; len : int }
 (** Raised by bulk {!read} when an active fault plan injects a transient
     read error. Callers are expected to retry and surface [EIO] if the
     error persists — never to let the exception escape a syscall. *)
 
-val create : ?latency:Latency.t -> size:int -> unit -> t
+val create : ?latency:Latency.t -> ?sparse:bool -> size:int -> unit -> t
 (** Fresh zeroed device of [size] bytes. Default latency is {!Latency.zero}
-    (functional-test profile); benchmarks pass {!Latency.optane}. *)
+    (functional-test profile); benchmarks pass {!Latency.optane}.
+
+    [sparse] selects the backing representation: dense (one [Bytes.t]
+    per image, the historical layout — every observable bit-identical)
+    or sparse (chunks backed on first touch; an untouched chunk is
+    durably zero by definition, and resident memory tracks touched
+    chunks rather than volume size). Defaults to sparse above 64 MiB —
+    multi-GB volumes become practical — and dense below it. *)
 
 val of_image : ?latency:Latency.t -> Bytes.t -> t
 (** Quiescent device whose durable and visible contents are [image]
     (crash-image remount path). The image is copied — twice; prefer the
-    zero-copy {!of_view} when probing many crash states. *)
+    zero-copy {!of_view} when probing many crash states. Images above
+    {!sparse_threshold} load into sparse backing (only nonzero chunks
+    are retained), like {!create}. *)
+
+val of_spans : ?latency:Latency.t -> size:int -> (int * string) list -> t
+(** Quiescent device from [(off, payload)] spans over an otherwise-zero
+    volume — content-equivalent to {!of_image} on the expanded image,
+    without ever materializing a dense copy. The streaming loader for
+    multi-GB host-sparse volume files; callers should omit all-zero
+    spans. *)
 
 val size : t -> int
+
+val is_sparse : t -> bool
+(** Whether the device uses sparse (lazily backed) storage. *)
+
+val backed_spans : t -> (int * int) list
+(** Merged ascending [(off, len)] byte spans ever touched through either
+    the visible or the durable image. Any offset outside every span is
+    durably zero with no in-flight stores, so scans (mount, fsck,
+    rebuild) may skip it wholesale. A dense device reports one span
+    covering the whole volume. *)
+
+val resident_bytes : t -> int
+(** Approximate resident payload of the device images: proportional to
+    touched chunks on a sparse device, twice the volume size on a dense
+    one. *)
 
 val set_shared : t -> bool -> unit
 (** Shared (multi-domain) mode, off by default. When on, every public

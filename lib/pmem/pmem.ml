@@ -2,4 +2,5 @@
 
 module Device = Device
 module Latency = Latency
+module Sbuf = Sbuf
 module Stats = Stats

@@ -1,0 +1,314 @@
+(* Chunked storage buffer backing the simulated device images.
+
+   Two representations behind one interface:
+
+   - [Dense]: a plain [Bytes.t], byte-for-byte what the device always
+     used. Small volumes stay on this path so every existing behaviour
+     (allocation pattern, hashing walk order, image round-trips) is
+     bit-identical.
+   - [Sparse]: a chunk table keyed by chunk index. A chunk is backed on
+     first store; an absent chunk reads as zeroes. Resident memory is
+     proportional to touched chunks, never to volume size — the property
+     that lets a simulated multi-GB device exist in a small heap.
+
+   Invariants the device layer relies on:
+   - [chunk_bytes] is a multiple of the device line size (64), so a
+     cache line never straddles two chunks ([line_view] can hand out a
+     zero-copy window into one chunk).
+   - Aliasing a [Sparse] value shares the chunk table: mutations through
+     either alias are visible to both, exactly like aliasing a
+     [Bytes.t] (the [of_view] borrowed-device trick depends on this).
+   - An unbacked chunk is definitionally all-zero. Backing a chunk with
+     zero content is allowed (it just wastes a little memory); dropping
+     a backed all-zero chunk is an optimization, never required. *)
+
+let chunk_bytes = 4096
+
+type t =
+  | Dense of Bytes.t
+  | Sparse of { size : int; chunks : (int, Bytes.t) Hashtbl.t }
+
+let create ~sparse ~size =
+  if sparse then Sparse { size; chunks = Hashtbl.create 64 }
+  else Dense (Bytes.make size '\000')
+
+let of_bytes b = Dense b
+let length = function Dense b -> Bytes.length b | Sparse { size; _ } -> size
+let is_sparse = function Dense _ -> false | Sparse _ -> true
+
+let check t off len =
+  let size = length t in
+  if off < 0 || len < 0 || off + len > size then
+    invalid_arg
+      (Printf.sprintf "Pmem.Sbuf: range [%d,%d) outside buffer of size %d" off
+         (off + len) size)
+
+(* Chunk holding byte [off], backing it on demand. *)
+let chunk_rw chunks off =
+  let ci = off / chunk_bytes in
+  match Hashtbl.find_opt chunks ci with
+  | Some c -> c
+  | None ->
+      let c = Bytes.make chunk_bytes '\000' in
+      Hashtbl.replace chunks ci c;
+      c
+
+let get t off =
+  check t off 1;
+  match t with
+  | Dense b -> Bytes.get b off
+  | Sparse { chunks; _ } -> (
+      match Hashtbl.find_opt chunks (off / chunk_bytes) with
+      | None -> '\000'
+      | Some c -> Bytes.get c (off mod chunk_bytes))
+
+let set t off v =
+  check t off 1;
+  match t with
+  | Dense b -> Bytes.set b off v
+  | Sparse { chunks; _ } ->
+      Bytes.set (chunk_rw chunks off) (off mod chunk_bytes) v
+
+(* Little-endian multi-byte reads. The aligned case (the only one the
+   device layer produces) sits inside one chunk because [chunk_bytes] is
+   a multiple of 8; the straddling case falls back to byte assembly. *)
+let get_int64_le t off =
+  check t off 8;
+  match t with
+  | Dense b -> Bytes.get_int64_le b off
+  | Sparse { chunks; _ } ->
+      let i = off mod chunk_bytes in
+      if i <= chunk_bytes - 8 then
+        match Hashtbl.find_opt chunks (off / chunk_bytes) with
+        | None -> 0L
+        | Some c -> Bytes.get_int64_le c i
+      else begin
+        let v = ref 0L in
+        for k = 7 downto 0 do
+          v :=
+            Int64.logor (Int64.shift_left !v 8)
+              (Int64.of_int (Char.code (get t (off + k))))
+        done;
+        !v
+      end
+
+let get_int32_le t off =
+  check t off 4;
+  match t with
+  | Dense b -> Bytes.get_int32_le b off
+  | Sparse { chunks; _ } ->
+      let i = off mod chunk_bytes in
+      if i <= chunk_bytes - 4 then
+        match Hashtbl.find_opt chunks (off / chunk_bytes) with
+        | None -> 0l
+        | Some c -> Bytes.get_int32_le c i
+      else begin
+        let v = ref 0l in
+        for k = 3 downto 0 do
+          v :=
+            Int32.logor (Int32.shift_left !v 8)
+              (Int32.of_int (Char.code (get t (off + k))))
+        done;
+        !v
+      end
+
+(* Copy out [len] bytes as fresh [Bytes.t], zero-filling unbacked gaps. *)
+let sub t ~off ~len =
+  check t off len;
+  match t with
+  | Dense b -> Bytes.sub b off len
+  | Sparse { chunks; _ } ->
+      let out = Bytes.make len '\000' in
+      let pos = ref off in
+      while !pos < off + len do
+        let ci = !pos / chunk_bytes in
+        let i = !pos mod chunk_bytes in
+        let n = min (chunk_bytes - i) (off + len - !pos) in
+        (match Hashtbl.find_opt chunks ci with
+        | Some c -> Bytes.blit c i out (!pos - off) n
+        | None -> ());
+        pos := !pos + n
+      done;
+      out
+
+let blit_string data t off =
+  let len = String.length data in
+  check t off len;
+  match t with
+  | Dense b -> Bytes.blit_string data 0 b off len
+  | Sparse { chunks; _ } ->
+      let pos = ref 0 in
+      while !pos < len do
+        let abs = off + !pos in
+        let i = abs mod chunk_bytes in
+        let n = min (chunk_bytes - i) (len - !pos) in
+        Bytes.blit_string data !pos (chunk_rw chunks abs) i n;
+        pos := !pos + n
+      done
+
+let blit_to_bytes t ~off dst ~dst_off ~len =
+  check t off len;
+  match t with
+  | Dense b -> Bytes.blit b off dst dst_off len
+  | Sparse { chunks; _ } ->
+      Bytes.fill dst dst_off len '\000';
+      let pos = ref off in
+      while !pos < off + len do
+        let ci = !pos / chunk_bytes in
+        let i = !pos mod chunk_bytes in
+        let n = min (chunk_bytes - i) (off + len - !pos) in
+        (match Hashtbl.find_opt chunks ci with
+        | Some c -> Bytes.blit c i dst (dst_off + (!pos - off)) n
+        | None -> ());
+        pos := !pos + n
+      done
+
+(* Buffer-to-buffer copy. Where [src] is unbacked the destination range
+   is zeroed (backing it only if it was already backed: writing zeroes
+   into an unbacked dst chunk would back it for nothing). *)
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  check src src_off len;
+  check dst dst_off len;
+  match (src, dst) with
+  | Dense sb, Dense db -> Bytes.blit sb src_off db dst_off len
+  | _ ->
+      let pos = ref 0 in
+      while !pos < len do
+        let s = src_off + !pos and d = dst_off + !pos in
+        (* step bounded by both chunk geometries *)
+        let n =
+          min
+            (min
+               (chunk_bytes - (s mod chunk_bytes))
+               (chunk_bytes - (d mod chunk_bytes)))
+            (len - !pos)
+        in
+        let src_backed =
+          match src with
+          | Dense _ -> true
+          | Sparse { chunks; _ } -> Hashtbl.mem chunks (s / chunk_bytes)
+        in
+        (match (src_backed, dst) with
+        | true, Dense db -> blit_to_bytes src ~off:s db ~dst_off:d ~len:n
+        | true, Sparse { chunks; _ } ->
+            let c = chunk_rw chunks d in
+            blit_to_bytes src ~off:s c ~dst_off:(d mod chunk_bytes) ~len:n
+        | false, Dense db -> Bytes.fill db d n '\000'
+        | false, Sparse { chunks; _ } -> (
+            match Hashtbl.find_opt chunks (d / chunk_bytes) with
+            | Some c -> Bytes.fill c (d mod chunk_bytes) n '\000'
+            | None -> ()));
+        pos := !pos + n
+      done
+
+(* Make [dst] content-equal to [src], in place: the chunk table object
+   survives (aliases stay valid). O(backed chunks), not O(size). *)
+let sync ~src ~dst =
+  if length src <> length dst then invalid_arg "Pmem.Sbuf.sync: size mismatch";
+  match (src, dst) with
+  | Dense sb, Dense db -> Bytes.blit sb 0 db 0 (Bytes.length sb)
+  | Sparse s, Sparse d ->
+      Hashtbl.reset d.chunks;
+      Hashtbl.iter (fun ci c -> Hashtbl.replace d.chunks ci (Bytes.copy c)) s.chunks
+  | _ -> blit ~src ~src_off:0 ~dst ~dst_off:0 ~len:(length src)
+
+(* Reload from a dense image (the [Device.reset] path): clear and re-back
+   only the chunks that carry nonzero content. *)
+let load_bytes t img =
+  if Bytes.length img <> length t then
+    invalid_arg "Pmem.Sbuf.load_bytes: size mismatch";
+  match t with
+  | Dense b -> Bytes.blit img 0 b 0 (Bytes.length img)
+  | Sparse { size; chunks } ->
+      Hashtbl.reset chunks;
+      let pos = ref 0 in
+      while !pos < size do
+        let n = min chunk_bytes (size - !pos) in
+        let nonzero = ref false in
+        (* word-wise scan: chunk starts are 8-aligned, so this reads the
+           image a machine word at a time and only falls back to bytes
+           for a short tail *)
+        (let stop = !pos + n in
+         let word_stop = !pos + (n land lnot 7) in
+         let i = ref !pos in
+         while (not !nonzero) && !i < word_stop do
+           if Bytes.get_int64_le img !i <> 0L then nonzero := true;
+           i := !i + 8
+         done;
+         if !nonzero then ()
+         else
+           while (not !nonzero) && !i < stop do
+             if Bytes.get img !i <> '\000' then nonzero := true;
+             incr i
+           done);
+        if !nonzero then begin
+          let c = Bytes.make chunk_bytes '\000' in
+          Bytes.blit img !pos c 0 n;
+          Hashtbl.replace chunks (!pos / chunk_bytes) c
+        end;
+        pos := !pos + n
+      done
+
+let copy = function
+  | Dense b -> Dense (Bytes.copy b)
+  | Sparse { size; chunks } ->
+      let c2 = Hashtbl.create (max 64 (Hashtbl.length chunks)) in
+      Hashtbl.iter (fun ci c -> Hashtbl.replace c2 ci (Bytes.copy c)) chunks;
+      Sparse { size; chunks = c2 }
+
+let to_bytes t =
+  match t with
+  | Dense b -> Bytes.copy b
+  | Sparse { size; _ } -> sub t ~off:0 ~len:size
+
+(* Zero-copy window over a range that cannot straddle chunks (device
+   cache lines, 64 B aligned). [None] = unbacked, i.e. provably zero. *)
+let line_view t ~off ~len =
+  check t off len;
+  match t with
+  | Dense b -> Some (b, off)
+  | Sparse { chunks; _ } ->
+      if off / chunk_bytes <> (off + len - 1) / chunk_bytes then
+        invalid_arg "Pmem.Sbuf.line_view: range straddles chunks";
+      (match Hashtbl.find_opt chunks (off / chunk_bytes) with
+      | None -> None
+      | Some c -> Some (c, off mod chunk_bytes))
+
+let chunk_unbacked t off =
+  match t with
+  | Dense _ -> false
+  | Sparse { chunks; _ } -> not (Hashtbl.mem chunks (off / chunk_bytes))
+
+let backed_chunk_set t =
+  match t with
+  | Dense _ -> None
+  | Sparse { chunks; _ } ->
+      Some (Hashtbl.fold (fun ci _ acc -> ci :: acc) chunks [])
+
+(* Merged ascending byte spans of backed content. Dense = everything. *)
+let backed_spans t =
+  match t with
+  | Dense b -> [ (0, Bytes.length b) ]
+  | Sparse { size; chunks } ->
+      let cis =
+        Hashtbl.fold (fun ci _ acc -> ci :: acc) chunks []
+        |> List.sort_uniq compare
+      in
+      let rec merge = function
+        | [] -> []
+        | ci :: rest ->
+            let rec run last = function
+              | x :: tl when x = last + 1 -> run x tl
+              | tl -> (last, tl)
+            in
+            let last, tl = run ci rest in
+            let off = ci * chunk_bytes in
+            let stop = min size ((last + 1) * chunk_bytes) in
+            (off, stop - off) :: merge tl
+      in
+      merge cis
+
+let resident_bytes t =
+  match t with
+  | Dense b -> Bytes.length b
+  | Sparse { chunks; _ } -> Hashtbl.length chunks * chunk_bytes

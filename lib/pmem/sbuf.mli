@@ -1,0 +1,78 @@
+(** Chunked storage buffer backing the simulated device images.
+
+    A value is either [Dense] (a plain [Bytes.t] — small volumes, kept
+    bit-identical to the historical representation) or sparse (a chunk
+    table; unbacked chunks read as zero, chunks are backed on first
+    store, resident memory tracks touched chunks rather than volume
+    size). Aliasing a sparse value shares the chunk table, like
+    aliasing a [Bytes.t]. *)
+
+type t
+
+val chunk_bytes : int
+(** Chunk granularity; a multiple of the 64-byte device line size, so a
+    cache line never straddles two chunks. *)
+
+val create : sparse:bool -> size:int -> t
+(** All-zero buffer. [sparse:false] allocates densely up front. *)
+
+val of_bytes : Bytes.t -> t
+(** Dense view over [b] — no copy; mutations are shared. *)
+
+val length : t -> int
+val is_sparse : t -> bool
+
+val get : t -> int -> char
+val set : t -> int -> char -> unit
+
+val get_int64_le : t -> int -> int64
+val get_int32_le : t -> int -> int32
+
+val sub : t -> off:int -> len:int -> Bytes.t
+(** Fresh dense copy of the range (unbacked gaps read as zero). *)
+
+val blit_string : string -> t -> int -> unit
+(** Store the whole string at the given offset, backing chunks as
+    needed. *)
+
+val blit_to_bytes : t -> off:int -> Bytes.t -> dst_off:int -> len:int -> unit
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Buffer-to-buffer copy; where [src] is unbacked the destination
+    range is zeroed (without backing fresh destination chunks). *)
+
+val sync : src:t -> dst:t -> unit
+(** Make [dst] content-equal to [src] in place (the chunk table object
+    survives, so aliases remain valid). O(backed chunks). *)
+
+val load_bytes : t -> Bytes.t -> unit
+(** Reload from a dense image of the same size; on a sparse buffer only
+    nonzero chunks are re-backed. *)
+
+val copy : t -> t
+(** Deep copy, preserving representation. *)
+
+val to_bytes : t -> Bytes.t
+(** Materialize as a fresh dense image — O(size). *)
+
+val line_view : t -> off:int -> len:int -> (Bytes.t * int) option
+(** Zero-copy window over a range that must not straddle chunks (device
+    cache lines). [Some (buf, off)] gives the backing bytes and the
+    range's offset within them; [None] means unbacked, i.e. the range
+    is provably all-zero. Dense buffers always return [Some]. *)
+
+val chunk_unbacked : t -> int -> bool
+(** Is the chunk containing this offset unbacked (provably zero)?
+    Always [false] on dense buffers. *)
+
+val backed_chunk_set : t -> int list option
+(** [None] on dense buffers (everything backed); otherwise the unsorted
+    backed chunk indices. *)
+
+val backed_spans : t -> (int * int) list
+(** Merged ascending [(off, len)] byte spans of backed content. Dense
+    buffers report one span covering the whole buffer. *)
+
+val resident_bytes : t -> int
+(** Approximate resident payload: full size when dense, backed chunks
+    times [chunk_bytes] when sparse. *)

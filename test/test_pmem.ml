@@ -3,6 +3,7 @@
 
 module Device = Pmem.Device
 module Latency = Pmem.Latency
+module Sbuf = Pmem.Sbuf
 
 let bytes_eq = Alcotest.testable (fun ppf b -> Fmt.string ppf (Bytes.to_string b |> String.escaped)) Bytes.equal
 
@@ -364,6 +365,147 @@ let test_reset_stats_pinned_and_observers_dropped () =
   Alcotest.(check bool) "stats equal after same workload" true
     (Device.stats pooled = Device.stats fresh)
 
+(* {1 Sparse backing}
+
+   A lazily-backed device must be observably identical to a dense one —
+   same reads, durable hashes, crash-state enumeration and stats for the
+   same store traffic — while backing only the chunks actually touched.
+   The one sanctioned divergence: [zero] over never-touched chunks emits
+   no line records at all on a sparse device (they are provably zero
+   durably with nothing in flight), so drain counters may come out lower
+   there; durable content still matches. *)
+
+let test_sparse_matches_dense () =
+  let ops dev =
+    Device.store dev ~off:100 "hello";
+    Device.persist dev ~off:100 ~len:5;
+    Device.store_u64 dev 8192 0xAB;
+    Device.store dev ~off:12300 "pending"
+  in
+  let sparse = Device.create ~sparse:true ~size:16384 () in
+  let dense = Device.create ~sparse:false ~size:16384 () in
+  Alcotest.(check (pair bool bool)) "representations as forced" (true, false)
+    (Device.is_sparse sparse, Device.is_sparse dense);
+  ops sparse;
+  ops dense;
+  Alcotest.(check string) "reads equal" (read_str dense 100 5)
+    (read_str sparse 100 5);
+  Alcotest.(check bool) "stats equal" true
+    (Device.stats sparse = Device.stats dense);
+  Alcotest.(check bool) "durable hash equal" true
+    (Device.durable_hash sparse = Device.durable_hash dense);
+  let imgs d = List.map Bytes.to_string (Device.crash_images d) in
+  Alcotest.(check (list string)) "same crash-state enumeration" (imgs dense)
+    (imgs sparse);
+  Alcotest.(check bytes_eq) "durable images equal"
+    (Device.image_durable dense)
+    (Device.image_durable sparse)
+
+let test_of_spans_matches_of_image () =
+  let size = 16384 in
+  let spans = [ (100, "hello"); (8192, "world") ] in
+  let img = Bytes.make size '\000' in
+  List.iter
+    (fun (off, s) -> Bytes.blit_string s 0 img off (String.length s))
+    spans;
+  let a = Device.of_spans ~size spans in
+  let b = Device.of_image img in
+  Alcotest.(check bytes_eq) "durable images equal" (Device.image_durable b)
+    (Device.image_durable a);
+  Alcotest.(check bool) "durable hash equal" true
+    (Device.durable_hash a = Device.durable_hash b);
+  Alcotest.(check bool) "quiescent" true (Device.is_quiescent a)
+
+let test_sparse_default_by_size () =
+  let small = Device.create ~size:4096 () in
+  Alcotest.(check bool) "small defaults dense" false (Device.is_sparse small);
+  let big = Device.create ~size:(Device.sparse_threshold + 4096) () in
+  Alcotest.(check bool) "above threshold defaults sparse" true
+    (Device.is_sparse big)
+
+let test_backed_spans () =
+  let dense = Device.create ~sparse:false ~size:16384 () in
+  Alcotest.(check (list (pair int int))) "dense: one full span" [ (0, 16384) ]
+    (Device.backed_spans dense);
+  let sparse = Device.create ~sparse:true ~size:16384 () in
+  Alcotest.(check (list (pair int int))) "untouched sparse: no spans" []
+    (Device.backed_spans sparse);
+  Device.store sparse ~off:5000 "x";
+  Alcotest.(check (list (pair int int))) "store backs its chunk"
+    [ (4096, 4096) ]
+    (Device.backed_spans sparse);
+  Device.store sparse ~off:0 "y";
+  Alcotest.(check (list (pair int int))) "adjacent chunks merge, ascending"
+    [ (0, 8192) ]
+    (Device.backed_spans sparse)
+
+let test_sparse_zero_untouched_is_free () =
+  let dev = Device.create ~sparse:true ~size:65536 () in
+  Device.zero dev ~off:0 ~len:65536;
+  (* no chunk was ever backed: the zero leaves nothing in flight and
+     allocates nothing *)
+  Alcotest.(check bool) "quiescent" true (Device.is_quiescent dev);
+  Alcotest.(check int) "nothing resident" 0 (Device.resident_bytes dev);
+  (* a touched chunk still gets its records: the zero must overwrite *)
+  Device.store dev ~off:128 "dirty";
+  Device.persist dev ~off:128 ~len:5;
+  Device.zero dev ~off:0 ~len:65536;
+  Device.fence dev;
+  Alcotest.(check string) "touched chunk really zeroed" "\000\000\000\000\000"
+    (Bytes.sub_string (Device.image_durable dev) 128 5)
+
+let test_sparse_resident_tracks_touch () =
+  let dev = Device.create ~sparse:true ~size:(1024 * 1024) () in
+  Alcotest.(check int) "fresh: zero resident" 0 (Device.resident_bytes dev);
+  Device.store dev ~off:0 "a";
+  Device.persist dev ~off:0 ~len:1;
+  let r1 = Device.resident_bytes dev in
+  Alcotest.(check bool) "one touched chunk resident" true
+    (r1 > 0 && r1 <= 4 * Sbuf.chunk_bytes);
+  Device.store dev ~off:(512 * 1024) "b";
+  Device.persist dev ~off:(512 * 1024) ~len:1;
+  let r2 = Device.resident_bytes dev in
+  Alcotest.(check bool) "residency grows with touch, not size" true
+    (r2 > r1 && r2 < 1024 * 1024 / 4)
+
+(* The pool contract extended to sparse backing: a sparse device dirtied
+   and template-reset must be indistinguishable from a fresh dense
+   [of_image] of the same template under the same subsequent ops. *)
+let test_sparse_reset_indistinguishable_from_fresh () =
+  let template =
+    let d = Device.create ~size:4096 () in
+    Device.store d ~off:0 "template";
+    Device.persist d ~off:0 ~len:8;
+    Device.image_durable d
+  in
+  let ops dev =
+    Device.store_u64 dev 128 0xAB;
+    Device.persist dev ~off:128 ~len:8;
+    Device.store dev ~off:256 "pending";
+    Device.store_u64 dev 320 0xCD
+  in
+  let pooled = Device.create ~latency:Latency.optane ~sparse:true ~size:4096 () in
+  Device.store pooled ~off:512 "garbage";
+  Device.persist pooled ~off:512 ~len:7;
+  Device.store pooled ~off:1024 "dangling";
+  Device.charge pooled 999;
+  let hash = Device.image_hash_state template in
+  Device.reset ~hash pooled ~image:template;
+  ops pooled;
+  let fresh = Device.of_image ~latency:Latency.optane template in
+  ops fresh;
+  Alcotest.(check bool) "still sparse after reset" true
+    (Device.is_sparse pooled);
+  Alcotest.(check bool) "stats equal" true
+    (Device.stats pooled = Device.stats fresh);
+  Alcotest.(check int) "clock equal" (Device.now_ns fresh)
+    (Device.now_ns pooled);
+  Alcotest.(check bool) "durable hash equal" true
+    (Device.durable_hash pooled = Device.durable_hash fresh);
+  let imgs d = List.map Bytes.to_string (Device.crash_images d) in
+  Alcotest.(check (list string)) "same crash-state enumeration" (imgs fresh)
+    (imgs pooled)
+
 (* Property tests *)
 
 let prop_persist_all_makes_durable =
@@ -404,6 +546,23 @@ let prop_crash_images_bounded_by_latest_and_durable =
           done;
           !ok)
         images)
+
+let prop_sparse_dense_equivalent =
+  QCheck.Test.make ~count:100
+    ~name:"sparse and dense devices agree under random store traffic"
+    QCheck.(list (pair (int_bound 2000) (string_of_size Gen.(1 -- 16))))
+    (fun ops ->
+      let run sparse =
+        let dev = Device.create ~sparse ~size:16384 () in
+        List.iter
+          (fun (off, data) ->
+            let off = off mod (16384 - 16) in
+            Device.store dev ~off data)
+          ops;
+        Device.persist dev ~off:0 ~len:16384;
+        (Device.image_durable dev, Device.durable_hash dev, Device.stats dev)
+      in
+      run true = run false)
 
 let prop_store_read_roundtrip =
   QCheck.Test.make ~count:200 ~name:"store/read roundtrip"
@@ -448,6 +607,19 @@ let unit_tests =
     ( "reset stats pinned, observers dropped",
       `Quick,
       test_reset_stats_pinned_and_observers_dropped );
+    ("sparse matches dense", `Quick, test_sparse_matches_dense);
+    ("of_spans matches of_image", `Quick, test_of_spans_matches_of_image);
+    ("sparse default by size", `Quick, test_sparse_default_by_size);
+    ("backed spans", `Quick, test_backed_spans);
+    ( "sparse zero of untouched space is free",
+      `Quick,
+      test_sparse_zero_untouched_is_free );
+    ( "sparse residency tracks touch",
+      `Quick,
+      test_sparse_resident_tracks_touch );
+    ( "sparse reset indistinguishable from fresh",
+      `Quick,
+      test_sparse_reset_indistinguishable_from_fresh );
   ]
 
 let prop_tests =
@@ -455,6 +627,7 @@ let prop_tests =
     [
       prop_persist_all_makes_durable;
       prop_crash_images_bounded_by_latest_and_durable;
+      prop_sparse_dense_equivalent;
       prop_store_read_roundtrip;
     ]
 
