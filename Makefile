@@ -1,4 +1,4 @@
-.PHONY: all build check test faultcheck-smoke fuzz-smoke serve-smoke enum-smoke datapath-smoke largevol-smoke crashcheck bench bench-json bench-json-quick serve-json serve-json-quick clean
+.PHONY: all build check test faultcheck-smoke fuzz-smoke serve-smoke enum-smoke datapath-smoke largevol-smoke snap-smoke crashcheck bench bench-json bench-json-quick serve-json serve-json-quick clean
 
 all: build
 
@@ -12,6 +12,7 @@ check:
 	$(MAKE) datapath-smoke
 	$(MAKE) largevol-smoke
 	$(MAKE) bench-json-quick
+	$(MAKE) snap-smoke
 	$(MAKE) serve-json-quick
 
 build:
@@ -80,6 +81,19 @@ largevol-smoke: build
 	  --buggy-rate 0 --sparse
 	@echo "== fuzz --enum --sparse =="
 	dune exec bin/fuzz.exe -- --enum --sparse
+
+# Snapshot smoke: three clean snapshot/rollback workloads crash-checked
+# through the full delta-view probe (every enumerated image must pass
+# both the crash oracle and the SSU trace checker), the torn-commit
+# snapshot mutant flagged by both checkers, then the snapshot latency
+# gauges written into BENCH_fuzz.json — exit 2 if snapshot creation on
+# the 4 GiB sparse volume exceeds 10 ms or scales with volume size
+# instead of the dirty set, or if the scrubber misreads an intact pin.
+snap-smoke: build
+	@echo "== fuzz --snap-smoke =="
+	dune exec bin/fuzz.exe -- --snap-smoke
+	@echo "== bench snap-json (snapshot latency gates) =="
+	dune exec bench/main.exe -- snap-json
 
 # Fast end-to-end exercise of the media-fault pipeline: checksummed
 # volume, seeded bit flips, scrub, degraded remount, EIO checks.

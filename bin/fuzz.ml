@@ -175,12 +175,77 @@ let enum_cmd jobs images device_kib sparse no_shrink depth coverage_out
   end;
   exit (if !ok then 0 else 2)
 
+(* --snap-smoke: deterministic snapshot-path acceptance. Leg 1 drives
+   fixed snapshot/rollback sequences through the differential executor
+   with an exhaustive per-fence image budget, so EVERY fence-point crash
+   view during snapshot creation and rollback is probed: each must
+   recover to the old table or the fully CRC-sealed new entry — a
+   committed-but-torn entry is a raw-fsck violation the oracle reports.
+   Leg 2 replays the mis-ordered creation mutant and requires BOTH the
+   crash oracle and the SSU trace checker to flag it. *)
+let snap_smoke_cmd () =
+  let module W = Crashcheck.Workload in
+  let ok = ref true in
+  let smoke name ops =
+    let out, events =
+      traced_run ~device_kib:256 ~images:128 ~optane:false
+        ~engine:Crashcheck.Harness.Delta ops
+    in
+    let ssu = Obs.Ssu.check events in
+    (match out.Fuzzer.Exec.o_fail with
+    | Some (_, d) ->
+        ok := false;
+        Printf.printf "snap-smoke %s: oracle FAIL: %s\n" name d
+    | None -> ());
+    (match ssu with
+    | Error v ->
+        ok := false;
+        Format.printf "snap-smoke %s: trace-checker FAIL: %a@." name
+          Obs.Ssu.pp_violation v
+    | Ok () -> ());
+    if out.Fuzzer.Exec.o_fail = None && ssu = Ok () then
+      Printf.printf "snap-smoke %s: clean (%d crash states probed)\n" name
+        out.Fuzzer.Exec.o_report.Crashcheck.Harness.crash_states
+  in
+  smoke "create"
+    (Fuzzer.Gen.setup @ W.[ Snapshot "s0"; Write ("/a", 0, "after"); Snapshot "s1" ]);
+  smoke "rollback"
+    (Fuzzer.Gen.setup
+    @ W.[
+        Snapshot "s0";
+        Write ("/a", 0, String.make 200 'x');
+        Unlink "/d/f";
+        Rollback "s0";
+      ]);
+  smoke "stacked"
+    (Fuzzer.Gen.setup
+    @ W.[
+        Snapshot "s0";
+        Rename ("/a", "/e/a");
+        Snapshot "s1";
+        Rollback "s1";
+        Rollback "s0";
+      ]);
+  let mutant = Fuzzer.Gen.setup @ [ W.Buggy_snap "torn-snapshot-commit-ordering" ] in
+  let out, events =
+    traced_run ~device_kib:256 ~images:128 ~optane:false
+      ~engine:Crashcheck.Harness.Delta mutant
+  in
+  let o = out.Fuzzer.Exec.o_fail <> None in
+  let s = match Obs.Ssu.check events with Error _ -> true | Ok () -> false in
+  if not (o && s) then ok := false;
+  Printf.printf "snap-smoke buggy-snap: oracle=%s trace-checker=%s\n"
+    (if o then "flagged" else "MISSED")
+    (if s then "flagged" else "MISSED");
+  exit (if !ok then 0 else 2)
+
 let run seed iters op_budget images buggy_rate device_kib sparse_flag torn stuck
     optane no_shrink
     jobs engine replay expect_buggy trace metrics interleaved pairs max_inter enum depth
-    coverage_out =
+    coverage_out snap_smoke =
   let engine = engine_of engine in
   let sparse = if sparse_flag then Some true else None in
+  if snap_smoke then snap_smoke_cmd ();
   if enum then
     enum_cmd jobs images device_kib sparse no_shrink depth coverage_out
       expect_buggy;
@@ -445,6 +510,17 @@ let () =
       & info [ "coverage-out" ] ~docv:"FILE"
           ~doc:"Write the enumeration coverage record as JSON to FILE (with --enum)")
   in
+  let snap_smoke =
+    Arg.(
+      value & flag
+      & info [ "snap-smoke" ]
+          ~doc:
+            "Deterministic snapshot-path smoke: probe every fence-point \
+             crash view of fixed snapshot/rollback sequences with an \
+             exhaustive image budget (old table or sealed new entry, never \
+             torn), then require the mis-ordered creation mutant to be \
+             flagged by both the crash oracle and the SSU trace checker")
+  in
   exit
     (Cmd.eval
        (Cmd.v
@@ -453,4 +529,4 @@ let () =
             const run $ seed $ iters $ op_budget $ images $ buggy_rate $ device_kib
             $ sparse $ torn $ stuck $ optane $ no_shrink $ jobs $ engine $ replay $ expect_buggy
             $ trace $ metrics $ interleaved $ pairs $ max_inter $ enum $ depth
-            $ coverage_out)))
+            $ coverage_out $ snap_smoke)))

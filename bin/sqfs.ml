@@ -12,7 +12,11 @@
      sqfs mkdir img /path       sqfs create img /path
      sqfs write img /path data  sqfs cat img /path
      sqfs rm img /path          sqfs rmdir img /path
-     sqfs mv img /src /dst      sqfs ln img /target /link   *)
+     sqfs mv img /src /dst      sqfs ln img /target /link
+     sqfs snapshot img NAME     sqfs snapshots img
+     sqfs rollback img NAME     sqfs snap-rm img NAME
+     sqfs clone img NAME out    sqfs diff img A B
+     sqfs scrub img   *)
 
 open Cmdliner
 module Device = Pmem.Device
@@ -98,6 +102,108 @@ let save_image img dev =
   else output_bytes oc (Device.image_durable dev);
   close_out oc
 
+(* {2 Snapshot sidecars}
+
+   The on-volume table survives across invocations, but a snapshot's
+   pin (its retained delta view) is process-volatile. sqfs persists
+   each pin's delta in a host sidecar file [IMG.NAME.snap]: at mount it
+   re-adopts every sidecar whose evidence still validates
+   ([Snap.adopt] checks the slot id and the capture hash), and at exit
+   it rewrites the sidecars from the now-current deltas — the image
+   file and its sidecars always advance together, so the deltas stay
+   exact however many commands mutate the volume in between. A sidecar
+   that fails validation (edited image, stale copy) is reported and
+   skipped: its snapshot keeps its table entry but degrades to
+   unpinned, exactly like a pin lost to a crash. *)
+
+let snap_magic = "SQSNAP1\n"
+let sidecar_path img name = img ^ "." ^ name ^ ".snap"
+
+let save_sidecar img name ~id ~hash ~saved =
+  let oc = open_out_bin (sidecar_path img name) in
+  output_string oc snap_magic;
+  Printf.fprintf oc "%d %Lx %d\n" id hash (List.length saved);
+  let b = Bytes.create 8 in
+  List.iter
+    (fun (idx, line) ->
+      Bytes.set_int64_le b 0 (Int64.of_int idx);
+      output_bytes oc b;
+      output_bytes oc line)
+    saved;
+  close_out oc
+
+let load_sidecar img name =
+  let file = sidecar_path img name in
+  if not (Sys.file_exists file) then None
+  else
+    let ic = open_in_bin file in
+    let fin r = close_in ic; r in
+    try
+      let m = really_input_string ic (String.length snap_magic) in
+      if m <> snap_magic then fin None
+      else
+        let id, hash, count =
+          Scanf.sscanf (input_line ic) "%d %Lx %d" (fun a b c -> (a, b, c))
+        in
+        let saved =
+          List.init count (fun _ ->
+              let b = Bytes.create 8 in
+              really_input ic b 0 8;
+              let idx = Int64.to_int (Bytes.get_int64_le b 0) in
+              let line = Bytes.create Device.line_size in
+              really_input ic line 0 Device.line_size;
+              (idx, line))
+        in
+        fin (Some (id, hash, saved))
+    with _ -> fin None
+
+let adopt_sidecars img fs =
+  List.iter
+    (fun (s : Layout.Snaptab.Slot.t) ->
+      match load_sidecar img s.Layout.Snaptab.Slot.name with
+      | None -> ()
+      | Some (id, hash, saved) -> (
+          match Snap.adopt fs s.Layout.Snaptab.Slot.name ~id ~hash ~saved with
+          | Ok () -> ()
+          | Error e ->
+              Printf.eprintf "snapshot %s: sidecar rejected (%s); unpinned\n"
+                s.Layout.Snaptab.Slot.name (Vfs.Errno.to_string e)))
+    (Layout.Snaptab.list (fs.Squirrelfs.Fsctx.dev))
+
+let sync_sidecars img fs =
+  let dev = fs.Squirrelfs.Fsctx.dev in
+  let table = Layout.Snaptab.list dev in
+  List.iter
+    (fun (i : Snap.info) ->
+      match Snap.pin_delta fs i.Snap.i_name with
+      | Some (hash, saved) ->
+          save_sidecar img i.Snap.i_name ~id:i.Snap.i_id ~hash ~saved
+      | None -> ())
+    (Snap.list fs);
+  (* reap sidecars whose snapshot left the table (deleted, or dropped
+     by a rollback to an older capture) *)
+  Array.iter
+    (fun f ->
+      let dir = Filename.dirname img and base = Filename.basename img in
+      if
+        String.length f > String.length base + 6
+        && String.sub f 0 (String.length base + 1) = base ^ "."
+        && Filename.check_suffix f ".snap"
+      then
+        let name =
+          String.sub f
+            (String.length base + 1)
+            (String.length f - String.length base - 6)
+        in
+        if
+          not
+            (List.exists
+               (fun (s : Layout.Snaptab.Slot.t) ->
+                 s.Layout.Snaptab.Slot.name = name)
+               table)
+        then Sys.remove (Filename.concat dir f))
+    (Sys.readdir (Filename.dirname img))
+
 (* [trace]: record the command's persist stream (preceded by a durable-state
    snapshot preamble) and write chrome://tracing JSON when done. The
    recorder stays attached through unmount so its stores are captured too. *)
@@ -110,6 +216,7 @@ let with_fs ?trace img f =
   | Ok fs ->
       let rec_ = Option.map (fun _ -> Obs.Recorder.create ()) trace in
       (match rec_ with Some r -> Squirrelfs.Tracing.attach fs r | None -> ());
+      adopt_sidecars img fs;
       let r = f dev fs in
       Squirrelfs.unmount fs;
       (match (trace, rec_) with
@@ -120,6 +227,7 @@ let with_fs ?trace img f =
           Printf.eprintf "trace: %d events -> %s (chrome://tracing)\n"
             (List.length events) file
       | _ -> ());
+      sync_sidecars img fs;
       save_image img dev;
       r
 
@@ -290,6 +398,125 @@ let cmd_ln =
   Cmd.v (Cmd.info "ln" ~doc:"Hard link")
     Term.(const run $ img $ path 1 $ path 2 $ trace_arg)
 
+(* {2 Snapshots} *)
+
+let name_arg n = Arg.(required & pos n (some string) None & info [] ~docv:"NAME")
+
+let cmd_snapshot =
+  let run img name trace =
+    with_fs ?trace img (fun _dev fs ->
+        let i = or_die name (Snap.snapshot fs name) in
+        Printf.printf "snapshot %s: id %d slot %d (%d delta lines pinned)\n"
+          name i.Snap.i_id i.Snap.i_slot
+          (match Snap.pin_delta fs name with
+          | Some (_, saved) -> List.length saved
+          | None -> 0))
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Take a named crash-consistent snapshot (quiesce, capture the \
+          delta view, seal a CRC-checked table entry; the pin persists \
+          in a IMAGE.NAME.snap sidecar)")
+    Term.(const run $ img $ name_arg 1 $ trace_arg)
+
+let cmd_snapshots =
+  let run img trace =
+    with_fs ?trace img (fun _dev fs ->
+        match Snap.list fs with
+        | [] -> print_endline "no snapshots"
+        | l ->
+            List.iter
+              (fun (i : Snap.info) ->
+                Printf.printf "%-24s id %-4d slot %-3d epoch %-6d %s\n"
+                  i.Snap.i_name i.Snap.i_id i.Snap.i_slot i.Snap.i_epoch
+                  (if i.Snap.i_quarantined then "QUARANTINED"
+                   else if i.Snap.i_pin_hash <> None then "pinned"
+                   else "unpinned"))
+              l)
+  in
+  Cmd.v (Cmd.info "snapshots" ~doc:"List the volume's snapshots")
+    Term.(const run $ img $ trace_arg)
+
+let cmd_snap_rm =
+  let run img name trace =
+    with_fs ?trace img (fun _dev fs -> or_die name (Snap.delete fs name))
+  in
+  Cmd.v (Cmd.info "snap-rm" ~doc:"Delete a snapshot (two fenced steps, never torn)")
+    Term.(const run $ img $ name_arg 1 $ trace_arg)
+
+let cmd_rollback =
+  let run img name trace =
+    with_fs ?trace img (fun dev fs ->
+        or_die name (Snap.rollback fs name);
+        Printf.printf "rolled back to %s (durable hash %Lx)\n" name
+          (Device.durable_hash dev))
+  in
+  Cmd.v
+    (Cmd.info "rollback"
+       ~doc:
+         "Atomically flip the whole volume back to a snapshot (redo-log \
+          protected, fsck-validated, O(dirty lines))")
+    Term.(const run $ img $ name_arg 1 $ trace_arg)
+
+let cmd_clone =
+  let out_arg = Arg.(required & pos 2 (some string) None & info [] ~docv:"OUT") in
+  let run img name out trace =
+    with_fs ?trace img (fun _dev fs ->
+        let cfs = or_die name (Snap.clone fs name) in
+        Squirrelfs.unmount cfs;
+        save_image out cfs.Squirrelfs.Fsctx.dev;
+        Printf.printf "cloned %s -> %s\n" name out)
+  in
+  Cmd.v
+    (Cmd.info "clone"
+       ~doc:
+         "Mount a snapshot's pinned image as a writable fork and save it \
+          as a new volume image (own allocator, fully isolated)")
+    Term.(const run $ img $ name_arg 1 $ out_arg $ trace_arg)
+
+let cmd_snap_diff =
+  let run img a b trace =
+    with_fs ?trace img (fun _dev fs ->
+        let d = or_die (a ^ ".." ^ b) (Snap.diff fs a b) in
+        List.iter
+          (fun (off, la, lb) ->
+            let hex s =
+              String.concat "" (List.map (Printf.sprintf "%02x")
+                  (List.init (min 8 (String.length s)) (fun i -> Char.code s.[i])))
+            in
+            Printf.printf "line @%-8d %s.. -> %s..\n" off (hex la) (hex lb))
+          d;
+        Printf.printf "%d line(s) differ\n" (List.length d))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Lines differing between two pinned snapshots (O(dirty lines of \
+          either), not O(volume))")
+    Term.(const run $ img $ name_arg 1 $ name_arg 2 $ trace_arg)
+
+let cmd_scrub =
+  let run img trace =
+    with_fs ?trace img (fun _dev fs ->
+        match Snap.scrub fs with
+        | [] -> print_endline "no pinned snapshots to scrub"
+        | l ->
+            let bad = List.filter (fun (_, ok) -> not ok) l in
+            List.iter
+              (fun (n, ok) ->
+                Printf.printf "%s: %s\n" n
+                  (if ok then "intact" else "CORRUPT (quarantined)"))
+              l;
+            if bad <> [] then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify every pinned snapshot's content hash against its capture \
+          record; mismatches are quarantined")
+    Term.(const run $ img $ trace_arg)
+
 let () =
   let doc = "SquirrelFS volumes in host image files" in
   exit
@@ -298,5 +525,6 @@ let () =
           [
             cmd_mkfs; cmd_info; cmd_fsck; cmd_tree; cmd_ls; cmd_mkdir;
             cmd_create; cmd_rm; cmd_rmdir; cmd_cat; cmd_stat; cmd_write;
-            cmd_mv; cmd_ln;
+            cmd_mv; cmd_ln; cmd_snapshot; cmd_snapshots; cmd_snap_rm;
+            cmd_rollback; cmd_clone; cmd_snap_diff; cmd_scrub;
           ]))

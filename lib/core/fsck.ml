@@ -236,6 +236,33 @@ let check (ctx : Fsctx.t) =
         | Some _ | None -> ())
       inodes;
 
+  (* Snapshot table, post-mount: recovery has run, so the table must be
+     fully settled — no rollback intent, no uncommitted remnants, every
+     committed slot sealed and uniquely named. *)
+  let module S = Layout.Snaptab in
+  if not (S.Intent.is_free dev) then
+    err "snapshot rollback intent still present after mount";
+  let snap_names = Hashtbl.create 4 in
+  for slot = 0 to S.slots - 1 do
+    match S.Slot.state dev ~slot with
+    | 1 -> (
+        if not (S.Slot.verify dev ~slot) then
+          err "snapshot slot %d: sealed-field CRC mismatch" slot
+        else
+          match S.Slot.decode dev ~slot with
+          | Some { name; _ } ->
+              if not (S.valid_name name) then
+                err "snapshot slot %d: invalid name %S" slot name
+              else if Hashtbl.mem snap_names name then
+                err "snapshot slot %d: duplicate name %S" slot name
+              else Hashtbl.replace snap_names name ()
+          | None -> err "snapshot slot %d: committed but undecodable" slot)
+    | 0 ->
+        if not (S.Slot.is_free dev ~slot) then
+          err "snapshot slot %d: allocated but uncommitted after mount" slot
+    | st -> err "snapshot slot %d: impossible state word %d" slot st
+  done;
+
   List.rev !errs
 
 (* {1 Pre-recovery invariant check} *)
@@ -249,7 +276,7 @@ type raw_dentry = {
   rw_name : string;
 }
 
-let check_raw dev (geo : Geometry.t) =
+let check_raw_body dev (geo : Geometry.t) =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   let inodes : (int, R.Inode.t) Hashtbl.t = Hashtbl.create 64 in
@@ -439,4 +466,48 @@ let check_raw dev (geo : Geometry.t) =
             err "inode %d: links %d below %d live references" ino r.links
               nrefs)
     inodes;
+
+  (* Snapshot table, at an arbitrary crash point: a nonzero uncommitted
+     slot (or a partial intent) is a legal mid-creation remnant recovery
+     rolls back, but SSU commit discipline promises that a {e committed}
+     slot or intent always carries its full init group — CRC valid, name
+     valid, no duplicates. A committed entry failing that is exactly the
+     torn-table state the Buggy_snap mutant publishes. *)
+  let module S = Layout.Snaptab in
+  (match S.Intent.state dev with
+  | 0 -> ()
+  | 1 ->
+      if not (S.Intent.verify dev) then
+        err "snapshot intent: committed with CRC mismatch (torn commit)"
+  | st -> err "snapshot intent: impossible state word %d" st);
+  let snap_names = Hashtbl.create 4 in
+  for slot = 0 to S.slots - 1 do
+    match S.Slot.state dev ~slot with
+    | 0 -> ()
+    | 1 -> (
+        if not (S.Slot.verify dev ~slot) then
+          err "snapshot slot %d: committed with CRC mismatch (torn commit)"
+            slot
+        else
+          match S.Slot.decode dev ~slot with
+          | Some { name; _ } ->
+              if not (S.valid_name name) then
+                err "snapshot slot %d: committed with invalid name %S" slot
+                  name
+              else if Hashtbl.mem snap_names name then
+                err "snapshot slot %d: duplicate committed name %S" slot name
+              else Hashtbl.replace snap_names name ()
+          | None -> err "snapshot slot %d: committed but undecodable" slot)
+    | st -> err "snapshot slot %d: impossible state word %d" slot st
+  done;
   List.rev !errs
+
+let check_raw dev (geo : Geometry.t) =
+  let module S = Layout.Snaptab in
+  if S.Intent.state dev = 1 && S.Intent.verify dev then
+    (* A committed rollback intent supersedes everything else on the
+       volume: recovery ignores the current (possibly half-restored)
+       state and replays the redo log, so no structural invariant needs
+       to hold at this crash point. *)
+    []
+  else check_raw_body dev geo

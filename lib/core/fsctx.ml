@@ -16,13 +16,25 @@ type oft_entry = {
   mutable oh_reserve : int list;
 }
 
+(* Volatile half of a snapshot: the device-level retained view pinning
+   the captured image, keyed by name in [snaps]. Pins do not survive
+   remount (the on-volume table does; remounted snapshots list as
+   unpinned and cannot be rolled back or cloned). *)
+type snap_pin = {
+  sp_slot : int;
+  sp_id : int;
+  sp_view : Pmem.Device.retained;
+  mutable sp_quarantined : bool; (* scrub found the pin diverged *)
+}
+
 type t = {
   dev : Pmem.Device.t;
   geo : Layout.Geometry.t;
   reg : Typestate.Token.registry;
-  alloc : Alloc.t;
-  index : Index.t;
+  mutable alloc : Alloc.t;
+  mutable index : Index.t;
   next_range_id : int Atomic.t;
+  cpus : int;
   mutable share_fences : bool;
   mutable coalesce : bool;
   csum : bool;
@@ -30,6 +42,7 @@ type t = {
   anon : (string, int) Hashtbl.t;
   oft : (string, oft_entry) Hashtbl.t;
   oft_lock : Mutex.t;
+  snaps : (string, snap_pin) Hashtbl.t;
   mutable on_fence : (unit -> unit) option;
 }
 
@@ -49,6 +62,7 @@ let make ?(csum = false) ~dev ~geo ~cpus () =
        else Alloc.create ~cpus geo);
     index = Index.create ();
     next_range_id = Atomic.make 0;
+    cpus;
     share_fences = true;
     coalesce = true;
     csum;
@@ -56,8 +70,16 @@ let make ?(csum = false) ~dev ~geo ~cpus () =
     anon = Hashtbl.create 8;
     oft = Hashtbl.create 8;
     oft_lock = Mutex.create ();
+    snaps = Hashtbl.create 4;
     on_fence = None;
   }
+
+(* Fresh allocator under the same policy [make] used: rollback rebuilds
+   the volatile state wholesale after flipping the durable image. *)
+let fresh_alloc t =
+  if Pmem.Device.size t.dev > Pmem.Device.sparse_threshold then
+    Alloc.indexed_populated ~cpus:t.cpus t.geo
+  else Alloc.create ~cpus:t.cpus t.geo
 
 let fence t =
   Pmem.Device.fence t.dev;

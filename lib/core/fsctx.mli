@@ -18,15 +18,30 @@ type oft_entry = {
           returns them via the allocator rebuild) *)
 }
 
+type snap_pin = {
+  sp_slot : int;  (** on-volume snapshot-table slot *)
+  sp_id : int;  (** snapshot id (matches the slot record) *)
+  sp_view : Pmem.Device.retained;
+      (** the pinned durable image; its hash is the rollback target *)
+  mutable sp_quarantined : bool;
+      (** the snapshot scrubber found the pinned content diverged from
+          its hash (media rot in a shared base line): rollback and clone
+          refuse with [EIO] *)
+}
+(** Volatile half of a snapshot (see [Snap]): pins are per-process and
+    do not survive remount — the on-volume table does, and remounted
+    snapshots list as unpinned. *)
+
 type t = {
   dev : Pmem.Device.t;
   geo : Layout.Geometry.t;
   reg : Typestate.Token.registry;
-  alloc : Alloc.t;
-  index : Index.t;
+  mutable alloc : Alloc.t;
+  mutable index : Index.t;
   next_range_id : int Atomic.t;
       (** ids for page-range handles in the token registry (atomic:
           handed out from concurrent server domains) *)
+  cpus : int;  (** parallelism hint [make] was given (allocator striping) *)
   mutable share_fences : bool;
       (** when false, [after_fence] transitions issue their own [sfence]
           instead of reusing a shared one — the ablation of the paper's
@@ -49,6 +64,9 @@ type t = {
       (** volatile tag → open-handle registry (see {!oft_open}); like
           [anon], rebuilt empty on every mount *)
   oft_lock : Mutex.t;
+  snaps : (string, snap_pin) Hashtbl.t;
+      (** name → volatile snapshot pin; mutated only by [Snap], always
+          under the whole-FS lock on shared devices *)
   mutable on_fence : (unit -> unit) option;
       (** post-fence hook, run after the device drain and the token-epoch
           bump. The interleaved fuzzer parks its coroutine scheduler here
@@ -61,6 +79,11 @@ type t = {
 
 val make :
   ?csum:bool -> dev:Pmem.Device.t -> geo:Layout.Geometry.t -> cpus:int -> unit -> t
+
+val fresh_alloc : t -> Alloc.t
+(** A fresh, fully-free allocator built under the same policy {!make}
+    used for this context (indexed above the sparse threshold, legacy
+    below). Rollback swaps it in before re-running the mount rebuild. *)
 
 val fence : t -> unit
 (** Issue an [sfence] and advance the fence epoch used by shared-fence

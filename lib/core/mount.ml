@@ -559,6 +559,61 @@ let rebuild (ctx : Fsctx.t) ~recover =
   end;
   set_stats !st
 
+(* {1 Snapshot recovery}
+
+   Two jobs, both before any other recovery decision:
+
+   - A {e committed} rollback intent means a crash interrupted an atomic
+     rollback after its commit point: replay the redo log (idempotent —
+     a crash during replay just replays again on the next mount), then
+     clear the intent. The whole chain is read into memory first because
+     log entries may target the log pages' own lines.
+   - Nonzero but {e uncommitted} snapshot slots (or intent) are crash
+     remnants of an interrupted creation: roll them back by zeroing, so
+     every surviving slot is committed with a valid CRC — "the old table
+     or the new entry, never a torn one". *)
+let snap_recover dev geo =
+  let module S = Layout.Snaptab in
+  (match S.Intent.decode dev with
+  | Some { slot = _; log_page; count } when S.Intent.verify dev ->
+      let entries = ref [] in
+      let page = ref log_page and remaining = ref count in
+      while !page >= 0 && !page < geo.Geometry.page_count && !remaining > 0 do
+        let base = Geometry.page_off geo ~page:!page in
+        let n = min (Device.read_u64 dev (base + S.Log.f_count)) !remaining in
+        for i = 0 to n - 1 do
+          entries := S.Log.read_entry dev ~page_base:base i :: !entries
+        done;
+        remaining := !remaining - n;
+        page := Device.read_u64 dev (base + S.Log.f_next) - 1
+      done;
+      List.iter
+        (fun (off, data) ->
+          Device.store dev ~off data;
+          Device.flush dev ~off ~len:(String.length data))
+        !entries;
+      Device.fence dev;
+      S.Intent.clear dev;
+      Device.fence dev
+  | Some _ ->
+      (* committed but CRC-corrupt: never a legal crash state (media
+         damage); replay would restore garbage, so drop the intent *)
+      S.Intent.clear dev;
+      Device.fence dev
+  | None ->
+      if not (S.Intent.is_free dev) then begin
+        S.Intent.clear dev;
+        Device.fence dev
+      end);
+  let cleared = ref false in
+  for slot = 0 to S.slots - 1 do
+    if S.Slot.state dev ~slot <> 1 && not (S.Slot.is_free dev ~slot) then begin
+      S.Slot.clear dev ~slot;
+      cleared := true
+    end
+  done;
+  if !cleared then Device.fence dev
+
 (* Media pre-pass (csum volumes only): verify record checksums before
    any recovery decision. Corrupt committed records are quarantined; the
    volume then mounts degraded, meaning {e no} destructive recovery runs
@@ -623,6 +678,7 @@ let do_mount ~cpus ~force_recover dev =
       if csum && not (R.Superblock.verify dev) then Error Vfs.Errno.EIO
       else begin
         let ctx = Fsctx.make ~csum ~dev ~geo ~cpus () in
+        if (not clean) || force_recover then snap_recover dev geo;
         if csum then media_prepass ctx;
         let degraded = not (Q.is_empty ctx.quar) in
         rebuild ctx ~recover:(((not clean) || force_recover) && not degraded);

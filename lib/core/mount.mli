@@ -45,6 +45,12 @@ val mount_recover : ?cpus:int -> Pmem.Device.t -> (Fsctx.t, Vfs.Errno.t) result
 (** Like [mount] but always runs the recovery passes (used to measure
     recovery-mount cost on a cleanly-unmounted volume, as in Table 2). *)
 
+val rebuild : Fsctx.t -> recover:bool -> unit
+(** Re-run the volatile-state rebuild (index + allocator population,
+    optional recovery passes) against the context's {e current} [index]
+    and [alloc] fields, which must be freshly created. Snapshot rollback
+    swaps in a fresh pair and calls this after flipping the volume. *)
+
 val unmount : Fsctx.t -> unit
 (** Mark the volume cleanly unmounted. All operations are synchronous, so
     there is nothing to write back. *)

@@ -28,6 +28,12 @@ let meta_of_geo (geo : Geometry.t) =
       ("desc_size", Geometry.desc_size);
       ("page_size", Geometry.page_size);
       ("dentry_size", Geometry.dentry_size);
+      (* snapshot table geometry: lets the SSU checker apply its R-snap
+         commit rule; absent (0) in old traces = rule disabled *)
+      ("snap_table_off", Layout.Snaptab.table_off);
+      ("snap_slots", Layout.Snaptab.slots);
+      ("snap_slot_size", Layout.Snaptab.slot_size);
+      ("snap_intent_off", Layout.Snaptab.intent_off);
     ]
 
 (* Describe the durable image to [r] (geometry + allocated inodes, owned

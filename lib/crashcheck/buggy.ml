@@ -122,3 +122,32 @@ let write_append (ctx : Fsctx.t) ~ino data =
   Device.store_u64 dev (dsc + R.Desc.f_ino) ino;
   persist dev ~off:dsc ~len:Geometry.desc_size;
   Index.add_file_page ctx.index ~ino ~offset page
+
+(* snapshot creation with the table entry published in the same flush
+   group as its record: nothing orders the slot's id/hash/CRC before the
+   commit word, so a crash can drain the commit word first and leave a
+   {e committed} entry whose record (including the quiesced base hash)
+   is garbage — a torn snapshot. The correct [Snap.snapshot] fences the
+   init group before flipping the state word. *)
+let snap_create (ctx : Fsctx.t) ~name =
+  let dev = ctx.dev in
+  let module S = Layout.Snaptab in
+  let slot =
+    match S.free_slot dev with
+    | Some s -> s
+    | None -> failwith "Buggy.snap_create: snapshot table full"
+  in
+  Fsctx.fence ctx (* quiesce, as the correct path does *);
+  let label = Device.durable_hash dev in
+  let id = S.next_id dev in
+  let epoch = Typestate.Token.epoch ctx.reg in
+  (* init group and commit word in one unfenced burst: the mis-ordering *)
+  S.Slot.write_init dev ~slot ~id ~epoch ~hash:label ~name;
+  S.Slot.commit dev ~slot;
+  Device.fence dev;
+  (* volatile fixup: pin the durable image exactly as the correct path
+     would, so post-operation state matches and only the intermediate
+     crash states differ *)
+  let r = Device.retain dev in
+  Hashtbl.replace ctx.snaps name
+    { Fsctx.sp_slot = slot; sp_id = id; sp_view = r; sp_quarantined = false }

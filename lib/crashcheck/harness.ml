@@ -85,6 +85,10 @@ let apply_real (ctx : Sq.Fsctx.t) (op : Workload.op) =
           failwith
             (Printf.sprintf "Buggy_write: stat %s: %s" p
                (Vfs.Errno.to_string e)))
+  | Workload.Snapshot n ->
+      ignore (Result.is_ok (Snap.snapshot ctx n) : bool)
+  | Workload.Rollback n -> ignore (Result.is_ok (Snap.rollback ctx n) : bool)
+  | Workload.Buggy_snap n -> Buggy.snap_create ctx ~name:n
   | op -> Workload.apply (module Squirrelfs) ctx op
 
 (* Enumerate every path in the live file system (depth-first), one entry

@@ -20,6 +20,9 @@ type op =
   | Buggy_create of string
   | Buggy_unlink of string
   | Buggy_write of string * string
+  | Snapshot of string
+  | Rollback of string
+  | Buggy_snap of string
 
 let pp_op ppf = function
   | Create p -> Format.fprintf ppf "create(%s)" p
@@ -47,6 +50,9 @@ let pp_op ppf = function
   | Buggy_unlink p -> Format.fprintf ppf "BUGGY-unlink(%s)" p
   | Buggy_write (p, d) ->
       Format.fprintf ppf "BUGGY-write(%s,%dB)" p (String.length d)
+  | Snapshot n -> Format.fprintf ppf "snapshot(%s)" n
+  | Rollback n -> Format.fprintf ppf "rollback(%s)" n
+  | Buggy_snap n -> Format.fprintf ppf "BUGGY-snap(%s)" n
 
 let pp ppf ops =
   Format.fprintf ppf "[%a]"
@@ -84,6 +90,10 @@ let apply (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) op =
   | Close tag -> ign (F.close_file fs tag)
   | Write_h (tag, off, data) -> ign (F.write_h fs tag ~off data)
   | Read_h (tag, off, len) -> ign (F.read_h fs tag ~off ~len)
+  | Snapshot _ | Rollback _ | Buggy_snap _ ->
+      (* Snapshots live below the VFS surface; appliers that understand
+         them (Exec, Harness, Ref_fs) dispatch before reaching here. *)
+      ()
 
 let setup =
   [ Mkdir "/D"; Create "/A"; Write ("/A", 0, String.make 2000 'a') ]
@@ -128,6 +138,11 @@ let alphabet =
     Write_h ("h0", 0, String.make 100 'H');
     Write_h ("h0", 8100, String.make 200 'I');
     Close "h0";
+    (* snapshot surface: a named snapshot plus the rollback to it. The
+       rollback entry hits ENOENT when no snapshot precedes it in a
+       pair, and the full three-phase redo-log flip when one does. *)
+    Snapshot "s0";
+    Rollback "s0";
   ]
 
 let systematic_pairs () =

@@ -29,6 +29,11 @@ type op =
       (** deliberately mis-ordered variants, §4.2 bug reinjection *)
   | Buggy_unlink of string
   | Buggy_write of string * string
+  | Snapshot of string  (** named crash-consistent snapshot ([Snap]) *)
+  | Rollback of string  (** whole-volume flip back to a snapshot *)
+  | Buggy_snap of string
+      (** mis-ordered snapshot creation: table entry published before the
+          record (and the quiesced base hash) is fenced *)
 
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> op list -> unit

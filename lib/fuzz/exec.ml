@@ -115,6 +115,19 @@ let apply_sq (ctx : Sq.Fsctx.t) (op : W.op) : (unit, Errno.t) result =
                 match Crashcheck.Buggy.write_append ctx ~ino:st.Vfs.Fs.ino d with
                 | () -> Ok ()
                 | exception Failure _ -> Error Errno.ENOSPC)))
+  | W.Snapshot n -> unit_r (Snap.snapshot ctx n)
+  | W.Rollback n -> Snap.rollback ctx n
+  | W.Buggy_snap n ->
+      (* same precondition ladder as [Snap.snapshot] so the clean-errno
+         cases stay in lockstep with the model; only the happy path runs
+         the mis-ordered store sequence *)
+      if not (Layout.Snaptab.valid_name n) then Error Errno.EINVAL
+      else if Layout.Snaptab.find ctx.Sq.Fsctx.dev n <> None then
+        Error Errno.EEXIST
+      else (
+        match Crashcheck.Buggy.snap_create ctx ~name:n with
+        | () -> Ok ()
+        | exception Failure _ -> Error Errno.ENOSPC)
 
 (* {2 Per-domain resource pool}
 

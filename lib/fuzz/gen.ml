@@ -21,6 +21,13 @@ let dst_pool = file_pool @ dir_pool @ [ "/moved"; "/d/moved"; "/e/moved" ]
    crash-testing, so the pool is deliberately tiny. *)
 let tag_pool = [ "g0"; "g1" ]
 
+(* Two snapshot names: enough for create/rollback collisions (EEXIST on
+   the second create, ENOENT after a rollback drops the younger entry)
+   without letting sequences hide behind many distinct snapshots. *)
+let snap_pool = [ "p0"; "p1" ]
+
+let snap_names m = List.map (fun (n, _, _) -> n) (Ref_fs.snap_list m)
+
 let pick rng l = List.nth l (Random.State.int rng (List.length l))
 
 let files_of m =
@@ -42,10 +49,14 @@ let gen_buggy rng m =
     List.filter (fun p -> String.length p > 1 && not (String.contains_from p 1 '/')) files
   in
   let fresh_roots = List.filter (fun n -> Ref_fs.kind m ("/" ^ n) = None) root_names in
+  let fresh_snaps =
+    List.filter (fun n -> not (List.mem n (snap_names m))) snap_pool
+  in
   let cands =
     (if fresh_roots <> [] then [ `Create ] else [])
     @ (if root_files <> [] then [ `Unlink ] else [])
-    @ if files <> [] then [ `Write ] else []
+    @ (if files <> [] then [ `Write ] else [])
+    @ if fresh_snaps <> [] then [ `Snap ] else []
   in
   match cands with
   | [] -> None
@@ -55,7 +66,8 @@ let gen_buggy rng m =
         | `Create -> W.Buggy_create ("/" ^ pick rng fresh_roots)
         | `Unlink -> W.Buggy_unlink (pick rng root_files)
         | `Write ->
-            W.Buggy_write (pick rng files, String.make (64 + Random.State.int rng 192) 'z'))
+            W.Buggy_write (pick rng files, String.make (64 + Random.State.int rng 192) 'z')
+        | `Snap -> W.Buggy_snap (pick rng fresh_snaps))
 
 let gen_correct rng m =
   let files = files_of m and dirs = dirs_of m in
@@ -84,10 +96,17 @@ let gen_correct rng m =
   else if w < 93 then W.Write_atomic (efile (), Random.State.int rng 4096, data rng 2000)
   else if w < 95 then W.Write (efile (), Random.State.int rng 6000, data rng 2000)
   else if w < 96 then W.Open (pick rng tag_pool, efile ())
-  else if w < 98 then
+  else if w < 97 then
     (* sparse offsets reach the staged fresh-page commit; small ones the
        in-place path — both under whatever handle state the prefix left *)
     W.Write_h (pick rng tag_pool, Random.State.int rng 9000, data rng 2000)
+  else if w < 98 then
+    (* snapshot surface: roll back to a live snapshot when one exists
+       (the whole-volume flip mid-sequence), otherwise create one; name
+       collisions from the tiny pool exercise EEXIST/ENOENT *)
+    let snaps = snap_names m in
+    if snaps <> [] && Random.State.bool rng then W.Rollback (pick rng snaps)
+    else W.Snapshot (pick rng snap_pool)
   else if w < 99 then W.Read_h (pick rng tag_pool, Random.State.int rng 9000, 512)
   else W.Close (pick rng tag_pool)
 

@@ -74,6 +74,17 @@ let targets (op : W.op) =
   | W.Open (tag, p) -> [ "tag:" ^ tag; p ]
   | W.Close tag | W.Write_h (tag, _, _) | W.Read_h (tag, _, _) ->
       [ "tag:" ^ tag ]
+  (* Whole-volume ops: no per-path footprint; [is_global] below makes
+     them contend with everything, as [Serve.Engine]'s global lock
+     does. *)
+  | W.Snapshot _ | W.Rollback _ | W.Buggy_snap _ -> []
+
+(* Snapshot creation/rollback quiesce the whole volume under the global
+   lock ([Locks.with_all]): the only lock-respecting schedules against
+   {e any} other op are the two serial orders. *)
+let is_global = function
+  | W.Snapshot _ | W.Rollback _ | W.Buggy_snap _ -> true
+  | _ -> false
 
 let touched op = targets op @ List.map parent (targets op)
 
@@ -83,6 +94,8 @@ let strict_ancestor a b =
   && b.[String.length a] = '/'
 
 let overlap a b =
+  is_global a || is_global b
+  ||
   let ta = touched a and tb = touched b in
   List.exists (fun p -> List.mem p tb) ta
   || List.exists (fun x -> List.exists (strict_ancestor x) tb) (targets a)
@@ -410,11 +423,16 @@ let explore_disjoint pool ~max_interleavings ~(a : W.op) ~(b : W.op) ~caps =
 
 (* Overlapping pair: the lock table serializes it, so its two serial
    orders are the only lock-respecting schedules — run both through the
-   full sequential differential executor, traced. *)
+   full sequential differential executor, traced.  Pairs are tiny, so
+   raise the per-fence image budget enough to enumerate fences
+   exhaustively: the snap mutant's torn window is one specific
+   line-prefix combination (commit word's line fully drained, the
+   CRC-sealed name tail still in flight) that sampled probing can
+   deterministically miss. *)
 let serial_legs epool ~(a : W.op) ~(b : W.op) =
   let one ops =
     let r = Obs.Recorder.create () in
-    let out = Exec.run ~pool:epool ~trace:r ops in
+    let out = Exec.run ~pool:epool ~max_images_per_fence:64 ~trace:r ops in
     let oracle =
       Option.map (fun (_, detail) -> detail) out.Exec.o_fail
     in
@@ -519,6 +537,11 @@ let buggy_pairs =
     ("create", W.Buggy_create "/x", W.Write ("/d/f", 0, String.make 100 'q'));
     ("unlink", W.Buggy_unlink "/a", W.Create "/e/n");
     ("write", W.Buggy_write ("/a", String.make 80 'z'), W.Create "/d/n");
+    (* the name must run past the slot's first 64-byte line (> 24 chars)
+       so the torn window spans lines: a crash view can then drain the
+       commit word's line while CRC-sealed name bytes are still in
+       flight, which is what the oracle catches *)
+    ("snap", W.Buggy_snap "torn-snapshot-commit-ordering", W.Write ("/a", 0, String.make 90 'w'));
   ]
 
 type buggy_result = {

@@ -18,7 +18,26 @@ type obj =
   | Dir of { entries : int SMap.t }
   | Symlink of { target : string }
 
-type t = { objs : obj IMap.t; tmps : int SMap.t; ofds : int SMap.t; next : int }
+type snap = { s_objs : obj IMap.t; s_table : (string * int) list }
+(** A pinned snapshot: the whole tree at capture plus the snapshot
+    {e table} as captured (name, id) — rolling back restores both, which
+    is how a snapshot survives its own rollback and how entries created
+    after the capture vanish under it. *)
+
+type snap_entry = { e_id : int; e_pin : snap option }
+(** One live snapshot-table entry. [e_pin = None] models a table entry
+    whose in-DRAM pin is gone (a snapshot deleted and then resurrected
+    by rolling back past its deletion): the entry lists, but using it
+    yields [EIO] — mirroring [Snap]'s volatile retained views. *)
+
+type t = {
+  objs : obj IMap.t;
+  tmps : int SMap.t;
+  ofds : int SMap.t;
+  next : int;
+  snaps : snap_entry SMap.t;
+  snap_next : int;
+}
 (** [tmps]: volatile O_TMPFILE tag → object id for anonymous files
     awaiting [linkat]. These objects live in [objs] but are reachable
     from no directory; [capture] walks from the root, so they are
@@ -29,7 +48,12 @@ type t = { objs : obj IMap.t; tmps : int SMap.t; ofds : int SMap.t; next : int }
     [ofds]: volatile open-handle tag → object id. Object ids are never
     reused, so a handle is stale exactly when its id has left [objs] —
     the model-side mirror of the implementations' death/free-generation
-    counters. Stale handles stay bound (tag busy) until [close_file]. *)
+    counters. Stale handles stay bound (tag busy) until [close_file].
+
+    [snaps]: the snapshot table, name → entry; [snap_next] mirrors the
+    monotone on-volume id counter (never reused, even across rollback).
+    Snapshots are invisible to [capture] (tree-only), matching the
+    implementation where the table lives in the superblock page. *)
 
 let root = 0
 
@@ -39,6 +63,8 @@ let empty =
     tmps = SMap.empty;
     ofds = SMap.empty;
     next = 1;
+    snaps = SMap.empty;
+    snap_next = 1;
   }
 let ( let* ) = Result.bind
 let obj t id = IMap.find id t.objs
@@ -321,6 +347,73 @@ let buggy_append t path data =
         Ok { size; data = Bytes.to_string b }
       end)
 
+(* {2 Snapshot model: the oracle side of [Snap]}
+
+   Same errno precedence as [Snap.snapshot]/[Snap.rollback]: name
+   validity, then duplicate, then table capacity; resolution, then pin
+   presence. Capacity is deterministic ([Layout.Snaptab.slots] named
+   entries), so ENOSPC here is an exact mirror, not the probabilistic
+   page-pool kind the executor exempts. *)
+
+let snapshot t name =
+  if not (Layout.Snaptab.valid_name name) then Error Errno.EINVAL
+  else if SMap.mem name t.snaps then Error Errno.EEXIST
+  else if SMap.cardinal t.snaps >= Layout.Snaptab.slots then Error Errno.ENOSPC
+  else
+    let id = t.snap_next in
+    (* The slot is committed before the view is pinned, so the captured
+       table contains the new entry itself. *)
+    let table =
+      (name, id) :: SMap.fold (fun n e acc -> (n, e.e_id) :: acc) t.snaps []
+    in
+    let pin = { s_objs = t.objs; s_table = table } in
+    Ok
+      {
+        t with
+        snaps = SMap.add name { e_id = id; e_pin = Some pin } t.snaps;
+        snap_next = id + 1;
+      }
+
+let rollback t name =
+  match SMap.find_opt name t.snaps with
+  | None -> Error Errno.ENOENT
+  | Some { e_pin = None; _ } -> Error Errno.EIO
+  | Some { e_pin = Some s; _ } ->
+      (* The flip restores the captured table; a captured entry keeps
+         its pin only if the same (name, id) is still live now —
+         otherwise it resurrects unpinned. Volatile tag registries die
+         with the flip, exactly like a remount. *)
+      let snaps =
+        List.fold_left
+          (fun acc (n, id) ->
+            let pin =
+              match SMap.find_opt n t.snaps with
+              | Some e when e.e_id = id -> e.e_pin
+              | _ -> None
+            in
+            SMap.add n { e_id = id; e_pin = pin } acc)
+          SMap.empty s.s_table
+      in
+      Ok
+        {
+          objs = s.s_objs;
+          tmps = SMap.empty;
+          ofds = SMap.empty;
+          next = t.next;
+          snaps;
+          snap_next = t.snap_next;
+        }
+
+let snap_delete t name =
+  match SMap.find_opt name t.snaps with
+  | None -> Error Errno.ENOENT
+  | Some _ -> Ok { t with snaps = SMap.remove name t.snaps }
+
+let snap_list t =
+  List.map
+    (fun (n, e) -> (n, e.e_id, e.e_pin <> None))
+    (SMap.bindings t.snaps)
+
 let apply t (op : Crashcheck.Workload.op) =
   let r = function Ok t' -> (t', Ok ()) | Error e -> (t, Error e) in
   match op with
@@ -345,6 +438,8 @@ let apply t (op : Crashcheck.Workload.op) =
       | Ok _ -> (t, Ok ())
       | Error e -> (t, Error e))
   | Buggy_write (p, d) -> r (buggy_append t p d)
+  | Snapshot n | Buggy_snap n -> r (snapshot t n)
+  | Rollback n -> r (rollback t n)
 
 (* Same canonicalization as [Vfs.Logical.capture]: canonical inode
    numbers are assigned in sorted-DFS preorder at first visit, so

@@ -32,6 +32,9 @@ let op_to_cli = function
   | W.Buggy_create p -> Printf.sprintf "buggy-create %s" p
   | W.Buggy_unlink p -> Printf.sprintf "buggy-unlink %s" p
   | W.Buggy_write (p, d) -> Printf.sprintf "buggy-write %s %d" p (String.length d)
+  | W.Snapshot n -> Printf.sprintf "snapshot %s" n
+  | W.Rollback n -> Printf.sprintf "rollback %s" n
+  | W.Buggy_snap n -> Printf.sprintf "buggy-snap %s" n
 
 let to_cli ops = String.concat "; " (List.map op_to_cli ops)
 
@@ -62,6 +65,9 @@ let op_to_ocaml = function
   | W.Buggy_unlink p -> Printf.sprintf "Buggy_unlink %S" p
   | W.Buggy_write (p, d) ->
       Printf.sprintf "Buggy_write (%S, String.make %d 'z')" p (String.length d)
+  | W.Snapshot n -> Printf.sprintf "Snapshot %S" n
+  | W.Rollback n -> Printf.sprintf "Rollback %S" n
+  | W.Buggy_snap n -> Printf.sprintf "Buggy_snap %S" n
 
 let to_ocaml ops =
   "Crashcheck.Workload.[ " ^ String.concat "; " (List.map op_to_ocaml ops) ^ " ]"
@@ -108,6 +114,9 @@ let op_of_tokens toks =
       match int len with
       | Some len when len >= 0 -> Ok (W.Buggy_write (p, fill len))
       | _ -> Error "buggy-write: expected integer length")
+  | [ "snapshot"; n ] -> Ok (W.Snapshot n)
+  | [ "rollback"; n ] -> Ok (W.Rollback n)
+  | [ "buggy-snap"; n ] -> Ok (W.Buggy_snap n)
   | tok :: _ -> Error ("unknown or malformed op: " ^ tok)
   | [] -> Error "empty op"
 

@@ -2,3 +2,4 @@
 
 module Geometry = Geometry
 module Records = Records
+module Snaptab = Snaptab

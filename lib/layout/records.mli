@@ -24,6 +24,13 @@ module Kind : sig
   val pp : Format.formatter -> t -> unit
 end
 
+val any_nonzero : Pmem.Device.t -> int -> int -> bool
+(** [any_nonzero dev base len]: is any byte of [base, base+len) nonzero
+    (i.e. is a record at [base] allocated)? *)
+
+val crc_ns : int
+(** Simulated software cost of computing one record checksum. *)
+
 module Inode : sig
   (* Field byte offsets within a 128-byte inode record. *)
   val f_ino : int (* u64; non-zero = allocated *)

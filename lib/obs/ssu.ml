@@ -60,6 +60,12 @@ type geo = {
   g_dsize : int;
   g_psize : int;
   g_desize : int;
+  (* snapshot-table geometry; 0 in traces predating snapshots = the
+     R-snap rule and the rollback suspension window are disabled *)
+  g_snap_tab : int;
+  g_snap_slots : int;
+  g_snap_ssize : int;
+  g_snap_intent : int;
 }
 
 let geo_of_meta kvs =
@@ -79,6 +85,10 @@ let geo_of_meta kvs =
           g_dsize = d "desc_size" 64;
           g_psize = d "page_size" 4096;
           g_desize = d "dentry_size" 128;
+          g_snap_tab = d "snap_table_off" 0;
+          g_snap_slots = d "snap_slots" 0;
+          g_snap_ssize = d "snap_slot_size" 128;
+          g_snap_intent = d "snap_intent_off" 0;
         }
   | _ -> None
 
@@ -123,6 +133,10 @@ type st = {
   d_kind_latest : (int, int) Hashtbl.t; (* latest stored, for classification *)
   d_off : (int, int) Hashtbl.t;
   clear_ev : (int, int) Hashtbl.t; (* durable dentry-clear evidence tokens *)
+  mutable in_rollback : bool;
+      (* between a committed rollback intent and its full-record
+         zeroing: redo-log replay restores lines wholesale, its own
+         commit discipline (the intent) replaces the semantic rules *)
   mutable viols : violation list; (* newest first *)
   mutable limit : int;
 }
@@ -144,6 +158,7 @@ let mk limit =
     d_kind_latest = Hashtbl.create 64;
     d_off = Hashtbl.create 64;
     clear_ev = Hashtbl.create 16;
+    in_rollback = false;
     viols = [];
     limit;
   }
@@ -389,25 +404,87 @@ let sems_of_store st ~index ~ts ~off ~data ~coarse =
           end
         done
       end;
-      (* store-time ordering checks, oldest field first for determinism *)
+      (* store-time ordering checks, oldest field first for determinism.
+         Inside a rollback window the redo-log replay restores lines
+         wholesale in no semantic order — the committed intent is its
+         own commit discipline — so the checks are suspended, but the
+         decoded updates still queue so the durable shadow tracks the
+         restored state. *)
       let sems = List.sort compare !sems in
       List.iter
         (fun (fo, sem) ->
           ignore fo;
           match sem with
+          | D_kind (p, v) -> Hashtbl.replace st.d_kind_latest p v
+          | _ when st.in_rollback -> ()
           | De_ino (p, s, v) -> check_commit st g ~index ~ts ~page:p ~slot:s v
           | I_links (i, v) -> check_links st ~index ~ts i v
           | I_size (i, v) -> check_size st g ~index ~ts i v
-          | D_kind (p, v) -> Hashtbl.replace st.d_kind_latest p v
           | _ -> ())
         sems;
       List.map snd sems
 
 (* -- event dispatch ------------------------------------------------------ *)
 
+(* R-snap: a snapshot slot (or the rollback intent) is published by a
+   nonzero store to its state word; SSU demands the record's init group
+   be durably fenced first, so at publish time no line of the record may
+   hold undrained stores. Catches [Buggy_snap] (init + commit in one
+   flush group). Also maintains the rollback suspension window: a
+   committed intent state word opens it, and the full-record zeroing of
+   the intent (rollback phase C / recovery) closes it. *)
+let on_snap_store st ~index ~ts ~off ~data =
+  match st.geo with
+  | Some g when g.g_snap_tab > 0 ->
+      let len = String.length data in
+      let covered w = off <= w && w + 8 <= off + len in
+      let record_quiescent base size =
+        let ok = ref true in
+        for l = base / line_size to (base + size - 1) / line_size do
+          match Hashtbl.find_opt st.lines l with
+          | Some s when s.l_recs <> [] -> ok := false
+          | _ -> ()
+        done;
+        !ok
+      in
+      (* rollback window: intent state-word transitions *)
+      (if g.g_snap_intent > 0 && covered g.g_snap_intent then begin
+         let v = u64_at data (g.g_snap_intent - off) in
+         if v <> 0 then begin
+           if
+             (not st.in_rollback)
+             && not (record_quiescent g.g_snap_intent g.g_snap_ssize)
+           then
+             violate st ~index ~ts "R-snap"
+               "rollback intent committed while its record still has \
+                undrained stores";
+           st.in_rollback <- true
+         end
+         else if len > 8 then begin
+           (* full-record zeroing, not just the phase-B state-word
+              store: the intent is gone and ordinary rules resume.
+              Dentry-clear evidence must not survive the flip. *)
+           st.in_rollback <- false;
+           Hashtbl.reset st.clear_ev
+         end
+       end);
+      if not st.in_rollback then
+        for slot = 0 to g.g_snap_slots - 1 do
+          let w = g.g_snap_tab + (slot * g.g_snap_ssize) in
+          if covered w && u64_at data (w - off) <> 0 then
+            if not (record_quiescent w g.g_snap_ssize) then
+              violate st ~index ~ts "R-snap"
+                (Printf.sprintf
+                   "snapshot slot %d committed while its record still has \
+                    undrained stores"
+                   slot)
+        done
+  | Some _ | None -> ()
+
 let on_store st ~index ~ts ~off ~data ~nt ~coarse =
   let len = String.length data in
   if len > 0 then begin
+    on_snap_store st ~index ~ts ~off ~data;
     let sems = sems_of_store st ~index ~ts ~off ~data ~coarse in
     let nt = nt || coarse in
     let first = off / line_size and last = (off + len - 1) / line_size in

@@ -36,6 +36,21 @@ type hstate =
   | H_dense of int64 array
   | H_sparse of (int, int64) Hashtbl.t
 
+(* A retained view pins the durable image as it stood at capture time.
+   Capture is O(1): nothing is copied up front. Instead, whenever a line
+   of the durable image is about to change (fence drain, bit flip), its
+   pre-image is saved — once — into every live retained view that does
+   not already hold that line, all of them sharing the same [Bytes.t]
+   (the "refcounted base pinning": the GC is the refcount). Memory cost
+   is therefore O(unique lines dirtied since the oldest capture), never
+   O(volume). *)
+type retained = {
+  r_saved : (int, Bytes.t) Hashtbl.t; (* line idx -> pre-image at capture *)
+  r_hash : int64; (* durable content hash at capture *)
+  r_size : int;
+  mutable r_dead : bool; (* released, or invalidated by [reset] *)
+}
+
 type t = {
   size : int;
   latest : Sbuf.t;
@@ -52,6 +67,7 @@ type t = {
   mutable hstate : hstate; (* per-line content hash; [H_off] = off *)
   mutable base_hash : int64; (* xor of line hashes: hash of durable image *)
   mutable attached : scratch option; (* scratch kept in sync across fences *)
+  mutable retained : retained list; (* live pinned views, newest first *)
   mutable taint : (int, unit) Hashtbl.t option;
       (* line indexes mutated through this device; only on borrowed
          ([of_view]) devices, so the owning scratch can revert them *)
@@ -99,6 +115,7 @@ let create ?(latency = Latency.zero) ?sparse ~size () =
     hstate = H_off;
     base_hash = 0L;
     attached = None;
+    retained = [];
     taint = None;
     tracer = None;
     metrics = None;
@@ -134,6 +151,7 @@ let of_image ?(latency = Latency.zero) image =
     hstate = H_off;
     base_hash = 0L;
     attached = None;
+    retained = [];
     taint = None;
     tracer = None;
     metrics = None;
@@ -169,6 +187,7 @@ let of_spans ?(latency = Latency.zero) ~size spans =
     hstate = H_off;
     base_hash = 0L;
     attached = None;
+    retained = [];
     taint = None;
     tracer = None;
     metrics = None;
@@ -405,6 +424,20 @@ let taint_line t idx =
   | Some tbl -> Hashtbl.replace tbl idx ()
   | None -> ()
 
+(* Copy-on-write hook for retained views: called immediately BEFORE a
+   fence drain changes a durable line. One [Sbuf.sub] per line per
+   change, shared by every live view that still lacks the line. *)
+let retained_save t idx =
+  match t.retained with
+  | [] -> ()
+  | views -> (
+      match List.filter (fun r -> (not r.r_dead) && not (Hashtbl.mem r.r_saved idx)) views with
+      | [] -> ()
+      | missing ->
+          let off, len = line_span t idx in
+          let b = Sbuf.sub t.durable ~off ~len in
+          List.iter (fun r -> Hashtbl.replace r.r_saved idx b) missing)
+
 let flip_bit t ~off ~bit =
   check_range t off 1;
   if bit < 0 || bit > 7 then invalid_arg "Pmem.Device.flip_bit: bad bit";
@@ -413,6 +446,11 @@ let flip_bit t ~off ~bit =
   let flip buf =
     Sbuf.set buf off (Char.chr (Char.code (Sbuf.get buf off) lxor mask))
   in
+  (* Deliberately NO [retained_save]: rot hits the physical line, which
+     retained views share with the live image until a logical change
+     COWs it. A flip in a still-shared line therefore silently corrupts
+     the pinned content — exactly the divergence-from-[retained_hash]
+     the snapshot scrubber exists to catch. *)
   flip t.durable;
   flip t.latest;
   t.gen <- t.gen + 1;
@@ -739,6 +777,7 @@ let fence t =
       if l.flushed > 0 then begin
         (* Apply the oldest [l.flushed] records to the durable image; the
            rest stay pending ([l.pending] is newest-first). *)
+        retained_save t idx;
         let oldest_first = List.rev l.pending in
         let rec take n = function
           | r :: rest when n > 0 ->
@@ -1051,6 +1090,92 @@ let scratch_image s = Sbuf.to_bytes s.s_buf
 
 let attached_scratch t = t.attached
 
+(* {1 Retained views}
+
+   The crash-view machinery above denotes {e pending} states (durable
+   base + undrained store prefixes); a retained view denotes a {e past}
+   durable state. Both share the same [view] representation: a retained
+   view's records are the saved pre-image lines, applied onto whatever
+   the durable base has since become, so [apply_view] / [view_hash] /
+   [materialize] work on it unchanged — one engine, two producers. *)
+
+let retain t =
+  enable_content_hash t;
+  let r =
+    {
+      r_saved = Hashtbl.create 64;
+      r_hash = t.base_hash;
+      r_size = t.size;
+      r_dead = false;
+    }
+  in
+  t.retained <- r :: List.filter (fun x -> not x.r_dead) t.retained;
+  r
+
+(* Resurrect a pin whose delta was persisted elsewhere (the [sqfs]
+   sidecar path): a retained view whose capture hash and saved
+   pre-image lines are supplied by the caller instead of captured live.
+   Sound only if [saved] covers every line differing between the
+   current durable image and the pinned one — callers must check
+   [view_hash (view_of_retained t r) = hash] before trusting it. *)
+let retain_at t ~hash ~saved =
+  enable_content_hash t;
+  let r =
+    {
+      r_saved = Hashtbl.create (max 64 (List.length saved));
+      r_hash = hash;
+      r_size = t.size;
+      r_dead = false;
+    }
+  in
+  List.iter (fun (idx, b) -> Hashtbl.replace r.r_saved idx (Bytes.copy b)) saved;
+  t.retained <- r :: List.filter (fun x -> not x.r_dead) t.retained;
+  r
+
+let release t r =
+  r.r_dead <- true;
+  t.retained <- List.filter (fun x -> x != r) t.retained
+
+let retained_hash r = r.r_hash
+let retained_dead r = r.r_dead
+let retained_line_count r = Hashtbl.length r.r_saved
+
+(* Saved pre-image lines, ascending. The [Bytes.t] values are shared
+   with other retained views — treat them as immutable. *)
+let retained_saved r =
+  Hashtbl.fold (fun idx b acc -> (idx, b) :: acc) r.r_saved []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let view_of_retained t r =
+  if r.r_dead then invalid_arg "Pmem.Device.view_of_retained: view released";
+  if r.r_size <> t.size then
+    invalid_arg "Pmem.Device.view_of_retained: wrong device";
+  {
+    v_recs =
+      List.map
+        (fun (idx, b) -> { off = idx * line_size; data = Bytes.to_string b })
+        (retained_saved r);
+  }
+
+(* The pinned image as [(off, payload)] spans suitable for [of_spans]:
+   the device's backed spans with the saved pre-image lines overlaid.
+   Every line the pinned image backs is backed now too (backing only
+   grows), so the span set is complete. *)
+let retained_spans t r =
+  if r.r_dead then invalid_arg "Pmem.Device.retained_spans: view released";
+  List.map
+    (fun (off, len) ->
+      let b = Sbuf.sub t.durable ~off ~len in
+      Hashtbl.iter
+        (fun idx sb ->
+          let loff = idx * line_size in
+          let s = max off loff
+          and e = min (off + len) (loff + Bytes.length sb) in
+          if e > s then Bytes.blit sb (s - loff) b (s - off) (e - s))
+        r.r_saved;
+      (off, Bytes.to_string b))
+    (backed_spans t)
+
 (* {1 Pooled reuse}
 
    [reset] rewinds a device to the state of a fresh [of_image image]
@@ -1088,6 +1213,10 @@ let reset ?hash t ~image =
   t.ecc <- [||];
   t.gen <- t.gen + 1;
   t.taint <- None;
+  (* Retained views pin the {e old} content; a wholesale reload cannot
+     honour them, so they are invalidated rather than silently aliased. *)
+  List.iter (fun r -> r.r_dead <- true) t.retained;
+  t.retained <- [];
   t.tracer <- None;
   t.metrics <- None;
   (match hash with
@@ -1147,6 +1276,7 @@ let of_view ?(latency = Latency.zero) s =
       hstate = H_off;
       base_hash = 0L;
       attached = None;
+      retained = [];
       taint = Some (Hashtbl.create 64);
       tracer = None;
       metrics = None;
@@ -1209,3 +1339,8 @@ let read_u64 t off = with_lock t (fun () -> read_u64 t off)
 let read_u32 t off = with_lock t (fun () -> read_u32 t off)
 let read_byte t off = with_lock t (fun () -> read_byte t off)
 let durable_hash t = with_lock t (fun () -> durable_hash t)
+let retain t = with_lock t (fun () -> retain t)
+let retain_at t ~hash ~saved = with_lock t (fun () -> retain_at t ~hash ~saved)
+let release t r = with_lock t (fun () -> release t r)
+let view_of_retained t r = with_lock t (fun () -> view_of_retained t r)
+let retained_spans t r = with_lock t (fun () -> retained_spans t r)

@@ -296,6 +296,65 @@ val attached_scratch : t -> scratch option
     reuse one scratch across many runs instead of re-copying the device
     each time; {!apply_view} self-heals if it has fallen out of sync. *)
 
+(** {2 Retained views}
+
+    Where {!crash_views} denotes {e pending} states, a retained view
+    pins a {e past} durable state: {!retain} is O(1), and thereafter the
+    device saves the pre-image of every durable line it is about to
+    change (fence drain, {!flip_bit}) into each live retained view that
+    lacks it — one shared [Bytes.t] per (line, change), whatever the
+    number of views. Memory is O(unique lines dirtied since the oldest
+    capture), never O(volume). This is the substrate of the snapshot
+    subsystem ([Snap]); both it and the crash prober consume the same
+    {!view} machinery. *)
+
+type retained
+
+val retain : t -> retained
+(** Pin the current durable image. Pending (unfenced) stores are not
+    part of the pin — callers wanting a crash-consistent image fence
+    first. Enables content hashing on the device (first use is one
+    O(backed) pass). *)
+
+val retain_at : t -> hash:int64 -> saved:(int * Bytes.t) list -> retained
+(** Resurrect a pin persisted outside the process (the [sqfs] sidecar
+    path): a retained view whose capture [hash] and saved
+    [(line_idx, pre_image)] pairs are supplied by the caller instead of
+    captured live. Sound only if [saved] covers every line differing
+    between the current durable image and the pinned one — callers must
+    verify [view_hash (view_of_retained t r)] equals [hash] before
+    trusting the result. The payloads are copied. *)
+
+val release : t -> retained -> unit
+(** Drop the pin. The view becomes dead; saved lines still shared with
+    other retained views remain theirs (the GC is the refcount). *)
+
+val retained_hash : retained -> int64
+(** {!durable_hash} of the device at capture time. *)
+
+val retained_dead : retained -> bool
+(** True once released, or invalidated wholesale by {!reset}. *)
+
+val retained_line_count : retained -> int
+(** Number of pre-image lines this view holds — the measure of snapshot
+    memory cost (O(dirty lines), the bench gate). *)
+
+val retained_saved : retained -> (int * Bytes.t) list
+(** Saved [(line_idx, pre_image)] pairs, ascending. The payloads are
+    shared across views: treat as immutable. *)
+
+val view_of_retained : t -> retained -> view
+(** The pinned image as a delta {!view} over the {e current} durable
+    base (the saved lines as line-sized records): feed it to
+    {!apply_view}, {!materialize} or {!view_hash} — the latter equals
+    {!retained_hash}. Raises [Invalid_argument] on a dead view or a
+    different device. *)
+
+val retained_spans : t -> retained -> (int * string) list
+(** The pinned image as [(off, payload)] spans suitable for
+    {!of_spans}: the device's backed spans with the saved lines
+    overlaid. O(backed), not O(volume), on sparse devices. *)
+
 (** {2 Pooled reuse} *)
 
 val reset : ?hash:int64 array * int64 -> t -> image:Bytes.t -> unit

@@ -129,8 +129,14 @@ let lock_keys t (r : Req.req) : int list * bool =
       match Sq.Fsctx.oft_ino t.ctx tag with
       | Some ino -> ([ ino ], true)
       | None -> ([], true))
+  (* Snapshot quiesces the whole volume (needs_global); no per-inode
+     keys can name "everything". *)
+  | Req.Snapshot _ -> ([], true)
 
-(* Directory renames take the whole-FS lock (ancestor-chain check). *)
+(* Directory renames and snapshots take the whole-FS lock: renames for
+   the ancestor-chain check, snapshots because creation quiesces to a
+   fence epoch — the captured delta view must not race any in-flight
+   mutation, so the quiescent point is "all shards held". *)
 let needs_global t (r : Req.req) =
   match r with
   | Req.Rename (src, _) -> (
@@ -138,6 +144,7 @@ let needs_global t (r : Req.req) =
       match target with
       | Some ino -> Sq.Index.is_dir t.ctx.Sq.Fsctx.index ino
       | None -> false (* will fail ENOENT; per-inode keys suffice *))
+  | Req.Snapshot _ -> true
   | _ -> false
 
 (* {2 Execution} *)
@@ -168,6 +175,8 @@ let exec (t : t) (r : Req.req) : (Req.payload, Errno.t) result =
       Result.map (fun n -> Req.Wrote n) (Sq.write_h ctx tag ~off data)
   | Req.Read_h (tag, off, len) ->
       Result.map (fun s -> Req.Data s) (Sq.read_h ctx tag ~off ~len)
+  | Req.Snapshot name ->
+      Result.map (fun (i : Snap.info) -> Req.Wrote i.Snap.i_id) (Snap.snapshot ctx name)
 
 let subset need held = List.for_all (fun s -> List.mem s held) need
 

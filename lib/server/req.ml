@@ -29,6 +29,9 @@ type req =
   | Close of string
   | Write_h of string * int * string  (** tag, offset, data *)
   | Read_h of string * int * int  (** tag, offset, length *)
+  | Snapshot of string
+      (** named crash-consistent snapshot: quiesce under the whole-FS
+          lock, capture a delta view, seal a table entry ([Snap]) *)
 
 type payload =
   | Unit
@@ -64,6 +67,7 @@ let name = function
   | Close _ -> "close"
   | Write_h _ -> "write-h"
   | Read_h _ -> "read-h"
+  | Snapshot _ -> "snapshot"
 
 let pp_req ppf r =
   match r with
@@ -81,6 +85,7 @@ let pp_req ppf r =
   | Write_h (tag, off, data) ->
       Fmt.pf ppf "write-h %s off=%d len=%d" tag off (String.length data)
   | Read_h (tag, off, len) -> Fmt.pf ppf "read-h %s off=%d len=%d" tag off len
+  | Snapshot name -> Fmt.pf ppf "snapshot %s" name
 
 let pp_payload ppf = function
   | Unit -> Fmt.string ppf "()"

@@ -4,7 +4,7 @@
 
 let create : string list =
   [
-    "meta inode_table_off=4096 inode_count=15 page_desc_off=6016 page_count=60 data_off=12288 root_ino=1 inode_size=128 desc_size=64 page_size=4096 dentry_size=128";
+    "meta inode_table_off=4096 inode_count=15 page_desc_off=6016 page_count=60 data_off=12288 root_ino=1 inode_size=128 desc_size=64 page_size=4096 dentry_size=128 snap_table_off=1024 snap_slots=24 snap_slot_size=128 snap_intent_off=512";
     "snap-inode ino=1 kind=2 links=2 size=0";
     "begin create";
     "begin core.create";
@@ -49,7 +49,7 @@ let create : string list =
 
 let write : string list =
   [
-    "meta inode_table_off=4096 inode_count=15 page_desc_off=6016 page_count=60 data_off=12288 root_ino=1 inode_size=128 desc_size=64 page_size=4096 dentry_size=128";
+    "meta inode_table_off=4096 inode_count=15 page_desc_off=6016 page_count=60 data_off=12288 root_ino=1 inode_size=128 desc_size=64 page_size=4096 dentry_size=128 snap_table_off=1024 snap_slots=24 snap_slot_size=128 snap_intent_off=512";
     "snap-inode ino=1 kind=2 links=2 size=0";
     "snap-inode ino=2 kind=1 links=1 size=0";
     "snap-page page=3 ino=1 kind=2 offset=0";
@@ -77,7 +77,7 @@ let write : string list =
 
 let fsync : string list =
   [
-    "meta inode_table_off=4096 inode_count=15 page_desc_off=6016 page_count=60 data_off=12288 root_ino=1 inode_size=128 desc_size=64 page_size=4096 dentry_size=128";
+    "meta inode_table_off=4096 inode_count=15 page_desc_off=6016 page_count=60 data_off=12288 root_ino=1 inode_size=128 desc_size=64 page_size=4096 dentry_size=128 snap_table_off=1024 snap_slots=24 snap_slot_size=128 snap_intent_off=512";
     "snap-inode ino=1 kind=2 links=2 size=0";
     "snap-inode ino=2 kind=1 links=1 size=5";
     "snap-page page=3 ino=1 kind=2 offset=0";
@@ -89,7 +89,7 @@ let fsync : string list =
 
 let rename : string list =
   [
-    "meta inode_table_off=4096 inode_count=15 page_desc_off=6016 page_count=60 data_off=12288 root_ino=1 inode_size=128 desc_size=64 page_size=4096 dentry_size=128";
+    "meta inode_table_off=4096 inode_count=15 page_desc_off=6016 page_count=60 data_off=12288 root_ino=1 inode_size=128 desc_size=64 page_size=4096 dentry_size=128 snap_table_off=1024 snap_slots=24 snap_slot_size=128 snap_intent_off=512";
     "snap-inode ino=1 kind=2 links=2 size=0";
     "snap-inode ino=2 kind=1 links=1 size=0";
     "snap-page page=3 ino=1 kind=2 offset=0";

@@ -424,7 +424,139 @@ let split_path =
         ];
   ]
 
-let all = table @ extra @ op_surface @ split_path
+(* {1 Snapshot / restore scenarios (the [Snap] subsystem)}
+
+   In test_generic these run through [Fuzzer.Exec.apply_sq], i.e. the
+   real [Snap] snapshot/rollback machinery plus the crash oracle at
+   every fence. In test_baselines the same scripts run against each
+   baseline simulator via the generic whole-device snapshot manager
+   below — the reference model's snapshot semantics are implementation
+   agnostic, so the scripts are shared verbatim. *)
+
+let snapshots =
+  [
+    sc "snapshot then mutate then rollback restores the tree"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, String.make 3000 'a');
+          Mkdir "/d";
+          Snapshot "base";
+          Write ("/a", 1000, String.make 2000 'b');
+          Create "/d/new";
+          Unlink "/a";
+          Rollback "base";
+          Write ("/a", 3000, "tail");
+        ];
+    sc "snapshot mid-rename-chain, rollback rewinds the rotation"
+      W.
+        [
+          Mkdir "/a";
+          Mkdir "/b";
+          Create "/a/f";
+          Write ("/a/f", 0, "payload");
+          Rename ("/a", "/spare");
+          Snapshot "mid";
+          Rename ("/b", "/a");
+          Rename ("/spare", "/b");
+          Rollback "mid";
+          Rename ("/spare", "/c");
+        ];
+    sc ~size:(128 * 1024) "rollback across ENOSPC pressure"
+      (* the redo log needs free pages ≈ 9/8 of the dirty delta, so the
+         snapshot is taken on the nearly-full volume and the delta kept
+         small: rollback succeeds under pressure, and if the log cannot
+         fit it must refuse with a clean ENOSPC (capacity-exempted) *)
+      W.
+        [
+          Create "/keep";
+          Write ("/keep", 0, String.make 2000 'k');
+          Create "/big";
+          Write ("/big", 0, String.make 60000 'x');
+          Write ("/big", 60000, String.make 60000 'x');
+          Snapshot "lean";
+          Write ("/keep", 2000, String.make 3000 'm');
+          Create "/extra";
+          Rollback "lean";
+          Unlink "/big";
+          Create "/after";
+          Write ("/after", 0, String.make 8000 'y');
+        ];
+    sc "snapshot survives its own rollback (flip twice)"
+      W.
+        [
+          Create "/a";
+          Snapshot "s";
+          Write ("/a", 0, String.make 500 'w');
+          Rollback "s";
+          Write ("/a", 0, String.make 700 'v');
+          Rollback "s";
+          Create "/b";
+        ];
+    sc "rollback to older snapshot drops younger table entries"
+      W.
+        [
+          Create "/a";
+          Snapshot "old";
+          Write ("/a", 0, "one");
+          Snapshot "young";
+          Rollback "old";
+          (* "young" was created after "old"'s capture: gone *)
+          Rollback "young";
+          Snapshot "young";
+          Rollback "young";
+        ];
+    sc "snapshot errnos: EINVAL name, EEXIST dup, ENOENT rollback"
+      W.
+        [
+          Snapshot "bad/name";
+          Snapshot "";
+          Snapshot "dup";
+          Snapshot "dup";
+          Rollback "missing";
+          Rollback "dup";
+        ];
+    sc "tmpfile tag does not survive a rollback"
+      W.
+        [
+          Tmpfile "t0";
+          Snapshot "s";
+          Rollback "s";
+          Linkat ("t0", "/x");
+          Tmpfile "t0";
+          Linkat ("t0", "/x");
+        ];
+    sc "open handle goes stale across a rollback"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, String.make 1000 'h');
+          Open ("h", "/a");
+          Snapshot "s";
+          Rollback "s";
+          Write_h ("h", 0, "dead");
+          Read_h ("h", 0, 16);
+          Open ("h", "/a");
+          Write_h ("h", 0, "alive");
+          Close "h";
+        ];
+    sc "rebuild after rollback: allocator and index serve new writes"
+      W.
+        [
+          Create "/a";
+          Write ("/a", 0, String.make 5000 'a');
+          Snapshot "s";
+          Unlink "/a";
+          Create "/b";
+          Write ("/b", 0, String.make 9000 'b');
+          Rollback "s";
+          Write ("/a", 5000, String.make 5000 'c');
+          Create "/c";
+          Rename ("/a", "/c");
+        ];
+  ]
+
+let all = table @ extra @ op_surface @ split_path @ snapshots
 
 (* {1 Generic differential runner} *)
 
@@ -451,12 +583,72 @@ let apply_fs (type a) (module F : Vfs.Fs.S with type t = a) (fs : a) (op : W.op)
       Result.map (fun (_ : int) -> ()) (F.write_h fs tag ~off data)
   | W.Read_h (tag, off, len) ->
       Result.map (fun (_ : string) -> ()) (F.read_h fs tag ~off ~len)
-  | W.Buggy_create _ | W.Buggy_unlink _ | W.Buggy_write _ ->
+  | W.Buggy_create _ | W.Buggy_unlink _ | W.Buggy_write _ | W.Buggy_snap _ ->
       invalid_arg "scenario corpus has no buggy ops"
+  | W.Snapshot _ | W.Rollback _ ->
+      invalid_arg "snapshot ops are handled by the runner's snap manager"
 
 let show_r = function
   | Ok () -> "ok"
   | Error e -> Vfs.Errno.to_string e
+
+(* Generic whole-device snapshot manager: implementation-agnostic
+   [Snap] semantics for baselines with no snapshot subsystem of their
+   own. A snapshot captures the full durable image plus the table as of
+   the capture (mirroring [Fuzzer.Ref_fs]); rollback blits the image
+   back and remounts, so volatile registries (tmpfile tags, handles)
+   die exactly as they do under the real in-place flip. *)
+let generic_snap (type a) (module F : Vfs.Fs.S with type t = a)
+    (dev : Pmem.Device.t) (fsref : a ref) =
+  let module SN = Layout.Snaptab in
+  (* name -> (id, pin); pin = None models an entry resurrected by a
+     rollback past its own deletion (unreachable from this op surface,
+     kept for parity with the model) *)
+  let tbl : (string, int * (Bytes.t * (string * int) list) option) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let next = ref 1 in
+  fun (op : W.op) : (unit, Vfs.Errno.t) result ->
+    match op with
+    | W.Snapshot name ->
+        if not (SN.valid_name name) then Error Vfs.Errno.EINVAL
+        else if Hashtbl.mem tbl name then Error Vfs.Errno.EEXIST
+        else if Hashtbl.length tbl >= SN.slots then Error Vfs.Errno.ENOSPC
+        else begin
+          let id = !next in
+          incr next;
+          let table =
+            (name, id)
+            :: Hashtbl.fold (fun n (i, _) acc -> (n, i) :: acc) tbl []
+          in
+          Hashtbl.replace tbl name
+            (id, Some (Pmem.Device.image_durable dev, table));
+          Ok ()
+        end
+    | W.Rollback name -> (
+        match Hashtbl.find_opt tbl name with
+        | None -> Error Vfs.Errno.ENOENT
+        | Some (_, None) -> Error Vfs.Errno.EIO
+        | Some (_, Some (img, table)) -> (
+            Pmem.Device.reset ~hash:(Pmem.Device.image_hash_state img) dev
+              ~image:img;
+            let old = Hashtbl.copy tbl in
+            Hashtbl.reset tbl;
+            List.iter
+              (fun (n, id) ->
+                let pin =
+                  match Hashtbl.find_opt old n with
+                  | Some (i, p) when i = id -> p
+                  | _ -> None
+                in
+                Hashtbl.replace tbl n (id, pin))
+              table;
+            match F.mount dev with
+            | Ok fs ->
+                fsref := fs;
+                Ok ()
+            | Error e -> Error e))
+    | _ -> invalid_arg "generic_snap: not a snapshot op"
 
 (* Run [sc] against [F] on a fresh device and against the unlimited
    reference model in lockstep: identical return values op by op (modulo
@@ -470,11 +662,17 @@ let run_differential (type a) (module F : Vfs.Fs.S with type t = a) ?size
   match F.mount dev with
   | Error e -> fail (Printf.sprintf "mount: %s" (Vfs.Errno.to_string e))
   | Ok fs ->
+      let fsref = ref fs in
+      let snap = generic_snap (module F) dev fsref in
       let model = ref Fuzzer.Ref_fs.empty in
       List.iteri
         (fun i op ->
           let m, rm = Fuzzer.Ref_fs.apply !model op in
-          let rf = apply_fs (module F) fs op in
+          let rf =
+            match op with
+            | W.Snapshot _ | W.Rollback _ -> snap op
+            | _ -> apply_fs (module F) !fsref op
+          in
           match (rm, rf) with
           | Ok (), Ok () -> model := m
           | Error a, Error b when a = b -> ()
@@ -487,7 +685,7 @@ let run_differential (type a) (module F : Vfs.Fs.S with type t = a) ?size
                    (Format.asprintf "%a" W.pp_op op)
                    (show_r rm) F.flavor (show_r rf)))
         scn.sc_ops;
-      let got = Vfs.Logical.capture (module F) fs in
+      let got = Vfs.Logical.capture (module F) !fsref in
       let want = Fuzzer.Ref_fs.capture !model in
       if not (Vfs.Logical.equal ~compare_data:true got want) then
         fail

@@ -290,7 +290,7 @@ let test_interleave_deterministic () =
 
 let test_interleave_flags_mutants () =
   let results = Fuzzer.Interleave.run_buggy ~max_interleavings:24 () in
-  Alcotest.(check int) "three mutants" 3 (List.length results);
+  Alcotest.(check int) "four mutants" 4 (List.length results);
   List.iter
     (fun b ->
       Alcotest.(check bool)
